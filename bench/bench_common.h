@@ -1,0 +1,35 @@
+#ifndef DATAMARAN_BENCH_BENCH_COMMON_H_
+#define DATAMARAN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// Shared helpers for the table/figure reproduction benches. Every bench is
+/// a standalone binary that prints the rows/series of one paper exhibit;
+/// absolute numbers differ from the paper's 2016 hardware, the *shape* is
+/// the claim (see EXPERIMENTS.md).
+
+namespace datamaran::bench {
+
+/// True when DM_BENCH_QUICK=1: benches shrink their workloads (used by CI
+/// smoke runs; the recorded outputs use the full defaults).
+inline bool QuickMode() {
+  const char* v = std::getenv("DM_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline void Header(const char* exhibit, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", exhibit, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace datamaran::bench
+
+#endif  // DATAMARAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,91 @@
+// Figure 14b: running time vs structural complexity, where complexity is
+// the number of structure templates with >= 10% coverage (the paper's
+// x-axis). Shape: more complex datasets take longer; greedy's advantage
+// grows with complexity.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/datamaran.h"
+#include "datagen/github_corpus.h"
+#include "datagen/manual_datasets.h"
+#include "generation/generator.h"
+#include "util/sampler.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace datamaran;
+  bench::Header("Figure 14b",
+                "running time vs structural complexity "
+                "(#templates with >=10%% coverage)");
+
+  struct Row {
+    std::string name;
+    size_t complexity;
+    double ex_seconds;
+    double gr_seconds;
+  };
+  std::vector<Row> rows;
+
+  const int n = bench::QuickMode() ? 16 : 60;
+  for (int i = 0; i < n; ++i) {
+    GeneratedDataset ds = BuildGithubDataset(i * (kGithubCorpusSize / n),
+                                             32 * 1024);
+    if (ds.label == DatasetLabel::kNoStructure) continue;
+
+    // Complexity: candidates meeting the 10% threshold under exhaustive
+    // generation on the sample.
+    DatamaranOptions opts;
+    Dataset sample(SampleLines(ds.text, SamplerOptions()));
+    CandidateGenerator gen(&sample, &opts);
+    size_t complexity = gen.Run().candidates.size();
+
+    Timer t1;
+    Datamaran ex(opts);
+    ex.ExtractText(std::string(ds.text));
+    double ex_seconds = t1.Seconds();
+
+    DatamaranOptions gr_opts;
+    gr_opts.search = CharsetSearch::kGreedy;
+    Timer t2;
+    Datamaran gr(gr_opts);
+    gr.ExtractText(std::string(ds.text));
+    double gr_seconds = t2.Seconds();
+
+    rows.push_back({ds.name, complexity, ex_seconds, gr_seconds});
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) {
+              return a.complexity < b.complexity;
+            });
+  std::printf("%-12s %12s %14s %12s\n", "dataset", "complexity",
+              "exhaustive(s)", "greedy(s)");
+  for (const Row& r : rows) {
+    std::printf("%-12s %12zu %14.2f %12.2f\n", r.name.c_str(), r.complexity,
+                r.ex_seconds, r.gr_seconds);
+  }
+
+  // Bucketed averages (the paper's series).
+  std::printf("\nbucketed averages:\n%-24s %14s %12s\n", "complexity bucket",
+              "exhaustive(s)", "greedy(s)");
+  size_t buckets[4][2] = {{0, 25}, {25, 75}, {75, 200}, {200, 1u << 30}};
+  for (auto& b : buckets) {
+    double ex_sum = 0, gr_sum = 0;
+    int count = 0;
+    for (const Row& r : rows) {
+      if (r.complexity >= b[0] && r.complexity < b[1]) {
+        ex_sum += r.ex_seconds;
+        gr_sum += r.gr_seconds;
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    std::printf("[%4zu, %4zu)  n=%-3d      %14.2f %12.2f\n", b[0],
+                std::min(b[1], size_t{9999}), count, ex_sum / count,
+                gr_sum / count);
+  }
+  return 0;
+}

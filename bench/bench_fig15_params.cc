@@ -1,0 +1,61 @@
+// Figure 15: impact of the parameters on running time. Left plot: M (the
+// number of templates retained after pruning) on a small and a larger
+// dataset; right plot: alpha and L. Paper shape: time grows with M (more
+// so for larger data), with L, and shrinks with alpha. Skipping the pruning
+// step entirely (M = infinity) is far slower, which is why the assimilation
+// score exists.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/datamaran.h"
+#include "datagen/manual_datasets.h"
+#include "util/timer.h"
+
+namespace {
+
+double RunOnce(const std::string& text, datamaran::DatamaranOptions opts) {
+  datamaran::Datamaran dm(opts);
+  datamaran::Timer timer;
+  dm.ExtractText(std::string(text));
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace datamaran;
+  bench::Header("Figure 15", "running time vs parameters (M; alpha and L)");
+
+  GeneratedDataset small = BuildManualDataset(2, 192 * 1024);   // web log
+  GeneratedDataset large =
+      BuildVcfDataset(bench::QuickMode() ? 1 * 1024 * 1024 : 4 * 1024 * 1024);
+
+  std::printf("--- time vs M (left plot) ---\n");
+  std::printf("%6s %12s %12s\n", "M", "small(s)", "large(s)");
+  for (int m : {50, 100, 200, 500, 1000}) {
+    DatamaranOptions opts;
+    opts.num_retained = m;
+    std::printf("%6d %12.2f %12.2f\n", m, RunOnce(small.text, opts),
+                RunOnce(large.text, opts));
+  }
+  {
+    DatamaranOptions opts;
+    opts.num_retained = -1;  // M = infinity: skip pruning entirely
+    std::printf("%6s %12.2f %12s   <- why the pruning step exists\n", "inf",
+                RunOnce(small.text, opts), "-");
+  }
+
+  std::printf("\n--- time vs alpha and L (right plot, small dataset) ---\n");
+  std::printf("%8s %4s %12s\n", "alpha", "L", "time(s)");
+  for (double alpha : {0.05, 0.10, 0.20}) {
+    for (int l : {5, 10, 15}) {
+      DatamaranOptions opts;
+      opts.coverage_threshold = alpha;
+      opts.max_record_span = l;
+      std::printf("%7.0f%% %4d %12.2f\n", alpha * 100, l,
+                  RunOnce(small.text, opts));
+    }
+  }
+  return 0;
+}

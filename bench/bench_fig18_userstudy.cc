@@ -1,0 +1,169 @@
+// Figure 18 / Section 6: user-study surrogate. For five representative
+// datasets (one single-line, two regular multi-line, two noisy multi-line),
+// plan the wrangling-operation sequence that reaches the target extraction
+// from (R) the raw file, (A) Datamaran output, (B) RecordBreaker output.
+// Plan length stands in for participant effort; an infeasible plan stands
+// in for the participants' failures (black circles in Figure 18).
+//
+// Paper shape: A needs the fewest ops and never fails; B and R need more
+// and fail exactly on the noisy multi-line datasets.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/datamaran.h"
+#include "datagen/manual_datasets.h"
+#include "evalharness/wrangle_search.h"
+#include "extraction/relational.h"
+#include "recordbreaker/recordbreaker.h"
+
+namespace {
+
+using namespace datamaran;
+
+/// Target table: one row per (majority-type) record, one column per target.
+Table TargetTable(const GeneratedDataset& ds) {
+  // The study's extraction target: prefer the multi-line record type (the
+  // interesting one), then the most frequent.
+  std::map<int, std::pair<int, int>> stats;  // type -> (max span, count)
+  for (const auto& r : ds.records()) {
+    auto& s = stats[r.type];
+    s.first = std::max(s.first, r.line_count);
+    s.second++;
+  }
+  int type = 0;
+  std::pair<int, int> best{0, 0};
+  for (auto [t, s] : stats) {
+    if (s > best) {
+      best = s;
+      type = t;
+    }
+  }
+  Table target;
+  target.name = "target";
+  bool first = true;
+  for (const auto& rec : ds.records()) {
+    if (rec.type != type) continue;
+    std::vector<std::string> row;
+    for (const auto& t : rec.targets) {
+      if (first) target.columns.push_back(t.name);
+      row.push_back(std::string(
+          std::string_view(ds.text).substr(t.begin, t.end - t.begin)));
+    }
+    first = false;
+    target.rows.push_back(std::move(row));
+  }
+  return target;
+}
+
+/// R condition: the raw file as a one-column table of lines.
+std::vector<Table> RawTables(const Dataset& data) {
+  Table t;
+  t.name = "raw";
+  t.columns = {"line"};
+  for (size_t li = 0; li < data.line_count(); ++li) {
+    t.rows.push_back({std::string(data.line(li))});
+  }
+  return {t};
+}
+
+/// A condition: Datamaran's denormalized tables.
+std::vector<Table> DatamaranTables(const GeneratedDataset& ds) {
+  DatamaranOptions opts;
+  Datamaran dm(opts);
+  PipelineResult result = dm.ExtractText(std::string(ds.text));
+  Dataset data{std::string(ds.text)};
+  Extractor extractor(&result.templates);
+  ExtractionResult extraction = extractor.Extract(data);
+  std::vector<Table> tables;
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    tables.push_back(DenormalizedTable(result.templates[t],
+                                       extraction.records, data.text(),
+                                       static_cast<int>(t),
+                                       "dm" + std::to_string(t)));
+  }
+  return tables;
+}
+
+/// B condition: RecordBreaker's per-branch token tables (its "multiple
+/// output files").
+std::vector<Table> RecordBreakerTables(const GeneratedDataset& ds) {
+  Dataset data{std::string(ds.text)};
+  RecordBreaker rb;
+  RecordBreakerResult result = rb.Extract(data);
+  std::vector<Table> tables(static_cast<size_t>(result.branch_count));
+  for (int b = 0; b < result.branch_count; ++b) {
+    tables[static_cast<size_t>(b)].name = "rb" + std::to_string(b);
+  }
+  for (const RbRecord& rec : result.records) {
+    Table& t = tables[static_cast<size_t>(rec.branch)];
+    std::vector<std::string> row;
+    for (const auto& [fb, fe] : rec.fields) {
+      row.push_back(std::string(data.text().substr(fb, fe - fb)));
+    }
+    while (t.columns.size() < row.size()) {
+      t.columns.push_back("tok" + std::to_string(t.columns.size()));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  // Pad ragged rows.
+  for (Table& t : tables) {
+    for (auto& row : t.rows) row.resize(t.columns.size());
+  }
+  return tables;
+}
+
+void Report(const char* cond, const WranglePlan& plan) {
+  if (plan.feasible) {
+    std::printf("  %-2s ops=%-3d", cond, plan.ops);
+    for (size_t s = 0; s < plan.steps.size() && s < 3; ++s) {
+      std::printf("  %s;", plan.steps[s].c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("  %-2s FAIL (%s)\n", cond, plan.failure_reason.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 18 / Section 6",
+                "wrangling ops to reach the target from R / A / B");
+
+  // The study's five datasets: single-line; multi-line regular (x3);
+  // multi-line with noise/incomplete records.
+  const int indices[5] = {2, 15, 21, 19, 24};
+  const char* kinds[5] = {"single-line", "multi-line regular",
+                          "multi-line regular", "multi-line regular",
+                          "multi-line noisy"};
+  int a_fail = 0, b_fail = 0, r_fail = 0;
+  for (int d = 0; d < 5; ++d) {
+    GeneratedDataset ds = BuildManualDataset(indices[d], 24 * 1024);
+    Dataset data{std::string(ds.text)};
+    Table target = TargetTable(ds);
+    std::printf("\ndataset %d: %s (%s; %zu records, %zu target cols)\n",
+                d + 1, ds.name.c_str(), kinds[d], target.rows.size(),
+                target.columns.size());
+
+    WranglePlan a = PlanTransformation(DatamaranTables(ds), target);
+    WranglePlan b = PlanTransformation(RecordBreakerTables(ds), target);
+    WranglePlan r = PlanTransformation(RawTables(data), target);
+    Report("A", a);
+    Report("B", b);
+    Report("R", r);
+    a_fail += a.feasible ? 0 : 1;
+    b_fail += b.feasible ? 0 : 1;
+    r_fail += r.feasible ? 0 : 1;
+    if (a.feasible && b.feasible) {
+      std::printf("  -> A needs %s ops than B\n",
+                  a.ops <= b.ops ? "fewer/equal" : "MORE");
+    }
+  }
+  std::printf("\nfailures: A=%d B=%d R=%d (paper: A never fails; B and R "
+              "fail on noisy multi-line data)\n",
+              a_fail, b_fail, r_fail);
+  return 0;
+}

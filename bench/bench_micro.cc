@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the pipeline's hot paths:
+// record-template extraction, reduction, LL(1) matching, hashing-based
+// generation, and MDL scoring. These back the engineering claims in
+// DESIGN.md (generation cost per charset, parse-bound extraction).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/options.h"
+#include "generation/generator.h"
+#include "scoring/mdl.h"
+#include "template/matcher.h"
+#include "template/record_template.h"
+#include "template/template.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace datamaran;
+
+std::string MakeCsv(int rows) {
+  Rng rng(1);
+  std::string text;
+  for (int i = 0; i < rows; ++i) {
+    text += std::to_string(rng.Uniform(0, 999)) + "," +
+            std::to_string(rng.Uniform(0, 999)) + "," +
+            std::to_string(rng.Uniform(0, 999)) + "," +
+            std::to_string(rng.Uniform(0, 999)) + "\n";
+  }
+  return text;
+}
+
+void BM_ExtractRecordTemplate(benchmark::State& state) {
+  std::string text = MakeCsv(1);
+  CharSet cs = CharSet::Of(",\n");
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    AppendRecordTemplate(text, cs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ExtractRecordTemplate);
+
+void BM_ReduceToCanonical(benchmark::State& state) {
+  std::string rt = "F,F,F,F,F,F,F,F\n";
+  ReduceWorkspace ws;
+  std::string out;
+  for (auto _ : state) {
+    ReduceToCanonical(rt, &ws, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReduceToCanonical);
+
+void BM_ReduceNested(benchmark::State& state) {
+  std::string rt = "F,F,F;F,F,F;F,F,F;F,F,F\n";
+  ReduceWorkspace ws;
+  std::string out;
+  for (auto _ : state) {
+    ReduceToCanonical(rt, &ws, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReduceNested);
+
+void BM_Ll1Match(benchmark::State& state) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  TemplateMatcher matcher(&st.value());
+  std::string text = MakeCsv(100);
+  Dataset data(std::move(text));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t li = 0; li < data.line_count(); ++li) {
+      auto m = matcher.TryMatch(data.text(), data.line_begin(li));
+      if (m.has_value()) total += m->end;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_Ll1Match);
+
+void BM_Ll1Parse(benchmark::State& state) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  TemplateMatcher matcher(&st.value());
+  Dataset data(MakeCsv(100));
+  for (auto _ : state) {
+    for (size_t li = 0; li < data.line_count(); ++li) {
+      auto v = matcher.Parse(data.text(), data.line_begin(li));
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_Ll1Parse);
+
+void BM_GenerationCharsetPass(benchmark::State& state) {
+  Dataset data(MakeCsv(2000));
+  DatamaranOptions opts;
+  CandidateGenerator gen(&data, &opts);
+  CharSet cs = CharSet::Of(",");
+  for (auto _ : state) {
+    std::vector<CandidateTemplate> out;
+    gen.RunCharset(cs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_GenerationCharsetPass);
+
+void BM_MdlEvaluate(benchmark::State& state) {
+  Dataset data(MakeCsv(2000));
+  auto st = StructureTemplate::FromCanonical("F,F,F,F\n");
+  MdlScorer scorer;
+  for (auto _ : state) {
+    double score = scorer.Score(data, st.value());
+    benchmark::DoNotOptimize(score);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_MdlEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table 1: the assumption comparison chart, plus the paper's empirical
+// claim that ~31% of GitHub log datasets violate RecordBreaker's extra
+// assumptions (Boundary: one record per line; Tokenization: a fixed lexer
+// can split records up front).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/github_corpus.h"
+
+int main() {
+  using namespace datamaran;
+  bench::Header("Table 1", "assumption comparison + violation rates");
+
+  std::printf("%-22s %-14s %-10s\n", "Assumption", "RecordBreaker",
+              "Datamaran");
+  std::printf("%-22s %-14s %-10s\n", "Coverage Threshold", "No", "Yes");
+  std::printf("%-22s %-14s %-10s\n", "Non-overlapping", "Yes", "Yes");
+  std::printf("%-22s %-14s %-10s\n", "Structural Form", "Yes", "Yes");
+  std::printf("%-22s %-14s %-10s\n", "Boundary", "Yes", "No");
+  std::printf("%-22s %-14s %-10s\n", "Tokenization", "Yes", "No");
+
+  // Measured on the generated corpus: any dataset with multi-line records
+  // violates Boundary outright (the paper's ">= 31%" lower bound).
+  auto corpus = BuildGithubCorpus(8 * 1024);
+  int multiline = 0, structured = 0;
+  for (const auto& ds : corpus) {
+    if (ds.label == DatasetLabel::kNoStructure) continue;
+    ++structured;
+    if (ds.max_record_span > 1) ++multiline;
+  }
+  std::printf(
+      "\ncorpus check: %d/100 datasets contain multi-line records and so\n"
+      "violate RecordBreaker's Boundary assumption (paper: at least 31%%,\n"
+      "an underestimate since Tokenization violations add more).\n",
+      multiline);
+  std::printf("structured datasets: %d/100 follow Section 3's assumptions "
+              "(paper: 89%%).\n",
+              structured);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 3: time complexity of the pipeline steps, validated empirically.
+//   Generation  O(S_data * L * 2^c) exhaustive / O(S_data * L * c^2) greedy
+//   Pruning     O(K log K)
+//   Evaluation  O(M * S_data)
+//   Extraction  O(T_data)
+// The bench measures each step while scaling exactly one driver and prints
+// the observed ratios (expected ratio in parentheses).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/datamaran.h"
+#include "datagen/manual_datasets.h"
+#include "generation/generator.h"
+#include "util/sampler.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace datamaran;
+
+double GenerationSeconds(const Dataset& sample, DatamaranOptions opts) {
+  CandidateGenerator gen(&sample, &opts);
+  Timer timer;
+  gen.Run();
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 3", "empirical step scaling");
+
+  GeneratedDataset base = BuildManualDataset(2, 512 * 1024);  // web log
+
+  std::printf("--- generation vs S_data (expect ~2x per doubling) ---\n");
+  double prev = 0;
+  for (size_t kb : {64, 128, 256}) {
+    SamplerOptions so;
+    so.max_sample_bytes = kb * 1024;
+    Dataset sample(SampleLines(base.text, so));
+    DatamaranOptions opts;
+    double s = GenerationSeconds(sample, opts);
+    std::printf("  S_data=%4zuKB  gen=%7.3fs%s\n", kb, s,
+                prev > 0 ? StrFormat("  ratio=%.2f (expect ~2)", s / prev)
+                               .c_str()
+                         : "");
+    prev = s;
+  }
+
+  std::printf("--- generation vs L (expect ~linear) ---\n");
+  {
+    SamplerOptions so;
+    so.max_sample_bytes = 128 * 1024;
+    Dataset sample(SampleLines(base.text, so));
+    prev = 0;
+    for (int l : {5, 10, 20}) {
+      DatamaranOptions opts;
+      opts.max_record_span = l;
+      double s = GenerationSeconds(sample, opts);
+      std::printf("  L=%2d  gen=%7.3fs%s\n", l, s,
+                  prev > 0 ? StrFormat("  ratio=%.2f (expect ~2)", s / prev)
+                                 .c_str()
+                           : "");
+      prev = s;
+    }
+  }
+
+  std::printf("--- generation vs c: exhaustive ~2^c, greedy ~c^2 ---\n");
+  {
+    SamplerOptions so;
+    so.max_sample_bytes = 64 * 1024;
+    Dataset sample(SampleLines(base.text, so));
+    for (int c : {4, 6, 8}) {
+      DatamaranOptions ex;
+      ex.max_special_chars = c;
+      DatamaranOptions gr;
+      gr.max_special_chars = c;
+      gr.search = CharsetSearch::kGreedy;
+      std::printf("  c=%2d  exhaustive=%7.3fs  greedy=%7.3fs\n", c,
+                  GenerationSeconds(sample, ex), GenerationSeconds(sample, gr));
+    }
+  }
+
+  std::printf("--- evaluation vs M and extraction vs T_data ---\n");
+  for (int m : {25, 50, 100}) {
+    DatamaranOptions opts;
+    opts.num_retained = m;
+    Datamaran dm(opts);
+    PipelineResult r = dm.ExtractText(std::string(base.text));
+    std::printf("  M=%3d  evaluation=%6.3fs\n", m, r.timings.evaluation_s);
+  }
+  for (size_t mb : {2, 4, 8}) {
+    GeneratedDataset big = BuildVcfDataset(mb * 1024 * 1024);
+    DatamaranOptions opts;
+    Datamaran dm(opts);
+    PipelineResult r = dm.ExtractText(std::string(big.text));
+    std::printf("  T_data=%zuMB  extraction=%6.3fs\n", mb,
+                r.timings.extraction_s);
+  }
+  return 0;
+}

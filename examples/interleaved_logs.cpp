@@ -1,0 +1,67 @@
+// Interleaved record types (the paper's Figure 2 scenario): two record
+// types — 7-line A blocks and 3-line B blocks — arrive in arbitrary order
+// with watchdog noise in between. Datamaran peels one template per round
+// from the residual and extracts both types.
+//
+//   $ ./examples/interleaved_logs
+
+#include <cstdio>
+
+#include "core/datamaran.h"
+#include "datagen/github_corpus.h"
+#include "extraction/relational.h"
+
+int main() {
+  using namespace datamaran;
+
+  // M(I) family 0: the Figure 2 style A/B block mix.
+  GeneratedDataset ds = BuildGithubDataset(kGithubSingleNI + kGithubSingleI +
+                                           kGithubMultiNI + 0);
+  std::printf("dataset: %s (%zu bytes, %d record types, max span %d)\n\n",
+              ds.name.c_str(), ds.text.size(), ds.record_type_count,
+              ds.max_record_span);
+
+  DatamaranOptions options;
+  options.verbose = false;
+  Datamaran dm(options);
+  PipelineResult result = dm.ExtractText(std::string(ds.text));
+
+  std::printf("discovered %zu template(s):\n", result.templates.size());
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    std::printf("  [%zu] span=%d  %s\n", t, result.templates[t].line_span(),
+                result.templates[t].Display().c_str());
+  }
+
+  size_t counts[8] = {};
+  for (const auto& rec : result.extraction.records) {
+    if (rec.template_id < 8) counts[rec.template_id]++;
+  }
+  std::printf("\nextraction: ");
+  for (size_t t = 0; t < result.templates.size() && t < 8; ++t) {
+    std::printf("type%zu=%zu  ", t, counts[t]);
+  }
+  std::printf("noise lines=%zu  coverage=%.1f%%\n",
+              result.extraction.noise_lines.size(),
+              result.extraction.coverage() * 100);
+
+  // Ground truth comparison.
+  size_t gt_a = 0, gt_b = 0;
+  for (const auto& rec : ds.records()) {
+    (rec.type == 0 ? gt_a : gt_b)++;
+  }
+  std::printf("ground truth: typeA=%zu typeB=%zu\n", gt_a, gt_b);
+
+  // One denormalized table per record type, like the paper's Figure 7.
+  Dataset data{std::string(ds.text)};
+  Extractor extractor(&result.templates);
+  ExtractionResult extraction = extractor.Extract(data);
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    Table table =
+        DenormalizedTable(result.templates[t], extraction.records,
+                          data.text(), static_cast<int>(t),
+                          "type" + std::to_string(t));
+    std::printf("\ntable %s (%zu rows), first rows:\n%s", table.name.c_str(),
+                table.row_count(), table.ToCsv().substr(0, 300).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "core/datamaran.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "generation/generator.h"
+#include "pruning/pruner.h"
+#include "refinement/refiner.h"
+#include "template/matcher.h"
+#include "util/file_io.h"
+#include "util/logging.h"
+#include "util/sampler.h"
+#include "util/timer.h"
+
+namespace datamaran {
+
+Datamaran::Datamaran(DatamaranOptions options)
+    : options_(std::move(options)) {
+  if (options_.verbose) SetLogLevel(LogLevel::kInfo);
+}
+
+std::string RemoveMatchedLines(const Dataset& data,
+                               const StructureTemplate& st) {
+  TemplateMatcher matcher(&st);
+  const std::string_view text = data.text();
+  const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
+  std::string residual;
+  size_t li = 0;
+  const size_t n = data.line_count();
+  while (li < n) {
+    if (matcher.TryMatch(text, data.line_begin(li)).has_value()) {
+      li += span;
+    } else {
+      residual.append(data.line_with_newline(li));
+      ++li;
+    }
+  }
+  return residual;
+}
+
+std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
+    const Dataset& data, StepTimings* timings, PipelineStats* stats,
+    std::vector<TemplateReport>* reports) const {
+  SamplerOptions sampler_opts;
+  sampler_opts.max_sample_bytes = options_.max_sample_bytes;
+  sampler_opts.num_chunks = options_.sample_chunks;
+  Dataset sample(SampleLines(data.text(), sampler_opts));
+  if (stats != nullptr) stats->sample_bytes = sample.size_bytes();
+
+  std::vector<StructureTemplate> accepted;
+  Dataset residual = std::move(sample);
+  const size_t initial_bytes = residual.size_bytes();
+
+  for (int round = 0; round < options_.max_record_types; ++round) {
+    if (residual.size_bytes() <
+        options_.min_residual_fraction * static_cast<double>(initial_bytes)) {
+      break;
+    }
+
+    // --- Generation ---
+    Timer gen_timer;
+    CandidateGenerator generator(&residual, &options_);
+    GenerationResult gen = generator.Run();
+    if (timings != nullptr) timings->generation_s += gen_timer.Seconds();
+    if (stats != nullptr) {
+      stats->charsets_tried += gen.charsets_tried;
+      stats->candidates_generated += gen.candidates.size();
+    }
+    if (gen.candidates.empty()) break;
+
+    // --- Pruning ---
+    Timer prune_timer;
+    std::vector<CandidateTemplate> retained =
+        PruneCandidates(std::move(gen.candidates), options_.num_retained);
+    if (timings != nullptr) timings->pruning_s += prune_timer.Seconds();
+
+    // --- Evaluation ---
+    Timer eval_timer;
+    struct Scored {
+      StructureTemplate st;
+      double score;
+    };
+    std::vector<Scored> scored;
+    for (const CandidateTemplate& cand : retained) {
+      auto parsed = StructureTemplate::FromCanonical(cand.canonical);
+      if (!parsed.ok()) continue;
+      StructureTemplate st = std::move(parsed.value());
+      if (!st.Validate().ok()) continue;
+      if (stats != nullptr) stats->candidates_evaluated++;
+      // Score the candidate in its most-typed form: constant-count arrays
+      // are unfolded first, otherwise a template whose payoff only shows
+      // after unfolding (e.g. "(F;)*F" for a fixed-width table) would rank
+      // below the trivial template and never reach refinement.
+      if (st.array_count() > 0) {
+        StructureTemplate unfolded = AutoUnfoldConstantArrays(residual, st);
+        double unfolded_score = scorer_.Score(residual, unfolded);
+        double plain_score = scorer_.Score(residual, st);
+        if (unfolded_score < plain_score) {
+          scored.push_back({std::move(unfolded), unfolded_score});
+        } else {
+          scored.push_back({std::move(st), plain_score});
+        }
+      } else {
+        double score = scorer_.Score(residual, st);
+        scored.push_back({std::move(st), score});
+      }
+    }
+    if (scored.empty()) {
+      if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
+      break;
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                return a.score < b.score;
+              });
+
+    // --- Refinement: refine the best few candidates, then pick the best
+    // refined score. Unfolding changes relative order (it exposes
+    // per-column types), so refining only the unrefined winner would let
+    // overly generic templates that merge record types slip through.
+    Refiner refiner(&residual, &scorer_, &options_);
+    size_t refine_count = std::min(
+        scored.size(), static_cast<size_t>(std::max(1, options_.refine_top_k)));
+    Refiner::Refined refined{scored[0].st, scored[0].score};
+    bool have_refined = false;
+    for (size_t k = 0; k < refine_count; ++k) {
+      Refiner::Refined r = refiner.Refine(scored[k].st);
+      if (!have_refined || r.score < refined.score) {
+        refined = std::move(r);
+        have_refined = true;
+      }
+    }
+
+    // Accept only if the structure beats describing the residual as noise.
+    MdlBreakdown breakdown = scorer_.Evaluate(residual, refined.st);
+    if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
+    if (breakdown.total_bits >
+        breakdown.noise_only_bits * (1 - options_.min_mdl_gain)) {
+      DM_LOG(kInfo, "round %d: best template rejected (%.0f vs noise %.0f)",
+             round, breakdown.total_bits, breakdown.noise_only_bits);
+      break;
+    }
+    DM_LOG(kInfo, "round %d: accepted %s (%.0f bits, %zu records)", round,
+           refined.st.Display().c_str(), breakdown.total_bits,
+           breakdown.records);
+    if (reports != nullptr) {
+      TemplateReport report;
+      report.st = refined.st;
+      report.mdl_bits = breakdown.total_bits;
+      report.noise_only_bits = breakdown.noise_only_bits;
+      report.sample_records = breakdown.records;
+      report.sample_coverage =
+          residual.size_bytes() == 0
+              ? 0
+              : static_cast<double>(breakdown.covered_chars) /
+                    static_cast<double>(residual.size_bytes());
+      reports->push_back(std::move(report));
+    }
+    accepted.push_back(refined.st);
+    if (stats != nullptr) stats->rounds = round + 1;
+
+    // --- Residual for the next round ---
+    std::string rest = RemoveMatchedLines(residual, refined.st);
+    if (rest.size() == residual.size_bytes()) break;  // nothing matched
+    residual = Dataset(std::move(rest));
+  }
+  return accepted;
+}
+
+PipelineResult Datamaran::ExtractText(std::string text) const {
+  PipelineResult result;
+  Timer total_timer;
+  Dataset data(std::move(text));
+  result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
+                                       &result.reports);
+  Timer extract_timer;
+  Extractor extractor(&result.templates);
+  result.extraction = extractor.Extract(data);
+  result.timings.extraction_s = extract_timer.Seconds();
+  result.timings.total_s = total_timer.Seconds();
+  return result;
+}
+
+Result<PipelineResult> Datamaran::ExtractFile(const std::string& path) const {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ExtractText(std::move(text.value()));
+}
+
+}  // namespace datamaran

@@ -1,0 +1,100 @@
+#ifndef DATAMARAN_CORE_DATAMARAN_H_
+#define DATAMARAN_CORE_DATAMARAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/options.h"
+#include "extraction/extractor.h"
+#include "scoring/mdl.h"
+#include "template/template.h"
+#include "util/status.h"
+
+/// Public entry point: the end-to-end Datamaran pipeline (Figure 9).
+///
+///   Generation  — enumerate RT-CharSets and candidate record boundaries,
+///                 hash minimal structure templates, keep those with >=
+///                 alpha% coverage (Section 4.1).
+///   Pruning     — rank by assimilation score G = Cov x NonFieldCov and
+///                 keep the top M (Section 4.2).
+///   Evaluation  — score the survivors with the regularity score (MDL by
+///                 default), refine the best one by array unfolding and
+///                 structure shifting (Section 4.3), and accept it if it
+///                 beats the pure-noise encoding.
+///   Interleaved datasets are handled by re-running the three steps on the
+///   unexplained residual (Section 9.1) until nothing else clears alpha%.
+///   Finally the whole file is extracted with the accepted template set.
+
+namespace datamaran {
+
+/// Wall-clock seconds per pipeline step (Table 3's empirical counterpart).
+struct StepTimings {
+  double generation_s = 0;
+  double pruning_s = 0;
+  double evaluation_s = 0;
+  double extraction_s = 0;
+  double total_s = 0;
+};
+
+/// Per-accepted-template diagnostics.
+struct TemplateReport {
+  StructureTemplate st;
+  double mdl_bits = 0;
+  double noise_only_bits = 0;
+  size_t sample_records = 0;
+  double sample_coverage = 0;  // fraction of residual chars covered
+};
+
+/// Aggregate statistics of a pipeline run.
+struct PipelineStats {
+  size_t charsets_tried = 0;
+  size_t candidates_generated = 0;  // K: survivors of generation, all rounds
+  size_t candidates_evaluated = 0;
+  size_t sample_bytes = 0;
+  int rounds = 0;
+};
+
+struct PipelineResult {
+  /// Accepted structure templates in discovery (priority) order.
+  std::vector<StructureTemplate> templates;
+  /// Full-file extraction with those templates.
+  ExtractionResult extraction;
+  StepTimings timings;
+  PipelineStats stats;
+  std::vector<TemplateReport> reports;
+};
+
+class Datamaran {
+ public:
+  explicit Datamaran(DatamaranOptions options);
+
+  const DatamaranOptions& options() const { return options_; }
+
+  /// Runs the full pipeline over the file at `path`.
+  Result<PipelineResult> ExtractFile(const std::string& path) const;
+
+  /// Runs the full pipeline over an in-memory dataset.
+  PipelineResult ExtractText(std::string text) const;
+
+  /// Structure discovery only (no whole-file extraction); `data` is sampled
+  /// internally. Used by parameter-sweep benchmarks.
+  std::vector<StructureTemplate> DiscoverTemplates(const Dataset& data,
+                                                   StepTimings* timings,
+                                                   PipelineStats* stats,
+                                                   std::vector<TemplateReport>*
+                                                       reports) const;
+
+ private:
+  DatamaranOptions options_;
+  MdlScorer scorer_;
+};
+
+/// Removes every line covered by a match of `st` from `data`, returning the
+/// concatenation of the remaining lines (the residual for the next round).
+std::string RemoveMatchedLines(const Dataset& data,
+                               const StructureTemplate& st);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_CORE_DATAMARAN_H_

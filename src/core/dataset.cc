@@ -1,0 +1,24 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+namespace datamaran {
+
+Dataset::Dataset(std::string text) : text_(std::move(text)) {
+  if (!text_.empty() && text_.back() != '\n') text_.push_back('\n');
+  size_t begin = 0;
+  for (size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') {
+      line_begin_.push_back(begin);
+      begin = i + 1;
+    }
+  }
+}
+
+size_t Dataset::LineOfOffset(size_t pos) const {
+  auto it = std::upper_bound(line_begin_.begin(), line_begin_.end(), pos);
+  if (it == line_begin_.begin()) return 0;
+  return static_cast<size_t>(it - line_begin_.begin()) - 1;
+}
+
+}  // namespace datamaran

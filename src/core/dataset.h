@@ -1,0 +1,57 @@
+#ifndef DATAMARAN_CORE_DATASET_H_
+#define DATAMARAN_CORE_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// In-memory view of a log dataset's textual component T (Definition 2.4):
+/// an owned text buffer plus a line index. All downstream stages address
+/// content by line index; records always start at a line begin and end at a
+/// line end.
+
+namespace datamaran {
+
+class Dataset {
+ public:
+  /// Takes ownership of `text`. A missing final newline is appended so the
+  /// last block is well formed.
+  explicit Dataset(std::string text);
+
+  std::string_view text() const { return text_; }
+  size_t size_bytes() const { return text_.size(); }
+  size_t line_count() const { return line_begin_.size(); }
+
+  /// Byte offset of the first character of line `i`.
+  size_t line_begin(size_t i) const { return line_begin_[i]; }
+
+  /// One past the line's '\n' (== begin of line i+1).
+  size_t line_end(size_t i) const {
+    return i + 1 < line_begin_.size() ? line_begin_[i + 1] : text_.size();
+  }
+
+  /// Line content including the trailing '\n'.
+  std::string_view line_with_newline(size_t i) const {
+    return std::string_view(text_).substr(line_begin(i),
+                                          line_end(i) - line_begin(i));
+  }
+
+  /// Line content without the trailing '\n'.
+  std::string_view line(size_t i) const {
+    auto l = line_with_newline(i);
+    if (!l.empty() && l.back() == '\n') l.remove_suffix(1);
+    return l;
+  }
+
+  /// Index of the line containing byte offset `pos` (binary search).
+  size_t LineOfOffset(size_t pos) const;
+
+ private:
+  std::string text_;
+  std::vector<size_t> line_begin_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_CORE_DATASET_H_

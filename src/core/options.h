@@ -1,0 +1,83 @@
+#ifndef DATAMARAN_CORE_OPTIONS_H_
+#define DATAMARAN_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/char_class.h"
+
+/// Configuration for the Datamaran pipeline. Field names follow the paper's
+/// notation (Table 2): alpha = minimum coverage threshold, L = maximum
+/// record span in lines, M = number of structure templates retained after
+/// the pruning step.
+
+namespace datamaran {
+
+/// RT-CharSet search strategy for the generation step (Section 9.1).
+enum class CharsetSearch {
+  /// Enumerate all subsets of the candidate special characters (2^c).
+  kExhaustive,
+  /// Grow the charset one character at a time, keeping the character whose
+  /// addition yields the best assimilation score (O(c^2) subsets).
+  kGreedy,
+};
+
+struct DatamaranOptions {
+  /// alpha: a structure template must cover at least this fraction of the
+  /// (sampled) dataset to survive the generation step. Paper default: 10%.
+  double coverage_threshold = 0.10;
+
+  /// L: maximum number of lines a record may span. Paper default: 10.
+  int max_record_span = 10;
+
+  /// M: number of candidates retained after pruning. The paper's initial
+  /// default is 50 but Section 5.2.3 recommends 1000 in practice; 200 is a
+  /// good cost/robustness point for this implementation (candidate
+  /// duplicates are already collapsed by period/rotation canonicalization).
+  int num_retained = 200;
+
+  /// RT-CharSet enumeration strategy.
+  CharsetSearch search = CharsetSearch::kExhaustive;
+
+  /// Pool of characters that may appear in record templates
+  /// (RT-CharSet-Candidate). '\n' is always added internally.
+  CharSet special_chars = DefaultSpecialChars();
+
+  /// Engineering cap: the exhaustive search enumerates subsets of at most
+  /// this many (most frequent) special characters from the sample.
+  int max_special_chars = 10;
+
+  /// Sampling bounds for the generation and evaluation steps (Section 9.1);
+  /// the final extraction pass always scans the whole file.
+  size_t max_sample_bytes = 256 * 1024;
+  int sample_chunks = 8;
+
+  /// Maximum number of record types extracted from an interleaved dataset
+  /// (the Generation-Pruning-Evaluation loop re-runs on the residual).
+  int max_record_types = 8;
+
+  /// Stop iterating when the unexplained residual falls below this fraction
+  /// of the sample.
+  double min_residual_fraction = 0.02;
+
+  /// A discovered template is accepted only if its description length beats
+  /// encoding the residual as pure noise by this relative margin.
+  double min_mdl_gain = 0.01;
+
+  /// Cap on array-unfolding variants tried per array node during refinement.
+  int max_unfold_tries = 8;
+
+  /// The evaluation step refines the best `refine_top_k` candidates (by
+  /// unrefined score) and picks the best refined one. Refining before the
+  /// final comparison matters: unfolding exposes per-column typing, which
+  /// is what separates a true record type's template from an overly
+  /// generic one that merges several types (Section 9.4).
+  int refine_top_k = 8;
+
+  /// Emit INFO-level progress logging.
+  bool verbose = false;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_CORE_OPTIONS_H_

@@ -1,0 +1,531 @@
+#include "datagen/github_corpus.h"
+
+#include "datagen/values.h"
+#include "util/common.h"
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+// ---------------------------------------------------------------- S(NI) --
+
+/// variant cycles through format families; every family is single-line,
+/// single-type. Odd-indexed families are lexer-hostile (they defeat
+/// RecordBreaker's fixed tokenization / line clustering but not Datamaran).
+GeneratedDataset BuildSingleNI(int variant, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder b;
+  const int family = variant % 8;
+  while (b.size_bytes() < bytes) {
+    switch (family) {
+      case 0: {  // clean CSV
+        b.BeginRecord(0);
+        b.Target("id", GenInt(&rng, 1, 99999));
+        b.Append(",");
+        b.Target("name", GenWord(&rng));
+        b.Append(",");
+        b.Field(GenInt(&rng, 0, 500));
+        b.Append(",");
+        b.Field(GenWord(&rng));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 1: {  // free-text message tail (defeats fixed tokenization)
+        b.BeginRecord(0);
+        b.Target("time", GenTime(&rng));
+        b.Append(" ");
+        b.Target("host", GenHost(&rng));
+        b.Append(" ");
+        b.Target("message", GenPhrase(&rng, 2, 8));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 2: {  // clean key=value pairs
+        b.BeginRecord(0);
+        b.Append("evt=");
+        b.Target("evt", GenWord(&rng));
+        b.Append(";sev=");
+        b.Target("sev", GenInt(&rng, 0, 7));
+        b.Append(";src=");
+        b.Field(GenWord(&rng));
+        b.Append(";\n");
+        b.EndRecord();
+        break;
+      }
+      case 3: {  // free-text tail guarded by " - ", plus noise lines
+        if (rng.Bernoulli(0.08)) {
+          b.NoiseLine("*** audit gap " + GenAlnum(&rng, 10) + " " +
+                      GenAlnum(&rng, 6));
+          continue;
+        }
+        // Varying token count in the tail shifts fixed-tokenization
+        // columns (RecordBreaker-hostile); Datamaran models the tail as an
+        // array field.
+        b.BeginRecord(0);
+        b.Append("[");
+        b.Target("time", GenTime(&rng));
+        b.Append("] ");
+        b.Target("host", GenHost(&rng));
+        b.Append(" - ");
+        b.Target("message", GenPhrase(&rng, 1, 5));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 4: {  // clean bracketed log
+        b.BeginRecord(0);
+        b.Append("[");
+        b.Target("time", GenTime(&rng));
+        b.Append("] [");
+        b.Target("level", rng.Bernoulli(0.8) ? "info" : "warn");
+        b.Append("] code=");
+        b.Target("code", GenInt(&rng, 100, 599));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 5: {  // variable-depth path before targets (ordinal shift)
+        b.BeginRecord(0);
+        b.Append("GET ");
+        b.Target("path", GenPath(&rng, 1, 5));
+        b.Append(" ");
+        b.Target("status", GenInt(&rng, 200, 504));
+        b.Append(" ");
+        b.Field(GenInt(&rng, 10, 99999));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 6: {  // clean pipe-separated
+        b.BeginRecord(0);
+        b.Target("ts", GenDate(&rng));
+        b.Append("|");
+        b.Target("metric", GenWord(&rng));
+        b.Append("|");
+        b.Target("value", GenReal(&rng, 0, 10000, 2));
+        b.Append("|\n");
+        b.EndRecord();
+        break;
+      }
+      default: {  // quoted fields with embedded delimiters
+        b.BeginRecord(0);
+        b.Target("seq", GenInt(&rng, 1, 999999));
+        b.Append(",\"");
+        b.Target("desc", GenPhrase(&rng, 1, 4));
+        b.Append("\",");
+        b.Target("count", GenInt(&rng, 0, 99));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+    }
+  }
+  return b.Build(StrFormat("gh_sni_%02d", variant),
+                 DatasetLabel::kSingleNonInterleaved);
+}
+
+// ----------------------------------------------------------------- S(I) --
+
+GeneratedDataset BuildSingleI(int variant, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder b;
+  const int family = variant % 4;
+  // Family 3 is the paper's Section 9.4 confusable case: two record types
+  // that share a generic "(F )*F" shape, which the greedy interleaved loop
+  // merges into one template.
+  while (b.size_bytes() < bytes) {
+    switch (family) {
+      case 0: {  // two types with disjoint shapes (space vs pipe)
+        if (rng.Bernoulli(0.55)) {
+          b.BeginRecord(0);
+          b.Append("req ");
+          b.Target("req_id", GenInt(&rng, 1, 99999));
+          b.Append(" ");
+          // Mixed-type column: verbs are words or numeric opcodes. One
+          // field for Datamaran; two token signatures for a fixed lexer,
+          // which splits the type across RecordBreaker branches.
+          b.Target("verb", rng.Bernoulli(0.6) ? GenWord(&rng)
+                                              : GenInt(&rng, 1, 60));
+          b.Append(" ");
+          b.Field(GenInt(&rng, 100, 599));
+          b.Append("\n");
+        } else {
+          b.BeginRecord(1);
+          b.Append("conn|");
+          b.Target("ip", GenIp(&rng));
+          b.Append("|");
+          b.Target("port", GenInt(&rng, 1, 65535));
+          b.Append("|open\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      case 1: {  // disjoint delimiters (the RecordBreaker-survivable one)
+        if (rng.Bernoulli(0.5)) {
+          b.BeginRecord(0);
+          b.Target("a", GenInt(&rng, 1, 9999));
+          b.Append(",");
+          b.Target("b", GenWord(&rng));
+          b.Append(",");
+          b.Field(GenInt(&rng, 0, 9));
+          b.Append("\n");
+        } else {
+          b.BeginRecord(1);
+          b.Target("k", GenWord(&rng));
+          b.Append("=");
+          b.Target("v", GenInt(&rng, 0, 999999));
+          b.Append(";\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      case 2: {  // three types, shared brackets, plus noise
+        if (rng.Bernoulli(0.06)) {
+          b.NoiseLine("~~ rotated " + GenAlnum(&rng, 8));
+          continue;
+        }
+        // Three structurally disjoint types, like distinct log statements
+        // from different modules (a shared typed prefix would let a coarse
+        // merged template win, the Section 9.4 hazard).
+        double p = rng.UniformDouble();
+        if (p < 0.4) {
+          b.BeginRecord(0);
+          b.Append("push repo=");
+          // Mixed-type column (name or numeric id): lexer-hostile, one
+          // field for Datamaran.
+          b.Target("repo", rng.Bernoulli(0.6) ? GenName(&rng)
+                                              : GenInt(&rng, 1, 9999));
+          b.Append(" t=");
+          b.Target("t", GenTime(&rng));
+          b.Append("\n");
+        } else if (p < 0.75) {
+          b.BeginRecord(1);
+          b.Append("<pull|");
+          b.Target("user", GenName(&rng));
+          b.Append("|");
+          b.Field(GenInt(&rng, 1, 40));
+          b.Append(">\n");
+        } else {
+          b.BeginRecord(2);
+          b.Append("gc;");
+          b.Target("freed", GenInt(&rng, 0, 1 << 20));
+          b.Append(";ok;\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      default: {  // Section 9.4 confusable: "F: F F F" vs "F: F F F F F F"
+        if (rng.Bernoulli(0.5)) {
+          b.BeginRecord(0);
+          b.Target("key", GenWord(&rng));
+          b.Append(": ");
+          b.Field(GenWord(&rng));
+          b.Append(" ");
+          b.Field(GenWord(&rng));
+          b.Append(" ");
+          b.Target("v3", GenWord(&rng));
+          b.Append("\n");
+        } else {
+          b.BeginRecord(1);
+          b.Target("key", GenWord(&rng));
+          b.Append(": ");
+          for (int i = 0; i < 5; ++i) {
+            b.Field(GenWord(&rng));
+            b.Append(" ");
+          }
+          b.Target("v6", GenWord(&rng));
+          b.Append("\n");
+        }
+        b.EndRecord();
+        break;
+      }
+    }
+  }
+  GeneratedDataset ds = b.Build(StrFormat("gh_si_%02d", variant),
+                                DatasetLabel::kSingleInterleaved);
+  ds.expect_hard = (family == 3);
+  return ds;
+}
+
+// ---------------------------------------------------------------- M(NI) --
+
+GeneratedDataset BuildMultiNI(int variant, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder b;
+  const int family = variant % 5;
+  // Family 4 has 13-line records, beyond the default L=10 (Section 9.4
+  // "fail to recognize long records").
+  while (b.size_bytes() < bytes) {
+    switch (family) {
+      case 0: {  // 2-line request/response pairs
+        b.BeginRecord(0);
+        b.Append("> ");
+        b.Target("method", GenWord(&rng));
+        b.Append(" id=");
+        b.Target("id", GenInt(&rng, 1, 99999));
+        b.Append("\n< code=");
+        b.Target("code", GenInt(&rng, 0, 99));
+        b.Append(" t=");
+        b.Target("t", GenReal(&rng, 0, 60, 3));
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 1: {  // 5-line ini-ish blocks
+        b.BeginRecord(0);
+        b.Append("[section ");
+        b.Target("section", GenName(&rng));
+        b.Append("]\n  host = ");
+        b.Target("host", GenHost(&rng));
+        b.Append("\n  port = ");
+        b.Target("port", GenInt(&rng, 1024, 65535));
+        b.Append("\n  mode = ");
+        b.Field(GenWord(&rng));
+        b.Append("\n\n");
+        b.EndRecord();
+        break;
+      }
+      case 2: {  // 4-line fastq-like, with noise
+        if (rng.Bernoulli(0.05)) {
+          b.NoiseLine("# lane drift " + GenAlnum(&rng, 6));
+          continue;
+        }
+        int len = static_cast<int>(rng.Uniform(20, 40));
+        b.BeginRecord(0);
+        b.Append("@");
+        b.Target("rid", GenAlnum(&rng, 10));
+        b.Append("\n");
+        b.Target("seq", GenBases(&rng, len));
+        b.Append("\n+\n");
+        std::string qual;
+        for (int i = 0; i < len; ++i) {
+          qual.push_back(static_cast<char>('A' + rng.Uniform(0, 25)));
+        }
+        b.Field(qual);
+        b.Append("\n");
+        b.EndRecord();
+        break;
+      }
+      case 3: {  // 7-line record with '----' separator line (Figure 2 style)
+        b.BeginRecord(0);
+        b.Append("user: ");
+        b.Target("user", GenName(&rng));
+        b.Append("\nrepo: ");
+        b.Target("repo", GenName(&rng));
+        b.Append("\ncommits: ");
+        b.Target("commits", GenInt(&rng, 1, 400));
+        b.Append("\nadded: ");
+        b.Field(GenInt(&rng, 0, 10000));
+        b.Append("\ndeleted: ");
+        b.Field(GenInt(&rng, 0, 10000));
+        b.Append("\nbranch: ");
+        b.Field(GenWord(&rng));
+        b.Append("\n--------\n");
+        b.EndRecord();
+        break;
+      }
+      default: {  // 13-line record: exceeds L=10
+        b.BeginRecord(0);
+        b.Append("BEGIN ");
+        b.Target("run", GenInt(&rng, 1, 9999));
+        b.Append("\n");
+        for (int i = 0; i < 11; ++i) {
+          b.Append(StrFormat("  m%02d=", i));
+          b.Field(GenReal(&rng, 0, 100, 2));
+          b.Append("\n");
+        }
+        b.Append("END\n");
+        b.EndRecord();
+        break;
+      }
+    }
+  }
+  GeneratedDataset ds = b.Build(StrFormat("gh_mni_%02d", variant),
+                                DatasetLabel::kMultiNonInterleaved);
+  ds.expect_hard = (family == 4);
+  return ds;
+}
+
+// ----------------------------------------------------------------- M(I) --
+
+GeneratedDataset BuildMultiI(int variant, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder b;
+  const int family = variant % 4;
+  // Family 3 mixes a 12-line type with a short type: the long type exceeds
+  // L and cannot be recovered (Section 9.4).
+  while (b.size_bytes() < bytes) {
+    switch (family) {
+      case 0: {  // Figure 2 style: 7-line A records and 3-line B records
+        if (rng.Bernoulli(0.55)) {
+          b.BeginRecord(0);
+          b.Append("A-");
+          b.Target("a_id", GenInt(&rng, 1, 9999));
+          b.Append("\n  ua: ");
+          b.Target("ua", GenName(&rng));
+          b.Append("\n  score: ");
+          b.Target("score", GenReal(&rng, 0, 1, 3));
+          b.Append("\n  flags: ");
+          b.Field(GenInt(&rng, 0, 255));
+          b.Append("\n  ref: ");
+          b.Field(GenAlnum(&rng, 12));
+          b.Append("\n  note: ");
+          b.Field(GenWord(&rng));
+          b.Append("\n--------\n");
+        } else {
+          b.BeginRecord(1);
+          b.Append("B-");
+          b.Target("b_id", GenInt(&rng, 1, 9999));
+          b.Append("\n  peer: ");
+          b.Target("peer", GenIp(&rng));
+          b.Append("\n--------\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      case 1: {  // multi-line + single-line + noise
+        if (rng.Bernoulli(0.07)) {
+          b.NoiseLine("?? stray " + GenAlnum(&rng, 9));
+          continue;
+        }
+        if (rng.Bernoulli(0.5)) {
+          b.BeginRecord(0);
+          b.Append("task ");
+          b.Target("task", GenInt(&rng, 1, 99999));
+          b.Append(" {\n  cpu: ");
+          b.Target("cpu", GenReal(&rng, 0, 100, 1));
+          b.Append("\n  mem: ");
+          b.Target("mem", GenInt(&rng, 1, 64000));
+          b.Append("\n}\n");
+        } else {
+          b.BeginRecord(1);
+          b.Append("tick ");
+          b.Target("tick", GenInt(&rng, 1, 1 << 30));
+          b.Append("\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      case 2: {  // two multi-line types with shared field lines
+        if (rng.Bernoulli(0.5)) {
+          b.BeginRecord(0);
+          b.Append("<<job>>\n  name: ");
+          b.Target("name", GenName(&rng));
+          b.Append("\n  prio: ");
+          b.Target("prio", GenInt(&rng, 0, 9));
+          b.Append("\n<<end>>\n");
+        } else {
+          b.BeginRecord(1);
+          b.Append("<<node>>\n  name: ");
+          b.Target("name", GenName(&rng));
+          b.Append("\n  addr: ");
+          b.Target("addr", GenIp(&rng));
+          b.Append("\n  up: ");
+          b.Field(GenInt(&rng, 0, 1));
+          b.Append("\n<<end>>\n");
+        }
+        b.EndRecord();
+        break;
+      }
+      default: {  // 12-line type (exceeds L) + 1-line type
+        if (rng.Bernoulli(0.45)) {
+          b.BeginRecord(0);
+          b.Append("dump ");
+          b.Target("dump_id", GenInt(&rng, 1, 999));
+          b.Append("\n");
+          for (int i = 0; i < 10; ++i) {
+            b.Append("  r");
+            b.Field(std::to_string(i));
+            b.Append("=0x");
+            b.Field(GenAlnum(&rng, 8));
+            b.Append("\n");
+          }
+          b.Append("done\n");
+        } else {
+          b.BeginRecord(1);
+          b.Append("ok ");
+          b.Target("seq", GenInt(&rng, 1, 1 << 20));
+          b.Append("\n");
+        }
+        b.EndRecord();
+        break;
+      }
+    }
+  }
+  GeneratedDataset ds = b.Build(StrFormat("gh_mi_%02d", variant),
+                                DatasetLabel::kMultiInterleaved);
+  ds.expect_hard = (family == 3);
+  return ds;
+}
+
+// ------------------------------------------------------------------- NS --
+
+GeneratedDataset BuildNoStructure(int variant, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder b;
+  const int family = variant % 3;
+  while (b.size_bytes() < bytes) {
+    switch (family) {
+      case 0:  // random tokens, random line lengths
+        b.NoiseLine(GenAlnum(&rng, static_cast<int>(rng.Uniform(3, 70))));
+        break;
+      case 1: {  // natural-language-ish prose with an open vocabulary
+        // (a tiny repeated vocabulary would be genuinely enum-compressible
+        // and thus structured)
+        std::string line;
+        int words = static_cast<int>(rng.Uniform(3, 14));
+        for (int w = 0; w < words; ++w) {
+          if (w > 0) line += " ";
+          line += GenAlnum(&rng, static_cast<int>(rng.Uniform(2, 9)));
+        }
+        // No trailing period: "every line ends with '.'" would itself be a
+        // (thin but real) structure template.
+        b.NoiseLine(line);
+        break;
+      }
+      default: {  // hexdump-ish but with erratic widths and markers
+        std::string line;
+        int n = static_cast<int>(rng.Uniform(1, 6));
+        for (int i = 0; i < n; ++i) {
+          line += GenAlnum(&rng, static_cast<int>(rng.Uniform(2, 12)));
+          line += rng.Bernoulli(0.5) ? " " : "";
+        }
+        b.NoiseLine(line);
+        break;
+      }
+    }
+  }
+  return b.Build(StrFormat("gh_ns_%02d", variant),
+                 DatasetLabel::kNoStructure);
+}
+
+}  // namespace
+
+GeneratedDataset BuildGithubDataset(int index, size_t bytes) {
+  DM_CHECK(index >= 0 && index < kGithubCorpusSize);
+  const uint64_t seed = 0x9000 + static_cast<uint64_t>(index) * 7919;
+  int i = index;
+  if (i < kGithubSingleNI) return BuildSingleNI(i, bytes, seed);
+  i -= kGithubSingleNI;
+  if (i < kGithubSingleI) return BuildSingleI(i, bytes, seed);
+  i -= kGithubSingleI;
+  if (i < kGithubMultiNI) return BuildMultiNI(i, bytes, seed);
+  i -= kGithubMultiNI;
+  if (i < kGithubMultiI) return BuildMultiI(i, bytes, seed);
+  i -= kGithubMultiI;
+  return BuildNoStructure(i, bytes, seed);
+}
+
+std::vector<GeneratedDataset> BuildGithubCorpus(size_t bytes) {
+  std::vector<GeneratedDataset> out;
+  out.reserve(kGithubCorpusSize);
+  for (int i = 0; i < kGithubCorpusSize; ++i) {
+    out.push_back(BuildGithubDataset(i, bytes));
+  }
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,40 @@
+#ifndef DATAMARAN_DATAGEN_GITHUB_CORPUS_H_
+#define DATAMARAN_DATAGEN_GITHUB_CORPUS_H_
+
+#include <vector>
+
+#include "datagen/spec.h"
+
+/// The 100-dataset GitHub-style corpus (Section 5.3). Label distribution is
+/// the unique assignment consistent with the paper's reported figures
+/// (Fig 17a/17b: 85.7% = 12/14 on M(NI), 92.3% = 12/13 on S(I), 94.4% =
+/// 17/18 on M(I), 95.5% = 85/89 overall, ~31% multi-line, ~32% interleaved):
+///
+///   S(NI) = 44   S(I) = 13   M(NI) = 14   M(I) = 18   NS = 11
+///
+/// Datasets are drawn from parameterized format families with difficulty
+/// knobs chosen to reproduce the paper's failure causes (Section 9.4):
+/// records longer than L lines, interleaved types with confusable
+/// templates, lexer-hostile fields (for RecordBreaker), and noise.
+
+namespace datamaran {
+
+/// Number of datasets per label in the corpus.
+inline constexpr int kGithubSingleNI = 44;
+inline constexpr int kGithubSingleI = 13;
+inline constexpr int kGithubMultiNI = 14;
+inline constexpr int kGithubMultiI = 18;
+inline constexpr int kGithubNoStructure = 11;
+inline constexpr int kGithubCorpusSize = 100;
+
+/// Builds corpus entry `index` (0..99). `bytes` controls the size
+/// (default ~= the paper's ">20000 characters" criterion, scaled up a bit
+/// for stable sampling).
+GeneratedDataset BuildGithubDataset(int index, size_t bytes = 48 * 1024);
+
+/// Builds the whole corpus.
+std::vector<GeneratedDataset> BuildGithubCorpus(size_t bytes = 48 * 1024);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_DATAGEN_GITHUB_CORPUS_H_

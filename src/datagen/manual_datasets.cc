@@ -1,0 +1,732 @@
+#include "datagen/manual_datasets.h"
+
+#include <array>
+
+#include "core/dataset.h"
+#include "datagen/values.h"
+#include "util/common.h"
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+constexpr std::array<ManualDatasetInfo, kManualDatasetCount> kInfos = {{
+    {"transaction_records", "transaction records", 0.07, 1, "1", true},
+    {"comma_sep_records", "comma-sep records", 0.02, 1, "1", true},
+    {"web_server_log", "web server log", 0.29, 1, "1", true},
+    {"mac_asl_log", "log file of Mac ASL", 0.28, 1, "1", true},
+    {"mac_boot_log", "Mac OS boot log", 0.02, 1, "1", true},
+    {"crash_log", "crash log", 0.05, 1, "1(3)", true},
+    {"crash_log_modified", "crash log (modified in [20])", 0.05, 1, "1(3)",
+     true},
+    {"ls_l_output", "ls -l output", 0.01, 1, "1", true},
+    {"netstat_output", "netstat output", 0.01, 2, "1", true},
+    {"printer_logs", "printer logs", 0.02, 1, "1", true},
+    {"income_records", "personal income records", 0.01, 1, "1", true},
+    {"railroad_info", "US railroad info", 0.01, 1, "1", true},
+    {"application_log", "application log", 0.06, 1, "1", true},
+    {"loginwindow_log", "LoginWindow server log", 0.05, 1, "1", true},
+    {"pkg_install_log", "pkg install log", 0.02, 1, "1", true},
+    {"thailand_districts", "Thailand district info", 0.19, 1, "8", false},
+    {"stackexchange_xml", "stackexchange xml data", 20.0, 1, "1", false},
+    {"vcf_genetic", "vcf genetic format", 167.4, 1, "1", false},
+    {"fastq_genetic", "fastq genetic format", 29.9, 1, "4", false},
+    {"blog_xml", "blog xml data", 0.06, 1, "10", false},
+    {"github_log_1", "log file (1)", 0.03, 2, "9", false},
+    {"github_log_2", "log file (2)", 0.01, 1, "3", false},
+    {"github_log_3", "log file (3)", 0.19, 2, "1", false},
+    {"github_log_4", "log file (4)", 0.07, 2, "10", false},
+    {"github_log_5", "log file (5)", 0.09, 1, "4", false},
+}};
+
+/// Derives a 1-line-granularity alternative segmentation from the primary
+/// multi-line one (used for the crash logs' "1(3)" span: both readings are
+/// valid extractions). Record types in the alternative are
+/// original_type * span + line_offset.
+void AddLineSplitAlternative(GeneratedDataset* ds) {
+  Dataset lines(std::string(ds->text));
+  std::vector<GroundTruthRecord> alt;
+  for (const GroundTruthRecord& rec : ds->records()) {
+    for (int k = 0; k < rec.line_count; ++k) {
+      GroundTruthRecord r;
+      size_t li = rec.first_line + static_cast<size_t>(k);
+      r.type = rec.type * rec.line_count + k;
+      r.begin = lines.line_begin(li);
+      r.end = lines.line_end(li);
+      r.first_line = li;
+      r.line_count = 1;
+      for (const TargetSpan& t : rec.targets) {
+        if (t.begin >= r.begin && t.end <= r.end) r.targets.push_back(t);
+      }
+      alt.push_back(std::move(r));
+    }
+  }
+  ds->alternatives.push_back(std::move(alt));
+}
+
+using BuilderFn = GeneratedDataset (*)(size_t, uint64_t);
+
+// ---------------------------------------------------------------- 0..14 --
+
+GeneratedDataset BuildTransactionRecords(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 1);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("TXN ");
+    b.Target("txn_id", GenInt(&rng, 100000, 999999));
+    b.Append(" amount=");
+    b.Target("amount", GenReal(&rng, 1, 9999, 2));
+    b.Append(" user=");
+    b.Target("user", GenIdent(&rng));
+    b.Append(" status=");
+    b.Field(rng.Bernoulli(0.9) ? "OK" : "FAIL");
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("transaction_records",
+                 DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildCommaSep(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 2);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("id", GenInt(&rng, 1, 99999));
+    b.Append(",");
+    b.Target("name", GenWord(&rng));
+    b.Append(",");
+    b.Field(GenInt(&rng, 0, 120));
+    b.Append(",");
+    b.Field(GenWord(&rng));
+    b.Append(",");
+    b.Target("score", GenReal(&rng, 0, 100, 1));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("comma_sep_records", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildWebServerLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 3);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("ip", GenIp(&rng));
+    b.Append(" - - [");
+    b.TargetBegin("timestamp");
+    b.Append(StrFormat("%02d/%s/2016:%s",
+                       static_cast<int>(rng.Uniform(1, 28)),
+                       rng.Bernoulli(0.5) ? "Apr" : "May",
+                       GenTime(&rng).c_str()));
+    b.TargetEnd();
+    b.Append("] \"GET ");
+    b.Target("path", "/" + GenWord(&rng) + "/" + GenWord(&rng) + "." +
+                         (rng.Bernoulli(0.5) ? "html" : "png"));
+    b.Append(" HTTP/1.0\" ");
+    b.Target("status", GenInt(&rng, 200, 504));
+    b.Append(" ");
+    b.Field(GenInt(&rng, 100, 99999));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("web_server_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildMacAslLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 4);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("[Time ");
+    b.Target("time", StrFormat("2016.%02d.%02d %s",
+                               static_cast<int>(rng.Uniform(1, 12)),
+                               static_cast<int>(rng.Uniform(1, 28)),
+                               GenTime(&rng).c_str()));
+    b.Append("] [Facility ");
+    b.Field(GenWord(&rng));
+    b.Append("] [Sender ");
+    b.Field(GenIdent(&rng));
+    b.Append("] [PID ");
+    b.Target("pid", GenInt(&rng, 1, 9999));
+    b.Append("] [Message ");
+    b.Target("message", GenPhrase(&rng, 2, 6));
+    b.Append("]\n");
+    b.EndRecord();
+  }
+  return b.Build("mac_asl_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildMacBootLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 5);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("date", GenMonthDay(&rng));
+    b.Append(" ");
+    b.Target("time", GenTime(&rng));
+    b.Append(" localhost kernel[0]: ");
+    b.Target("message", GenPhrase(&rng, 2, 7));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("mac_boot_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildCrashLog(size_t bytes, uint64_t seed, bool modified) {
+  Rng rng(seed + 6);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("Process: ");
+    b.Target("process", GenIdent(&rng));
+    b.Append(modified ? " [" : "  [");
+    b.Target("pid", GenInt(&rng, 1, 99999));
+    b.Append("]\n");
+    b.Append("Path: ");
+    b.Target("path", GenPath(&rng, 2, 2) + "/" + GenWord(&rng));
+    b.Append("\n");
+    b.Append("Version: ");
+    b.Target("version", GenInt(&rng, 1, 9) + "." + GenInt(&rng, 0, 20));
+    b.Append(" (");
+    b.Field(GenInt(&rng, 100, 999));
+    b.Append(")\n");
+    b.EndRecord();
+  }
+  GeneratedDataset ds = b.Build(modified ? "crash_log_modified" : "crash_log",
+                                DatasetLabel::kMultiNonInterleaved);
+  // Table 5 reports span "1(3)": both readings are valid.
+  AddLineSplitAlternative(&ds);
+  return ds;
+}
+
+GeneratedDataset BuildLsL(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 7);
+  DatasetBuilder b;
+  const std::vector<std::string> perms = {"-rw-r--r--", "-rwxr-xr-x",
+                                          "drwxr-xr-x", "-rw-------"};
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Field(rng.Choice(perms));
+    b.Append(" ");
+    b.Field(GenInt(&rng, 1, 9));
+    b.Append(" root wheel ");
+    b.Target("size", GenInt(&rng, 10, 4000000));
+    b.Append(" ");
+    b.Field(GenMonthDay(&rng));
+    b.Append(" ");
+    b.Field(StrFormat("%02d:%02d", static_cast<int>(rng.Uniform(0, 23)),
+                      static_cast<int>(rng.Uniform(0, 59))));
+    b.Append(" ");
+    b.Target("filename", GenIdent(&rng) + "." + GenWord(&rng));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("ls_l_output", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildNetstat(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 8);
+  DatasetBuilder b;
+  b.NoiseLine("Active Internet connections");
+  b.NoiseLine("Proto RecvQ SendQ Local Foreign State");
+  while (b.size_bytes() < bytes) {
+    if (rng.Bernoulli(0.6)) {
+      b.BeginRecord(0);
+      b.Field(rng.Bernoulli(0.7) ? "tcp4" : "tcp6");
+      b.Append("  0  0  ");
+      b.TargetBegin("local");
+      b.Append(GenIp(&rng));
+      b.Append(":");
+      b.Append(GenInt(&rng, 1, 65535));
+      b.TargetEnd();
+      b.Append("  ");
+      b.Field(GenIp(&rng) + ":" + GenInt(&rng, 1, 65535));
+      b.Append("  ");
+      b.Target("state", rng.Bernoulli(0.7) ? "ESTABLISHED" : "TIME_WAIT");
+      b.Append("\n");
+      b.EndRecord();
+    } else {
+      b.BeginRecord(1);
+      b.Field("udp4");
+      b.Append("  0  0  *.");
+      b.Target("port", GenInt(&rng, 1, 65535));
+      b.Append("  *.*\n");
+      b.EndRecord();
+    }
+  }
+  return b.Build("netstat_output", DatasetLabel::kSingleInterleaved);
+}
+
+GeneratedDataset BuildPrinterLogs(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 9);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("printer lp");
+    b.Field(GenInt(&rng, 0, 3));
+    b.Append(": job ");
+    b.Target("job", GenInt(&rng, 1, 9999));
+    b.Append(" user ");
+    b.Target("user", GenIdent(&rng));
+    b.Append(" ");
+    b.Target("pages", GenInt(&rng, 1, 500));
+    b.Append(" pages\n");
+    b.EndRecord();
+  }
+  return b.Build("printer_logs", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildIncomeRecords(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 10);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("id", GenInt(&rng, 1000, 9999));
+    b.Append("|");
+    b.Target("name", GenWord(&rng));
+    b.Append("|");
+    b.Target("income", GenReal(&rng, 12000, 250000, 2));
+    b.Append("|");
+    b.Field(GenAlnum(&rng, 2));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("income_records", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildRailroadInfo(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 11);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.TargetBegin("railroad");
+    b.Append(GenName(&rng));
+    if (rng.Bernoulli(0.6)) b.Append(" " + GenName(&rng));
+    b.TargetEnd();
+    b.Append(";");
+    b.Field(GenAlnum(&rng, 2));
+    b.Append(";");
+    b.Target("hq", GenName(&rng));
+    b.Append(";");
+    b.Target("miles", GenInt(&rng, 100, 33000));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("railroad_info", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildApplicationLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 12);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("date", GenDate(&rng));
+    b.Append(" ");
+    b.Target("time", GenTime(&rng) + "," + GenInt(&rng, 100, 999));
+    b.Append(" ");
+    b.Target("level", rng.Bernoulli(0.8) ? "INFO" : "ERROR");
+    b.Append(" [main] com.app.");
+    b.Field(GenWord(&rng));
+    b.Append(" - ");
+    b.Target("message", GenPhrase(&rng, 2, 6));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("application_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildLoginWindowLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 13);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Target("date", GenMonthDay(&rng));
+    b.Append(" ");
+    b.Target("time", GenTime(&rng));
+    b.Append(" ");
+    b.Field(GenHost(&rng));
+    b.Append(" loginwindow[");
+    b.Target("pid", GenInt(&rng, 1, 999));
+    b.Append("]: ");
+    b.Target("message", GenPhrase(&rng, 2, 6));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("loginwindow_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildPkgInstallLog(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 14);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("installd: PackageKit: install of \"");
+    b.Target("package", GenWord(&rng) + "-" + GenInt(&rng, 1, 9) + "." +
+                            GenInt(&rng, 0, 9) + ".pkg");
+    b.Append("\" ");
+    b.Field(rng.Bernoulli(0.9) ? "succeeded" : "failed");
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("pkg_install_log", DatasetLabel::kSingleNonInterleaved);
+}
+
+// --------------------------------------------------------------- 15..24 --
+
+GeneratedDataset BuildThailandDistricts(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 15);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("{\n");
+    b.Append("  \"id\": ");
+    b.Target("id", GenInt(&rng, 1000, 9999));
+    b.Append(",\n");
+    b.Append("  \"name\": \"");
+    b.Target("name", GenIdent(&rng));
+    b.Append("\",\n");
+    b.Append("  \"province\": \"");
+    b.Field(GenWord(&rng));
+    b.Append("\",\n");
+    b.Append("  \"zip\": ");
+    b.Target("zip", GenInt(&rng, 10000, 96000));
+    b.Append(",\n");
+    b.Append("  \"lat\": ");
+    b.Field(GenReal(&rng, 5, 20, 4));
+    b.Append(",\n");
+    b.Append("  \"lng\": ");
+    b.Field(GenReal(&rng, 97, 105, 4));
+    b.Append("\n");
+    b.Append("},\n");
+    b.EndRecord();
+  }
+  return b.Build("thailand_districts", DatasetLabel::kMultiNonInterleaved);
+}
+
+GeneratedDataset BuildStackexchangeXml(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 16);
+  DatasetBuilder b;
+  b.NoiseLine("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+  b.NoiseLine("<posts>");
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("  <row Id=\"");
+    b.Target("id", GenInt(&rng, 1, 9999999));
+    b.Append("\" PostTypeId=\"");
+    b.Field(GenInt(&rng, 1, 2));
+    b.Append("\" Score=\"");
+    b.Target("score", GenInt(&rng, -5, 500));
+    b.Append("\" Title=\"");
+    b.Target("title", GenPhrase(&rng, 2, 8));
+    b.Append("\" />\n");
+    b.EndRecord();
+  }
+  return b.Build("stackexchange_xml", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildVcf(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 17);
+  DatasetBuilder b;
+  b.NoiseLine("##fileformat=VCFv4.2");
+  b.NoiseLine("##source=datamaran_synthetic");
+  b.NoiseLine("##reference=GRCh38");
+  b.NoiseLine("#CHROM POS ID REF ALT QUAL FILTER INFO");
+  const char* bases[] = {"A", "C", "G", "T"};
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Field(StrFormat("chr%d", static_cast<int>(rng.Uniform(1, 22))));
+    b.Append("\t");
+    b.Target("pos", GenInt(&rng, 10000, 248000000));
+    b.Append("\trs");
+    b.Field(GenInt(&rng, 1, 99999999));
+    b.Append("\t");
+    b.Target("ref", bases[rng.Uniform(0, 3)]);
+    b.Append("\t");
+    b.Target("alt", bases[rng.Uniform(0, 3)]);
+    b.Append("\t");
+    b.Field(GenReal(&rng, 1, 99, 1));
+    b.Append("\tPASS\tDP=");
+    b.Field(GenInt(&rng, 1, 99));
+    b.Append(";AF=");
+    b.Field(GenReal(&rng, 0, 0, 3));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("vcf_genetic", DatasetLabel::kSingleNonInterleaved);
+}
+
+GeneratedDataset BuildFastq(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 18);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    int len = static_cast<int>(rng.Uniform(36, 60));
+    b.BeginRecord(0);
+    b.Append("@");
+    b.Target("read_id", "read_" + GenAlnum(&rng, 8));
+    b.Append("/");
+    b.Field(GenInt(&rng, 1, 2));
+    b.Append("\n");
+    b.Target("sequence", GenBases(&rng, len));
+    b.Append("\n+\n");
+    // Quality string: letters only (the high-quality Illumina range), so
+    // the line stays template-consistent across records.
+    std::string qual;
+    for (int i = 0; i < len; ++i) {
+      qual.push_back(static_cast<char>('A' + rng.Uniform(0, 25)));
+    }
+    b.Field(qual);
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("fastq_genetic", DatasetLabel::kMultiNonInterleaved);
+}
+
+GeneratedDataset BuildBlogXml(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 19);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append("<post>\n  <id>");
+    b.Target("id", GenInt(&rng, 1, 99999));
+    b.Append("</id>\n  <author>");
+    b.Target("author", GenIdent(&rng));
+    b.Append("</author>\n  <date>");
+    b.Target("date", GenDate(&rng));
+    b.Append("</date>\n  <title>");
+    b.Target("title", GenPhrase(&rng, 2, 5));
+    b.Append("</title>\n  <likes>");
+    b.Field(GenInt(&rng, 0, 9999));
+    b.Append("</likes>\n  <tags>");
+    int tags = static_cast<int>(rng.Uniform(1, 4));
+    b.TargetBegin("tags");
+    for (int t = 0; t < tags; ++t) {
+      if (t > 0) b.Append(",");
+      b.Append(GenWord(&rng));
+    }
+    b.TargetEnd();
+    b.Append("</tags>\n  <body>");
+    b.Field(GenPhrase(&rng, 4, 10));
+    b.Append("</body>\n  <comments>");
+    b.Field(GenInt(&rng, 0, 500));
+    b.Append("</comments>\n</post>\n");
+    b.EndRecord();
+  }
+  return b.Build("blog_xml", DatasetLabel::kMultiNonInterleaved);
+}
+
+GeneratedDataset BuildGithubLog1(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 20);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    if (rng.Bernoulli(0.45)) {
+      // Type A: 9-line build report.
+      b.BeginRecord(0);
+      b.Append("==== build ");
+      b.Target("build_id", GenInt(&rng, 1000, 9999));
+      b.Append(" ====\n");
+      const char* keys[] = {"target", "config", "arch",
+                            "toolchain", "cache", "jobs"};
+      for (const char* key : keys) {
+        b.Append("  ");
+        b.Append(key);
+        b.Append(": ");
+        b.Field(GenIdent(&rng));
+        b.Append("\n");
+      }
+      b.Append("  elapsed: ");
+      b.Target("elapsed", GenReal(&rng, 1, 600, 2));
+      b.Append("\n");
+      b.Append("====\n");
+      b.EndRecord();
+    } else {
+      // Type B: single status line.
+      b.BeginRecord(1);
+      b.Append("status ");
+      b.Target("status_code", GenInt(&rng, 0, 3));
+      b.Append(" at ");
+      b.Target("status_time", GenTime(&rng));
+      b.Append("\n");
+      b.EndRecord();
+    }
+  }
+  return b.Build("github_log_1", DatasetLabel::kMultiInterleaved);
+}
+
+GeneratedDataset BuildGithubLog2(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 21);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    b.BeginRecord(0);
+    b.Append(">> query ");
+    b.Target("query_id", GenInt(&rng, 1, 99999));
+    b.Append("\n   rows=");
+    b.Target("rows", GenInt(&rng, 0, 1000000));
+    b.Append(" ms=");
+    b.Target("ms", GenReal(&rng, 0, 5000, 1));
+    b.Append("\n<< done\n");
+    b.EndRecord();
+  }
+  return b.Build("github_log_2", DatasetLabel::kMultiNonInterleaved);
+}
+
+GeneratedDataset BuildGithubLog3(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 22);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    if (rng.Bernoulli(0.55)) {
+      b.BeginRecord(0);
+      b.Append("[");
+      b.Target("time", GenTime(&rng));
+      b.Append("] db query user=");
+      b.Target("user", GenIdent(&rng));
+      b.Append(" rows=");
+      b.Target("rows", GenInt(&rng, 0, 100000));
+      b.Append("\n");
+      b.EndRecord();
+    } else {
+      // Structurally distinct second type (pipe-separated).
+      b.BeginRecord(1);
+      b.Target("time", GenTime(&rng));
+      b.Append("|cache|");
+      b.Field(rng.Bernoulli(0.5) ? "hit" : "miss");
+      b.Append("|");
+      b.Target("key", GenAlnum(&rng, 12));
+      b.Append("|\n");
+      b.EndRecord();
+    }
+  }
+  return b.Build("github_log_3", DatasetLabel::kSingleInterleaved);
+}
+
+GeneratedDataset BuildGithubLog4(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 23);
+  DatasetBuilder b;
+  while (b.size_bytes() < bytes) {
+    // Aperiodic noise: periodic noise would legitimately be structure.
+    if (rng.Bernoulli(0.15)) {
+      b.NoiseLine("--- watchdog tick " + GenAlnum(&rng, 6) + " ---");
+    }
+    if (rng.Bernoulli(0.5)) {
+      // Type A: 10-line stacktrace-ish block.
+      b.BeginRecord(0);
+      b.Append("EXC ");
+      b.Target("exception", GenWord(&rng) + "_error");
+      b.Append(" pid=");
+      b.Target("pid", GenInt(&rng, 100, 65535));
+      b.Append("\n");
+      for (int f = 0; f < 8; ++f) {
+        b.Append(StrFormat("  #%d ", f));
+        b.Field(GenIdent(&rng));
+        b.Append(" at ");
+        b.Field(GenWord(&rng) + ".c");
+        b.Append(":");
+        b.Field(GenInt(&rng, 1, 2000));
+        b.Append("\n");
+      }
+      b.Append("END\n");
+      b.EndRecord();
+    } else {
+      b.BeginRecord(1);
+      b.Append("hb ");
+      b.Target("hb_seq", GenInt(&rng, 1, 999999));
+      b.Append(" ok\n");
+      b.EndRecord();
+    }
+  }
+  return b.Build("github_log_4", DatasetLabel::kMultiInterleaved);
+}
+
+GeneratedDataset BuildGithubLog5(size_t bytes, uint64_t seed) {
+  Rng rng(seed + 24);
+  DatasetBuilder b;
+  int n = 0;
+  while (b.size_bytes() < bytes) {
+    if (rng.Bernoulli(0.12)) {
+      // Noise / incomplete record fragments (the user-study dataset 5 trait).
+      if (rng.Bernoulli(0.5)) {
+        b.NoiseLine("!! corrupted " + GenAlnum(&rng, 10));
+      } else {
+        b.NoiseLine("job " + GenInt(&rng, 1, 9999));  // truncated record
+      }
+      continue;
+    }
+    ++n;
+    b.BeginRecord(0);
+    b.Append("job ");
+    b.Target("job_id", GenInt(&rng, 1, 9999));
+    b.Append("\n  node: ");
+    b.Target("node", GenHost(&rng));
+    b.Append("\n  state: ");
+    b.Target("state", rng.Bernoulli(0.8) ? "done" : "killed");
+    b.Append("\n  wall: ");
+    b.Target("wall", GenReal(&rng, 0, 3600, 2));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("github_log_5", DatasetLabel::kMultiNonInterleaved);
+}
+
+GeneratedDataset BuildCrashLogPlain(size_t bytes, uint64_t seed) {
+  return BuildCrashLog(bytes, seed, /*modified=*/false);
+}
+GeneratedDataset BuildCrashLogModified(size_t bytes, uint64_t seed) {
+  return BuildCrashLog(bytes, seed, /*modified=*/true);
+}
+
+constexpr std::array<BuilderFn, kManualDatasetCount> kBuilders = {{
+    &BuildTransactionRecords, &BuildCommaSep, &BuildWebServerLog,
+    &BuildMacAslLog, &BuildMacBootLog, &BuildCrashLogPlain,
+    &BuildCrashLogModified, &BuildLsL, &BuildNetstat, &BuildPrinterLogs,
+    &BuildIncomeRecords, &BuildRailroadInfo, &BuildApplicationLog,
+    &BuildLoginWindowLog, &BuildPkgInstallLog, &BuildThailandDistricts,
+    &BuildStackexchangeXml, &BuildVcf, &BuildFastq, &BuildBlogXml,
+    &BuildGithubLog1, &BuildGithubLog2, &BuildGithubLog3, &BuildGithubLog4,
+    &BuildGithubLog5,
+}};
+
+}  // namespace
+
+const ManualDatasetInfo& GetManualDatasetInfo(int index) {
+  DM_CHECK(index >= 0 && index < kManualDatasetCount);
+  return kInfos[static_cast<size_t>(index)];
+}
+
+size_t DefaultManualBytes(int index) {
+  DM_CHECK(index >= 0 && index < kManualDatasetCount);
+  // Proportional to Table 5 but clamped to [24 KB, 320 KB] so the suite
+  // stays laptop-friendly; Figure 14a grows sizes explicitly.
+  double mb = kInfos[static_cast<size_t>(index)].paper_size_mb;
+  double bytes = mb * 1024 * 1024 * 0.02;
+  if (bytes < 24 * 1024) bytes = 24 * 1024;
+  if (bytes > 320 * 1024) bytes = 320 * 1024;
+  return static_cast<size_t>(bytes);
+}
+
+GeneratedDataset BuildManualDataset(int index, size_t target_bytes,
+                                    uint64_t seed) {
+  DM_CHECK(index >= 0 && index < kManualDatasetCount);
+  GeneratedDataset ds =
+      kBuilders[static_cast<size_t>(index)](target_bytes, seed);
+  ds.source = kInfos[static_cast<size_t>(index)].paper_source;
+  return ds;
+}
+
+std::vector<GeneratedDataset> BuildAllManualDatasets(double scale) {
+  std::vector<GeneratedDataset> out;
+  out.reserve(kManualDatasetCount);
+  for (int i = 0; i < kManualDatasetCount; ++i) {
+    size_t bytes = static_cast<size_t>(
+        static_cast<double>(DefaultManualBytes(i)) * scale);
+    out.push_back(BuildManualDataset(i, bytes));
+  }
+  return out;
+}
+
+GeneratedDataset BuildVcfDataset(size_t target_bytes, uint64_t seed) {
+  return BuildVcf(target_bytes, seed);
+}
+
+}  // namespace datamaran

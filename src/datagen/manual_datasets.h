@@ -1,0 +1,48 @@
+#ifndef DATAMARAN_DATAGEN_MANUAL_DATASETS_H_
+#define DATAMARAN_DATAGEN_MANUAL_DATASETS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/spec.h"
+
+/// Generators for the 25 manually collected datasets of Table 5: the 15
+/// datasets of Fisher et al. [20] plus the 10 additional ones (stack
+/// exchange dump, genomics formats, Thailand district info, and five GitHub
+/// log files). Each generator reproduces the row's format family, record
+/// type count and max record span; sizes are scaled for laptop budgets and
+/// can be grown via `target_bytes` (the VCF generator scales to >100MB for
+/// the Figure 14a runtime experiment).
+
+namespace datamaran {
+
+inline constexpr int kManualDatasetCount = 25;
+
+struct ManualDatasetInfo {
+  const char* name;
+  const char* paper_source;   // the Table 5 row this models
+  double paper_size_mb;       // size reported in Table 5
+  int record_types;           // Table 5 "# of rec. types"
+  const char* max_span;       // Table 5 "Max rec. span" (e.g. "1(3)")
+  bool from_fisher;           // row marked "*" in Table 5
+};
+
+/// Static Table 5 metadata, indexed 0..24.
+const ManualDatasetInfo& GetManualDatasetInfo(int index);
+
+/// Default generated size for dataset `index` (proportional to Table 5).
+size_t DefaultManualBytes(int index);
+
+/// Builds dataset `index` with roughly `target_bytes` of text.
+GeneratedDataset BuildManualDataset(int index, size_t target_bytes,
+                                    uint64_t seed = 0);
+
+/// All 25 datasets at `scale` times their default sizes.
+std::vector<GeneratedDataset> BuildAllManualDatasets(double scale = 1.0);
+
+/// The VCF-format generator, exposed for the scalability benchmark.
+GeneratedDataset BuildVcfDataset(size_t target_bytes, uint64_t seed = 17);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_DATAGEN_MANUAL_DATASETS_H_

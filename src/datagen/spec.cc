@@ -1,0 +1,100 @@
+#include "datagen/spec.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace datamaran {
+
+const char* DatasetLabelName(DatasetLabel label) {
+  switch (label) {
+    case DatasetLabel::kSingleNonInterleaved:
+      return "S(NI)";
+    case DatasetLabel::kSingleInterleaved:
+      return "S(I)";
+    case DatasetLabel::kMultiNonInterleaved:
+      return "M(NI)";
+    case DatasetLabel::kMultiInterleaved:
+      return "M(I)";
+    case DatasetLabel::kNoStructure:
+      return "NS";
+  }
+  return "?";
+}
+
+void DatasetBuilder::BeginRecord(int type) {
+  DM_CHECK(!in_record_);
+  in_record_ = true;
+  current_ = GroundTruthRecord();
+  current_.type = type;
+  current_.begin = text_.size();
+  current_.first_line = line_;
+}
+
+void DatasetBuilder::Append(std::string_view text) {
+  for (char c : text) {
+    if (c == '\n') ++line_;
+  }
+  text_.append(text);
+}
+
+void DatasetBuilder::Target(const std::string& name, std::string_view value) {
+  DM_CHECK(in_record_);
+  TargetSpan t;
+  t.name = name;
+  t.begin = text_.size();
+  Append(value);
+  t.end = text_.size();
+  current_.targets.push_back(std::move(t));
+}
+
+void DatasetBuilder::TargetBegin(const std::string& name) {
+  DM_CHECK(in_record_ && pending_target_.empty());
+  pending_target_ = name;
+  pending_begin_ = text_.size();
+}
+
+void DatasetBuilder::TargetEnd() {
+  DM_CHECK(!pending_target_.empty());
+  TargetSpan t;
+  t.name = pending_target_;
+  t.begin = pending_begin_;
+  t.end = text_.size();
+  current_.targets.push_back(std::move(t));
+  pending_target_.clear();
+}
+
+void DatasetBuilder::EndRecord() {
+  DM_CHECK(in_record_);
+  DM_CHECK(!text_.empty() && text_.back() == '\n');
+  current_.end = text_.size();
+  current_.line_count = static_cast<int>(line_ - current_.first_line);
+  records_.push_back(std::move(current_));
+  in_record_ = false;
+}
+
+void DatasetBuilder::NoiseLine(std::string_view text) {
+  DM_CHECK(!in_record_);
+  Append(text);
+  if (text_.empty() || text_.back() != '\n') Append("\n");
+}
+
+GeneratedDataset DatasetBuilder::Build(std::string name, DatasetLabel label) {
+  DM_CHECK(!in_record_);
+  GeneratedDataset out;
+  out.name = std::move(name);
+  out.label = label;
+  out.text = std::move(text_);
+  int max_span = 1;
+  int max_type = -1;
+  for (const auto& r : records_) {
+    max_span = std::max(max_span, r.line_count);
+    max_type = std::max(max_type, r.type);
+  }
+  out.max_record_span = max_span;
+  out.record_type_count = records_.empty() ? 0 : max_type + 1;
+  out.alternatives.push_back(std::move(records_));
+  return out;
+}
+
+}  // namespace datamaran

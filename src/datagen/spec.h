@@ -1,0 +1,121 @@
+#ifndef DATAMARAN_DATAGEN_SPEC_H_
+#define DATAMARAN_DATAGEN_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Synthetic data-lake datasets with byte-accurate ground truth.
+///
+/// The paper evaluates on 25 manually collected datasets (Table 5) and 100
+/// log files crawled from GitHub (Section 5.3). Neither collection ships
+/// with the paper, so this module generates seeded analogs that preserve
+/// the *structural* properties the extraction problem depends on: format
+/// family, number of record types, record span, noise placement, and the
+/// intended extraction targets. Every generator records, for each record,
+/// its byte span and the byte spans of its intended extraction targets,
+/// which is exactly what the Section 5.1 / 9.3 success criterion needs.
+
+namespace datamaran {
+
+/// One intended extraction target inside a record (e.g. "the IP address").
+struct TargetSpan {
+  std::string name;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Ground truth for one record instance.
+struct GroundTruthRecord {
+  int type = 0;
+  size_t begin = 0;  ///< byte span including the trailing '\n'
+  size_t end = 0;
+  size_t first_line = 0;
+  int line_count = 1;
+  std::vector<TargetSpan> targets;
+};
+
+/// GitHub-corpus labels (Table 4).
+enum class DatasetLabel {
+  kSingleNonInterleaved,  // S(NI)
+  kSingleInterleaved,     // S(I)
+  kMultiNonInterleaved,   // M(NI)
+  kMultiInterleaved,      // M(I)
+  kNoStructure,           // NS
+};
+
+const char* DatasetLabelName(DatasetLabel label);
+
+struct GeneratedDataset {
+  std::string name;
+  std::string source;  ///< provenance note (which Table 5 row it models)
+  std::string text;
+  /// Alternative ground-truth segmentations; extraction succeeds if it
+  /// matches ANY of them (e.g. the crash log's "1(3)" span in Table 5 means
+  /// both the 1-line and the 3-line readings are valid).
+  std::vector<std::vector<GroundTruthRecord>> alternatives;
+  DatasetLabel label = DatasetLabel::kSingleNonInterleaved;
+  int record_type_count = 1;
+  int max_record_span = 1;
+  /// True when the dataset is designed to defeat the tool the way Section
+  /// 9.4 describes (e.g. records longer than L).
+  bool expect_hard = false;
+
+  const std::vector<GroundTruthRecord>& records() const {
+    static const std::vector<GroundTruthRecord> kEmpty;
+    return alternatives.empty() ? kEmpty : alternatives.front();
+  }
+};
+
+/// Incremental text builder that tracks record and target offsets.
+class DatasetBuilder {
+ public:
+  /// Starts a record of the given type at the current position.
+  void BeginRecord(int type);
+
+  /// Appends literal formatting/structure text (never a target).
+  void Append(std::string_view text);
+
+  /// Appends a field value that is not an intended target.
+  void Field(std::string_view value) { Append(value); }
+
+  /// Appends a field value and records it as the intended target `name`.
+  void Target(const std::string& name, std::string_view value);
+
+  /// Marks the following appended text (until TargetEnd) as one target;
+  /// used for targets spanning several fields + delimiters.
+  void TargetBegin(const std::string& name);
+  void TargetEnd();
+
+  /// Finishes the current record (the text appended since BeginRecord,
+  /// which must end with '\n').
+  void EndRecord();
+
+  /// Appends a whole noise line ('\n' added if missing).
+  void NoiseLine(std::string_view text);
+
+  size_t line_count() const { return line_; }
+  size_t size_bytes() const { return text_.size(); }
+
+  /// Finalizes: moves the text and the single ground-truth alternative into
+  /// a dataset. Derived counts (types, max span) are filled in.
+  GeneratedDataset Build(std::string name, DatasetLabel label);
+
+  /// Access for multi-alternative datasets: Build() with extra
+  /// segmentations appended by the caller.
+  std::vector<GroundTruthRecord>& records() { return records_; }
+
+ private:
+  std::string text_;
+  std::vector<GroundTruthRecord> records_;
+  GroundTruthRecord current_;
+  bool in_record_ = false;
+  size_t line_ = 0;
+  std::string pending_target_;
+  size_t pending_begin_ = 0;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_DATAGEN_SPEC_H_

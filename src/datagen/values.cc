@@ -1,0 +1,130 @@
+#include "datagen/values.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+constexpr std::array<const char*, 24> kWords = {
+    "request", "failed",   "started", "stopped", "service",  "daemon",
+    "timeout", "retry",    "cache",   "index",   "shutdown", "startup",
+    "succeeded", "warning", "kernel",  "memory",  "disabled", "enabled",
+    "nightly", "update",   "session", "client",  "server",   "queue"};
+
+constexpr std::array<const char*, 12> kMonths = {"Jan", "Feb", "Mar", "Apr",
+                                                 "May", "Jun", "Jul", "Aug",
+                                                 "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::string GenIp(Rng* rng) {
+  return StrFormat("%d.%d.%d.%d", static_cast<int>(rng->Uniform(1, 254)),
+                   static_cast<int>(rng->Uniform(0, 255)),
+                   static_cast<int>(rng->Uniform(0, 255)),
+                   static_cast<int>(rng->Uniform(1, 254)));
+}
+
+std::string GenTime(Rng* rng) {
+  return StrFormat("%02d:%02d:%02d", static_cast<int>(rng->Uniform(0, 23)),
+                   static_cast<int>(rng->Uniform(0, 59)),
+                   static_cast<int>(rng->Uniform(0, 59)));
+}
+
+std::string GenDate(Rng* rng) {
+  return StrFormat("%04d-%02d-%02d", static_cast<int>(rng->Uniform(2014, 2018)),
+                   static_cast<int>(rng->Uniform(1, 12)),
+                   static_cast<int>(rng->Uniform(1, 28)));
+}
+
+std::string GenMonthDay(Rng* rng) {
+  // Zero-padded day: real syslog space-pads single-digit days, which makes
+  // two legitimate template variants ("Apr  7" vs "Apr 17"); we keep the
+  // format stable so each generator has exactly one ground-truth template.
+  return StrFormat("%s %02d",
+                   kMonths[static_cast<size_t>(rng->Uniform(0, 11))],
+                   static_cast<int>(rng->Uniform(1, 28)));
+}
+
+std::string GenWord(Rng* rng) {
+  return kWords[static_cast<size_t>(rng->Uniform(0, kWords.size() - 1))];
+}
+
+std::string GenName(Rng* rng) {
+  static constexpr const char* kOnsets[] = {"b", "d", "k", "l", "m",
+                                            "n", "r", "s", "t", "v"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u"};
+  int syllables = static_cast<int>(rng->Uniform(2, 4));
+  std::string out;
+  for (int i = 0; i < syllables; ++i) {
+    out += kOnsets[static_cast<size_t>(rng->Uniform(0, 9))];
+    out += kVowels[static_cast<size_t>(rng->Uniform(0, 4))];
+  }
+  out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  return out;
+}
+
+std::string GenIdent(Rng* rng) {
+  return GenWord(rng) + "_" + GenAlnum(rng, 4);
+}
+
+std::string GenPhrase(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += " ";
+    out += GenWord(rng);
+  }
+  return out;
+}
+
+std::string GenPath(Rng* rng, int min_depth, int max_depth) {
+  int n = static_cast<int>(rng->Uniform(min_depth, max_depth));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += "/";
+    out += GenWord(rng);
+  }
+  return out;
+}
+
+std::string GenAlnum(Rng* rng, int len) {
+  static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kChars[static_cast<size_t>(rng->Uniform(0, 35))]);
+  }
+  return out;
+}
+
+std::string GenInt(Rng* rng, int64_t lo, int64_t hi) {
+  return std::to_string(rng->Uniform(lo, hi));
+}
+
+std::string GenReal(Rng* rng, int64_t lo, int64_t hi, int frac) {
+  std::string out = std::to_string(rng->Uniform(lo, hi));
+  out.push_back('.');
+  for (int i = 0; i < frac; ++i) {
+    out.push_back(static_cast<char>('0' + rng->Uniform(0, 9)));
+  }
+  return out;
+}
+
+std::string GenHost(Rng* rng) {
+  return StrFormat("srv%d", static_cast<int>(rng->Uniform(1, 9)));
+}
+
+std::string GenBases(Rng* rng, int len) {
+  static constexpr char kBases[] = "ACGT";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kBases[static_cast<size_t>(rng->Uniform(0, 3))]);
+  }
+  return out;
+}
+
+}  // namespace datamaran

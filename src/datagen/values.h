@@ -1,0 +1,58 @@
+#ifndef DATAMARAN_DATAGEN_VALUES_H_
+#define DATAMARAN_DATAGEN_VALUES_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+/// Seeded field-value generators shared by the dataset generators.
+
+namespace datamaran {
+
+/// "192.168.3.44"
+std::string GenIp(Rng* rng);
+
+/// "14:23:07"
+std::string GenTime(Rng* rng);
+
+/// "2016-04-22"
+std::string GenDate(Rng* rng);
+
+/// "Apr 24" style syslog date.
+std::string GenMonthDay(Rng* rng);
+
+/// Lowercase word from a fixed dictionary.
+std::string GenWord(Rng* rng);
+
+/// Capitalized pseudo-name from random syllables ("Korela"). Unlike
+/// GenWord, values are near-unique, so columns of names type as strings
+/// rather than tiny enums (matters for MDL realism).
+std::string GenName(Rng* rng);
+
+/// Lowercase identifier such as "user_7da2".
+std::string GenIdent(Rng* rng);
+
+/// `min_words`..`max_words` dictionary words joined by spaces.
+std::string GenPhrase(Rng* rng, int min_words, int max_words);
+
+/// "/usr/share/thing" with `min_depth`..`max_depth` components.
+std::string GenPath(Rng* rng, int min_depth, int max_depth);
+
+/// Random letters/digits of the given length.
+std::string GenAlnum(Rng* rng, int len);
+
+/// Uniform integer rendered as decimal.
+std::string GenInt(Rng* rng, int64_t lo, int64_t hi);
+
+/// Fixed-point decimal with `frac` digits.
+std::string GenReal(Rng* rng, int64_t lo, int64_t hi, int frac);
+
+/// Hostname like "srv7" / "db-node-3".
+std::string GenHost(Rng* rng);
+
+/// DNA base string (for the FASTQ/VCF generators).
+std::string GenBases(Rng* rng, int len);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_DATAGEN_VALUES_H_

@@ -1,0 +1,65 @@
+#include "evalharness/accuracy.h"
+
+#include "core/datamaran.h"
+#include "recordbreaker/recordbreaker.h"
+#include "util/timer.h"
+
+namespace datamaran {
+
+DatasetOutcome EvaluateDataset(const GeneratedDataset& dataset,
+                               const DatamaranOptions& base_options,
+                               const EvalTools& tools) {
+  DatasetOutcome outcome;
+  outcome.name = dataset.name;
+  outcome.label = dataset.label;
+  outcome.expect_hard = dataset.expect_hard;
+
+  if (tools.run_exhaustive) {
+    DatamaranOptions opts = base_options;
+    opts.search = CharsetSearch::kExhaustive;
+    Datamaran dm(opts);
+    Timer timer;
+    PipelineResult result = dm.ExtractText(std::string(dataset.text));
+    outcome.dm_exhaustive_seconds = timer.Seconds();
+    SuccessReport report =
+        CheckExtraction(dataset, UnitsFromPipeline(result, dataset.text));
+    outcome.dm_exhaustive = report.success;
+    outcome.dm_exhaustive_reason = report.failure_reason;
+  }
+  if (tools.run_greedy) {
+    DatamaranOptions opts = base_options;
+    opts.search = CharsetSearch::kGreedy;
+    Datamaran dm(opts);
+    Timer timer;
+    PipelineResult result = dm.ExtractText(std::string(dataset.text));
+    outcome.dm_greedy_seconds = timer.Seconds();
+    SuccessReport report =
+        CheckExtraction(dataset, UnitsFromPipeline(result, dataset.text));
+    outcome.dm_greedy = report.success;
+    outcome.dm_greedy_reason = report.failure_reason;
+  }
+  if (tools.run_recordbreaker) {
+    RecordBreaker rb;
+    Dataset data{std::string(dataset.text)};
+    RecordBreakerResult result = rb.Extract(data);
+    SuccessReport report =
+        CheckExtraction(dataset, UnitsFromRecordBreaker(result, data));
+    outcome.rb = report.success;
+    outcome.rb_reason = report.failure_reason;
+  }
+  return outcome;
+}
+
+std::vector<LabelAccuracy> Aggregate(const std::vector<DatasetOutcome>& runs) {
+  std::vector<LabelAccuracy> by_label(5);
+  for (const DatasetOutcome& run : runs) {
+    LabelAccuracy& acc = by_label[static_cast<size_t>(run.label)];
+    acc.total++;
+    if (run.dm_exhaustive) acc.dm_exhaustive++;
+    if (run.dm_greedy) acc.dm_greedy++;
+    if (run.rb) acc.rb++;
+  }
+  return by_label;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,56 @@
+#ifndef DATAMARAN_EVALHARNESS_ACCURACY_H_
+#define DATAMARAN_EVALHARNESS_ACCURACY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "datagen/spec.h"
+#include "evalharness/criterion.h"
+
+/// Corpus-level accuracy evaluation: runs Datamaran (exhaustive and/or
+/// greedy) and RecordBreaker over generated datasets and scores each with
+/// the Section 5.1 success criterion. Powers the Figure 17b and Table 5
+/// benchmarks.
+
+namespace datamaran {
+
+struct DatasetOutcome {
+  std::string name;
+  DatasetLabel label = DatasetLabel::kSingleNonInterleaved;
+  bool expect_hard = false;
+  bool dm_exhaustive = false;
+  bool dm_greedy = false;
+  bool rb = false;
+  std::string dm_exhaustive_reason;
+  std::string dm_greedy_reason;
+  std::string rb_reason;
+  double dm_exhaustive_seconds = 0;
+  double dm_greedy_seconds = 0;
+};
+
+struct EvalTools {
+  bool run_exhaustive = true;
+  bool run_greedy = false;
+  bool run_recordbreaker = false;
+};
+
+/// Runs the selected tools on one dataset.
+DatasetOutcome EvaluateDataset(const GeneratedDataset& dataset,
+                               const DatamaranOptions& base_options,
+                               const EvalTools& tools);
+
+/// Per-label success counters.
+struct LabelAccuracy {
+  int total = 0;
+  int dm_exhaustive = 0;
+  int dm_greedy = 0;
+  int rb = 0;
+};
+
+/// Aggregates outcomes by label (index by DatasetLabel cast to int).
+std::vector<LabelAccuracy> Aggregate(const std::vector<DatasetOutcome>& runs);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EVALHARNESS_ACCURACY_H_

@@ -1,0 +1,211 @@
+#include "evalharness/criterion.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+/// How one target decomposes into a record's units.
+struct TargetSignature {
+  bool valid = false;
+  size_t pre_len = 0, suf_len = 0;  // constant-length edge trims
+  std::vector<size_t> unit_ordinals;
+  std::vector<std::string> gaps;
+
+  bool operator==(const TargetSignature& other) const {
+    return valid == other.valid && pre_len == other.pre_len &&
+           suf_len == other.suf_len && unit_ordinals == other.unit_ordinals &&
+           gaps == other.gaps;
+  }
+};
+
+TargetSignature DecomposeTarget(const TargetSpan& target,
+                                const RecordUnits& record,
+                                std::string_view text) {
+  // The target decomposes into the ordered units overlapping it. Units
+  // strictly inside contribute whole (Concat); the first/last unit may
+  // cross the target boundary as long as its overhang length is constant
+  // across records (Trim); between-unit gaps must be constant strings
+  // (Append). Constancy is enforced by signature equality at the caller.
+  TargetSignature sig;
+  size_t pos = target.begin;
+  bool saw_right_cross = false;
+  for (size_t u = 0; u < record.units.size(); ++u) {
+    const auto& [ub, ue] = record.units[u];
+    if (ue <= target.begin || ub >= target.end) continue;  // outside
+    if (saw_right_cross) {
+      sig.valid = false;  // units after a right-crossing unit: no program
+      return sig;
+    }
+    if (ub < target.begin) {
+      if (!sig.unit_ordinals.empty()) {
+        sig.valid = false;  // left-crossing unit must be the first
+        return sig;
+      }
+      sig.pre_len = target.begin - ub;
+    }
+    if (ue > target.end) {
+      sig.suf_len = ue - target.end;
+      saw_right_cross = true;
+    }
+    const size_t clipped_begin = ub < target.begin ? target.begin : ub;
+    const size_t clipped_end = ue > target.end ? target.end : ue;
+    sig.gaps.emplace_back(text.substr(pos, clipped_begin - pos));
+    sig.unit_ordinals.push_back(u);
+    pos = clipped_end;
+  }
+  sig.gaps.emplace_back(text.substr(pos, target.end - pos));
+  sig.valid = true;
+  return sig;
+}
+
+}  // namespace
+
+SuccessReport CheckAgainstTruth(const std::vector<GroundTruthRecord>& truth,
+                                const std::vector<RecordUnits>& extracted,
+                                std::string_view text) {
+  SuccessReport report;
+
+  std::unordered_map<size_t, const RecordUnits*> by_begin;
+  by_begin.reserve(extracted.size());
+  for (const RecordUnits& r : extracted) by_begin[r.begin] = &r;
+
+  // (a) Boundaries and record types.
+  std::map<int, int> type_map;                 // ground truth -> extracted
+  std::map<int, int> reverse_map;              // extracted -> ground truth
+  std::vector<const RecordUnits*> matched(truth.size(), nullptr);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const GroundTruthRecord& gt = truth[i];
+    auto it = by_begin.find(gt.begin);
+    if (it == by_begin.end() || it->second->end != gt.end) {
+      report.failure_reason =
+          StrFormat("record at byte %zu: boundary not identified", gt.begin);
+      return report;
+    }
+    const RecordUnits* ex = it->second;
+    auto [tm, inserted] = type_map.emplace(gt.type, ex->type);
+    if (!inserted && tm->second != ex->type) {
+      report.failure_reason = StrFormat(
+          "ground-truth type %d split across extracted types %d and %d",
+          gt.type, tm->second, ex->type);
+      return report;
+    }
+    auto [rm, r_inserted] = reverse_map.emplace(ex->type, gt.type);
+    if (!r_inserted && rm->second != gt.type) {
+      report.failure_reason = StrFormat(
+          "extracted type %d merges ground-truth types %d and %d", ex->type,
+          rm->second, gt.type);
+      return report;
+    }
+    matched[i] = ex;
+  }
+  report.boundaries_ok = true;
+
+  // (b) Target reconstruction, per (type, target name).
+  std::map<std::pair<int, std::string>, TargetSignature> signatures;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const GroundTruthRecord& gt = truth[i];
+    for (const TargetSpan& target : gt.targets) {
+      TargetSignature sig = DecomposeTarget(target, *matched[i], text);
+      if (!sig.valid) {
+        report.failure_reason = StrFormat(
+            "target '%s': an extracted field straddles the target boundary",
+            target.name.c_str());
+        return report;
+      }
+      auto key = std::make_pair(gt.type, target.name);
+      auto [it, inserted] = signatures.emplace(key, sig);
+      if (!inserted && !(it->second == sig)) {
+        report.failure_reason = StrFormat(
+            "target '%s': reconstruction differs across records (no single "
+            "Concat/Append/Trim program works)",
+            target.name.c_str());
+        return report;
+      }
+    }
+  }
+  report.targets_ok = true;
+  report.success = true;
+  return report;
+}
+
+SuccessReport CheckExtraction(const GeneratedDataset& dataset,
+                              const std::vector<RecordUnits>& extracted) {
+  if (dataset.label == DatasetLabel::kNoStructure) {
+    SuccessReport report;
+    report.boundaries_ok = report.targets_ok = extracted.empty();
+    report.success = extracted.empty();
+    if (!report.success) {
+      report.failure_reason = "spurious structure extracted from noise";
+    }
+    return report;
+  }
+  SuccessReport last;
+  for (const auto& alternative : dataset.alternatives) {
+    last = CheckAgainstTruth(alternative, extracted, dataset.text);
+    if (last.success) return last;
+  }
+  return last;
+}
+
+std::vector<RecordUnits> UnitsFromPipeline(const PipelineResult& result,
+                                           std::string_view /*text*/) {
+  std::vector<RecordUnits> out;
+  out.reserve(result.extraction.records.size());
+  for (const ExtractedRecord& rec : result.extraction.records) {
+    RecordUnits r;
+    r.type = rec.template_id;
+    r.begin = rec.begin;
+    r.end = rec.end;
+    // Units: top-level fields as-is; each array contributes one contiguous
+    // unit (its denormalized cell equals that exact text).
+    const StructureTemplate& st =
+        result.templates[static_cast<size_t>(rec.template_id)];
+    struct Walker {
+      std::vector<std::pair<size_t, size_t>>* units;
+      void Walk(const TemplateNode& node, const ParsedValue& value) {
+        switch (node.kind) {
+          case NodeKind::kField:
+            units->emplace_back(value.begin, value.end);
+            break;
+          case NodeKind::kChar:
+            break;
+          case NodeKind::kStruct:
+            for (size_t i = 0; i < node.children.size(); ++i) {
+              Walk(*node.children[i], value.children[i]);
+            }
+            break;
+          case NodeKind::kArray:
+            units->emplace_back(value.begin, value.end);
+            break;
+        }
+      }
+    };
+    Walker walker{&r.units};
+    walker.Walk(st.root(), rec.value);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<RecordUnits> UnitsFromRecordBreaker(
+    const RecordBreakerResult& result, const Dataset& data) {
+  std::vector<RecordUnits> out;
+  out.reserve(result.records.size());
+  for (const RbRecord& rec : result.records) {
+    RecordUnits r;
+    r.type = rec.branch;
+    r.begin = data.line_begin(rec.line);
+    r.end = data.line_end(rec.line);
+    r.units = rec.fields;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace datamaran

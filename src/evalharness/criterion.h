@@ -1,0 +1,69 @@
+#ifndef DATAMARAN_EVALHARNESS_CRITERION_H_
+#define DATAMARAN_EVALHARNESS_CRITERION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/datamaran.h"
+#include "datagen/spec.h"
+#include "recordbreaker/recordbreaker.h"
+
+/// The extraction success criterion of Sections 5.1 / 9.3.
+///
+/// An extraction succeeds iff
+///  (a) every ground-truth record's boundary is exactly one extracted
+///      record's boundary, and the ground-truth type -> extracted type
+///      mapping is an injective function (merging two record types, or
+///      splitting one type across templates, loses information); and
+///  (b) every intended extraction target can be reconstructed from the
+///      extracted fields with the Section 9.3 relational operators: the
+///      target interval must decompose into complete extracted units plus
+///      gap strings that are constant across all records of the type
+///      (Concat/GroupConcat supply the units, Append/Trim the constant
+///      glue; splitting a unit is not allowed, which rejects extractions
+///      that lump a target together with other text).
+///
+/// An extracted "unit" is a top-level field span, or the full contiguous
+/// span of an array (whose denormalized cell reproduces that text exactly).
+
+namespace datamaran {
+
+/// Tool-agnostic record representation fed to the checker.
+struct RecordUnits {
+  int type = 0;
+  size_t begin = 0;  ///< includes the trailing '\n'
+  size_t end = 0;
+  std::vector<std::pair<size_t, size_t>> units;
+};
+
+struct SuccessReport {
+  bool success = false;
+  bool boundaries_ok = false;
+  bool targets_ok = false;
+  std::string failure_reason;
+};
+
+/// Evaluates extraction output against one ground-truth segmentation.
+SuccessReport CheckAgainstTruth(const std::vector<GroundTruthRecord>& truth,
+                                const std::vector<RecordUnits>& extracted,
+                                std::string_view text);
+
+/// Evaluates against all alternatives of the dataset; success if any
+/// alternative succeeds. No-structure datasets report success when nothing
+/// (or only spurious noise templates) was extracted.
+SuccessReport CheckExtraction(const GeneratedDataset& dataset,
+                              const std::vector<RecordUnits>& extracted);
+
+/// Converts a Datamaran pipeline result into checker records.
+std::vector<RecordUnits> UnitsFromPipeline(const PipelineResult& result,
+                                           std::string_view text);
+
+/// Converts a RecordBreaker result into checker records (line-granularity
+/// records with value-token units).
+std::vector<RecordUnits> UnitsFromRecordBreaker(
+    const RecordBreakerResult& result, const Dataset& data);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EVALHARNESS_CRITERION_H_

@@ -1,0 +1,100 @@
+#include "evalharness/wrangle.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+bool OpConcatenate(Table* table, const std::vector<size_t>& columns,
+                   const std::vector<std::string>& glues,
+                   const std::string& name) {
+  if (glues.size() != columns.size() + 1) return false;
+  for (size_t c : columns) {
+    if (c >= table->columns.size()) return false;
+  }
+  table->columns.push_back(name);
+  for (auto& row : table->rows) {
+    std::string cell = glues[0];
+    for (size_t i = 0; i < columns.size(); ++i) {
+      cell += row[columns[i]];
+      cell += glues[i + 1];
+    }
+    row.push_back(std::move(cell));
+  }
+  return true;
+}
+
+bool OpSplit(Table* table, size_t col, char delim) {
+  if (col >= table->columns.size()) return false;
+  size_t max_parts = 1;
+  std::vector<std::vector<std::string_view>> split_rows;
+  split_rows.reserve(table->rows.size());
+  for (const auto& row : table->rows) {
+    split_rows.push_back(Split(row[col], delim));
+    max_parts = std::max(max_parts, split_rows.back().size());
+  }
+  for (size_t p = 0; p < max_parts; ++p) {
+    table->columns.push_back(
+        StrFormat("%s_part%zu", table->columns[col].c_str(), p));
+  }
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    for (size_t p = 0; p < max_parts; ++p) {
+      table->rows[r].push_back(
+          p < split_rows[r].size() ? std::string(split_rows[r][p])
+                                   : std::string());
+    }
+  }
+  return true;
+}
+
+bool OpFlashFill(Table* table, size_t col, size_t pre_len, size_t suf_len,
+                 const std::string& name) {
+  if (col >= table->columns.size()) return false;
+  table->columns.push_back(name);
+  for (auto& row : table->rows) {
+    const std::string& cell = row[col];
+    std::string out;
+    if (cell.size() >= pre_len + suf_len) {
+      out = cell.substr(pre_len, cell.size() - pre_len - suf_len);
+    }
+    row.push_back(std::move(out));
+  }
+  return true;
+}
+
+std::optional<Table> OpOffsetReshape(const Table& table, size_t period) {
+  if (table.columns.size() != 1 || period == 0 ||
+      table.rows.size() % period != 0) {
+    return std::nullopt;
+  }
+  Table out;
+  out.name = table.name + "_reshaped";
+  for (size_t j = 0; j < period; ++j) {
+    out.columns.push_back(StrFormat("line%zu", j));
+  }
+  for (size_t r = 0; r < table.rows.size(); r += period) {
+    std::vector<std::string> row;
+    for (size_t j = 0; j < period; ++j) row.push_back(table.rows[r + j][0]);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::optional<size_t> FindColumn(const Table& table,
+                                 const std::vector<std::string>& cells) {
+  if (table.rows.size() != cells.size()) return std::nullopt;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    bool match = true;
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      if (table.rows[r][c] != cells[r]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace datamaran

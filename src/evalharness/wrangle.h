@@ -1,0 +1,52 @@
+#ifndef DATAMARAN_EVALHARNESS_WRANGLE_H_
+#define DATAMARAN_EVALHARNESS_WRANGLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "extraction/relational.h"
+
+/// The four Excel wrangling operations of the user study (Section 6.1) as
+/// deterministic table transforms, used by the Figure 18 surrogate:
+///
+///   Concatenate — merge columns (with constant literal glue) into one.
+///   Split       — split one column into parts on a delimiter.
+///   FlashFill   — derive a column from one source column; modeled as the
+///                 constant-prefix/suffix extraction it learns from a
+///                 couple of examples (a Trim, in Section 9.3 terms).
+///   Offset      — reshape a line-per-row table into k columns, one per
+///                 line offset (the "copy contents every K rows" formula).
+///
+/// Delete/copy/paste are free, matching the paper ("we ignore the simple
+/// operations like Delete, Copy, Paste").
+
+namespace datamaran {
+
+/// Appends a column named `name` = glue[0] col0 glue[1] col1 ... glue[n].
+/// Returns false if any index is out of range.
+bool OpConcatenate(Table* table, const std::vector<size_t>& columns,
+                   const std::vector<std::string>& glues,
+                   const std::string& name);
+
+/// Splits column `col` on `delim`, appending the parts as new columns
+/// part0..partN (rows with fewer parts get empty cells).
+bool OpSplit(Table* table, size_t col, char delim);
+
+/// FlashFill-style extraction: new column = cell minus `pre_len` leading
+/// and `suf_len` trailing characters.
+bool OpFlashFill(Table* table, size_t col, size_t pre_len, size_t suf_len,
+                 const std::string& name);
+
+/// Offset-reshape: input must have exactly one column and row count
+/// divisible by `period`; produces a table with `period` columns where row
+/// r column j = input row r*period + j.
+std::optional<Table> OpOffsetReshape(const Table& table, size_t period);
+
+/// True if `table` contains a column whose cells equal `cells` exactly.
+std::optional<size_t> FindColumn(const Table& table,
+                                 const std::vector<std::string>& cells);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EVALHARNESS_WRANGLE_H_

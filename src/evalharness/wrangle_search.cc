@@ -1,0 +1,241 @@
+#include "evalharness/wrangle_search.h"
+
+#include <algorithm>
+
+#include "evalharness/wrangle.h"
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+constexpr std::string_view kSplitDelims = " ,.;:|/[]\"=<>@";
+constexpr int kMaxSplits = 4;
+constexpr size_t kMaxPieces = 8;
+
+std::vector<std::string> TargetColumn(const Table& target, size_t c) {
+  std::vector<std::string> cells;
+  cells.reserve(target.rows.size());
+  for (const auto& row : target.rows) cells.push_back(row[c]);
+  return cells;
+}
+
+/// Longest common prefix of the remaining strings (capped).
+std::string CommonPrefix(const std::vector<std::string>& remaining) {
+  if (remaining.empty()) return "";
+  std::string prefix = remaining[0].substr(0, 24);
+  for (const std::string& s : remaining) {
+    size_t k = 0;
+    while (k < prefix.size() && k < s.size() && prefix[k] == s[k]) ++k;
+    prefix.resize(k);
+    if (prefix.empty()) break;
+  }
+  return prefix;
+}
+
+/// Tries to realize `cells` from the columns of `table` as
+/// glue0 col_a glue1 col_b ... glueN with constant glue strings. On success
+/// applies one Concatenate and returns the op count (pieces - 1, >= 1).
+int TryConcat(Table* table, const std::vector<std::string>& cells,
+              const std::string& name, std::vector<std::string>* steps) {
+  if (table->rows.size() != cells.size() || cells.empty()) return -1;
+  std::vector<std::string> remaining = cells;
+  std::vector<size_t> pieces;
+  std::vector<std::string> glues;
+
+  while (pieces.size() < kMaxPieces) {
+    std::string lcp = CommonPrefix(remaining);
+    // Find a column that continues every row after some constant glue.
+    size_t best_col = table->columns.size();
+    size_t best_glue = 0;
+    size_t best_gain = 0;
+    for (size_t glue_len = 0; glue_len <= lcp.size(); ++glue_len) {
+      for (size_t c = 0; c < table->columns.size(); ++c) {
+        bool ok = true;
+        size_t gain = 0;
+        for (size_t r = 0; r < remaining.size(); ++r) {
+          std::string_view rest =
+              std::string_view(remaining[r]).substr(glue_len);
+          const std::string& v = table->rows[r][c];
+          if (v.empty() || !StartsWith(rest, v)) {
+            ok = false;
+            break;
+          }
+          gain += v.size();
+        }
+        if (ok && gain + glue_len * remaining.size() > best_gain) {
+          best_gain = gain + glue_len * remaining.size();
+          best_col = c;
+          best_glue = glue_len;
+        }
+      }
+    }
+    if (best_col == table->columns.size()) break;
+    pieces.push_back(best_col);
+    glues.push_back(lcp.substr(0, best_glue));
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      remaining[r] = remaining[r].substr(best_glue +
+                                         table->rows[r][best_col].size());
+    }
+  }
+  if (pieces.empty()) return -1;
+  // The leftover must be one more constant glue.
+  for (size_t r = 1; r < remaining.size(); ++r) {
+    if (remaining[r] != remaining[0]) return -1;
+  }
+  glues.push_back(remaining.empty() ? "" : remaining[0]);
+  if (!OpConcatenate(table, pieces, glues, name)) return -1;
+  // Verify the executed op actually produced the target column.
+  if (table->rows.empty() ||
+      table->rows[0].back() != cells[0]) {
+    return -1;
+  }
+  for (size_t r = 0; r < cells.size(); ++r) {
+    if (table->rows[r].back() != cells[r]) return -1;
+  }
+  steps->push_back(StrFormat("Concatenate %zu pieces -> %s", pieces.size(),
+                             name.c_str()));
+  return static_cast<int>(pieces.size()) - 1 > 0
+             ? static_cast<int>(pieces.size()) - 1
+             : 1;
+}
+
+/// Tries FlashFill (constant prefix/suffix extraction) from any column.
+int TryFlashFill(Table* table, const std::vector<std::string>& cells,
+                 const std::string& name, std::vector<std::string>* steps) {
+  if (table->rows.size() != cells.size() || cells.empty()) return -1;
+  for (size_t c = 0; c < table->columns.size(); ++c) {
+    const std::string& cell0 = table->rows[0][c];
+    size_t at = cell0.find(cells[0]);
+    if (at == std::string::npos) continue;
+    size_t pre = at;
+    if (cell0.size() < pre + cells[0].size()) continue;
+    size_t suf = cell0.size() - pre - cells[0].size();
+    bool ok = true;
+    for (size_t r = 0; r < cells.size(); ++r) {
+      const std::string& cell = table->rows[r][c];
+      if (cell.size() < pre + suf ||
+          cell.substr(pre, cell.size() - pre - suf) != cells[r]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (!OpFlashFill(table, c, pre, suf, name)) continue;
+    steps->push_back(StrFormat("FlashFill trim(%zu,%zu) %s -> %s", pre, suf,
+                               table->columns[c].c_str(), name.c_str()));
+    return 1;
+  }
+  return -1;
+}
+
+/// Builds one target column in any of the row-aligned tables; returns the
+/// op cost or -1.
+int BuildColumn(std::vector<Table*>* tables,
+                const std::vector<std::string>& cells, const std::string& name,
+                std::vector<std::string>* steps) {
+  for (Table* t : *tables) {
+    if (t->rows.size() != cells.size()) continue;
+    if (FindColumn(*t, cells).has_value()) return 0;  // already there
+  }
+  for (Table* t : *tables) {
+    if (t->rows.size() != cells.size()) continue;
+    int c = TryFlashFill(t, cells, name, steps);
+    if (c >= 0) return c;
+    c = TryConcat(t, cells, name, steps);
+    if (c >= 0) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+WranglePlan PlanTransformation(std::vector<Table> start, const Table& target) {
+  WranglePlan plan;
+  const size_t target_rows = target.rows.size();
+
+  // --- Phase 1: row alignment (Offset for multi-line records). ---
+  std::vector<Table> owned = std::move(start);
+  std::vector<Table*> aligned;
+  for (Table& t : owned) {
+    if (t.rows.size() == target_rows) aligned.push_back(&t);
+  }
+  if (aligned.empty()) {
+    bool reshaped = false;
+    for (Table& t : owned) {
+      if (t.columns.size() == 1 && target_rows > 0 &&
+          t.rows.size() % target_rows == 0 &&
+          t.rows.size() / target_rows > 1) {
+        size_t period = t.rows.size() / target_rows;
+        auto r = OpOffsetReshape(t, period);
+        if (r.has_value()) {
+          plan.ops += static_cast<int>(period);  // one formula per offset
+          plan.steps.push_back(
+              StrFormat("Offset reshape period=%zu on %s", period,
+                        t.name.c_str()));
+          owned.push_back(std::move(*r));
+          aligned.push_back(&owned.back());
+          reshaped = true;
+          break;
+        }
+      }
+    }
+    if (!reshaped) {
+      plan.failure_reason =
+          "no table row-aligns with the records and Offset is inapplicable "
+          "(noise / incomplete records / rows split across files)";
+      return plan;
+    }
+  }
+
+  // --- Phase 2: build every target column, inserting Splits as needed. ---
+  int splits_used = 0;
+  for (size_t c = 0; c < target.columns.size(); ++c) {
+    std::vector<std::string> cells = TargetColumn(target, c);
+    int cost = BuildColumn(&aligned, cells, target.columns[c], &plan.steps);
+    while (cost < 0 && splits_used < kMaxSplits) {
+      // Split the widest column of the first aligned table on the first
+      // delimiter that actually occurs in it.
+      bool split_done = false;
+      for (Table* t : aligned) {
+        size_t ncols = t->columns.size();
+        for (size_t col = 0; col < ncols && !split_done; ++col) {
+          for (char delim : kSplitDelims) {
+            bool occurs = false;
+            for (const auto& row : t->rows) {
+              if (row[col].find(delim) != std::string::npos) {
+                occurs = true;
+                break;
+              }
+            }
+            if (!occurs) continue;
+            // Avoid re-splitting derived part columns endlessly.
+            if (t->columns[col].find("_part") != std::string::npos) continue;
+            if (OpSplit(t, col, delim)) {
+              plan.steps.push_back(StrFormat("Split %s on '%c'",
+                                             t->columns[col].c_str(), delim));
+              ++splits_used;
+              split_done = true;
+              break;
+            }
+          }
+        }
+        if (split_done) break;
+      }
+      if (!split_done) break;
+      plan.ops += 1;
+      cost = BuildColumn(&aligned, cells, target.columns[c], &plan.steps);
+    }
+    if (cost < 0) {
+      plan.failure_reason = StrFormat(
+          "column '%s' cannot be reconstructed with "
+          "Concatenate/Split/FlashFill/Offset", target.columns[c].c_str());
+      return plan;
+    }
+    plan.ops += cost;
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,41 @@
+#ifndef DATAMARAN_EVALHARNESS_WRANGLE_SEARCH_H_
+#define DATAMARAN_EVALHARNESS_WRANGLE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/relational.h"
+
+/// Plans the shortest wrangling-operation sequence that transforms a
+/// starting extraction (one or more tables) into the target table — the
+/// computational surrogate for a user-study participant (Figure 18). The
+/// planner mirrors the strategies participants used:
+///
+///  1. Align rows: if no table has one row per target record, try the
+///     Offset reshape (cost = record span, one formula per line offset);
+///     aperiodic inputs (noise, interleaving, rows split across files)
+///     make Offset inapplicable — the plan fails, like participants did.
+///  2. Build each target column: an exact existing column costs 0;
+///     a constant-trim FlashFill costs 1; concatenating k pieces with
+///     constant glue costs k-1 Concatenate steps; a Split (one per
+///     delimiter) may be inserted to expose pieces.
+///
+/// Every returned plan is *executed* against the real operation
+/// implementations and verified to reproduce the target, so reported op
+/// counts are grounded, not estimated.
+
+namespace datamaran {
+
+struct WranglePlan {
+  bool feasible = false;
+  int ops = 0;
+  std::vector<std::string> steps;
+  std::string failure_reason;
+};
+
+/// Computes and verifies a plan from `start` tables to `target`.
+WranglePlan PlanTransformation(std::vector<Table> start, const Table& target);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EVALHARNESS_WRANGLE_SEARCH_H_

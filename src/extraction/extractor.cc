@@ -1,0 +1,89 @@
+#include "extraction/extractor.h"
+
+#include <algorithm>
+
+namespace datamaran {
+
+namespace {
+
+/// Sink that materializes ExtractedRecords.
+class CollectingSink : public RecordSink {
+ public:
+  explicit CollectingSink(ExtractionResult* out) : out_(out) {}
+
+  void OnRecord(int template_id, size_t first_line,
+                ParsedValue&& value) override {
+    ExtractedRecord rec;
+    rec.template_id = template_id;
+    rec.begin = value.begin;
+    rec.end = value.end;
+    rec.first_line = first_line;
+    rec.value = std::move(value);
+    out_->records.push_back(std::move(rec));
+  }
+
+  void OnNoiseLine(size_t line_index) override {
+    out_->noise_lines.push_back(line_index);
+  }
+
+ private:
+  ExtractionResult* out_;
+};
+
+}  // namespace
+
+Extractor::Extractor(const std::vector<StructureTemplate>* templates)
+    : templates_(templates) {
+  matchers_.reserve(templates_->size());
+  for (const StructureTemplate& st : *templates_) {
+    matchers_.emplace_back(&st);
+    spans_.push_back(std::max(1, st.line_span()));
+  }
+}
+
+ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
+                                             RecordSink* sink) const {
+  ExtractionResult stats;
+  stats.total_chars = data.size_bytes();
+  const std::string_view text = data.text();
+  size_t li = 0;
+  const size_t n = data.line_count();
+  while (li < n) {
+    const size_t pos = data.line_begin(li);
+    bool matched = false;
+    for (size_t t = 0; t < matchers_.size(); ++t) {
+      auto parsed = matchers_[t].Parse(text, pos);
+      if (!parsed.has_value()) continue;
+      stats.covered_chars += parsed->end - pos;
+      int span = spans_[t];
+      if (sink != nullptr) {
+        sink->OnRecord(static_cast<int>(t), li, std::move(*parsed));
+      }
+      li += static_cast<size_t>(span);
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      if (sink != nullptr) sink->OnNoiseLine(li);
+      ++li;
+    }
+  }
+  return stats;
+}
+
+ExtractionResult Extractor::Extract(const Dataset& data) const {
+  ExtractionResult out;
+  CollectingSink sink(&out);
+  ExtractionResult stats = ExtractStreaming(data, &sink);
+  out.covered_chars = stats.covered_chars;
+  out.total_chars = stats.total_chars;
+  // Recompute line counts for the collected records.
+  for (ExtractedRecord& rec : out.records) {
+    rec.line_count = spans_.empty()
+                         ? 1
+                         : spans_[static_cast<size_t>(rec.template_id)];
+  }
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,75 @@
+#ifndef DATAMARAN_EXTRACTION_EXTRACTOR_H_
+#define DATAMARAN_EXTRACTION_EXTRACTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "template/matcher.h"
+#include "template/template.h"
+
+/// Whole-file extraction with the final structure templates (the canonical
+/// LL(1) parse of Section 3.3). The scan walks line starts; at each line the
+/// templates are tried in priority order, the first match emits one record
+/// and skips its span, and unmatched lines are noise. This pass dominates
+/// total runtime for large files (Section 5.2.2) and is embarrassingly
+/// chunk-parallel; this implementation is single-threaded like the paper's.
+
+namespace datamaran {
+
+struct ExtractedRecord {
+  int template_id = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t first_line = 0;
+  int line_count = 1;
+  ParsedValue value;
+};
+
+/// Streaming consumer of extraction events.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void OnRecord(int template_id, size_t first_line,
+                        ParsedValue&& value) = 0;
+  virtual void OnNoiseLine(size_t line_index) {}
+};
+
+/// In-memory extraction output.
+struct ExtractionResult {
+  std::vector<ExtractedRecord> records;
+  std::vector<size_t> noise_lines;
+  size_t covered_chars = 0;
+  size_t total_chars = 0;
+
+  double coverage() const {
+    return total_chars == 0
+               ? 0
+               : static_cast<double>(covered_chars) /
+                     static_cast<double>(total_chars);
+  }
+};
+
+class Extractor {
+ public:
+  /// `templates` in priority order (the pipeline's discovery order). The
+  /// templates must outlive the extractor.
+  explicit Extractor(const std::vector<StructureTemplate>* templates);
+
+  /// Streams records/noise into `sink`; returns coverage statistics without
+  /// retaining parsed values (suitable for arbitrarily large files).
+  ExtractionResult ExtractStreaming(const Dataset& data,
+                                    RecordSink* sink) const;
+
+  /// Convenience: collects everything in memory.
+  ExtractionResult Extract(const Dataset& data) const;
+
+ private:
+  const std::vector<StructureTemplate>* templates_;
+  std::vector<TemplateMatcher> matchers_;
+  std::vector<int> spans_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EXTRACTION_EXTRACTOR_H_

@@ -1,0 +1,267 @@
+#include "extraction/relational.h"
+
+#include <unordered_map>
+
+#include "util/common.h"
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+bool NeedsCsvQuoting(std::string_view s) {
+  return s.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+void AppendCsvField(std::string_view s, std::string* out) {
+  if (!NeedsCsvQuoting(s)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Pre-order field-leaf and array numbering shared by both layouts.
+struct TemplateIndex {
+  int leaf_count = 0;
+  int array_count = 0;
+};
+
+void IndexTemplate(const TemplateNode& node, TemplateIndex* idx) {
+  switch (node.kind) {
+    case NodeKind::kField:
+      idx->leaf_count++;
+      break;
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (const auto& c : node.children) IndexTemplate(*c, idx);
+      break;
+    case NodeKind::kArray:
+      idx->array_count++;
+      IndexTemplate(*node.children[0], idx);
+      break;
+  }
+}
+
+// ------------------------------------------------------------ denormalized
+
+void FillDenormalized(const TemplateNode& node, const ParsedValue& value,
+                      std::string_view text, char join_sep, int* leaf,
+                      std::vector<std::string>* cells,
+                      std::vector<bool>* filled) {
+  switch (node.kind) {
+    case NodeKind::kField: {
+      size_t i = static_cast<size_t>((*leaf)++);
+      std::string_view v = text.substr(value.begin, value.end - value.begin);
+      if ((*filled)[i]) {
+        (*cells)[i].push_back(join_sep == 0 ? ' ' : join_sep);
+        (*cells)[i].append(v);
+      } else {
+        (*cells)[i].assign(v);
+        (*filled)[i] = true;
+      }
+      break;
+    }
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        FillDenormalized(*node.children[i], value.children[i], text, join_sep,
+                         leaf, cells, filled);
+      }
+      break;
+    case NodeKind::kArray: {
+      int saved = *leaf;
+      for (const ParsedValue& rep : value.children) {
+        *leaf = saved;
+        FillDenormalized(*node.children[0], rep, text, node.ch, leaf, cells,
+                         filled);
+      }
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------------------- normalized
+
+/// Static table layout: table 0 is the root; arrays get tables 1..A in
+/// pre-order. For every field leaf we record its table and column slot.
+struct NormalizedLayout {
+  struct FieldSlot {
+    int table = 0;
+    int column = 0;  // index into the table's field columns
+  };
+  std::vector<FieldSlot> fields;      // by leaf index
+  std::vector<int> fields_per_table;  // by table index
+  std::vector<char> array_sep;        // by array index (table = index + 1)
+};
+
+void BuildLayout(const TemplateNode& node, int table, int* leaf, int* array,
+                 NormalizedLayout* layout) {
+  switch (node.kind) {
+    case NodeKind::kField: {
+      NormalizedLayout::FieldSlot slot;
+      slot.table = table;
+      slot.column = layout->fields_per_table[static_cast<size_t>(table)]++;
+      layout->fields[static_cast<size_t>((*leaf)++)] = slot;
+      break;
+    }
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (const auto& c : node.children) {
+        BuildLayout(*c, table, leaf, array, layout);
+      }
+      break;
+    case NodeKind::kArray: {
+      int t = ++(*array);  // tables are 1-based for arrays
+      layout->array_sep[static_cast<size_t>(t - 1)] = node.ch;
+      BuildLayout(*node.children[0], t, leaf, array, layout);
+      break;
+    }
+  }
+}
+
+struct NormalizedBuilder {
+  const NormalizedLayout* layout;
+  std::vector<Table>* tables;
+  std::string_view text;
+
+  void Fill(const TemplateNode& node, const ParsedValue& value, int table,
+            size_t row, int* leaf, int* array) {
+    switch (node.kind) {
+      case NodeKind::kField: {
+        const auto& slot = layout->fields[static_cast<size_t>((*leaf)++)];
+        DM_CHECK(slot.table == table);
+        Table& t = (*tables)[static_cast<size_t>(table)];
+        // Field columns start after the key columns (root: id; child:
+        // id, parent_id, pos).
+        size_t key_cols = table == 0 ? 1 : 3;
+        t.rows[row][key_cols + static_cast<size_t>(slot.column)] =
+            std::string(text.substr(value.begin, value.end - value.begin));
+        break;
+      }
+      case NodeKind::kChar:
+        break;
+      case NodeKind::kStruct:
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          Fill(*node.children[i], value.children[i], table, row, leaf, array);
+        }
+        break;
+      case NodeKind::kArray: {
+        int child_table = ++(*array);
+        Table& ct = (*tables)[static_cast<size_t>(child_table)];
+        const std::string parent_id =
+            (*tables)[static_cast<size_t>(table)].rows[row][0];
+        int saved_leaf = *leaf;
+        int saved_array = *array;
+        for (size_t pos = 0; pos < value.children.size(); ++pos) {
+          size_t new_row = ct.rows.size();
+          std::vector<std::string> cells(ct.columns.size());
+          cells[0] = std::to_string(new_row);
+          cells[1] = parent_id;
+          cells[2] = std::to_string(pos);
+          ct.rows.push_back(std::move(cells));
+          *leaf = saved_leaf;
+          *array = saved_array;
+          Fill(*node.children[0], value.children[pos], child_table, new_row,
+               leaf, array);
+        }
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out.push_back(',');
+    AppendCsvField(columns[c], &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendCsvField(row[c], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Table DenormalizedTable(const StructureTemplate& st,
+                        const std::vector<ExtractedRecord>& records,
+                        std::string_view text, int template_id,
+                        const std::string& name) {
+  TemplateIndex idx;
+  IndexTemplate(st.root(), &idx);
+  Table table;
+  table.name = name;
+  for (int i = 0; i < idx.leaf_count; ++i) {
+    table.columns.push_back(StrFormat("f%d", i));
+  }
+  for (const ExtractedRecord& rec : records) {
+    if (rec.template_id != template_id) continue;
+    std::vector<std::string> cells(static_cast<size_t>(idx.leaf_count));
+    std::vector<bool> filled(static_cast<size_t>(idx.leaf_count), false);
+    int leaf = 0;
+    FillDenormalized(st.root(), rec.value, text, 0, &leaf, &cells, &filled);
+    table.rows.push_back(std::move(cells));
+  }
+  return table;
+}
+
+std::vector<Table> NormalizedTables(
+    const StructureTemplate& st, const std::vector<ExtractedRecord>& records,
+    std::string_view text, int template_id, const std::string& name) {
+  TemplateIndex idx;
+  IndexTemplate(st.root(), &idx);
+
+  NormalizedLayout layout;
+  layout.fields.resize(static_cast<size_t>(idx.leaf_count));
+  layout.fields_per_table.assign(static_cast<size_t>(idx.array_count) + 1, 0);
+  layout.array_sep.resize(static_cast<size_t>(idx.array_count));
+  {
+    int leaf = 0, array = 0;
+    BuildLayout(st.root(), 0, &leaf, &array, &layout);
+  }
+
+  std::vector<Table> tables(static_cast<size_t>(idx.array_count) + 1);
+  tables[0].name = name;
+  tables[0].columns.push_back("id");
+  for (int i = 0; i < layout.fields_per_table[0]; ++i) {
+    tables[0].columns.push_back(StrFormat("f%d", i));
+  }
+  for (int a = 1; a <= idx.array_count; ++a) {
+    Table& t = tables[static_cast<size_t>(a)];
+    t.name = StrFormat("%s_arr%d", name.c_str(), a);
+    t.columns = {"id", "parent_id", "pos"};
+    for (int i = 0; i < layout.fields_per_table[static_cast<size_t>(a)]; ++i) {
+      t.columns.push_back(StrFormat("f%d", i));
+    }
+  }
+
+  NormalizedBuilder builder{&layout, &tables, text};
+  for (const ExtractedRecord& rec : records) {
+    if (rec.template_id != template_id) continue;
+    Table& root = tables[0];
+    size_t row = root.rows.size();
+    std::vector<std::string> cells(root.columns.size());
+    cells[0] = std::to_string(row);
+    root.rows.push_back(std::move(cells));
+    int leaf = 0, array = 0;
+    builder.Fill(st.root(), rec.value, 0, row, &leaf, &array);
+  }
+  return tables;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,53 @@
+#ifndef DATAMARAN_EXTRACTION_RELATIONAL_H_
+#define DATAMARAN_EXTRACTION_RELATIONAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extraction/extractor.h"
+#include "template/template.h"
+
+/// Relational materialization of extracted records (Section 3.3, Figure 7).
+/// Datamaran offers two representations carrying the same information:
+///
+///  * Denormalized: one table per record type, one column per field leaf;
+///    array repetitions are concatenated into the cell, joined with the
+///    array's separator character.
+///  * Normalized: a root table per record type plus one child table per
+///    array node; child rows reference their parent row through a foreign
+///    key and keep their position, so join paths are preserved.
+
+namespace datamaran {
+
+/// A simple in-memory relation.
+struct Table {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t row_count() const { return rows.size(); }
+  size_t column_count() const { return columns.size(); }
+
+  /// RFC-4180-ish CSV rendering (fields with commas/quotes/newlines are
+  /// quoted, quotes doubled).
+  std::string ToCsv() const;
+};
+
+/// Builds the denormalized table for record type `template_id`.
+Table DenormalizedTable(const StructureTemplate& st,
+                        const std::vector<ExtractedRecord>& records,
+                        std::string_view text, int template_id,
+                        const std::string& name);
+
+/// Builds the normalized table tree for record type `template_id`. The
+/// first table is the root; subsequent tables correspond to array nodes in
+/// pre-order, each with columns (id, parent_id, pos, fields...).
+std::vector<Table> NormalizedTables(const StructureTemplate& st,
+                                    const std::vector<ExtractedRecord>& records,
+                                    std::string_view text, int template_id,
+                                    const std::string& name);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EXTRACTION_RELATIONAL_H_

@@ -1,0 +1,44 @@
+#ifndef DATAMARAN_GENERATION_CANDIDATES_H_
+#define DATAMARAN_GENERATION_CANDIDATES_H_
+
+#include <cstddef>
+#include <string>
+
+/// A structure-template candidate produced by the generation step, with the
+/// coverage statistics accumulated in its hash bin (Section 4.1 step 5).
+
+namespace datamaran {
+
+struct CandidateTemplate {
+  /// Canonical serialization of the minimal structure template.
+  std::string canonical;
+
+  /// Estimated coverage: total characters of all candidate records hashed
+  /// into this bin. Because boundary enumeration overlaps, this can exceed
+  /// the sample size; it is only used for thresholding and ranking.
+  double coverage = 0;
+
+  /// Coverage minus the characters inside field values — the
+  /// Non-Field-Coverage term of the assimilation score (Section 4.2).
+  double non_field_coverage = 0;
+
+  /// Number of lines a record spans.
+  int span = 1;
+
+  /// Number of candidate records hashed into the bin.
+  size_t count = 0;
+
+  /// Earliest line index at which the template was instantiated (used by
+  /// structure shifting to prefer the earliest-first-occurrence variant).
+  size_t first_line = 0;
+
+  /// Number of field leaves in the minimal template.
+  int field_count = 0;
+
+  /// Assimilation score G(T,S) = Cov x Non_Field_Cov (Section 4.2).
+  double assimilation() const { return coverage * non_field_coverage; }
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_GENERATION_CANDIDATES_H_

@@ -1,0 +1,99 @@
+#ifndef DATAMARAN_GENERATION_GENERATOR_H_
+#define DATAMARAN_GENERATION_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/options.h"
+#include "generation/candidates.h"
+#include "template/record_template.h"
+#include "util/char_class.h"
+
+/// The generation step (Section 4.1): find all structure templates with at
+/// least alpha% coverage by (1) enumerating RT-CharSet values, (2)
+/// enumerating O(nL) candidate record boundaries — every pair of '\n'
+/// positions at most L lines apart, (3) extracting the record template of
+/// each candidate, (4) reducing it to a minimal structure template and (5)
+/// accumulating coverage in a hash table.
+///
+/// Implementation notes (hot path):
+///  * For a fixed charset, each line's record template is extracted and
+///    reduced once; a candidate spanning lines [i, i+span) is the
+///    concatenation of per-line minimal templates, so its hash is computed
+///    incrementally from per-line hashes in O(1) per candidate.
+///  * Reduction is applied per line. Tandem repeats can therefore not fold
+///    across line boundaries; such folds require an array whose separator
+///    and terminator are both '\n', which Assumption 3 forbids anyway
+///    (x != y), so no legal template is lost.
+///  * '\n' is always a member of RT-CharSet (Definition 2.4: blocks are
+///    '\n'-separated).
+
+namespace datamaran {
+
+/// Reduces a multi-line canonical template to its minimal line period:
+/// "(F,)*F\n(F,)*F\n" is two copies of "(F,)*F\n" and describes the same
+/// records, so only the one-period form is kept (Figure 11's first
+/// redundancy source: subsets/stackings of the true template). Returns the
+/// input unchanged when no smaller period exists.
+std::string ReduceLinePeriod(std::string_view canonical);
+
+/// Canonicalizes a multi-line template to the lexicographically smallest
+/// cyclic rotation of its line groups. All rotations of a template are
+/// found by the boundary enumeration and describe the same structure
+/// shifted (Section 4.3.2); collapsing them keeps the top-M list from
+/// filling up with shifted duplicates. Structure shifting during
+/// refinement later picks the correctly aligned rotation.
+std::string CanonicalizeRotation(std::string_view canonical);
+
+/// Outcome of the generation step across all enumerated charsets.
+struct GenerationResult {
+  /// Deduplicated candidates meeting the coverage threshold, unordered.
+  std::vector<CandidateTemplate> candidates;
+  /// Number of RT-CharSet values enumerated.
+  size_t charsets_tried = 0;
+  /// Number of (boundary pair, charset) candidates hashed.
+  size_t records_hashed = 0;
+};
+
+class CandidateGenerator {
+ public:
+  /// `sample` must outlive the generator.
+  CandidateGenerator(const Dataset* sample, const DatamaranOptions* options);
+
+  /// Runs the full generation step with the configured search strategy.
+  GenerationResult Run();
+
+  /// Runs steps 2-5 for one specific RT-CharSet ('\n' is added
+  /// automatically); appends surviving candidates to `out` and returns the
+  /// best assimilation score among them (0 if none survive).
+  double RunCharset(const CharSet& rt_charset,
+                    std::vector<CandidateTemplate>* out);
+
+  /// The (at most max_special_chars) special characters present in the
+  /// sample that the search enumerates over, most frequent first.
+  const std::vector<char>& search_chars() const { return search_chars_; }
+
+ private:
+  GenerationResult ExhaustiveSearch();
+  GenerationResult GreedySearch();
+  void MergeCandidates(std::vector<CandidateTemplate>* accumulated,
+                       std::vector<CandidateTemplate>&& fresh) const;
+
+  const Dataset* sample_;
+  const DatamaranOptions* options_;
+  std::vector<char> search_chars_;
+  size_t records_hashed_ = 0;
+
+  // Reused per-charset scratch (sized to the line count once).
+  ReduceWorkspace reduce_ws_;
+  std::vector<std::string> line_canonical_;
+  std::vector<uint64_t> line_hash_;
+  std::vector<size_t> prefix_len_;         // raw chars, prefix sum
+  std::vector<size_t> prefix_field_len_;   // field chars, prefix sum
+  std::vector<uint8_t> line_has_field_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_GENERATION_GENERATOR_H_

@@ -1,0 +1,25 @@
+#include "pruning/pruner.h"
+
+#include <algorithm>
+
+namespace datamaran {
+
+std::vector<CandidateTemplate> PruneCandidates(
+    std::vector<CandidateTemplate> candidates, int m) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CandidateTemplate& a, const CandidateTemplate& b) {
+              double ga = a.assimilation();
+              double gb = b.assimilation();
+              if (ga != gb) return ga > gb;
+              if (a.canonical.size() != b.canonical.size()) {
+                return a.canonical.size() < b.canonical.size();
+              }
+              return a.canonical < b.canonical;
+            });
+  if (m >= 0 && candidates.size() > static_cast<size_t>(m)) {
+    candidates.resize(static_cast<size_t>(m));
+  }
+  return candidates;
+}
+
+}  // namespace datamaran

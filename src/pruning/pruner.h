@@ -1,0 +1,25 @@
+#ifndef DATAMARAN_PRUNING_PRUNER_H_
+#define DATAMARAN_PRUNING_PRUNER_H_
+
+#include <vector>
+
+#include "generation/candidates.h"
+
+/// The pruning step (Section 4.2): order candidates by the assimilation
+/// score G(T,S) = Cov(T,S) x Non_Field_Cov(T,S) and retain only the best M,
+/// so that the expensive regularity-score evaluation runs on a small set.
+/// Coverage alone cannot reject templates that misclassify structure as
+/// field values (Figure 11's second redundancy source); the non-field
+/// coverage term handles exactly that.
+
+namespace datamaran {
+
+/// Returns the top `m` candidates by assimilation score (descending).
+/// Ties break toward smaller templates (shorter canonical), then
+/// lexicographically, for determinism. Input order is irrelevant.
+std::vector<CandidateTemplate> PruneCandidates(
+    std::vector<CandidateTemplate> candidates, int m);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_PRUNING_PRUNER_H_

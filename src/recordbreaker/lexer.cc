@@ -1,0 +1,197 @@
+#include "recordbreaker/lexer.h"
+
+namespace datamaran {
+
+const char* RbTokenTypeName(RbTokenType type) {
+  switch (type) {
+    case RbTokenType::kIp:
+      return "IP";
+    case RbTokenType::kTime:
+      return "TIME";
+    case RbTokenType::kDate:
+      return "DATE";
+    case RbTokenType::kFloat:
+      return "FLOAT";
+    case RbTokenType::kInt:
+      return "INT";
+    case RbTokenType::kWord:
+      return "WORD";
+    case RbTokenType::kQuoted:
+      return "QUOTED";
+    case RbTokenType::kSpace:
+      return "_";
+    case RbTokenType::kPunct:
+      return "P";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsBlank(char c) { return c == ' ' || c == '\t'; }
+
+/// Length of a digit run starting at `pos`, 0 if none.
+size_t DigitRun(std::string_view s, size_t pos) {
+  size_t n = 0;
+  while (pos + n < s.size() && IsDigit(s[pos + n])) ++n;
+  return n;
+}
+
+/// Matches d+ <sep> d+ [<sep> d+]; returns total length or 0.
+size_t MatchNumberTriple(std::string_view s, size_t pos, char sep,
+                         bool third_required, bool* has_third) {
+  size_t a = DigitRun(s, pos);
+  if (a == 0) return 0;
+  size_t p = pos + a;
+  if (p >= s.size() || s[p] != sep) return 0;
+  ++p;
+  size_t b = DigitRun(s, p);
+  if (b == 0) return 0;
+  p += b;
+  if (p < s.size() && s[p] == sep) {
+    size_t c = DigitRun(s, p + 1);
+    if (c > 0) {
+      if (has_third != nullptr) *has_third = true;
+      return p + 1 + c - pos;
+    }
+  }
+  if (third_required) return 0;
+  if (has_third != nullptr) *has_third = false;
+  return p - pos;
+}
+
+}  // namespace
+
+std::vector<RbToken> RbTokenize(std::string_view line) {
+  std::vector<RbToken> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    RbToken tok;
+    tok.begin = pos;
+    char c = line[pos];
+
+    if (IsBlank(c)) {
+      size_t p = pos;
+      while (p < line.size() && IsBlank(line[p])) ++p;
+      tok.type = RbTokenType::kSpace;
+      tok.end = p;
+      tokens.push_back(tok);
+      pos = p;
+      continue;
+    }
+
+    if (c == '"') {
+      size_t close = line.find('"', pos + 1);
+      if (close != std::string_view::npos) {
+        tok.type = RbTokenType::kQuoted;
+        tok.end = close + 1;
+        tokens.push_back(tok);
+        pos = close + 1;
+        continue;
+      }
+    }
+
+    if (IsDigit(c) || (c == '-' && pos + 1 < line.size() &&
+                       IsDigit(line[pos + 1]))) {
+      size_t start = pos + (c == '-' ? 1 : 0);
+      // IP: four dotted digit runs.
+      {
+        size_t a = DigitRun(line, start);
+        size_t p = start + a;
+        int parts = 1;
+        while (parts < 4 && p < line.size() && line[p] == '.' &&
+               DigitRun(line, p + 1) > 0) {
+          size_t r = DigitRun(line, p + 1);
+          p += 1 + r;
+          ++parts;
+        }
+        if (c != '-' && parts == 4) {
+          tok.type = RbTokenType::kIp;
+          tok.end = p;
+          tokens.push_back(tok);
+          pos = p;
+          continue;
+        }
+      }
+      // TIME hh:mm[:ss].
+      if (c != '-') {
+        size_t len = MatchNumberTriple(line, start, ':', false, nullptr);
+        if (len > 0) {
+          tok.type = RbTokenType::kTime;
+          tok.end = start + len;
+          tokens.push_back(tok);
+          pos = tok.end;
+          continue;
+        }
+      }
+      // DATE with '-' or '/' separators, third part required.
+      if (c != '-') {
+        bool matched_date = false;
+        for (char sep : {'-', '/'}) {
+          size_t len = MatchNumberTriple(line, start, sep, true, nullptr);
+          if (len > 0) {
+            tok.type = RbTokenType::kDate;
+            tok.end = start + len;
+            tokens.push_back(tok);
+            pos = tok.end;
+            matched_date = true;
+            break;
+          }
+        }
+        if (matched_date) continue;
+      }
+      // FLOAT d+.d+ else INT.
+      size_t a = DigitRun(line, start);
+      size_t p = start + a;
+      if (p + 1 < line.size() && line[p] == '.' && DigitRun(line, p + 1) > 0) {
+        size_t frac = DigitRun(line, p + 1);
+        tok.type = RbTokenType::kFloat;
+        tok.end = p + 1 + frac;
+      } else {
+        tok.type = RbTokenType::kInt;
+        tok.end = p;
+      }
+      tokens.push_back(tok);
+      pos = tok.end;
+      continue;
+    }
+
+    if (IsAlpha(c)) {
+      size_t p = pos;
+      while (p < line.size() && (IsAlpha(line[p]) || IsDigit(line[p]))) ++p;
+      tok.type = RbTokenType::kWord;
+      tok.end = p;
+      tokens.push_back(tok);
+      pos = p;
+      continue;
+    }
+
+    tok.type = RbTokenType::kPunct;
+    tok.punct = c;
+    tok.end = pos + 1;
+    tokens.push_back(tok);
+    ++pos;
+  }
+  return tokens;
+}
+
+std::string RbSignatureString(const std::vector<RbToken>& tokens) {
+  std::string out;
+  for (const RbToken& t : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    if (t.type == RbTokenType::kPunct) {
+      out.push_back('\'');
+      out.push_back(t.punct);
+      out.push_back('\'');
+    } else {
+      out += RbTokenTypeName(t.type);
+    }
+  }
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,69 @@
+#ifndef DATAMARAN_RECORDBREAKER_LEXER_H_
+#define DATAMARAN_RECORDBREAKER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Flex-style lexer for the RecordBreaker baseline [Fisher et al. 2008,
+/// RecordBreaker]. RecordBreaker's first step breaks every line into typed
+/// tokens with a fixed lexer specification (the paper notes users must tune
+/// a Flex file per dataset for good results — this built-in spec is the
+/// "default configuration" our comparison uses, mirroring the paper's
+/// unsupervised setting).
+///
+/// Token classes, longest-match, first-rule-wins:
+///   IP     d+.d+.d+.d+            TIME   d+:d+(:d+)?
+///   DATE   d+[-/]d+[-/]d+         FLOAT  [-]d+.d+
+///   INT    [-]d+                  WORD   [A-Za-z_][A-Za-z0-9_]*
+///   QUOTED "..." (no escapes)     SPACE  run of blanks
+///   PUNCT  any other single character (carries the character)
+
+namespace datamaran {
+
+enum class RbTokenType : uint8_t {
+  kIp,
+  kTime,
+  kDate,
+  kFloat,
+  kInt,
+  kWord,
+  kQuoted,
+  kSpace,
+  kPunct,
+};
+
+const char* RbTokenTypeName(RbTokenType type);
+
+struct RbToken {
+  RbTokenType type;
+  char punct = 0;  // for kPunct: the character
+  size_t begin = 0;
+  size_t end = 0;
+
+  /// True for tokens that carry data (extraction targets); punctuation and
+  /// whitespace are structure.
+  bool IsValue() const {
+    return type != RbTokenType::kSpace && type != RbTokenType::kPunct;
+  }
+
+  /// Signature used for structure inference: type, plus the character for
+  /// punctuation.
+  uint16_t Signature() const {
+    return static_cast<uint16_t>(
+        (static_cast<uint16_t>(type) << 8) |
+        static_cast<uint16_t>(static_cast<unsigned char>(punct)));
+  }
+};
+
+/// Tokenizes one line (without its trailing newline).
+std::vector<RbToken> RbTokenize(std::string_view line);
+
+/// Renders a token sequence's signature as a readable string, e.g.
+/// "IP _ TIME _ INT" (for tests and reports).
+std::string RbSignatureString(const std::vector<RbToken>& tokens);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_RECORDBREAKER_LEXER_H_

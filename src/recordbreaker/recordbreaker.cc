@@ -1,0 +1,426 @@
+#include "recordbreaker/recordbreaker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+/// A view over a token subrange of one line.
+struct Segment {
+  size_t line = 0;
+  const std::vector<RbToken>* tokens = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  const RbToken& at(size_t i) const { return (*tokens)[begin + i]; }
+};
+
+std::unique_ptr<RbSchema> MakeBase(uint16_t signature) {
+  auto n = std::make_unique<RbSchema>();
+  n->kind = RbSchema::Kind::kBase;
+  n->signature = signature;
+  return n;
+}
+
+std::unique_ptr<RbSchema> MakeEmpty() {
+  auto n = std::make_unique<RbSchema>();
+  n->kind = RbSchema::Kind::kEmpty;
+  return n;
+}
+
+bool SameSignatureSequence(const Segment& a, const Segment& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.at(i).Signature() != b.at(i).Signature()) return false;
+  }
+  return true;
+}
+
+/// Histogram entry for one token signature across segments.
+struct AnchorStats {
+  size_t covering = 0;               // segments containing the signature
+  std::map<size_t, size_t> counts;   // per-segment count -> segments
+
+  size_t ModeCount(size_t* mode_mass) const {
+    size_t best_count = 0, best = 0;
+    for (const auto& [count, segs] : counts) {
+      if (segs > best) {
+        best = segs;
+        best_count = count;
+      }
+    }
+    if (mode_mass != nullptr) *mode_mass = best;
+    return best_count;
+  }
+};
+
+class Inferencer {
+ public:
+  explicit Inferencer(const RecordBreakerOptions& options)
+      : options_(options) {}
+
+  std::unique_ptr<RbSchema> Infer(const std::vector<Segment>& segments,
+                                  int depth) const {
+    // Base cases.
+    std::vector<Segment> nonempty;
+    for (const Segment& s : segments) {
+      if (s.size() > 0) nonempty.push_back(s);
+    }
+    if (nonempty.empty()) return MakeEmpty();
+    if (AllSingleSameToken(nonempty)) {
+      return MakeBase(nonempty[0].at(0).Signature());
+    }
+    if (AllSameSignature(nonempty)) return StructOf(nonempty, depth);
+    if (depth >= options_.max_depth) {
+      return MakeBase(0);  // blob
+    }
+
+    // Histogram oracle.
+    auto stats = BuildStats(nonempty);
+    uint16_t anchor = 0;
+    const AnchorStats* best = PickAnchor(stats, nonempty.size(), &anchor);
+    if (best != nullptr) {
+      size_t mode_mass = 0;
+      size_t mode = best->ModeCount(&mode_mass);
+      double mass = static_cast<double>(mode_mass) /
+                    static_cast<double>(best->covering);
+      if (mass >= options_.max_mass && mode >= 1) {
+        return StructSplit(nonempty, anchor, mode, depth);
+      }
+      return ArraySplit(nonempty, anchor, depth);
+    }
+
+    // No anchor: union by signature clusters.
+    return UnionBySignature(nonempty, depth);
+  }
+
+ private:
+  bool AllSingleSameToken(const std::vector<Segment>& segs) const {
+    if (segs[0].size() != 1) return false;
+    for (const Segment& s : segs) {
+      if (s.size() != 1 || s.at(0).Signature() != segs[0].at(0).Signature()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool AllSameSignature(const std::vector<Segment>& segs) const {
+    for (size_t i = 1; i < segs.size(); ++i) {
+      if (!SameSignatureSequence(segs[0], segs[i])) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<RbSchema> StructOf(const std::vector<Segment>& segs,
+                                     int) const {
+    auto n = std::make_unique<RbSchema>();
+    n->kind = RbSchema::Kind::kStruct;
+    for (size_t i = 0; i < segs[0].size(); ++i) {
+      n->children.push_back(MakeBase(segs[0].at(i).Signature()));
+    }
+    return n;
+  }
+
+  std::unordered_map<uint16_t, AnchorStats> BuildStats(
+      const std::vector<Segment>& segs) const {
+    std::unordered_map<uint16_t, AnchorStats> stats;
+    for (const Segment& s : segs) {
+      std::unordered_map<uint16_t, size_t> local;
+      for (size_t i = 0; i < s.size(); ++i) local[s.at(i).Signature()]++;
+      for (const auto& [sig, count] : local) {
+        AnchorStats& a = stats[sig];
+        a.covering++;
+        a.counts[count]++;
+      }
+    }
+    return stats;
+  }
+
+  const AnchorStats* PickAnchor(
+      const std::unordered_map<uint16_t, AnchorStats>& stats, size_t total,
+      uint16_t* anchor) const {
+    const AnchorStats* best = nullptr;
+    uint16_t best_sig = 0;
+    for (const auto& [sig, a] : stats) {
+      double coverage =
+          static_cast<double>(a.covering) / static_cast<double>(total);
+      if (coverage < options_.min_coverage) continue;
+      // Only structure tokens (punctuation / whitespace) anchor splits;
+      // value tokens are payload.
+      RbTokenType type = static_cast<RbTokenType>(sig >> 8);
+      if (type != RbTokenType::kPunct && type != RbTokenType::kSpace) {
+        continue;
+      }
+      if (best == nullptr || a.covering > best->covering ||
+          (a.covering == best->covering && sig < best_sig)) {
+        best = &a;
+        best_sig = sig;
+      }
+    }
+    *anchor = best_sig;
+    return best;
+  }
+
+  /// Splits covering segments around the first `mode` anchor occurrences.
+  std::unique_ptr<RbSchema> StructSplit(const std::vector<Segment>& segs,
+                                        uint16_t anchor, size_t mode,
+                                        int depth) const {
+    std::vector<std::vector<Segment>> parts(mode + 1);
+    std::vector<Segment> residue;
+    for (const Segment& s : segs) {
+      std::vector<size_t> hits;
+      for (size_t i = 0; i < s.size(); ++i) {
+        if (s.at(i).Signature() == anchor) hits.push_back(i);
+      }
+      if (hits.size() != mode) {
+        residue.push_back(s);
+        continue;
+      }
+      size_t prev = 0;
+      for (size_t h = 0; h < hits.size(); ++h) {
+        parts[h].push_back(
+            Segment{s.line, s.tokens, s.begin + prev, s.begin + hits[h]});
+        prev = hits[h] + 1;
+      }
+      parts[mode].push_back(
+          Segment{s.line, s.tokens, s.begin + prev, s.end});
+    }
+    auto node = std::make_unique<RbSchema>();
+    node->kind = RbSchema::Kind::kStruct;
+    node->anchor = anchor;
+    for (size_t p = 0; p <= mode; ++p) {
+      node->children.push_back(Infer(parts[p], depth + 1));
+      if (p < mode) node->children.push_back(MakeBase(anchor));
+    }
+    if (residue.empty()) return node;
+    auto u = std::make_unique<RbSchema>();
+    u->kind = RbSchema::Kind::kUnion;
+    u->children.push_back(std::move(node));
+    u->children.push_back(Infer(residue, depth + 1));
+    return u;
+  }
+
+  std::unique_ptr<RbSchema> ArraySplit(const std::vector<Segment>& segs,
+                                       uint16_t anchor, int depth) const {
+    std::vector<Segment> pooled;
+    std::vector<Segment> residue;
+    for (const Segment& s : segs) {
+      bool has = false;
+      size_t prev = 0;
+      for (size_t i = 0; i < s.size(); ++i) {
+        if (s.at(i).Signature() == anchor) {
+          pooled.push_back(
+              Segment{s.line, s.tokens, s.begin + prev, s.begin + i});
+          prev = i + 1;
+          has = true;
+        }
+      }
+      if (!has) {
+        residue.push_back(s);
+      } else {
+        pooled.push_back(Segment{s.line, s.tokens, s.begin + prev, s.end});
+      }
+    }
+    auto node = std::make_unique<RbSchema>();
+    node->kind = RbSchema::Kind::kArray;
+    node->anchor = anchor;
+    node->children.push_back(Infer(pooled, depth + 1));
+    if (residue.empty()) return node;
+    auto u = std::make_unique<RbSchema>();
+    u->kind = RbSchema::Kind::kUnion;
+    u->children.push_back(std::move(node));
+    u->children.push_back(Infer(residue, depth + 1));
+    return u;
+  }
+
+  std::unique_ptr<RbSchema> UnionBySignature(const std::vector<Segment>& segs,
+                                             int depth) const {
+    std::vector<std::vector<Segment>> groups;
+    for (const Segment& s : segs) {
+      bool placed = false;
+      for (auto& g : groups) {
+        if (SameSignatureSequence(g[0], s)) {
+          g.push_back(s);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) groups.push_back({s});
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.size() > b.size(); });
+    auto u = std::make_unique<RbSchema>();
+    u->kind = RbSchema::Kind::kUnion;
+    size_t limit = std::min<size_t>(
+        groups.size(), static_cast<size_t>(options_.max_union_branches));
+    for (size_t g = 0; g < limit; ++g) {
+      u->children.push_back(Infer(groups[g], depth + 1));
+    }
+    if (groups.size() > limit) u->children.push_back(MakeBase(0));  // blob
+    return u;
+  }
+
+  const RecordBreakerOptions& options_;
+};
+
+}  // namespace
+
+std::string RbSchema::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return "()";
+    case Kind::kBase: {
+      if (signature == 0) return "BLOB";
+      RbTokenType type = static_cast<RbTokenType>(signature >> 8);
+      if (type == RbTokenType::kPunct) {
+        return StrFormat("'%c'", static_cast<char>(signature & 0xff));
+      }
+      return RbTokenTypeName(type);
+    }
+    case Kind::kStruct: {
+      std::string out = "Struct[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " ";
+        out += children[i]->ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kArray:
+      return "Array[" + children[0]->ToString() + "]";
+    case Kind::kUnion: {
+      std::string out = "Union{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += children[i]->ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+RecordBreaker::RecordBreaker(RecordBreakerOptions options)
+    : options_(options) {}
+
+RecordBreakerResult RecordBreaker::Extract(const Dataset& data) const {
+  RecordBreakerResult result;
+  const size_t n = data.line_count();
+  std::vector<std::vector<RbToken>> tokens(n);
+  for (size_t li = 0; li < n; ++li) {
+    tokens[li] = RbTokenize(data.line(li));
+  }
+
+  // Top-level loop: peel off one record type (branch) at a time, mirroring
+  // the union construction. A branch is formed by a struct/array split when
+  // the histogram supports one, otherwise by the largest signature cluster.
+  std::vector<int> branch_of(n, -1);
+  std::vector<Segment> remaining;
+  for (size_t li = 0; li < n; ++li) {
+    remaining.push_back(Segment{li, &tokens[li], 0, tokens[li].size()});
+  }
+  Inferencer inferencer(options_);
+  auto root_union = std::make_unique<RbSchema>();
+  root_union->kind = RbSchema::Kind::kUnion;
+  int branch = 0;
+  while (!remaining.empty() && branch < options_.max_union_branches) {
+    // Decide this round's branch membership.
+    std::vector<Segment> members;
+    std::vector<Segment> rest;
+    // Try an anchor split over the remaining lines.
+    std::unordered_map<uint16_t, AnchorStats> stats;
+    for (const Segment& s : remaining) {
+      std::unordered_map<uint16_t, size_t> local;
+      for (size_t i = 0; i < s.size(); ++i) local[s.at(i).Signature()]++;
+      for (const auto& [sig, count] : local) {
+        stats[sig].covering++;
+        stats[sig].counts[count]++;
+      }
+    }
+    const AnchorStats* best = nullptr;
+    uint16_t anchor = 0;
+    for (const auto& [sig, a] : stats) {
+      double coverage = static_cast<double>(a.covering) /
+                        static_cast<double>(remaining.size());
+      if (coverage < options_.min_coverage) continue;
+      RbTokenType type = static_cast<RbTokenType>(sig >> 8);
+      if (type != RbTokenType::kPunct && type != RbTokenType::kSpace) {
+        continue;
+      }
+      if (best == nullptr || a.covering > best->covering ||
+          (a.covering == best->covering && sig < anchor)) {
+        best = &a;
+        anchor = sig;
+      }
+    }
+    if (best != nullptr) {
+      size_t mode_mass = 0;
+      size_t mode = best->ModeCount(&mode_mass);
+      double mass = static_cast<double>(mode_mass) /
+                    static_cast<double>(best->covering);
+      bool struct_like = mass >= options_.max_mass;
+      for (const Segment& s : remaining) {
+        size_t count = 0;
+        for (size_t i = 0; i < s.size(); ++i) {
+          if (s.at(i).Signature() == anchor) ++count;
+        }
+        bool member = struct_like ? (count == mode) : (count >= 1);
+        (member ? members : rest).push_back(s);
+      }
+    }
+    if (best == nullptr || members.empty()) {
+      // Cluster by exact signature: the largest cluster becomes the branch.
+      members.clear();
+      rest.clear();
+      for (const Segment& s : remaining) {
+        if (SameSignatureSequence(remaining[0], s)) {
+          members.push_back(s);
+        } else {
+          rest.push_back(s);
+        }
+      }
+    }
+    for (const Segment& s : members) {
+      branch_of[s.line] = branch;
+    }
+    root_union->children.push_back(inferencer.Infer(members, 0));
+    remaining = std::move(rest);
+    ++branch;
+  }
+  // Overflow lines land in a final blob branch.
+  if (!remaining.empty()) {
+    for (const Segment& s : remaining) branch_of[s.line] = branch;
+    root_union->children.push_back(MakeBase(0));
+    ++branch;
+  }
+  result.branch_count = branch;
+  if (root_union->children.size() == 1) {
+    result.schema = std::move(root_union->children[0]);
+  } else {
+    result.schema = std::move(root_union);
+  }
+
+  // Every line is a record (Assumption 4); fields are its value tokens.
+  result.records.reserve(n);
+  for (size_t li = 0; li < n; ++li) {
+    RbRecord rec;
+    rec.line = li;
+    rec.branch = branch_of[li] < 0 ? 0 : branch_of[li];
+    const size_t base = data.line_begin(li);
+    for (const RbToken& t : tokens[li]) {
+      if (t.IsValue()) {
+        rec.fields.emplace_back(base + t.begin, base + t.end);
+      }
+    }
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace datamaran

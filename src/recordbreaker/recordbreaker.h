@@ -1,0 +1,83 @@
+#ifndef DATAMARAN_RECORDBREAKER_RECORDBREAKER_H_
+#define DATAMARAN_RECORDBREAKER_RECORDBREAKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "recordbreaker/lexer.h"
+
+/// Reimplementation of RecordBreaker [3], the unsupervised line-by-line
+/// adaptation of Fisher et al.'s PADS structure inference [20], used as the
+/// paper's baseline (Section 5.3.2, Figure 17b).
+///
+/// RecordBreaker makes two assumptions Datamaran drops (Table 1):
+///   Boundary (Assumption 4):     every record is exactly one line.
+///   Tokenization (Assumption 5): a fixed lexer splits each record into
+///                                structure and value tokens up front.
+///
+/// Structure inference is Fisher's top-down histogram "oracle", governed by
+/// the two tunables the paper calls out:
+///   MaxMass:     a token signature whose per-line occurrence count is
+///                constant across at least this fraction of (covering)
+///                lines anchors a Struct split.
+///   MinCoverage: signatures appearing in fewer lines than this fraction
+///                are not considered as split anchors.
+/// Variable-count anchors produce Arrays; unsplittable mixtures produce
+/// Unions (one branch per line cluster), which is why RecordBreaker emits
+/// multiple output files for heterogeneous logs (Section 6's user study).
+
+namespace datamaran {
+
+struct RecordBreakerOptions {
+  double max_mass = 0.8;
+  double min_coverage = 0.7;
+  int max_union_branches = 8;
+  int max_depth = 6;
+};
+
+/// Inferred schema node.
+struct RbSchema {
+  enum class Kind { kBase, kStruct, kArray, kUnion, kEmpty };
+  Kind kind = Kind::kEmpty;
+  /// kBase: the token signature this position holds.
+  uint16_t signature = 0;
+  /// kStruct/kUnion: children; kArray: one child (the element schema).
+  std::vector<std::unique_ptr<RbSchema>> children;
+  /// kArray/kStruct anchors: the separating signature.
+  uint16_t anchor = 0;
+
+  std::string ToString() const;
+};
+
+/// One extracted line-record.
+struct RbRecord {
+  size_t line = 0;
+  int branch = 0;  ///< top-level union branch (record type)
+  /// Spans of the value tokens, in order (the extracted fields).
+  std::vector<std::pair<size_t, size_t>> fields;
+};
+
+struct RecordBreakerResult {
+  std::unique_ptr<RbSchema> schema;
+  std::vector<RbRecord> records;
+  int branch_count = 1;
+};
+
+class RecordBreaker {
+ public:
+  explicit RecordBreaker(RecordBreakerOptions options = {});
+
+  /// Tokenizes every line, infers the schema and emits one record per line
+  /// (RecordBreaker has no noise concept: every line is a record of some
+  /// union branch).
+  RecordBreakerResult Extract(const Dataset& data) const;
+
+ private:
+  RecordBreakerOptions options_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_RECORDBREAKER_RECORDBREAKER_H_

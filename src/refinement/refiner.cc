@@ -1,0 +1,267 @@
+#include "refinement/refiner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "template/matcher.h"
+#include "util/logging.h"
+
+namespace datamaran {
+
+namespace {
+
+void WalkArrayCounts(const TemplateNode& node, const ParsedValue& value,
+                     int* array_idx, std::vector<ArrayCountStats>* stats) {
+  switch (node.kind) {
+    case NodeKind::kField:
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        WalkArrayCounts(*node.children[i], value.children[i], array_idx,
+                        stats);
+      }
+      break;
+    case NodeKind::kArray: {
+      int idx = (*array_idx)++;
+      ArrayCountStats& s = (*stats)[static_cast<size_t>(idx)];
+      size_t reps = value.children.size();
+      if (s.occurrences == 0) {
+        s.min_count = s.max_count = reps;
+      } else {
+        s.min_count = std::min(s.min_count, reps);
+        s.max_count = std::max(s.max_count, reps);
+      }
+      s.occurrences++;
+      // Note: nested arrays inside the element advance the pre-order index
+      // identically for every repetition, so walk the first repetition for
+      // index bookkeeping and all of them for stats. Simpler: walk each
+      // repetition with a fresh copy of the index and commit the last.
+      int saved = *array_idx;
+      for (const ParsedValue& rep : value.children) {
+        *array_idx = saved;
+        WalkArrayCounts(*node.children[0], rep, array_idx, stats);
+      }
+      break;
+    }
+  }
+}
+
+int CountArrays(const TemplateNode& node) {
+  int n = 0;
+  if (node.kind == NodeKind::kArray) ++n;
+  for (const auto& c : node.children) n += CountArrays(*c);
+  return n;
+}
+
+/// Clones `node`, replacing the array with pre-order index `target` using
+/// the unfold parameters. Appends the resulting node(s) to `out` (an unfold
+/// yields a sequence, which the caller splices).
+void CloneUnfolding(const TemplateNode& node, int target, size_t reps,
+                    bool keep_array, int* array_idx,
+                    std::vector<std::unique_ptr<TemplateNode>>* out) {
+  if (node.kind == NodeKind::kArray) {
+    int idx = (*array_idx)++;
+    if (idx == target) {
+      const TemplateNode& elem = *node.children[0];
+      size_t copies = keep_array ? reps : reps - 1;
+      for (size_t r = 0; r < copies; ++r) {
+        out->push_back(elem.Clone());
+        out->push_back(TemplateNode::Char(node.ch));
+      }
+      if (keep_array) {
+        out->push_back(node.Clone());
+        // Do not descend: nested arrays keep their structure. Advance the
+        // index counter past the subtree.
+        *array_idx += CountArrays(elem);
+      } else {
+        out->push_back(elem.Clone());
+        *array_idx += CountArrays(elem);
+      }
+      return;
+    }
+    // A different array: clone it, recursing into the element.
+    std::vector<std::unique_ptr<TemplateNode>> elem_out;
+    CloneUnfolding(*node.children[0], target, reps, keep_array, array_idx,
+                   &elem_out);
+    std::unique_ptr<TemplateNode> elem =
+        elem_out.size() == 1 ? std::move(elem_out[0])
+                             : TemplateNode::Struct(std::move(elem_out));
+    out->push_back(TemplateNode::Array(std::move(elem), node.ch));
+    return;
+  }
+  if (node.kind == NodeKind::kStruct) {
+    std::vector<std::unique_ptr<TemplateNode>> children;
+    for (const auto& c : node.children) {
+      CloneUnfolding(*c, target, reps, keep_array, array_idx, &children);
+    }
+    out->push_back(TemplateNode::Struct(std::move(children)));
+    return;
+  }
+  out->push_back(node.Clone());
+}
+
+}  // namespace
+
+std::vector<ArrayCountStats> CollectArrayCounts(const Dataset& sample,
+                                                const StructureTemplate& st) {
+  std::vector<ArrayCountStats> stats(
+      static_cast<size_t>(CountArrays(st.root())));
+  if (stats.empty()) return stats;
+  TemplateMatcher matcher(&st);
+  const std::string_view text = sample.text();
+  size_t li = 0;
+  const size_t n = sample.line_count();
+  const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
+  while (li < n) {
+    auto parsed = matcher.Parse(text, sample.line_begin(li));
+    if (parsed.has_value()) {
+      int idx = 0;
+      WalkArrayCounts(st.root(), *parsed, &idx, &stats);
+      li += span;
+    } else {
+      ++li;
+    }
+  }
+  return stats;
+}
+
+StructureTemplate UnfoldArray(const StructureTemplate& st, int array_index,
+                              size_t reps, bool keep_array) {
+  if (reps == 0) return StructureTemplate();
+  int idx = 0;
+  std::vector<std::unique_ptr<TemplateNode>> out;
+  CloneUnfolding(st.root(), array_index, reps, keep_array, &idx, &out);
+  if (array_index >= idx) return StructureTemplate();  // index out of range
+  std::unique_ptr<TemplateNode> root =
+      out.size() == 1 ? std::move(out[0])
+                      : TemplateNode::Struct(std::move(out));
+  return StructureTemplate(std::move(root));
+}
+
+std::vector<StructureTemplate> LineRotations(const StructureTemplate& st) {
+  std::vector<StructureTemplate> rotations;
+  if (st.line_span() < 2) return rotations;
+  // Split top-level children into line groups ending at '\n' literals.
+  const TemplateNode& root = st.root();
+  if (root.kind != NodeKind::kStruct) return rotations;
+  std::vector<std::vector<const TemplateNode*>> groups;
+  std::vector<const TemplateNode*> current;
+  for (const auto& child : root.children) {
+    current.push_back(child.get());
+    if (child->kind == NodeKind::kChar && child->ch == '\n') {
+      groups.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) return rotations;  // malformed (no trailing newline)
+  if (groups.size() < 2) return rotations;
+  for (size_t r = 1; r < groups.size(); ++r) {
+    std::vector<std::unique_ptr<TemplateNode>> children;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (const TemplateNode* n : groups[(r + g) % groups.size()]) {
+        children.push_back(n->Clone());
+      }
+    }
+    rotations.emplace_back(TemplateNode::Struct(std::move(children)));
+  }
+  return rotations;
+}
+
+size_t FirstOccurrenceLine(const Dataset& sample,
+                           const StructureTemplate& st) {
+  TemplateMatcher matcher(&st);
+  const std::string_view text = sample.text();
+  for (size_t li = 0; li < sample.line_count(); ++li) {
+    if (matcher.TryMatch(text, sample.line_begin(li)).has_value()) return li;
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+StructureTemplate AutoUnfoldConstantArrays(const Dataset& sample,
+                                           const StructureTemplate& st,
+                                           int max_passes) {
+  StructureTemplate current = st;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    auto counts = CollectArrayCounts(sample, current);
+    bool changed = false;
+    for (int a = 0; a < static_cast<int>(counts.size()); ++a) {
+      const ArrayCountStats& s = counts[static_cast<size_t>(a)];
+      if (!s.constant() || s.min_count < 2 || s.min_count > 64) continue;
+      StructureTemplate unfolded =
+          UnfoldArray(current, a, s.min_count, /*keep_array=*/false);
+      if (unfolded.empty() || !unfolded.Validate().ok()) continue;
+      current = std::move(unfolded);
+      changed = true;
+      break;  // indices shifted; recollect counts
+    }
+    if (!changed) break;
+  }
+  return current;
+}
+
+Refiner::Refiner(const Dataset* sample, const RegularityScorer* scorer,
+                 const DatamaranOptions* options)
+    : sample_(sample), scorer_(scorer), options_(options) {}
+
+Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
+  Refined current{st, scorer_->Score(*sample_, st)};
+
+  // --- Array unfolding: repeat until no variant improves the score. ---
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    auto counts = CollectArrayCounts(*sample_, current.st);
+    for (int a = 0; a < static_cast<int>(counts.size()) && !improved; ++a) {
+      const ArrayCountStats& s = counts[static_cast<size_t>(a)];
+      if (s.occurrences == 0) continue;
+      std::vector<std::pair<size_t, bool>> variants;  // (reps, keep_array)
+      if (s.constant() && s.min_count >= 2 &&
+          s.min_count <= static_cast<size_t>(options_->max_unfold_tries) * 4) {
+        variants.emplace_back(s.min_count, false);  // full unfold
+      }
+      size_t max_prefix = s.min_count > 0 ? s.min_count - 1 : 0;
+      max_prefix = std::min(
+          max_prefix, static_cast<size_t>(options_->max_unfold_tries));
+      for (size_t p = 1; p <= max_prefix; ++p) {
+        variants.emplace_back(p, true);  // partial unfold
+      }
+      for (const auto& [reps, keep] : variants) {
+        StructureTemplate variant = UnfoldArray(current.st, a, reps, keep);
+        if (variant.empty() || !variant.Validate().ok()) continue;
+        double score = scorer_->Score(*sample_, variant);
+        if (score < current.score) {
+          DM_LOG(kInfo, "refine: unfold a=%d reps=%zu keep=%d: %.0f -> %.0f",
+                 a, reps, keep ? 1 : 0, current.score, score);
+          current.st = std::move(variant);
+          current.score = score;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Structure shifting: earliest first occurrence wins. ---
+  auto rotations = LineRotations(current.st);
+  if (!rotations.empty()) {
+    size_t best_line = FirstOccurrenceLine(*sample_, current.st);
+    const StructureTemplate* best = nullptr;
+    for (const StructureTemplate& rot : rotations) {
+      size_t line = FirstOccurrenceLine(*sample_, rot);
+      if (line < best_line) {
+        best_line = line;
+        best = &rot;
+      }
+    }
+    if (best != nullptr) {
+      DM_LOG(kInfo, "refine: shifted to rotation first seen at line %zu",
+             best_line);
+      current.st = *best;
+      current.score = scorer_->Score(*sample_, current.st);
+    }
+  }
+  return current;
+}
+
+}  // namespace datamaran

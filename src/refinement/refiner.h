@@ -1,0 +1,89 @@
+#ifndef DATAMARAN_REFINEMENT_REFINER_H_
+#define DATAMARAN_REFINEMENT_REFINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/options.h"
+#include "scoring/mdl.h"
+#include "template/template.h"
+
+/// Structure refinement (Section 4.3): applied to the top-M templates
+/// during the evaluation step. Two techniques:
+///
+///  * Array unfolding (4.3.1): generation always produces *minimal*
+///    templates, but e.g. a CSV file's "(F,)*F\n" is better expressed as the
+///    plain struct "F,F,...,F\n" (each column typed separately). Full
+///    unfolding replaces an array whose repetition count is constant with
+///    that many copies; partial unfolding peels a fixed prefix and keeps the
+///    array tail (for "regular fields followed by free text"). A variant is
+///    kept only if it improves the regularity score.
+///
+///  * Structure shifting (4.3.2): a multi-line template that is a cyclic
+///    line-rotation of the true one scores almost identically; among all
+///    rotations we keep the one whose first occurrence in the sample is
+///    earliest.
+
+namespace datamaran {
+
+/// Per-array-node repetition statistics observed in a sample.
+struct ArrayCountStats {
+  size_t occurrences = 0;
+  size_t min_count = 0;
+  size_t max_count = 0;
+  bool constant() const { return occurrences > 0 && min_count == max_count; }
+};
+
+/// Collects repetition stats for every array node (pre-order index) by
+/// parsing all matches of `st` in `sample`.
+std::vector<ArrayCountStats> CollectArrayCounts(const Dataset& sample,
+                                                const StructureTemplate& st);
+
+/// Rewrites array node `array_index` (pre-order). If `keep_array` is false
+/// the array is fully expanded into `reps` copies (reps >= 1); otherwise
+/// `reps` copies of (elem sep) are peeled off in front of the retained
+/// array. Returns an empty template if the index is out of range.
+StructureTemplate UnfoldArray(const StructureTemplate& st, int array_index,
+                              size_t reps, bool keep_array);
+
+/// All cyclic line-rotations of a multi-line template, excluding the
+/// original. Empty for single-line templates.
+std::vector<StructureTemplate> LineRotations(const StructureTemplate& st);
+
+/// Line index of the first match of `st` in `sample`, or SIZE_MAX.
+size_t FirstOccurrenceLine(const Dataset& sample, const StructureTemplate& st);
+
+/// Unfolds every array whose observed repetition count is constant across
+/// the sample (iterated up to `max_passes`). A constant-count array is
+/// semantically a struct (the paper's CSV example in Section 4.3.1), and
+/// its unfolded form exposes per-column types; scoring candidates in this
+/// form keeps the evaluation ranking honest. Returns the input when no
+/// array qualifies or the unfold fails validation.
+StructureTemplate AutoUnfoldConstantArrays(const Dataset& sample,
+                                           const StructureTemplate& st,
+                                           int max_passes = 4);
+
+class Refiner {
+ public:
+  Refiner(const Dataset* sample, const RegularityScorer* scorer,
+          const DatamaranOptions* options);
+
+  struct Refined {
+    StructureTemplate st;
+    double score = 0;
+  };
+
+  /// Runs the unfold-until-no-improvement loop followed by structure
+  /// shifting; returns the refined template and its score.
+  Refined Refine(const StructureTemplate& st) const;
+
+ private:
+  const Dataset* sample_;
+  const RegularityScorer* scorer_;
+  const DatamaranOptions* options_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_REFINEMENT_REFINER_H_

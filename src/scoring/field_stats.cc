@@ -1,0 +1,187 @@
+#include "scoring/field_stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kEnum:
+      return "enum";
+    case FieldType::kInt:
+      return "int";
+    case FieldType::kReal:
+      return "real";
+    case FieldType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double Log2Ceil(double n) {
+  if (n <= 1) return 0;
+  return std::ceil(std::log2(n));
+}
+
+double GammaBits(uint64_t k) {
+  if (k == 0) return 1;
+  return 2 * std::floor(std::log2(static_cast<double>(k))) + 1;
+}
+
+void ColumnStats::Add(std::string_view value) {
+  ++count_;
+  total_len_ += value.size();
+  if (all_int_) {
+    auto v = ParseInt64(value);
+    if (!v.has_value()) {
+      all_int_ = false;
+    } else if (count_ == 1 || *v < min_int_) {
+      min_int_ = *v;
+    }
+    if (v.has_value() && (count_ == 1 || *v > max_int_)) max_int_ = *v;
+  }
+  if (all_real_) {
+    int exp = 0;
+    auto v = ParseDecimal(value, &exp);
+    if (!v.has_value()) {
+      all_real_ = false;
+    } else {
+      if (count_ == 1 || *v < min_real_) min_real_ = *v;
+      if (count_ == 1 || *v > max_real_) max_real_ = *v;
+      if (exp > max_exp_) max_exp_ = exp;
+    }
+  }
+  if (!distinct_overflow_) {
+    auto [it, inserted] = distinct_.emplace(value);
+    if (inserted) {
+      distinct_len_ += value.size();
+      if (distinct_.size() > kMaxDistinct) distinct_overflow_ = true;
+    }
+  }
+}
+
+double ColumnStats::TotalBits(FieldType type) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kTypeTagBits = 2;
+  const double n = static_cast<double>(count_);
+  switch (type) {
+    case FieldType::kEnum: {
+      if (distinct_overflow_) return kInf;
+      // Dictionary: every distinct value spelled out once.
+      double dict = 8.0 * (static_cast<double>(distinct_len_) +
+                           static_cast<double>(distinct_.size()));
+      double per_value = Log2Ceil(static_cast<double>(distinct_.size()));
+      return kTypeTagBits + dict + n * per_value;
+    }
+    case FieldType::kInt: {
+      if (!all_int_ || count_ == 0) return kInf;
+      double range = static_cast<double>(max_int_) -
+                     static_cast<double>(min_int_) + 1.0;
+      return kTypeTagBits + 2 * 64 + n * Log2Ceil(range);
+    }
+    case FieldType::kReal: {
+      if (!all_real_ || count_ == 0) return kInf;
+      double scaled =
+          std::round((max_real_ - min_real_) * std::pow(10.0, max_exp_)) + 1.0;
+      return kTypeTagBits + 2 * 64 + 32 + n * Log2Ceil(scaled);
+    }
+    case FieldType::kString: {
+      return kTypeTagBits +
+             8.0 * (static_cast<double>(total_len_) + n);  // (len+1)*8 each
+    }
+  }
+  return kInf;
+}
+
+FieldType ColumnStats::InferType() const {
+  FieldType best = FieldType::kString;
+  double best_bits = TotalBits(FieldType::kString);
+  for (FieldType t : {FieldType::kEnum, FieldType::kInt, FieldType::kReal}) {
+    double bits = TotalBits(t);
+    if (bits < best_bits) {
+      best_bits = bits;
+      best = t;
+    }
+  }
+  return best;
+}
+
+double ColumnStats::BestBits() const { return TotalBits(InferType()); }
+
+namespace {
+
+int CountSubtreeFields(
+    const TemplateNode& node,
+    std::unordered_map<const TemplateNode*, int>* subtree_fields) {
+  int total = 0;
+  switch (node.kind) {
+    case NodeKind::kField:
+      total = 1;
+      break;
+    case NodeKind::kChar:
+      total = 0;
+      break;
+    case NodeKind::kStruct:
+    case NodeKind::kArray:
+      for (const auto& c : node.children) {
+        total += CountSubtreeFields(*c, subtree_fields);
+      }
+      break;
+  }
+  (*subtree_fields)[&node] = total;
+  return total;
+}
+
+}  // namespace
+
+TemplateStatsCollector::TemplateStatsCollector(const StructureTemplate* st)
+    : st_(st) {
+  int total = CountSubtreeFields(st_->root(), &subtree_fields_);
+  columns_.resize(static_cast<size_t>(total));
+}
+
+void TemplateStatsCollector::AddRecord(const ParsedValue& root,
+                                       std::string_view text) {
+  ++records_;
+  Walk(st_->root(), root, text, 0);
+}
+
+void TemplateStatsCollector::Walk(const TemplateNode& node,
+                                  const ParsedValue& value,
+                                  std::string_view text, int leaf_base) {
+  switch (node.kind) {
+    case NodeKind::kField:
+      columns_[static_cast<size_t>(leaf_base)].Add(
+          text.substr(value.begin, value.end - value.begin));
+      break;
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct: {
+      int base = leaf_base;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        Walk(*node.children[i], value.children[i], text, base);
+        base += subtree_fields_.at(node.children[i].get());
+      }
+      break;
+    }
+    case NodeKind::kArray: {
+      array_bits_ += GammaBits(value.children.size());
+      // All repetitions pool into the element's columns.
+      for (const ParsedValue& rep : value.children) {
+        Walk(*node.children[0], rep, text, leaf_base);
+      }
+      break;
+    }
+  }
+}
+
+double TemplateStatsCollector::FieldBits() const {
+  double total = 0;
+  for (const ColumnStats& col : columns_) total += col.BestBits();
+  return total;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,106 @@
+#ifndef DATAMARAN_SCORING_FIELD_STATS_H_
+#define DATAMARAN_SCORING_FIELD_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "template/matcher.h"
+#include "template/template.h"
+
+/// Field-value typing for the MDL regularity score (Section 9.2). Each field
+/// leaf of a structure template is one relational column; all repetitions of
+/// an array pool into the element's columns. A column is described with the
+/// cheapest applicable scheme among:
+///   enumerated:  ceil(log2 n_distinct) bits per value + the dictionary
+///   integer:     ceil(log2(max - min + 1)) bits per value
+///   real:        ceil(log2((max - min) * 10^exp + 1)) bits per value
+///   string:      8 * (len + 1) bits per value
+/// Model parameters (type tag, bounds, dictionary) are charged to the column
+/// so that the comparison between types is an honest two-part code.
+
+namespace datamaran {
+
+enum class FieldType { kEnum, kInt, kReal, kString };
+
+const char* FieldTypeName(FieldType type);
+
+/// Accumulates the values observed in one column.
+class ColumnStats {
+ public:
+  void Add(std::string_view value);
+
+  size_t count() const { return count_; }
+  size_t distinct_count() const { return distinct_.size(); }
+  bool all_int() const { return all_int_; }
+  bool all_real() const { return all_real_; }
+
+  /// The cheapest valid type for this column.
+  FieldType InferType() const;
+
+  /// Total description bits for all values under `type`
+  /// (returns +inf for inapplicable types). Includes parameter costs.
+  double TotalBits(FieldType type) const;
+
+  /// TotalBits(InferType()).
+  double BestBits() const;
+
+ private:
+  static constexpr size_t kMaxDistinct = 4096;
+
+  size_t count_ = 0;
+  size_t total_len_ = 0;
+  bool all_int_ = true;
+  bool all_real_ = true;
+  int64_t min_int_ = 0, max_int_ = 0;
+  double min_real_ = 0, max_real_ = 0;
+  int max_exp_ = 0;
+  std::unordered_set<std::string> distinct_;
+  size_t distinct_len_ = 0;  // total length of distinct values
+  bool distinct_overflow_ = false;
+};
+
+/// Collects per-column statistics and array-repetition coding costs for all
+/// records of one structure template.
+class TemplateStatsCollector {
+ public:
+  explicit TemplateStatsCollector(const StructureTemplate* st);
+
+  /// Adds one parsed record (the ParsedValue tree must come from the same
+  /// template's matcher).
+  void AddRecord(const ParsedValue& root, std::string_view text);
+
+  /// Bits for all field values (best type per column, parameters included).
+  double FieldBits() const;
+
+  /// Bits for all array repetition counts (Elias-gamma style universal
+  /// code: 2*floor(log2 k) + 1 bits for count k).
+  double ArrayCountBits() const { return array_bits_; }
+
+  size_t record_count() const { return records_; }
+  const std::vector<ColumnStats>& columns() const { return columns_; }
+
+ private:
+  void Walk(const TemplateNode& node, const ParsedValue& value,
+            std::string_view text, int leaf_base);
+
+  const StructureTemplate* st_;
+  /// Field leaves in each subtree, keyed by node; fixes each leaf's column.
+  std::unordered_map<const TemplateNode*, int> subtree_fields_;
+  std::vector<ColumnStats> columns_;
+  double array_bits_ = 0;
+  size_t records_ = 0;
+};
+
+/// Universal-code cost of a positive integer (Elias gamma).
+double GammaBits(uint64_t k);
+
+/// ceil(log2(n)) with Log2Ceil(0) == Log2Ceil(1) == 0.
+double Log2Ceil(double n);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_SCORING_FIELD_STATS_H_

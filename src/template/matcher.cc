@@ -1,0 +1,112 @@
+#include "template/matcher.h"
+
+namespace datamaran {
+
+TemplateMatcher::TemplateMatcher(const StructureTemplate* st)
+    : st_(st), rt_charset_(st->charset()) {}
+
+bool TemplateMatcher::MatchNode(const TemplateNode& node,
+                                std::string_view text, size_t* pos,
+                                size_t* field_chars) const {
+  switch (node.kind) {
+    case NodeKind::kChar:
+      if (*pos >= text.size() || text[*pos] != node.ch) return false;
+      ++*pos;
+      return true;
+    case NodeKind::kField: {
+      size_t start = *pos;
+      size_t p = *pos;
+      while (p < text.size() &&
+             !rt_charset_.Contains(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      if (p == start) return false;  // fields are non-empty
+      *field_chars += p - start;
+      *pos = p;
+      return true;
+    }
+    case NodeKind::kStruct:
+      for (const auto& child : node.children) {
+        if (!MatchNode(*child, text, pos, field_chars)) return false;
+      }
+      return true;
+    case NodeKind::kArray: {
+      const TemplateNode& elem = *node.children[0];
+      if (!MatchNode(elem, text, pos, field_chars)) return false;
+      while (*pos < text.size() && text[*pos] == node.ch) {
+        ++*pos;  // consume separator; LL(1) says another element follows
+        if (!MatchNode(elem, text, pos, field_chars)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<MatchStats> TemplateMatcher::TryMatch(std::string_view text,
+                                                    size_t pos) const {
+  MatchStats stats;
+  size_t p = pos;
+  if (!MatchNode(st_->root(), text, &p, &stats.field_chars)) {
+    return std::nullopt;
+  }
+  stats.end = p;
+  return stats;
+}
+
+bool TemplateMatcher::ParseNode(const TemplateNode& node,
+                                std::string_view text, size_t* pos,
+                                ParsedValue* out) const {
+  out->kind = node.kind;
+  out->begin = *pos;
+  switch (node.kind) {
+    case NodeKind::kChar:
+      if (*pos >= text.size() || text[*pos] != node.ch) return false;
+      ++*pos;
+      break;
+    case NodeKind::kField: {
+      size_t p = *pos;
+      while (p < text.size() &&
+             !rt_charset_.Contains(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      if (p == *pos) return false;
+      *pos = p;
+      break;
+    }
+    case NodeKind::kStruct: {
+      out->children.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        ParsedValue v;
+        if (!ParseNode(*child, text, pos, &v)) return false;
+        out->children.push_back(std::move(v));
+      }
+      break;
+    }
+    case NodeKind::kArray: {
+      const TemplateNode& elem = *node.children[0];
+      ParsedValue first;
+      if (!ParseNode(elem, text, pos, &first)) return false;
+      out->children.push_back(std::move(first));
+      while (*pos < text.size() && text[*pos] == node.ch) {
+        ++*pos;
+        ParsedValue next;
+        if (!ParseNode(elem, text, pos, &next)) return false;
+        out->children.push_back(std::move(next));
+      }
+      break;
+    }
+  }
+  out->end = *pos;
+  return true;
+}
+
+std::optional<ParsedValue> TemplateMatcher::Parse(std::string_view text,
+                                                  size_t pos) const {
+  ParsedValue root;
+  size_t p = pos;
+  if (!ParseNode(st_->root(), text, &p, &root)) return std::nullopt;
+  return root;
+}
+
+}  // namespace datamaran

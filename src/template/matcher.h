@@ -1,0 +1,66 @@
+#ifndef DATAMARAN_TEMPLATE_MATCHER_H_
+#define DATAMARAN_TEMPLATE_MATCHER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "template/template.h"
+
+/// LL(1) matching of structure templates against raw text (Section 3.3
+/// remark: Assumption 3 templates form an LL(1) grammar, so extraction runs
+/// in linear time with single-character lookahead and no backtracking).
+///
+/// A field matches the maximal non-empty run of characters outside the
+/// template's RT-CharSet; a literal matches itself; an array repeats its
+/// element as long as the lookahead equals the separator.
+
+namespace datamaran {
+
+/// Parsed shape of one instantiated record, mirroring the template tree.
+///  - field: [begin,end) is the field value span in the input text.
+///  - char:  no payload (span covers the single character).
+///  - struct: children parallel the template's children.
+///  - array: children are the parsed elements, one per repetition.
+struct ParsedValue {
+  NodeKind kind;
+  size_t begin = 0;
+  size_t end = 0;
+  std::vector<ParsedValue> children;
+};
+
+/// Result of a successful capture-free match.
+struct MatchStats {
+  size_t end = 0;          ///< one past the last matched character
+  size_t field_chars = 0;  ///< total characters inside field values
+};
+
+/// Matcher bound to one structure template. Cheap to construct; holds only
+/// pointers/derived sets, so the template must outlive the matcher.
+class TemplateMatcher {
+ public:
+  explicit TemplateMatcher(const StructureTemplate* st);
+
+  /// Attempts to match one record starting exactly at `pos`.
+  /// Returns std::nullopt if the text does not match.
+  std::optional<MatchStats> TryMatch(std::string_view text, size_t pos) const;
+
+  /// Like TryMatch but also produces the parsed value tree.
+  std::optional<ParsedValue> Parse(std::string_view text, size_t pos) const;
+
+  const StructureTemplate& structure_template() const { return *st_; }
+
+ private:
+  bool MatchNode(const TemplateNode& node, std::string_view text, size_t* pos,
+                 size_t* field_chars) const;
+  bool ParseNode(const TemplateNode& node, std::string_view text, size_t* pos,
+                 ParsedValue* out) const;
+
+  const StructureTemplate* st_;
+  CharSet rt_charset_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_TEMPLATE_MATCHER_H_

@@ -1,0 +1,191 @@
+#include "template/record_template.h"
+
+#include "template/template.h"
+#include "util/common.h"
+
+namespace datamaran {
+
+void AppendRecordTemplate(std::string_view text, const CharSet& rt_charset,
+                          std::string* out) {
+  bool in_field = false;
+  for (char c : text) {
+    if (rt_charset.Contains(static_cast<unsigned char>(c))) {
+      out->push_back(c);
+      in_field = false;
+    } else {
+      if (!in_field) out->push_back('F');
+      in_field = true;
+    }
+  }
+}
+
+std::string ExtractRecordTemplate(std::string_view text,
+                                  const CharSet& rt_charset) {
+  std::string out;
+  out.reserve(text.size());
+  AppendRecordTemplate(text, rt_charset, &out);
+  return out;
+}
+
+namespace {
+
+using Tok = ReduceWorkspace::Tok;
+
+bool TokEq(const ReduceWorkspace& ws, const Tok& a, const Tok& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Tok::kField:
+      return true;
+    case Tok::kChar:
+      return a.ch == b.ch;
+    case Tok::kComposite:
+      return a.comp == b.comp ||
+             ws.composites[a.comp] == ws.composites[b.comp];
+  }
+  return false;
+}
+
+void SerializeTok(const ReduceWorkspace& ws, const Tok& t, std::string* out) {
+  switch (t.kind) {
+    case Tok::kField:
+      out->push_back('F');
+      break;
+    case Tok::kChar:
+      AppendEscapedChar(t.ch, out);
+      break;
+    case Tok::kComposite:
+      out->append(ws.composites[t.comp]);
+      break;
+  }
+}
+
+/// First literal character a token can start with (0 = starts with a field).
+char FirstLiteral(const ReduceWorkspace& ws, const Tok& t) {
+  switch (t.kind) {
+    case Tok::kField:
+      return 0;
+    case Tok::kChar:
+      return t.ch;
+    case Tok::kComposite:
+      return ws.composite_first[t.comp];
+  }
+  return 0;
+}
+
+/// Attempts one fold; returns true if the token sequence changed.
+bool ReduceOnce(ReduceWorkspace* ws) {
+  auto& seq = ws->tokens;
+  const size_t n = seq.size();
+  // Shortest unit first, then leftmost, for a deterministic minimal form.
+  for (size_t l = 2; 2 * l <= n; ++l) {
+    for (size_t s = 0; s + 2 * l <= n; ++s) {
+      // The unit must end with a literal separator character.
+      if (seq[s + l - 1].kind != Tok::kChar) continue;
+      const char sep = seq[s + l - 1].ch;
+      // The unit must contain at least one field or composite; pure
+      // punctuation runs (e.g. "-----") stay literal.
+      bool has_value = false;
+      for (size_t i = s; i + 1 < s + l; ++i) {
+        if (seq[i].kind != Tok::kChar) {
+          has_value = true;
+          break;
+        }
+      }
+      if (!has_value) continue;
+      // Adjacent repeat?
+      bool repeat = true;
+      for (size_t i = 0; i < l; ++i) {
+        if (!TokEq(*ws, seq[s + i], seq[s + l + i])) {
+          repeat = false;
+          break;
+        }
+      }
+      if (!repeat) continue;
+      // Extend to the maximal run of k >= 2 units.
+      size_t k = 2;
+      while (s + (k + 1) * l <= n) {
+        bool more = true;
+        for (size_t i = 0; i < l; ++i) {
+          if (!TokEq(*ws, seq[s + i], seq[s + k * l + i])) {
+            more = false;
+            break;
+          }
+        }
+        if (!more) break;
+        ++k;
+      }
+      // Require the trailing element (unit minus separator) right after.
+      if (s + k * l + (l - 1) > n) continue;
+      bool trailing = true;
+      for (size_t i = 0; i + 1 < l; ++i) {
+        if (!TokEq(*ws, seq[s + i], seq[s + k * l + i])) {
+          trailing = false;
+          break;
+        }
+      }
+      if (!trailing) continue;
+      // LL(1) legality: the paper's array form ({A}x)*{A}y requires the
+      // terminator y to differ from the separator x. The token right after
+      // the folded range provides y; it must exist and not start with x.
+      const size_t next_idx = s + k * l + (l - 1);
+      if (next_idx >= n) continue;  // template would end in an array
+      if (FirstLiteral(*ws, seq[next_idx]) == sep) continue;
+      // Build the composite canonical: "(" elem sep ")*" elem.
+      std::string comp;
+      comp.push_back('(');
+      for (size_t i = s; i + 1 < s + l; ++i) SerializeTok(*ws, seq[i], &comp);
+      AppendEscapedChar(sep, &comp);
+      comp.push_back(')');
+      comp.push_back('*');
+      for (size_t i = s; i + 1 < s + l; ++i) SerializeTok(*ws, seq[i], &comp);
+      uint32_t comp_idx = static_cast<uint32_t>(ws->composites.size());
+      ws->composites.push_back(std::move(comp));
+      ws->composite_first.push_back(FirstLiteral(*ws, seq[s]));
+      // Replace seq[s .. s + k*l + l - 1) with the composite token.
+      Tok folded;
+      folded.kind = Tok::kComposite;
+      folded.ch = 0;
+      folded.comp = comp_idx;
+      size_t replaced = k * l + (l - 1);
+      seq[s] = folded;
+      seq.erase(seq.begin() + static_cast<ptrdiff_t>(s + 1),
+                seq.begin() + static_cast<ptrdiff_t>(s + replaced));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ReduceToCanonical(std::string_view record_template, ReduceWorkspace* ws,
+                       std::string* out) {
+  ws->tokens.clear();
+  ws->composites.clear();
+  ws->composite_first.clear();
+  ws->tokens.reserve(record_template.size());
+  for (char c : record_template) {
+    Tok t;
+    if (c == 'F') {
+      t.kind = Tok::kField;
+      t.ch = 0;
+    } else {
+      t.kind = Tok::kChar;
+      t.ch = c;
+    }
+    ws->tokens.push_back(t);
+  }
+  while (ReduceOnce(ws)) {
+  }
+  out->clear();
+  for (const Tok& t : ws->tokens) SerializeTok(*ws, t, out);
+}
+
+std::string ReduceToCanonical(std::string_view record_template) {
+  ReduceWorkspace ws;
+  std::string out;
+  ReduceToCanonical(record_template, &ws, &out);
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,66 @@
+#ifndef DATAMARAN_TEMPLATE_RECORD_TEMPLATE_H_
+#define DATAMARAN_TEMPLATE_RECORD_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/char_class.h"
+
+/// Record-template extraction and reduction (Section 4.1 steps 3-4, §9.1).
+///
+/// Under Assumption 2 (Non-Overlapping), given the RT-CharSet the record
+/// template of an instantiated record is unique: every maximal run of
+/// non-RT-CharSet characters is one field value and is replaced by the field
+/// placeholder 'F'; RT-CharSet characters are kept verbatim.
+///
+/// Reduction maps a record template to its *minimal structure template* by
+/// collapsing adjacent tandem repeats: a unit X = (elem sep) that occurs two
+/// or more times in a row and is followed by one more `elem` becomes the
+/// array (elem sep)* elem. Iterated to fixpoint, shortest unit first,
+/// leftmost first, so the mapping is deterministic. As the paper notes, not
+/// every instantiation of a structure template reduces to the same minimal
+/// template (e.g. a one-element list); the generation step's coverage is
+/// therefore an underestimate, which is acceptable.
+
+namespace datamaran {
+
+/// Replaces maximal field-value runs in `text` with 'F' and appends the
+/// result to `out` (which is not cleared). `text` may span multiple lines.
+void AppendRecordTemplate(std::string_view text, const CharSet& rt_charset,
+                          std::string* out);
+
+/// Convenience form returning a fresh string.
+std::string ExtractRecordTemplate(std::string_view text,
+                                  const CharSet& rt_charset);
+
+/// Reusable scratch space for ReduceToCanonical so the generation hot loop
+/// performs no per-call allocation in the steady state.
+struct ReduceWorkspace {
+  struct Tok {
+    enum Kind : uint8_t { kField, kChar, kComposite };
+    Kind kind;
+    char ch;            // kChar: literal; others: 0
+    uint32_t comp = 0;  // kComposite: index into `composites`
+  };
+  std::vector<Tok> tokens;
+  std::vector<std::string> composites;
+  /// First literal character of each composite's element (0 when the
+  /// element starts with a field). Used for LL(1) fold legality checks.
+  std::vector<char> composite_first;
+  std::string scratch;
+};
+
+/// Reduces a raw record template (chars + 'F' placeholders, no escapes) to
+/// the canonical serialization of its minimal structure template.
+/// `out` is cleared first.
+void ReduceToCanonical(std::string_view record_template, ReduceWorkspace* ws,
+                       std::string* out);
+
+/// Convenience form returning a fresh string.
+std::string ReduceToCanonical(std::string_view record_template);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_TEMPLATE_RECORD_TEMPLATE_H_

@@ -1,0 +1,125 @@
+#ifndef DATAMARAN_TEMPLATE_TEMPLATE_H_
+#define DATAMARAN_TEMPLATE_TEMPLATE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/char_class.h"
+#include "util/status.h"
+
+/// Structure-template AST (Assumption 3).
+///
+/// A structure template is a restricted regular expression over record
+/// templates. The paper's two constructors are:
+///   Struct:  a sequence of simple strings / sub-expressions.
+///   Array:   ({regexA}x)*{regexA}y  -- a list of regexA separated by the
+///            character x and terminated by the character y.
+///
+/// We represent Array as Array{elem, sep} := (elem sep)* elem with at least
+/// one element; the terminating character y is simply the first character
+/// following the array in the parent Struct (validated to differ from x so
+/// the whole template stays LL(1)-parseable). This is equivalent to the
+/// paper's form and composes better under reduction and unfolding.
+///
+/// Canonical serialization (used for hashing, equality and MDL's len(ST)):
+///   Field          -> 'F'
+///   Char c         -> c, preceded by a backslash if c is ( ) * or backslash
+///   Struct         -> concatenation of children
+///   Array{elem,x}  -> '(' ser(elem) esc(x) ')' '*' ser(elem)
+/// e.g. a CSV row is "(F,)*F\n". Letters never appear literally in templates
+/// (RT-CharSets contain only special characters), so 'F' is unambiguous.
+
+namespace datamaran {
+
+enum class NodeKind { kField, kChar, kStruct, kArray };
+
+/// One node of a structure-template tree. Trees are immutable after
+/// construction by convention; use Clone() to derive modified copies.
+struct TemplateNode {
+  NodeKind kind;
+  /// For kChar: the literal character. For kArray: the separator x.
+  char ch = 0;
+  /// For kStruct: the sequence. For kArray: exactly one child, the element.
+  std::vector<std::unique_ptr<TemplateNode>> children;
+
+  static std::unique_ptr<TemplateNode> Field();
+  static std::unique_ptr<TemplateNode> Char(char c);
+  static std::unique_ptr<TemplateNode> Struct(
+      std::vector<std::unique_ptr<TemplateNode>> children);
+  static std::unique_ptr<TemplateNode> Array(
+      std::unique_ptr<TemplateNode> elem, char sep);
+
+  std::unique_ptr<TemplateNode> Clone() const;
+  bool Equals(const TemplateNode& other) const;
+};
+
+/// A complete structure template: a root Struct (possibly with nested
+/// arrays) that must end with the '\n' character (records are line-blocks,
+/// Definition 2.4).
+class StructureTemplate {
+ public:
+  StructureTemplate() = default;
+  explicit StructureTemplate(std::unique_ptr<TemplateNode> root);
+
+  StructureTemplate(const StructureTemplate& other);
+  StructureTemplate& operator=(const StructureTemplate& other);
+  StructureTemplate(StructureTemplate&&) = default;
+  StructureTemplate& operator=(StructureTemplate&&) = default;
+
+  /// Parses a canonical serialization back into a template.
+  static Result<StructureTemplate> FromCanonical(std::string_view canonical);
+
+  const TemplateNode& root() const { return *root_; }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Canonical serialization (cached at construction).
+  const std::string& canonical() const { return canonical_; }
+
+  /// RT-CharSet of this template: every literal character it contains.
+  const CharSet& charset() const { return charset_; }
+
+  /// Number of field leaves (relational columns before array expansion).
+  int field_count() const { return field_count_; }
+
+  /// Number of array nodes.
+  int array_count() const { return array_count_; }
+
+  /// Number of '\n' literals, i.e. the number of lines a record spans
+  /// (arrays never contain '\n' by construction).
+  int line_span() const { return line_span_; }
+
+  /// Validates LL(1) restrictions: arrays have non-empty elements whose
+  /// serialization does not start with their own separator, the template is
+  /// non-empty and ends with '\n', and fields are never adjacent.
+  Status Validate() const;
+
+  /// Display form with escapes, e.g. "(F,)*F\\n".
+  std::string Display() const;
+
+  friend bool operator==(const StructureTemplate& a,
+                         const StructureTemplate& b) {
+    return a.canonical_ == b.canonical_;
+  }
+
+ private:
+  void RecomputeDerived();
+
+  std::unique_ptr<TemplateNode> root_;
+  std::string canonical_;
+  CharSet charset_;
+  int field_count_ = 0;
+  int array_count_ = 0;
+  int line_span_ = 0;
+};
+
+/// Appends the canonical serialization of `node` to `out`.
+void SerializeNode(const TemplateNode& node, std::string* out);
+
+/// Escapes a literal template character into `out` per the canonical rules.
+void AppendEscapedChar(char c, std::string* out);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_TEMPLATE_TEMPLATE_H_

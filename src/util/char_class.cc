@@ -1,0 +1,84 @@
+#include "util/char_class.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace datamaran {
+
+CharSet CharSet::Of(std::string_view chars) {
+  CharSet s;
+  for (char c : chars) s.Add(static_cast<unsigned char>(c));
+  return s;
+}
+
+int CharSet::Size() const {
+  int n = 0;
+  for (uint64_t w : bits_) n += std::popcount(w);
+  return n;
+}
+
+std::string CharSet::ToString() const {
+  std::string out;
+  for (int c = 0; c < 256; ++c) {
+    if (Contains(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+bool CharSet::IsSubsetOf(const CharSet& other) const {
+  for (int i = 0; i < 4; ++i) {
+    if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+  }
+  return true;
+}
+
+CharSet CharSet::Union(const CharSet& other) const {
+  CharSet out;
+  for (int i = 0; i < 4; ++i) out.bits_[i] = bits_[i] | other.bits_[i];
+  return out;
+}
+
+CharSet CharSet::Intersect(const CharSet& other) const {
+  CharSet out;
+  for (int i = 0; i < 4; ++i) out.bits_[i] = bits_[i] & other.bits_[i];
+  return out;
+}
+
+const CharSet& DefaultSpecialChars() {
+  // Function-local static of a trivially-destructible-enough type is the
+  // allowed pattern for lazily built constants (no exit-time destructor
+  // ordering hazard matters for a leaf utility).
+  static const CharSet* kSet = [] {
+    auto* s = new CharSet();
+    const std::string_view punct =
+        "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~ \t";
+    for (char c : punct) s->Add(static_cast<unsigned char>(c));
+    return s;
+  }();
+  return *kSet;
+}
+
+bool IsDefaultSpecial(unsigned char c) {
+  return DefaultSpecialChars().Contains(c);
+}
+
+std::vector<std::pair<char, size_t>> CountSpecialChars(
+    std::string_view text, const CharSet& special) {
+  std::array<size_t, 256> counts{};
+  for (char c : text) counts[static_cast<unsigned char>(c)]++;
+  std::vector<std::pair<char, size_t>> out;
+  for (int c = 0; c < 256; ++c) {
+    if (counts[c] > 0 && special.Contains(static_cast<unsigned char>(c))) {
+      out.emplace_back(static_cast<char>(c), counts[c]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace datamaran

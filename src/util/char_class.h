@@ -1,0 +1,70 @@
+#ifndef DATAMARAN_UTIL_CHAR_CLASS_H_
+#define DATAMARAN_UTIL_CHAR_CLASS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Character classification for Assumption 2 (Non-Overlapping).
+///
+/// The paper predefines a collection of special characters
+/// RT-CharSet-Candidate and assumes record-template character sets are
+/// subsets of it; all remaining characters can only occur inside field
+/// values. CharSet is a 256-bit set used to represent both the candidate
+/// pool and the per-template RT-CharSet.
+
+namespace datamaran {
+
+/// A set of byte values with O(1) membership.
+class CharSet {
+ public:
+  CharSet() : bits_{} {}
+
+  /// Builds a set containing exactly the bytes of `chars`.
+  static CharSet Of(std::string_view chars);
+
+  void Add(unsigned char c) { bits_[c >> 6] |= (1ull << (c & 63)); }
+  void Remove(unsigned char c) { bits_[c >> 6] &= ~(1ull << (c & 63)); }
+  bool Contains(unsigned char c) const {
+    return (bits_[c >> 6] >> (c & 63)) & 1;
+  }
+
+  /// Number of bytes in the set.
+  int Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  /// All member bytes in ascending order.
+  std::string ToString() const;
+
+  /// True if every member of this set is also in `other`.
+  bool IsSubsetOf(const CharSet& other) const;
+
+  CharSet Union(const CharSet& other) const;
+  CharSet Intersect(const CharSet& other) const;
+
+  friend bool operator==(const CharSet& a, const CharSet& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::array<uint64_t, 4> bits_;
+};
+
+/// The default RT-CharSet-Candidate: ASCII punctuation plus space and tab.
+/// '\n' is handled separately (it is always a record-template character, by
+/// Definition 2.4 blocks are '\n'-separated).
+const CharSet& DefaultSpecialChars();
+
+/// True if `c` is in DefaultSpecialChars().
+bool IsDefaultSpecial(unsigned char c);
+
+/// Counts, for every byte in `special`, the number of occurrences in `text`.
+/// Returns (char, count) pairs for chars with count > 0, most frequent first.
+std::vector<std::pair<char, size_t>> CountSpecialChars(std::string_view text,
+                                                       const CharSet& special);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_CHAR_CLASS_H_

@@ -1,0 +1,42 @@
+#ifndef DATAMARAN_UTIL_COMMON_H_
+#define DATAMARAN_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// Project-wide fundamental definitions.
+///
+/// Datamaran follows the Google C++ style guide: no exceptions are thrown by
+/// library code; fallible operations return Status / Result<T>
+/// (see util/status.h). DM_CHECK is used for programmer-error invariants that
+/// indicate a bug rather than bad input; it aborts with a message.
+
+namespace datamaran {
+
+/// Aborts the process with a diagnostic when `cond` is false. Used only for
+/// internal invariants (never for user input validation).
+#define DM_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DM_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like DM_CHECK but with a custom printf-style message appended.
+#define DM_CHECK_MSG(cond, ...)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DM_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_COMMON_H_

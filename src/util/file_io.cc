@@ -1,0 +1,53 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace datamaran {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  out.resize(static_cast<size_t>(size));
+  size_t got = size > 0 ? std::fread(out.data(), 1, out.size(), f) : 0;
+  std::fclose(f);
+  if (got != out.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  size_t put = contents.empty()
+                   ? 0
+                   : std::fwrite(contents.data(), 1, contents.size(), f);
+  int rc = std::fclose(f);
+  if (put != contents.size() || rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir failed: " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace datamaran

@@ -1,0 +1,25 @@
+#ifndef DATAMARAN_UTIL_FILE_IO_H_
+#define DATAMARAN_UTIL_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// Whole-file read/write helpers. Datamaran operates on in-memory buffers;
+/// large-file sampling is done by util/sampler.h on top of these.
+
+namespace datamaran {
+
+/// Reads the entire file at `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+/// Creates directory `path` (and parents) if it does not exist.
+Status MakeDirs(const std::string& path);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_FILE_IO_H_

@@ -1,0 +1,34 @@
+#ifndef DATAMARAN_UTIL_HASHING_H_
+#define DATAMARAN_UTIL_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// FNV-1a hashing for structure-template canonical strings. The generation
+/// step's hash table (Section 4.1 step 5) keys bins by this hash of the
+/// canonical serialization.
+
+namespace datamaran {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a(std::string_view s, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Incremental variant: extend an existing hash with one byte.
+inline uint64_t Fnv1aByte(uint64_t h, unsigned char c) {
+  h ^= c;
+  h *= kFnvPrime;
+  return h;
+}
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_HASHING_H_

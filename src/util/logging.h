@@ -1,0 +1,34 @@
+#ifndef DATAMARAN_UTIL_LOGGING_H_
+#define DATAMARAN_UTIL_LOGGING_H_
+
+#include <string>
+
+#include "util/strings.h"
+
+/// Leveled logging to stderr. Off by default above kWarning so test and
+/// bench output stays clean; the pipeline raises verbosity when
+/// DatamaranOptions.verbose is set.
+
+namespace datamaran {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` at `level` (with a level prefix) if enabled.
+void LogMessage(LogLevel level, const std::string& msg);
+
+#define DM_LOG(level, ...)                                             \
+  do {                                                                 \
+    if (static_cast<int>(::datamaran::LogLevel::level) >=              \
+        static_cast<int>(::datamaran::GetLogLevel())) {                \
+      ::datamaran::LogMessage(::datamaran::LogLevel::level,            \
+                              ::datamaran::StrFormat(__VA_ARGS__));    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_LOGGING_H_

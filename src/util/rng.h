@@ -1,0 +1,70 @@
+#ifndef DATAMARAN_UTIL_RNG_H_
+#define DATAMARAN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+/// Deterministic pseudo-random number generation for the synthetic data-lake
+/// generators and property tests. A thin xoshiro256** wrapper: fast, seedable
+/// and stable across platforms (unlike std::uniform_int_distribution, whose
+/// output is implementation-defined).
+
+namespace datamaran {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, standard construction for xoshiro.
+    uint64_t x = seed + 0x9E3779B97F4A7C15ull;
+    for (auto& w : s_) {
+      uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    DM_CHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty list.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    DM_CHECK(!items.empty());
+    return items[static_cast<size_t>(Uniform(0, items.size() - 1))];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_RNG_H_

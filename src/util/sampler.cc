@@ -1,0 +1,42 @@
+#include "util/sampler.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace datamaran {
+
+std::string SampleLines(std::string_view text, const SamplerOptions& options) {
+  if (text.size() <= options.max_sample_bytes) {
+    return std::string(text);
+  }
+  DM_CHECK(options.num_chunks > 0);
+  const size_t chunk_bytes = options.max_sample_bytes / options.num_chunks;
+  const size_t stride = text.size() / options.num_chunks;
+  std::string sample;
+  sample.reserve(options.max_sample_bytes + 1024);
+  size_t last_end = 0;  // avoid overlapping chunks
+  for (int i = 0; i < options.num_chunks; ++i) {
+    size_t nominal = static_cast<size_t>(i) * stride;
+    size_t begin = std::max(nominal, last_end);
+    if (begin >= text.size()) break;
+    // Align the start to the character after the previous '\n'.
+    if (begin > 0) {
+      size_t nl = text.find('\n', begin);
+      if (nl == std::string_view::npos) break;
+      begin = nl + 1;
+    }
+    if (begin >= text.size()) break;
+    size_t end = std::min(begin + chunk_bytes, text.size());
+    // Extend to the end of the current line (inclusive of '\n').
+    size_t nl = text.find('\n', end);
+    end = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    sample.append(text.substr(begin, end - begin));
+    last_end = end;
+  }
+  // Ensure the sample ends with a newline so the last block is well formed.
+  if (!sample.empty() && sample.back() != '\n') sample.push_back('\n');
+  return sample;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,31 @@
+#ifndef DATAMARAN_UTIL_SAMPLER_H_
+#define DATAMARAN_UTIL_SAMPLER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+/// Cache-aware sampling (Section 9.1, "Sampling Technique"): for large
+/// datasets the generation and evaluation steps run on a concatenation of a
+/// few large line-aligned chunks instead of the whole file, bounding S_data
+/// by a constant. The final extraction pass always scans the full file.
+
+namespace datamaran {
+
+struct SamplerOptions {
+  /// Upper bound on the concatenated sample size in bytes. Files at or below
+  /// this size are used whole.
+  size_t max_sample_bytes = 256 * 1024;
+  /// Number of chunks spread evenly through the file.
+  int num_chunks = 8;
+};
+
+/// Returns a line-aligned sample of `text` of at most max_sample_bytes.
+/// Chunks start at the first line boundary at/after their nominal offset and
+/// always end on a line boundary, so the sample is itself a well-formed
+/// '\n'-separated block sequence (Definition 2.4 still applies to it).
+std::string SampleLines(std::string_view text, const SamplerOptions& options);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_SAMPLER_H_

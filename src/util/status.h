@@ -1,0 +1,120 @@
+#ifndef DATAMARAN_UTIL_STATUS_H_
+#define DATAMARAN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/common.h"
+
+/// Minimal Status / Result<T> error-handling primitives in the style of
+/// RocksDB's Status and absl::StatusOr. Library code never throws; functions
+/// that can fail on user input (file I/O, template parsing) return one of
+/// these types.
+
+namespace datamaran {
+
+/// Coarse error categories. Kept deliberately small; the human-readable
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// Value-semantic success/error indicator with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "IO_ERROR: no such file".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Access to the value of
+/// an errored Result is a checked programmer error (DM_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr ergonomics).
+  Result(T value) : data_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {
+    DM_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    DM_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).message().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DM_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).message().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    DM_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).message().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DM_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::datamaran::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_STATUS_H_

@@ -1,0 +1,216 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "util/common.h"
+
+namespace datamaran {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t pos = s.find('\n', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+namespace {
+template <typename Piece>
+std::string JoinImpl(const std::vector<Piece>& pieces, std::string_view sep) {
+  std::string out;
+  size_t total = 0;
+  for (const auto& p : pieces) total += p.size() + sep.size();
+  out.reserve(total);
+  bool first = true;
+  for (const auto& p : pieces) {
+    if (!first) out.append(sep);
+    out.append(p);
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                          s[b] == '\n'))
+    ++b;
+  size_t e = s.size();
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return std::nullopt;
+  }
+  // Reject "01" style padding? No: log fields routinely zero-pad ("04"), and
+  // the MDL integer coder only needs the numeric value, so padding parses.
+  uint64_t v = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    uint64_t nv = v * 10 + static_cast<uint64_t>(c - '0');
+    if (nv < v || nv > (1ull << 62)) return std::nullopt;  // overflow guard
+    v = nv;
+  }
+  int64_t sv = static_cast<int64_t>(v);
+  return neg ? -sv : sv;
+}
+
+std::optional<double> ParseDecimal(std::string_view s, int* exp_out) {
+  if (s.empty()) return std::nullopt;
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  size_t int_digits = 0, frac_digits = 0;
+  double v = 0;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    v = v * 10 + (s[i] - '0');
+    ++int_digits;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    double scale = 0.1;
+    for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+      v += (s[i] - '0') * scale;
+      scale *= 0.1;
+      ++frac_digits;
+    }
+    if (frac_digits == 0) return std::nullopt;  // "12." is not a decimal
+  }
+  if (i != s.size() || int_digits == 0) return std::nullopt;
+  if (exp_out != nullptr) *exp_out = static_cast<int>(frac_digits);
+  return neg ? -v : v;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  DM_CHECK(!from.empty());
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      return out;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string EscapeForDisplay(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02X",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.1f %s", v, units[u]);
+}
+
+}  // namespace datamaran

@@ -1,0 +1,59 @@
+#ifndef DATAMARAN_UTIL_STRINGS_H_
+#define DATAMARAN_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Small string helpers used across the code base. All functions are pure
+/// and allocation is kept to what the return type requires.
+
+namespace datamaran {
+
+/// Splits `s` on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits `s` into lines on '\n'. A trailing '\n' does not produce a final
+/// empty line; each returned view excludes the '\n' itself.
+std::vector<std::string_view> SplitLines(std::string_view s);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer parse: the whole string must be a (possibly negative)
+/// decimal integer that fits in int64_t. No leading '+' and no whitespace.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Strict decimal parse: "[-]digits[.digits]". Returns the number of digits
+/// after the decimal point via `exp_out` (0 when there is no point).
+/// Scientific notation is not accepted (log fields rarely use it, and the
+/// MDL real-number coder in the paper is defined on fixed-point decimals).
+std::optional<double> ParseDecimal(std::string_view s, int* exp_out);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Renders non-printable characters as escapes ("\n", "\t", "\xAB") so
+/// templates and samples can be shown in logs and test failures.
+std::string EscapeForDisplay(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("12.3 MB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_STRINGS_H_

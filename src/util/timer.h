@@ -1,0 +1,31 @@
+#ifndef DATAMARAN_UTIL_TIMER_H_
+#define DATAMARAN_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// Simple wall-clock stopwatch used by the pipeline to report per-step
+/// timings (generation / pruning / evaluation / extraction, Table 3).
+
+namespace datamaran {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_TIMER_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/github_corpus.h"
+#include "datagen/manual_datasets.h"
+#include "datagen/spec.h"
+#include "datagen/values.h"
+#include "util/rng.h"
+
+namespace datamaran {
+namespace {
+
+// ----------------------------------------------------------------- values --
+
+TEST(ValuesTest, Shapes) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    std::string ip = GenIp(&rng);
+    EXPECT_EQ(std::count(ip.begin(), ip.end(), '.'), 3) << ip;
+    std::string t = GenTime(&rng);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t[2], ':');
+    std::string d = GenDate(&rng);
+    EXPECT_EQ(d.size(), 10u);
+    EXPECT_EQ(GenBases(&rng, 7).size(), 7u);
+    EXPECT_EQ(GenAlnum(&rng, 5).size(), 5u);
+  }
+}
+
+TEST(ValuesTest, Deterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(GenIp(&a), GenIp(&b));
+  EXPECT_EQ(GenPhrase(&a, 2, 5), GenPhrase(&b, 2, 5));
+}
+
+// ---------------------------------------------------------------- builder --
+
+TEST(BuilderTest, TracksRecordAndTargetOffsets) {
+  DatasetBuilder b;
+  b.NoiseLine("header");
+  b.BeginRecord(0);
+  b.Append("x=");
+  b.Target("x", "42");
+  b.Append("\n");
+  b.EndRecord();
+  GeneratedDataset ds = b.Build("t", DatasetLabel::kSingleNonInterleaved);
+  EXPECT_EQ(ds.text, "header\nx=42\n");
+  ASSERT_EQ(ds.records().size(), 1u);
+  const auto& rec = ds.records()[0];
+  EXPECT_EQ(rec.begin, 7u);
+  EXPECT_EQ(rec.end, ds.text.size());
+  EXPECT_EQ(rec.first_line, 1u);
+  EXPECT_EQ(rec.line_count, 1);
+  ASSERT_EQ(rec.targets.size(), 1u);
+  EXPECT_EQ(ds.text.substr(rec.targets[0].begin,
+                           rec.targets[0].end - rec.targets[0].begin),
+            "42");
+}
+
+TEST(BuilderTest, MultiLineRecordSpan) {
+  DatasetBuilder b;
+  b.BeginRecord(0);
+  b.Append("a\nb\nc\n");
+  b.EndRecord();
+  GeneratedDataset ds = b.Build("t", DatasetLabel::kMultiNonInterleaved);
+  EXPECT_EQ(ds.records()[0].line_count, 3);
+  EXPECT_EQ(ds.max_record_span, 3);
+}
+
+TEST(BuilderTest, TargetBeginEndSpansMultipleAppends) {
+  DatasetBuilder b;
+  b.BeginRecord(0);
+  b.TargetBegin("combo");
+  b.Append("10");
+  b.Append(":");
+  b.Append("30");
+  b.TargetEnd();
+  b.Append("\n");
+  b.EndRecord();
+  GeneratedDataset ds = b.Build("t", DatasetLabel::kSingleNonInterleaved);
+  const auto& t = ds.records()[0].targets[0];
+  EXPECT_EQ(ds.text.substr(t.begin, t.end - t.begin), "10:30");
+}
+
+// --------------------------------------------------------- manual datasets --
+
+TEST(ManualDatasetsTest, TableFiveMetadataMatches) {
+  // Spot-check the Table 5 characteristics we must reproduce.
+  EXPECT_EQ(GetManualDatasetInfo(8).record_types, 2);   // netstat
+  EXPECT_STREQ(GetManualDatasetInfo(15).max_span, "8"); // Thailand
+  EXPECT_STREQ(GetManualDatasetInfo(5).max_span, "1(3)");
+  EXPECT_TRUE(GetManualDatasetInfo(0).from_fisher);
+  EXPECT_FALSE(GetManualDatasetInfo(16).from_fisher);
+}
+
+class ManualDatasetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ManualDatasetProperty, GeneratedShapeMatchesTable5) {
+  int index = GetParam();
+  GeneratedDataset ds = BuildManualDataset(index, 32 * 1024);
+  const ManualDatasetInfo& info = GetManualDatasetInfo(index);
+  EXPECT_GE(ds.text.size(), 32u * 1024);
+  EXPECT_FALSE(ds.records().empty());
+  EXPECT_EQ(ds.record_type_count, info.record_types) << info.name;
+  // Max span from the info string ("1", "8", "1(3)" -> leading int).
+  int expected_span = std::atoi(info.max_span);
+  // The primary segmentation's span: for "1(3)" rows the primary is 3.
+  if (std::string(info.max_span) == "1(3)") expected_span = 3;
+  EXPECT_EQ(ds.max_record_span, expected_span) << info.name;
+  // Ground truth internally consistent: records are disjoint, in order,
+  // and targets sit inside their record.
+  size_t prev_end = 0;
+  for (const auto& rec : ds.records()) {
+    EXPECT_GE(rec.begin, prev_end);
+    EXPECT_LT(rec.begin, rec.end);
+    EXPECT_EQ(ds.text[rec.end - 1], '\n');
+    prev_end = rec.end;
+    for (const auto& t : rec.targets) {
+      EXPECT_GE(t.begin, rec.begin);
+      EXPECT_LE(t.end, rec.end);
+      EXPECT_LT(t.begin, t.end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ManualDatasetProperty,
+                         ::testing::Range(0, kManualDatasetCount));
+
+TEST(ManualDatasetsTest, CrashLogHasTwoAlternatives) {
+  GeneratedDataset ds = BuildManualDataset(5, 24 * 1024);
+  ASSERT_EQ(ds.alternatives.size(), 2u);
+  // The 1-line alternative has 3x the records of the 3-line one.
+  EXPECT_EQ(ds.alternatives[1].size(), ds.alternatives[0].size() * 3);
+  for (const auto& rec : ds.alternatives[1]) {
+    EXPECT_EQ(rec.line_count, 1);
+  }
+}
+
+TEST(ManualDatasetsTest, DeterministicAcrossCalls) {
+  GeneratedDataset a = BuildManualDataset(2, 24 * 1024);
+  GeneratedDataset b = BuildManualDataset(2, 24 * 1024);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.records().size(), b.records().size());
+}
+
+TEST(ManualDatasetsTest, VcfScalesToRequestedSize) {
+  GeneratedDataset ds = BuildVcfDataset(512 * 1024);
+  EXPECT_GE(ds.text.size(), 512u * 1024);
+  EXPECT_LE(ds.text.size(), 600u * 1024);
+}
+
+// ----------------------------------------------------------- GitHub corpus --
+
+TEST(GithubCorpusTest, LabelDistributionMatchesPaper) {
+  auto corpus = BuildGithubCorpus(8 * 1024);  // small for speed
+  ASSERT_EQ(corpus.size(), 100u);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& ds : corpus) counts[static_cast<int>(ds.label)]++;
+  EXPECT_EQ(counts[0], kGithubSingleNI);
+  EXPECT_EQ(counts[1], kGithubSingleI);
+  EXPECT_EQ(counts[2], kGithubMultiNI);
+  EXPECT_EQ(counts[3], kGithubMultiI);
+  EXPECT_EQ(counts[4], kGithubNoStructure);
+  // Paper: 31-32% multi-line, 31-32% interleaved, ~11% NS.
+  EXPECT_EQ(counts[2] + counts[3], 32);
+  EXPECT_EQ(counts[1] + counts[3], 31);
+}
+
+TEST(GithubCorpusTest, LabelsAreTruthful) {
+  auto corpus = BuildGithubCorpus(8 * 1024);
+  for (const auto& ds : corpus) {
+    switch (ds.label) {
+      case DatasetLabel::kSingleNonInterleaved:
+        EXPECT_EQ(ds.max_record_span, 1) << ds.name;
+        EXPECT_EQ(ds.record_type_count, 1) << ds.name;
+        break;
+      case DatasetLabel::kSingleInterleaved:
+        EXPECT_EQ(ds.max_record_span, 1) << ds.name;
+        EXPECT_GE(ds.record_type_count, 2) << ds.name;
+        break;
+      case DatasetLabel::kMultiNonInterleaved:
+        EXPECT_GE(ds.max_record_span, 2) << ds.name;
+        EXPECT_EQ(ds.record_type_count, 1) << ds.name;
+        break;
+      case DatasetLabel::kMultiInterleaved:
+        EXPECT_GE(ds.max_record_span, 2) << ds.name;
+        EXPECT_GE(ds.record_type_count, 2) << ds.name;
+        break;
+      case DatasetLabel::kNoStructure:
+        EXPECT_TRUE(ds.records().empty()) << ds.name;
+        break;
+    }
+  }
+}
+
+TEST(GithubCorpusTest, HardDatasetsFlagged) {
+  auto corpus = BuildGithubCorpus(8 * 1024);
+  int hard = 0;
+  for (const auto& ds : corpus) {
+    if (ds.expect_hard) ++hard;
+  }
+  EXPECT_GE(hard, 4);  // the paper reports 4 exhaustive failures
+}
+
+TEST(GithubCorpusTest, SizesMeetGithubSearchCriterion) {
+  // Paper criterion (b): length greater than 20000.
+  auto ds = BuildGithubDataset(0);
+  EXPECT_GT(ds.text.size(), 20000u);
+}
+
+}  // namespace
+}  // namespace datamaran

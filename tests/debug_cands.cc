@@ -1,0 +1,26 @@
+#include <cstdio>
+#include <cstdlib>
+#include "datagen/manual_datasets.h"
+#include "generation/generator.h"
+#include "util/sampler.h"
+#include "util/strings.h"
+using namespace datamaran;
+int main(int argc, char** argv) {
+  int index = argc > 1 ? std::atoi(argv[1]) : 11;
+  GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
+  Dataset sample(SampleLines(ds.text, SamplerOptions()));
+  DatamaranOptions opts;
+  CandidateGenerator gen(&sample, &opts);
+  std::printf("search chars: '%s'\n",
+              EscapeForDisplay(std::string(gen.search_chars().begin(),
+                                           gen.search_chars().end())).c_str());
+  std::vector<CandidateTemplate> out;
+  double best = gen.RunCharset(CharSet::Of(";"), &out);
+  std::printf("charset {;}: best G=%.3g, %zu candidates\n", best, out.size());
+  for (auto& c : out) {
+    std::printf("  G=%.3g cov=%.2f span=%d %s\n", c.assimilation(),
+                c.coverage / sample.size_bytes(), c.span,
+                EscapeForDisplay(c.canonical).c_str());
+  }
+  return 0;
+}

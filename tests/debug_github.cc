@@ -1,0 +1,18 @@
+#include <cstdio>
+#include <cstdlib>
+#include "core/datamaran.h"
+#include "datagen/github_corpus.h"
+#include "evalharness/criterion.h"
+using namespace datamaran;
+int main(int argc, char** argv) {
+  int idx = argc > 1 ? std::atoi(argv[1]) : 44;
+  GeneratedDataset ds = BuildGithubDataset(idx);
+  DatamaranOptions opts; opts.verbose = true;
+  Datamaran dm(opts);
+  PipelineResult r = dm.ExtractText(std::string(ds.text));
+  for (auto& t : r.templates) printf("T: %s\n", t.Display().c_str());
+  auto rep = CheckExtraction(ds, UnitsFromPipeline(r, ds.text));
+  printf("%s success=%d %s\n", ds.name.c_str(), rep.success?1:0,
+         rep.failure_reason.c_str());
+  return 0;
+}

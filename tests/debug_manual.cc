@@ -1,0 +1,32 @@
+// Developer scratch tool: inspect pipeline behavior on a manual dataset.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/datamaran.h"
+#include "datagen/manual_datasets.h"
+#include "evalharness/criterion.h"
+#include "util/strings.h"
+
+using namespace datamaran;
+
+int main(int argc, char** argv) {
+  int index = argc > 1 ? std::atoi(argv[1]) : 10;
+  GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
+  std::printf("dataset %s, %zu records\n", ds.name.c_str(),
+              ds.records().size());
+  std::printf("first 300 bytes:\n%s\n---\n",
+              EscapeForDisplay(ds.text.substr(0, 300)).c_str());
+  DatamaranOptions opts;
+  opts.verbose = true;
+  Datamaran dm(opts);
+  PipelineResult result = dm.ExtractText(std::string(ds.text));
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    std::printf("template %zu: %s\n", t, result.templates[t].Display().c_str());
+  }
+  std::printf("records=%zu noise=%zu\n", result.extraction.records.size(),
+              result.extraction.noise_lines.size());
+  auto report = CheckExtraction(ds, UnitsFromPipeline(result, ds.text));
+  std::printf("success=%d reason=%s\n", report.success ? 1 : 0,
+              report.failure_reason.c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include <cstdio>
+#include "core/datamaran.h"
+#include "datagen/spec.h"
+#include "datagen/values.h"
+#include "evalharness/criterion.h"
+#include "util/rng.h"
+#include "scoring/mdl.h"
+#include "util/strings.h"
+using namespace datamaran;
+// replicate property test format logic for seed 1
+struct RandomFormat { std::vector<char> seps; std::vector<int> kinds; std::string lead; };
+RandomFormat MakeFormat(Rng* rng) {
+  RandomFormat fmt;
+  std::string sep_pool = ",;|: =#";
+  for (size_t i = sep_pool.size(); i > 1; --i)
+    std::swap(sep_pool[i-1], sep_pool[(size_t)rng->Uniform(0, i-1)]);
+  int fields = (int)rng->Uniform(2, 6);
+  if (rng->Bernoulli(0.4)) fmt.lead = std::string(1, sep_pool[(size_t)fields]);
+  for (int i = 0; i < fields; ++i) {
+    fmt.kinds.push_back((int)rng->Uniform(0, 3));
+    fmt.seps.push_back(i+1==fields ? '\n' : sep_pool[(size_t)i]);
+  }
+  return fmt;
+}
+std::string RenderValue(Rng* rng, int kind) {
+  switch (kind) {
+    case 0: return GenInt(rng, 0, 99999);
+    case 1: return GenName(rng);
+    case 2: return GenReal(rng, 0, 999, 2);
+    default: return GenAlnum(rng, (int)rng->Uniform(2, 10));
+  }
+}
+int main() {
+  Rng rng(1 * 7919 + 13);
+  for (int iter = 0; iter < 3; ++iter) {
+    RandomFormat fmt = MakeFormat(&rng);
+    DatasetBuilder b;
+    for (int r = 0; r < 400; ++r) {
+      if (rng.Bernoulli(0.05)) b.NoiseLine("?? " + GenAlnum(&rng, (int)rng.Uniform(4, 30)));
+      b.BeginRecord(0);
+      b.Append(fmt.lead);
+      for (size_t i = 0; i < fmt.kinds.size(); ++i) {
+        b.Target("f" + std::to_string(i), RenderValue(&rng, fmt.kinds[i]));
+        b.Append(std::string_view(&fmt.seps[i], 1));
+      }
+      b.EndRecord();
+    }
+    GeneratedDataset ds = b.Build("random", DatasetLabel::kSingleNonInterleaved);
+    if (iter != 2) continue;
+    printf("sample:\n%s\n", EscapeForDisplay(ds.text.substr(0, 200)).c_str());
+    DatamaranOptions opts; opts.max_special_chars = 8;
+    Datamaran dm(opts);
+    PipelineResult result = dm.ExtractText(std::string(ds.text));
+    for (auto& t : result.templates) printf("T: %s\n", t.Display().c_str());
+    {
+      MdlScorer scorer; Dataset d2{std::string(ds.text)};
+      for (const char* c : {"=F;F|F,F\n", "=F F:F;F.F|F.F,F\n", "=F F:F;F|F,F\n"}) {
+        auto st = StructureTemplate::FromCanonical(c);
+        if (!st.ok()) { printf("parse fail %s\n", c); continue; }
+        auto bb = scorer.Evaluate(d2, st.value());
+        printf("score %-24s total=%.0f rec=%zu noise=%zu\n",
+               EscapeForDisplay(c).c_str(), bb.total_bits, bb.records, bb.noise_lines);
+      }
+    }
+    auto rep = CheckExtraction(ds, UnitsFromPipeline(result, ds.text));
+    printf("success=%d %s\n", rep.success?1:0, rep.failure_reason.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Developer scratch tool: dump top candidates by MDL with refined scores.
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include "datagen/manual_datasets.h"
+#include "generation/generator.h"
+#include "pruning/pruner.h"
+#include "refinement/refiner.h"
+#include "scoring/mdl.h"
+#include "util/sampler.h"
+#include "util/strings.h"
+using namespace datamaran;
+int main(int argc, char** argv) {
+  int index = argc > 1 ? std::atoi(argv[1]) : 2;
+  GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
+  Dataset sample(SampleLines(ds.text, SamplerOptions()));
+  DatamaranOptions opts;
+  CandidateGenerator gen(&sample, &opts);
+  auto retained = PruneCandidates(gen.Run().candidates, 50);
+  MdlScorer scorer;
+  struct Row { std::string canon; double score; double refined; std::string rcanon; };
+  std::vector<Row> rows;
+  Refiner refiner(&sample, &scorer, &opts);
+  for (auto& c : retained) {
+    auto st = StructureTemplate::FromCanonical(c.canonical);
+    if (!st.ok() || !st->Validate().ok()) continue;
+    double s = scorer.Score(sample, st.value());
+    rows.push_back({c.canonical, s, 0, ""});
+  }
+  std::sort(rows.begin(), rows.end(), [](auto&a, auto&b){return a.score<b.score;});
+  for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+    auto st = StructureTemplate::FromCanonical(rows[i].canon);
+    auto r = refiner.Refine(st.value());
+    std::printf("#%zu pre=%.0f post=%.0f\n   %s\n-> %s\n", i, rows[i].score,
+                r.score, EscapeForDisplay(rows[i].canon).c_str(),
+                r.st.Display().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Developer scratch tool: compare MDL scores of specific templates on a
+// manual dataset. Usage: debug_scores <dataset_index> <canonical>...
+#include <cstdio>
+#include <cstdlib>
+#include "core/dataset.h"
+#include "datagen/manual_datasets.h"
+#include "scoring/mdl.h"
+#include "util/strings.h"
+using namespace datamaran;
+int main(int argc, char** argv) {
+  int index = argc > 1 ? std::atoi(argv[1]) : 10;
+  GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
+  Dataset data{std::string(ds.text)};
+  MdlScorer scorer;
+  for (int a = 2; a < argc; ++a) {
+    std::string canon = ReplaceAll(argv[a], "\\n", "\n");
+    canon = ReplaceAll(canon, "\\t", "\t");
+    auto st = StructureTemplate::FromCanonical(canon);
+    if (!st.ok()) { std::printf("parse fail: %s\n", argv[a]); continue; }
+    auto b = scorer.Evaluate(data, st.value());
+    std::printf("%-40s total=%.0f rec=%.0f noise=%.0f records=%zu noiselines=%zu\n",
+                argv[a], b.total_bits, b.record_bits, b.noise_bits, b.records,
+                b.noise_lines);
+  }
+  return 0;
+}

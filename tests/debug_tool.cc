@@ -1,0 +1,84 @@
+// Developer scratch tool: prints the candidate ranking and MDL scores for a
+// synthetic dataset. Not registered with ctest.
+#include <cstdio>
+#include <string>
+
+#include "core/datamaran.h"
+#include "generation/generator.h"
+#include "pruning/pruner.h"
+#include "scoring/mdl.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace datamaran;
+
+std::string WebLog(int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (int i = 0; i < rows; ++i) {
+    text += std::to_string(rng.Uniform(1, 255)) + "." +
+            std::to_string(rng.Uniform(0, 255)) + "." +
+            std::to_string(rng.Uniform(0, 255)) + "." +
+            std::to_string(rng.Uniform(1, 255)) + " " +
+            std::to_string(rng.Uniform(10, 23)) + ":" +
+            std::to_string(rng.Uniform(10, 59)) + ":" +
+            std::to_string(rng.Uniform(10, 59)) + " " +
+            std::to_string(rng.Uniform(200, 504)) + "\n";
+  }
+  return text;
+}
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "weblog";
+  std::string text;
+  if (mode == "weblog") {
+    text = WebLog(300, 2);
+    Rng rng(3);
+    std::string noisy;
+    size_t pos = 0;
+    int line = 0;
+    while (pos < text.size()) {
+      size_t nl = text.find('\n', pos);
+      noisy.append(text, pos, nl - pos + 1);
+      pos = nl + 1;
+      if (++line % 10 == 0) {
+        noisy += "### server restarted unexpectedly corrupt" +
+                 std::to_string(rng.Uniform(0, 999999)) + "\n";
+      }
+    }
+    text = noisy;
+  } else if (mode == "json") {
+    Rng rng(4);
+    for (int i = 0; i < 150; ++i) {
+      text += "{\n";
+      text += "  id: " + std::to_string(i) + ",\n";
+      text += "  lat: " + std::to_string(rng.Uniform(0, 90)) + "." +
+              std::to_string(rng.Uniform(0, 9999)) + ",\n";
+      text += "}\n";
+    }
+  }
+
+  Dataset data(std::move(text));
+  DatamaranOptions opts;
+  opts.max_special_chars = 6;
+  CandidateGenerator gen(&data, &opts);
+  GenerationResult result = gen.Run();
+  auto pruned = PruneCandidates(std::move(result.candidates), 50);
+  MdlScorer scorer;
+  std::printf("%zu candidates after pruning (of %zu)\n", pruned.size(),
+              result.records_hashed);
+  int shown = 0;
+  for (const auto& cand : pruned) {
+    auto st = StructureTemplate::FromCanonical(cand.canonical);
+    if (!st.ok() || !st->Validate().ok()) continue;
+    MdlBreakdown b = scorer.Evaluate(data, st.value());
+    std::printf(
+        "G=%.3g cov=%.2f nfcov=%.0f span=%d | MDL=%.0f (noise-only %.0f) "
+        "rec=%zu noiselines=%zu | %s\n",
+        cand.assimilation(), cand.coverage / data.size_bytes(),
+        cand.non_field_coverage, cand.span, b.total_bits, b.noise_only_bits,
+        b.records, b.noise_lines, EscapeForDisplay(cand.canonical).c_str());
+    if (++shown >= 15) break;
+  }
+  return 0;
+}

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/datamaran.h"
+#include "datagen/manual_datasets.h"
+#include "evalharness/accuracy.h"
+#include "evalharness/criterion.h"
+#include "evalharness/wrangle.h"
+#include "evalharness/wrangle_search.h"
+
+namespace datamaran {
+namespace {
+
+// ------------------------------------------------------------- criterion --
+
+GeneratedDataset TinyDataset() {
+  DatasetBuilder b;
+  // IPs of different lengths, so a merged "ip code" field admits no
+  // constant-Trim reconstruction of either target.
+  const char* ips[] = {"10.0.0.1", "10.0.0.222", "10.22.33.44"};
+  for (int i = 0; i < 3; ++i) {
+    b.BeginRecord(0);
+    b.Target("ip", ips[i]);
+    b.Append(" ");
+    b.Target("code", std::to_string(200 + i));
+    b.Append("\n");
+    b.EndRecord();
+  }
+  return b.Build("tiny", DatasetLabel::kSingleNonInterleaved);
+}
+
+RecordUnits MakeUnits(const GroundTruthRecord& gt,
+                      std::vector<std::pair<size_t, size_t>> units,
+                      int type = 0) {
+  RecordUnits r;
+  r.type = type;
+  r.begin = gt.begin;
+  r.end = gt.end;
+  r.units = std::move(units);
+  return r;
+}
+
+TEST(CriterionTest, PerfectExtractionSucceeds) {
+  GeneratedDataset ds = TinyDataset();
+  std::vector<RecordUnits> extracted;
+  for (const auto& gt : ds.records()) {
+    extracted.push_back(MakeUnits(
+        gt, {{gt.targets[0].begin, gt.targets[0].end},
+             {gt.targets[1].begin, gt.targets[1].end}}));
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_TRUE(report.success) << report.failure_reason;
+}
+
+TEST(CriterionTest, FinerGranularitySucceeds) {
+  // The IP split into 4 fields with constant '.' gaps reconstructs fine
+  // (Figure 13's successful example).
+  GeneratedDataset ds = TinyDataset();
+  std::vector<RecordUnits> extracted;
+  for (const auto& gt : ds.records()) {
+    const TargetSpan& ip = gt.targets[0];
+    std::vector<std::pair<size_t, size_t>> units;
+    size_t start = ip.begin;
+    for (size_t p = ip.begin; p <= ip.end; ++p) {
+      if (p == ip.end || ds.text[p] == '.') {
+        units.emplace_back(start, p);
+        start = p + 1;
+      }
+    }
+    units.emplace_back(gt.targets[1].begin, gt.targets[1].end);
+    extracted.push_back(MakeUnits(gt, std::move(units)));
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_TRUE(report.success) << report.failure_reason;
+}
+
+TEST(CriterionTest, MergedTargetsFail) {
+  // One unit covering "ip code" merged: the Figure 13 unsuccessful case —
+  // the boundary inside varies (IP length differs), so no constant Trim
+  // reconstructs the code.
+  GeneratedDataset ds = TinyDataset();
+  std::vector<RecordUnits> extracted;
+  for (const auto& gt : ds.records()) {
+    extracted.push_back(
+        MakeUnits(gt, {{gt.targets[0].begin, gt.targets[1].end}}));
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_FALSE(report.success);
+}
+
+TEST(CriterionTest, WrongBoundariesFail) {
+  GeneratedDataset ds = TinyDataset();
+  std::vector<RecordUnits> extracted;
+  for (const auto& gt : ds.records()) {
+    RecordUnits r = MakeUnits(gt, {});
+    r.end -= 1;  // cut off the newline
+    extracted.push_back(r);
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.boundaries_ok);
+}
+
+TEST(CriterionTest, TypeSplitFails) {
+  GeneratedDataset ds = TinyDataset();
+  std::vector<RecordUnits> extracted;
+  int t = 0;
+  for (const auto& gt : ds.records()) {
+    extracted.push_back(MakeUnits(
+        gt, {{gt.targets[0].begin, gt.targets[0].end}}, t++ % 2));
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.failure_reason.find("split"), std::string::npos);
+}
+
+TEST(CriterionTest, TrimModeSucceedsWithConstantOverhang) {
+  // Unit = "[code]" while the target is just "code": constant 1-char
+  // overhangs are reconstructable via Trim.
+  DatasetBuilder b;
+  for (int i = 0; i < 3; ++i) {
+    b.BeginRecord(0);
+    b.Append("[");
+    b.Target("code", std::to_string(100 + i));
+    b.Append("]\n");
+    b.EndRecord();
+  }
+  GeneratedDataset ds = b.Build("trim", DatasetLabel::kSingleNonInterleaved);
+  std::vector<RecordUnits> extracted;
+  for (const auto& gt : ds.records()) {
+    extracted.push_back(
+        MakeUnits(gt, {{gt.targets[0].begin - 1, gt.targets[0].end + 1}}));
+  }
+  auto report = CheckExtraction(ds, extracted);
+  EXPECT_TRUE(report.success) << report.failure_reason;
+}
+
+TEST(CriterionTest, NoStructureWantsNothing) {
+  DatasetBuilder b;
+  b.NoiseLine("random stuff");
+  GeneratedDataset ds = b.Build("ns", DatasetLabel::kNoStructure);
+  EXPECT_TRUE(CheckExtraction(ds, {}).success);
+  RecordUnits junk;
+  junk.begin = 0;
+  junk.end = 5;
+  EXPECT_FALSE(CheckExtraction(ds, {junk}).success);
+}
+
+// --------------------------------------------- end-to-end with Datamaran --
+
+TEST(CriterionIntegrationTest, DatamaranPassesOnWebServerLog) {
+  GeneratedDataset ds = BuildManualDataset(2, 48 * 1024);  // web server log
+  DatamaranOptions opts;
+  opts.max_special_chars = 8;
+  Datamaran dm(opts);
+  PipelineResult result = dm.ExtractText(std::string(ds.text));
+  auto report = CheckExtraction(ds, UnitsFromPipeline(result, ds.text));
+  EXPECT_TRUE(report.success) << report.failure_reason;
+}
+
+TEST(CriterionIntegrationTest, RecordBreakerFailsOnMultiLine) {
+  GeneratedDataset ds = BuildManualDataset(15, 32 * 1024);  // Thailand
+  RecordBreaker rb;
+  Dataset data{std::string(ds.text)};
+  auto report =
+      CheckExtraction(ds, UnitsFromRecordBreaker(rb.Extract(data), data));
+  EXPECT_FALSE(report.success);
+}
+
+TEST(CriterionIntegrationTest, EvaluateDatasetRunsAllTools) {
+  GeneratedDataset ds = BuildManualDataset(1, 24 * 1024);  // comma-sep
+  DatamaranOptions opts;
+  opts.max_special_chars = 6;
+  EvalTools tools;
+  tools.run_exhaustive = true;
+  tools.run_greedy = true;
+  tools.run_recordbreaker = true;
+  DatasetOutcome outcome = EvaluateDataset(ds, opts, tools);
+  EXPECT_TRUE(outcome.dm_exhaustive) << outcome.dm_exhaustive_reason;
+  EXPECT_TRUE(outcome.dm_greedy) << outcome.dm_greedy_reason;
+  EXPECT_TRUE(outcome.rb) << outcome.rb_reason;
+  EXPECT_GT(outcome.dm_exhaustive_seconds, 0);
+}
+
+// ---------------------------------------------------------------- wrangle --
+
+Table LinesTable(const std::vector<std::string>& lines) {
+  Table t;
+  t.name = "raw";
+  t.columns = {"line"};
+  for (const auto& l : lines) t.rows.push_back({l});
+  return t;
+}
+
+TEST(WrangleTest, ConcatenateWithGlue) {
+  Table t;
+  t.columns = {"a", "b"};
+  t.rows = {{"1", "2"}, {"3", "4"}};
+  ASSERT_TRUE(OpConcatenate(&t, {0, 1}, {"", ".", ""}, "c"));
+  EXPECT_EQ(t.rows[0][2], "1.2");
+  EXPECT_EQ(t.rows[1][2], "3.4");
+}
+
+TEST(WrangleTest, SplitRagged) {
+  Table t;
+  t.columns = {"x"};
+  t.rows = {{"a,b,c"}, {"d,e"}};
+  ASSERT_TRUE(OpSplit(&t, 0, ','));
+  ASSERT_EQ(t.columns.size(), 4u);
+  EXPECT_EQ(t.rows[0][3], "c");
+  EXPECT_EQ(t.rows[1][3], "");
+}
+
+TEST(WrangleTest, FlashFillTrims) {
+  Table t;
+  t.columns = {"x"};
+  t.rows = {{"[42]"}, {"[7]"}};
+  ASSERT_TRUE(OpFlashFill(&t, 0, 1, 1, "y"));
+  EXPECT_EQ(t.rows[0][1], "42");
+  EXPECT_EQ(t.rows[1][1], "7");
+}
+
+TEST(WrangleTest, OffsetReshape) {
+  Table t = LinesTable({"a1", "b1", "a2", "b2"});
+  auto r = OpOffsetReshape(t, 2);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][0], "a2");
+  EXPECT_EQ(r->rows[1][1], "b2");
+  EXPECT_FALSE(OpOffsetReshape(t, 3).has_value());
+}
+
+// ----------------------------------------------------------- plan search --
+
+TEST(PlanTest, ExactColumnsCostZero) {
+  Table start;
+  start.columns = {"a", "b"};
+  start.rows = {{"1", "x"}, {"2", "y"}};
+  Table target;
+  target.columns = {"a"};
+  target.rows = {{"1"}, {"2"}};
+  auto plan = PlanTransformation({start}, target);
+  ASSERT_TRUE(plan.feasible) << plan.failure_reason;
+  EXPECT_EQ(plan.ops, 0);
+}
+
+TEST(PlanTest, ConcatNeeded) {
+  Table start;
+  start.columns = {"a", "b"};
+  start.rows = {{"192", "168"}, {"10", "0"}};
+  Table target;
+  target.columns = {"ip"};
+  target.rows = {{"192.168"}, {"10.0"}};
+  auto plan = PlanTransformation({start}, target);
+  ASSERT_TRUE(plan.feasible) << plan.failure_reason;
+  EXPECT_GE(plan.ops, 1);
+}
+
+TEST(PlanTest, OffsetForMultiLine) {
+  Table start = LinesTable({"k: a", "v: 1", "k: b", "v: 2"});
+  Table target;
+  target.columns = {"key", "val"};
+  target.rows = {{"a", "1"}, {"b", "2"}};
+  auto plan = PlanTransformation({start}, target);
+  ASSERT_TRUE(plan.feasible) << plan.failure_reason;
+  EXPECT_GE(plan.ops, 2);  // at least the two Offset formulas
+}
+
+TEST(PlanTest, NoiseBreaksOffset) {
+  // 5 lines for 2 records: not divisible -> infeasible, like participants
+  // failing on the noisy multi-line dataset.
+  Table start = LinesTable({"k: a", "v: 1", "NOISE", "k: b", "v: 2"});
+  Table target;
+  target.columns = {"key"};
+  target.rows = {{"a"}, {"b"}};
+  auto plan = PlanTransformation({start}, target);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PlanTest, SplitThenPick) {
+  Table start = LinesTable({"a,1", "b,2"});
+  Table target;
+  target.columns = {"id"};
+  target.rows = {{"1"}, {"2"}};
+  auto plan = PlanTransformation({start}, target);
+  ASSERT_TRUE(plan.feasible) << plan.failure_reason;
+  EXPECT_GE(plan.ops, 1);
+}
+
+}  // namespace
+}  // namespace datamaran

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dataset.h"
+#include "extraction/extractor.h"
+#include "extraction/relational.h"
+#include "template/template.h"
+
+namespace datamaran {
+namespace {
+
+StructureTemplate MustParse(std::string_view canonical) {
+  auto r = StructureTemplate::FromCanonical(canonical);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r.value());
+}
+
+TEST(ExtractorTest, SingleTemplateWithNoise) {
+  Dataset data("a,b\nnoise here\nc,d\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("F,F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  ASSERT_EQ(out.records.size(), 2u);
+  ASSERT_EQ(out.noise_lines.size(), 1u);
+  EXPECT_EQ(out.noise_lines[0], 1u);
+  EXPECT_EQ(out.records[0].first_line, 0u);
+  EXPECT_EQ(out.records[1].first_line, 2u);
+  EXPECT_GT(out.coverage(), 0.4);
+  EXPECT_LT(out.coverage(), 0.6);
+}
+
+TEST(ExtractorTest, InterleavedTypesGetDistinctIds) {
+  Dataset data("a,b\nx=1;\nc,d\ny=2;\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("F,F\n"));
+  ts.push_back(MustParse("F=F;\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  ASSERT_EQ(out.records.size(), 4u);
+  EXPECT_EQ(out.records[0].template_id, 0);
+  EXPECT_EQ(out.records[1].template_id, 1);
+  EXPECT_EQ(out.records[2].template_id, 0);
+  EXPECT_EQ(out.records[3].template_id, 1);
+  EXPECT_TRUE(out.noise_lines.empty());
+  EXPECT_DOUBLE_EQ(out.coverage(), 1.0);
+}
+
+TEST(ExtractorTest, MultiLineRecordSkipsSpan) {
+  Dataset data("k: a\nv: 1\nk: b\nv: 2\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("k: F\nv: F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[0].line_count, 2);
+  EXPECT_EQ(out.records[1].first_line, 2u);
+}
+
+TEST(ExtractorTest, PriorityOrderBreaksTies) {
+  // Both templates match "1,2"; the first wins.
+  Dataset data("1,2\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("(F,)*F\n"));
+  ts.push_back(MustParse("F,F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].template_id, 0);
+}
+
+TEST(ExtractorTest, StreamingSinkSeesEverything) {
+  class Counter : public RecordSink {
+   public:
+    int records = 0, noise = 0;
+    void OnRecord(int, size_t, ParsedValue&&) override { ++records; }
+    void OnNoiseLine(size_t) override { ++noise; }
+  };
+  Dataset data("a,b\nnoise\nc,d\nmore noise\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("F,F\n"));
+  Extractor ex(&ts);
+  Counter counter;
+  ex.ExtractStreaming(data, &counter);
+  EXPECT_EQ(counter.records, 2);
+  EXPECT_EQ(counter.noise, 2);
+}
+
+// ------------------------------------------------------------ relational --
+
+TEST(RelationalTest, DenormalizedSimpleStruct) {
+  Dataset data("a,1\nb,2\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("F,F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  Table t = DenormalizedTable(ts[0], out.records, data.text(), 0, "T");
+  ASSERT_EQ(t.columns.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "a");
+  EXPECT_EQ(t.rows[0][1], "1");
+  EXPECT_EQ(t.rows[1][1], "2");
+}
+
+TEST(RelationalTest, DenormalizedArrayJoinsWithSeparator) {
+  Dataset data("a,b,c\nx\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("(F,)*F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  Table t = DenormalizedTable(ts[0], out.records, data.text(), 0, "T");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "a,b,c");
+  EXPECT_EQ(t.rows[1][0], "x");
+}
+
+TEST(RelationalTest, NormalizedArrayChildTable) {
+  Dataset data("a,b,c\nx,y\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("(F,)*F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  auto tables = NormalizedTables(ts[0], out.records, data.text(), 0, "T");
+  ASSERT_EQ(tables.size(), 2u);
+  // Root: one row per record, no direct fields.
+  EXPECT_EQ(tables[0].rows.size(), 2u);
+  ASSERT_EQ(tables[0].columns.size(), 1u);
+  // Child: one row per element, FK to parent and position.
+  ASSERT_EQ(tables[1].columns.size(), 4u);
+  ASSERT_EQ(tables[1].rows.size(), 5u);
+  EXPECT_EQ(tables[1].rows[0][1], "0");  // parent_id
+  EXPECT_EQ(tables[1].rows[0][2], "0");  // pos
+  EXPECT_EQ(tables[1].rows[0][3], "a");
+  EXPECT_EQ(tables[1].rows[3][1], "1");
+  EXPECT_EQ(tables[1].rows[3][3], "x");
+}
+
+TEST(RelationalTest, NormalizedMixedStructAndArray) {
+  Dataset data("bob:1,2,3\nann:4\n");
+  std::vector<StructureTemplate> ts;
+  ts.push_back(MustParse("F:(F,)*F\n"));
+  Extractor ex(&ts);
+  ExtractionResult out = ex.Extract(data);
+  auto tables = NormalizedTables(ts[0], out.records, data.text(), 0, "T");
+  ASSERT_EQ(tables.size(), 2u);
+  ASSERT_EQ(tables[0].columns.size(), 2u);  // id + name field
+  EXPECT_EQ(tables[0].rows[0][1], "bob");
+  EXPECT_EQ(tables[0].rows[1][1], "ann");
+  ASSERT_EQ(tables[1].rows.size(), 4u);
+  EXPECT_EQ(tables[1].rows[3][1], "1");  // ann's single element
+  EXPECT_EQ(tables[1].rows[3][3], "4");
+}
+
+TEST(RelationalTest, CsvEscaping) {
+  Table t;
+  t.name = "x";
+  t.columns = {"a", "b"};
+  t.rows = {{"plain", "has,comma"}, {"has\"quote", "has\nnewline"}};
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\nnewline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datamaran

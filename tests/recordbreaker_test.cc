@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dataset.h"
+#include "recordbreaker/lexer.h"
+#include "recordbreaker/recordbreaker.h"
+#include "util/rng.h"
+
+namespace datamaran {
+namespace {
+
+// ----------------------------------------------------------------- lexer --
+
+std::string Sig(std::string_view line) {
+  return RbSignatureString(RbTokenize(line));
+}
+
+TEST(RbLexerTest, BasicClasses) {
+  EXPECT_EQ(Sig("hello 42"), "WORD _ INT");
+  EXPECT_EQ(Sig("3.25"), "FLOAT");
+  EXPECT_EQ(Sig("-17"), "INT");
+  EXPECT_EQ(Sig("a,b"), "WORD ',' WORD");
+}
+
+TEST(RbLexerTest, IpAndTime) {
+  EXPECT_EQ(Sig("192.168.0.1"), "IP");
+  EXPECT_EQ(Sig("14:23:07"), "TIME");
+  EXPECT_EQ(Sig("14:23"), "TIME");
+  EXPECT_EQ(Sig("2016-04-22"), "DATE");
+  EXPECT_EQ(Sig("22/04/2016"), "DATE");
+}
+
+TEST(RbLexerTest, QuotedString) {
+  EXPECT_EQ(Sig("\"GET /x\" 200"), "QUOTED _ INT");
+  // Unterminated quote degrades to punctuation + rest.
+  EXPECT_EQ(Sig("\"abc"), "'\"' WORD");
+}
+
+TEST(RbLexerTest, SpansAreExact) {
+  auto tokens = RbTokenize("ab 12");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 2u);
+  EXPECT_EQ(tokens[2].begin, 3u);
+  EXPECT_EQ(tokens[2].end, 5u);
+}
+
+TEST(RbLexerTest, ValueVsStructureTokens) {
+  auto tokens = RbTokenize("a, b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].IsValue());
+  EXPECT_FALSE(tokens[1].IsValue());  // ','
+  EXPECT_FALSE(tokens[2].IsValue());  // space
+  EXPECT_TRUE(tokens[3].IsValue());
+}
+
+TEST(RbLexerTest, DotsBetweenNumbersPreferIpThenFloat) {
+  EXPECT_EQ(Sig("1.2.3"), "FLOAT '.' INT");  // not an IP (3 parts)
+  EXPECT_EQ(Sig("1.2.3.4.5"), "IP '.' INT");
+}
+
+// ------------------------------------------------------------- inference --
+
+TEST(RecordBreakerTest, UniformCsvIsOneBranchStruct) {
+  Rng rng(1);
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += std::to_string(rng.Uniform(0, 99)) + "," +
+            std::to_string(rng.Uniform(0, 99)) + "\n";
+  }
+  Dataset data(std::move(text));
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  EXPECT_EQ(result.branch_count, 1);
+  ASSERT_EQ(result.records.size(), 100u);
+  EXPECT_EQ(result.records[0].fields.size(), 2u);
+}
+
+TEST(RecordBreakerTest, EveryLineBecomesARecord) {
+  Dataset data("a,1\nnot structured at all here\nb,2\n");
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  // Assumption 4: no noise concept, three lines -> three records.
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST(RecordBreakerTest, VariableWordCountsUnifyViaArray) {
+  Rng rng(2);
+  std::string text;
+  for (int i = 0; i < 120; ++i) {
+    int words = static_cast<int>(rng.Uniform(2, 7));
+    std::string line = "w0";
+    for (int w = 1; w < words; ++w) line += " w" + std::to_string(w);
+    text += line + "\n";
+  }
+  Dataset data(std::move(text));
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  // The space anchor has varying counts -> one array-unified branch.
+  EXPECT_EQ(result.branch_count, 1);
+  ASSERT_NE(result.schema, nullptr);
+  EXPECT_NE(result.schema->ToString().find("Array"), std::string::npos)
+      << result.schema->ToString();
+}
+
+TEST(RecordBreakerTest, MixedTypeColumnUnifiedByStructSplit) {
+  Rng rng(3);
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    // 'user' is sometimes a word, sometimes a number; the ':' anchor still
+    // struct-splits every line into one branch (the union sits below).
+    text += "login:";
+    text += rng.Bernoulli(0.5) ? "alice" : "1234";
+    text += "\n";
+  }
+  Dataset data(std::move(text));
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  EXPECT_EQ(result.branch_count, 1);
+}
+
+TEST(RecordBreakerTest, DisjointSignaturesSplitBranches) {
+  Rng rng(4);
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      text += "alpha=" + std::to_string(rng.Uniform(0, 99)) + "\n";
+    } else {
+      text += std::to_string(rng.Uniform(0, 9)) + "," +
+              std::to_string(rng.Uniform(0, 9)) + "," +
+              std::to_string(rng.Uniform(0, 9)) + "\n";
+    }
+  }
+  Dataset data(std::move(text));
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  // Neither '=' nor ',' reaches MinCoverage, so the lines cluster into two
+  // union branches.
+  EXPECT_GE(result.branch_count, 2);
+}
+
+TEST(RecordBreakerTest, SchemaToStringSmoke) {
+  Dataset data("a=1\nb=2\nc=3\n");
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  std::string s = result.schema->ToString();
+  EXPECT_NE(s.find("WORD"), std::string::npos);
+  EXPECT_NE(s.find("'='"), std::string::npos);
+  EXPECT_NE(s.find("INT"), std::string::npos);
+}
+
+TEST(RecordBreakerTest, FieldSpansAreAbsoluteOffsets) {
+  Dataset data("xy 1\nzw 2\n");
+  RecordBreaker rb;
+  auto result = rb.Extract(data);
+  ASSERT_EQ(result.records.size(), 2u);
+  const auto& rec1 = result.records[1];
+  ASSERT_EQ(rec1.fields.size(), 2u);
+  EXPECT_EQ(data.text().substr(rec1.fields[0].first,
+                               rec1.fields[0].second - rec1.fields[0].first),
+            "zw");
+}
+
+}  // namespace
+}  // namespace datamaran

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dataset.h"
+#include "scoring/field_stats.h"
+#include "scoring/mdl.h"
+#include "template/matcher.h"
+#include "template/template.h"
+#include "util/rng.h"
+
+namespace datamaran {
+namespace {
+
+StructureTemplate MustParse(std::string_view canonical) {
+  auto r = StructureTemplate::FromCanonical(canonical);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r.value());
+}
+
+// ------------------------------------------------------------ field types --
+
+TEST(ColumnStatsTest, IntColumn) {
+  ColumnStats col;
+  for (int i = 0; i < 100; ++i) col.Add(std::to_string(i % 16));
+  EXPECT_TRUE(col.all_int());
+  // 16 distinct small ints: enum and int are both valid; either way the
+  // per-value cost is 4 bits.
+  FieldType t = col.InferType();
+  EXPECT_TRUE(t == FieldType::kInt || t == FieldType::kEnum);
+  EXPECT_LT(col.BestBits(), col.TotalBits(FieldType::kString));
+}
+
+TEST(ColumnStatsTest, ConstantColumnIsNearlyFree) {
+  ColumnStats col;
+  for (int i = 0; i < 50; ++i) col.Add("INFO");
+  EXPECT_EQ(col.distinct_count(), 1u);
+  // log2(1) = 0 bits per value; only dictionary + tag remain.
+  EXPECT_LT(col.TotalBits(FieldType::kEnum), 64.0);
+}
+
+TEST(ColumnStatsTest, RealColumn) {
+  ColumnStats col;
+  col.Add("1.25");
+  col.Add("3.5");
+  col.Add("-2.75");
+  EXPECT_FALSE(col.all_int());
+  EXPECT_TRUE(col.all_real());
+  EXPECT_LT(col.TotalBits(FieldType::kReal),
+            col.TotalBits(FieldType::kString) + 200);
+}
+
+TEST(ColumnStatsTest, StringFallback) {
+  ColumnStats col;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::string s;
+    for (int j = 0; j < 12; ++j) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(0, 25)));
+    }
+    col.Add(s);
+  }
+  EXPECT_FALSE(col.all_int());
+  EXPECT_FALSE(col.all_real());
+  // 100 random 12-char strings: enum dictionary costs as much as spelling
+  // everything out, so either answer is close; just check cost sanity.
+  EXPECT_GE(col.BestBits(), 8.0 * 12 * 100 * 0.5);
+}
+
+TEST(ColumnStatsTest, IntTighterThanStringForWideRanges) {
+  ColumnStats col;
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    col.Add(std::to_string(rng.Uniform(0, 1000000)));
+  }
+  EXPECT_EQ(col.InferType(), FieldType::kInt);
+}
+
+TEST(FieldStatsTest, GammaBitsGrowsLogarithmically) {
+  EXPECT_EQ(GammaBits(1), 1);
+  EXPECT_EQ(GammaBits(2), 3);
+  EXPECT_EQ(GammaBits(4), 5);
+  EXPECT_EQ(GammaBits(1024), 21);
+}
+
+TEST(FieldStatsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(0), 0);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(5), 3);
+}
+
+TEST(TemplateStatsCollectorTest, PoolsArrayRepetitionsIntoOneColumn) {
+  StructureTemplate st = MustParse("(F,)*F\n");
+  TemplateMatcher m(&st);
+  TemplateStatsCollector collector(&st);
+  std::string text = "1,2,3\n4,5\n";
+  Dataset data(std::move(text));
+  for (size_t li = 0; li < data.line_count(); ++li) {
+    auto v = m.Parse(data.text(), data.line_begin(li));
+    ASSERT_TRUE(v.has_value());
+    collector.AddRecord(*v, data.text());
+  }
+  ASSERT_EQ(collector.columns().size(), 1u);
+  EXPECT_EQ(collector.columns()[0].count(), 5u);
+  EXPECT_EQ(collector.record_count(), 2u);
+  // Two arrays of sizes 3 and 2: gamma(3) + gamma(2) = 3 + 3.
+  EXPECT_EQ(collector.ArrayCountBits(), 6);
+}
+
+TEST(TemplateStatsCollectorTest, StructColumnsSeparate) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  TemplateStatsCollector collector(&st);
+  std::string text = "1,a\n2,b\n";
+  Dataset data(std::move(text));
+  for (size_t li = 0; li < data.line_count(); ++li) {
+    auto v = m.Parse(data.text(), data.line_begin(li));
+    ASSERT_TRUE(v.has_value());
+    collector.AddRecord(*v, data.text());
+  }
+  ASSERT_EQ(collector.columns().size(), 2u);
+  EXPECT_TRUE(collector.columns()[0].all_int());
+  EXPECT_FALSE(collector.columns()[1].all_int());
+}
+
+// ------------------------------------------------------------------- MDL --
+
+std::string CsvText(int rows, uint64_t seed = 42) {
+  std::string text;
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    text += std::to_string(rng.Uniform(0, 999)) + "," +
+            std::to_string(rng.Uniform(0, 999)) + "," +
+            std::to_string(rng.Uniform(0, 999)) + "\n";
+  }
+  return text;
+}
+
+TEST(MdlTest, RealTemplateBeatsNoiseEncoding) {
+  Dataset data(CsvText(300));
+  MdlScorer scorer;
+  StructureTemplate st = MustParse("(F,)*F\n");
+  MdlBreakdown b = scorer.Evaluate(data, st);
+  EXPECT_EQ(b.noise_lines, 0u);
+  EXPECT_EQ(b.records, 300u);
+  EXPECT_LT(b.total_bits, b.noise_only_bits * 0.8);
+}
+
+TEST(MdlTest, TrivialTemplateNoBetterThanNoise) {
+  Dataset data(CsvText(300));
+  MdlScorer scorer;
+  StructureTemplate st = MustParse("F\n");
+  MdlBreakdown b = scorer.Evaluate(data, st);
+  // "F\n" turns each line into one random string field: about the same cost
+  // as noise (within a few percent), never a significant win.
+  EXPECT_GT(b.total_bits, b.noise_only_bits * 0.9);
+}
+
+TEST(MdlTest, DoubledVariantTiesWithinFlagTerm) {
+  // With the paper's per-block flag term, a template covering two CSV rows
+  // per record is slightly *cheaper* (half the flags) — the pipeline
+  // prevents such degenerate winners structurally: generation
+  // canonicalizes periodic templates to one period, so the doubled form is
+  // never a candidate (see GenerationTest.StackedVariantsReducedToOnePeriod).
+  Dataset data(CsvText(300));
+  MdlScorer scorer;
+  StructureTemplate one = MustParse("(F,)*F\n");
+  StructureTemplate two = MustParse("(F,)*F\n(F,)*F\n");
+  double d = scorer.Score(data, two) - scorer.Score(data, one);
+  EXPECT_LT(std::abs(d), 300.0);  // within the flag-term magnitude
+}
+
+TEST(MdlTest, UnfoldedCsvBeatsArrayForm) {
+  // Columns have heterogeneous types; unfolding types them separately.
+  std::string text;
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    text += std::string("GET,") + std::to_string(rng.Uniform(0, 20)) + "," +
+            std::to_string(rng.Uniform(100000, 999999)) + "\n";
+  }
+  Dataset data(std::move(text));
+  MdlScorer scorer;
+  StructureTemplate folded = MustParse("(F,)*F\n");
+  StructureTemplate unfolded = MustParse("F,F,F\n");
+  EXPECT_LT(scorer.Score(data, unfolded), scorer.Score(data, folded));
+}
+
+TEST(MdlTest, NoiseChargedPerLine) {
+  Dataset data("complete noise here\nmore noise\n");
+  MdlScorer scorer;
+  StructureTemplate st = MustParse("F=F\n");  // matches nothing
+  MdlBreakdown b = scorer.Evaluate(data, st);
+  EXPECT_EQ(b.records, 0u);
+  EXPECT_EQ(b.noise_lines, 2u);
+  EXPECT_GT(b.noise_bits, 8.0 * 30);
+}
+
+TEST(MdlTest, MultiTemplateSetCoversInterleaved) {
+  std::string text;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    if (i % 2 == 0) {
+      text += "A," + std::to_string(rng.Uniform(0, 99)) + "\n";
+    } else {
+      text += "B=" + std::to_string(rng.Uniform(0, 99)) + ";\n";
+    }
+  }
+  Dataset data(std::move(text));
+  MdlScorer scorer;
+  StructureTemplate a = MustParse("F,F\n");
+  StructureTemplate b = MustParse("F=F;\n");
+  std::vector<const StructureTemplate*> both = {&a, &b};
+  MdlBreakdown set = scorer.EvaluateSet(data, both);
+  EXPECT_EQ(set.noise_lines, 0u);
+  EXPECT_EQ(set.records, 200u);
+  // Using only one template leaves half the file as noise: strictly worse.
+  EXPECT_LT(set.total_bits, scorer.Score(data, a));
+  EXPECT_LT(set.total_bits, scorer.Score(data, b));
+}
+
+TEST(MdlTest, MultiLineTemplateConsumesSpan) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += "id: " + std::to_string(i) + "\nok.\n";
+  }
+  Dataset data(std::move(text));
+  MdlScorer scorer;
+  StructureTemplate st = MustParse("F: F\nF.\n");
+  MdlBreakdown b = scorer.Evaluate(data, st);
+  EXPECT_EQ(b.records, 50u);
+  EXPECT_EQ(b.record_lines, 100u);
+  EXPECT_EQ(b.noise_lines, 0u);
+}
+
+}  // namespace
+}  // namespace datamaran

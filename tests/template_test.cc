@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "template/matcher.h"
+#include "template/record_template.h"
+#include "template/template.h"
+#include "util/rng.h"
+
+namespace datamaran {
+namespace {
+
+StructureTemplate MustParse(std::string_view canonical) {
+  auto r = StructureTemplate::FromCanonical(canonical);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << canonical;
+  return std::move(r.value());
+}
+
+// ----------------------------------------------------- record templates --
+
+TEST(RecordTemplateTest, ReplacesFieldRuns) {
+  CharSet cs = CharSet::Of(",\n");
+  EXPECT_EQ(ExtractRecordTemplate("abc,12,x\n", cs), "F,F,F\n");
+}
+
+TEST(RecordTemplateTest, AdjacentSpecialsKept) {
+  CharSet cs = CharSet::Of(",:\n");
+  EXPECT_EQ(ExtractRecordTemplate("a,,b::c\n", cs), "F,,F::F\n");
+}
+
+TEST(RecordTemplateTest, SpecialsInsideFieldsWhenNotInCharset) {
+  CharSet cs = CharSet::Of(",\n");
+  // ':' is not in the charset so it stays inside the field value.
+  EXPECT_EQ(ExtractRecordTemplate("10:30,ok\n", cs), "F,F\n");
+}
+
+TEST(RecordTemplateTest, MultiLine) {
+  CharSet cs = CharSet::Of(":\n");
+  EXPECT_EQ(ExtractRecordTemplate("a: 1\nb: 2\n", CharSet::Of(": \n")),
+            "F: F\nF: F\n");
+  EXPECT_EQ(ExtractRecordTemplate("a:1\nb:2\n", cs), "F:F\nF:F\n");
+}
+
+// ----------------------------------------------------------- reduction --
+
+TEST(ReductionTest, CsvRowFolds) {
+  EXPECT_EQ(ReduceToCanonical("F,F,F\n"), "(F,)*F\n");
+  EXPECT_EQ(ReduceToCanonical("F,F,F,F,F\n"), "(F,)*F\n");
+}
+
+TEST(ReductionTest, TwoFieldsDoNotFold) {
+  // A tandem repeat needs at least two adjacent units.
+  EXPECT_EQ(ReduceToCanonical("F,F\n"), "F,F\n");
+}
+
+TEST(ReductionTest, SingleFieldUnchanged) {
+  EXPECT_EQ(ReduceToCanonical("F\n"), "F\n");
+}
+
+TEST(ReductionTest, BracketedList) {
+  // [F,F,F]\n -> [(F,)*F]\n  (paper Section 3.3 example).
+  EXPECT_EQ(ReduceToCanonical("[F,F,F]\n"), "[(F,)*F]\n");
+}
+
+TEST(ReductionTest, SpaceSeparatedWords) {
+  EXPECT_EQ(ReduceToCanonical("F F F F\n"), "(F )*F\n");
+}
+
+TEST(ReductionTest, PunctuationRunsStayLiteral) {
+  // "-----" must not become an array (elements must contain a field).
+  EXPECT_EQ(ReduceToCanonical("-----\n"), "-----\n");
+}
+
+TEST(ReductionTest, MixedSeparatorsFoldInner) {
+  // Two groups with ';' between: inner commas fold per group.
+  EXPECT_EQ(ReduceToCanonical("F,F,F;F,F,F;F\n"), "(F,)*F;(F,)*F;F\n");
+}
+
+TEST(ReductionTest, UniformNestedGroupsFoldTwice) {
+  // Identical groups "F,F,F;" repeat, so the fold nests.
+  EXPECT_EQ(ReduceToCanonical("F,F,F;F,F,F;F,F,F\n"),
+            "((F,)*F;)*(F,)*F\n");
+}
+
+TEST(ReductionTest, MetacharactersEscaped) {
+  EXPECT_EQ(ReduceToCanonical("F(F)\n"), "F\\(F\\)\n");
+  // The deterministic leftmost fold picks the cyclically shifted unit
+  // "F)(": the language is the same modulo shifting (Section 4.3.2).
+  EXPECT_EQ(ReduceToCanonical("(F)(F)(F)\n"), "\\((F\\)\\()*F\\)\n");
+}
+
+TEST(ReductionTest, TwoLineTemplateDoesNotFoldAcrossNewlines) {
+  // x == y == '\n' is not a legal array, so the doubled form stays a struct.
+  EXPECT_EQ(ReduceToCanonical("F,F,F\nF,F,F\n"), "(F,)*F\n(F,)*F\n");
+}
+
+TEST(ReductionTest, IdempotentOnCanonicalOutput) {
+  std::string once = ReduceToCanonical("F,F,F\n");
+  // Reducing a template that is already minimal must not change it: feed
+  // the raw form that has no repeats.
+  EXPECT_EQ(ReduceToCanonical("F;F\n"), "F;F\n");
+  EXPECT_EQ(once, "(F,)*F\n");
+}
+
+// -------------------------------------------------- canonical round trip --
+
+TEST(TemplateTest, ParseSimpleStruct) {
+  StructureTemplate st = MustParse("F,F\n");
+  EXPECT_EQ(st.canonical(), "F,F\n");
+  EXPECT_EQ(st.field_count(), 2);
+  EXPECT_EQ(st.array_count(), 0);
+  EXPECT_EQ(st.line_span(), 1);
+  EXPECT_TRUE(st.charset().Contains(','));
+  EXPECT_TRUE(st.charset().Contains('\n'));
+  EXPECT_TRUE(st.Validate().ok());
+}
+
+TEST(TemplateTest, ParseArray) {
+  StructureTemplate st = MustParse("(F,)*F\n");
+  EXPECT_EQ(st.canonical(), "(F,)*F\n");
+  EXPECT_EQ(st.field_count(), 1);  // distinct field leaves in the grammar
+  EXPECT_EQ(st.array_count(), 1);
+  EXPECT_TRUE(st.Validate().ok());
+}
+
+TEST(TemplateTest, ParseNestedArray) {
+  StructureTemplate st = MustParse("((F,)*F;)*(F,)*F\n");
+  EXPECT_EQ(st.canonical(), "((F,)*F;)*(F,)*F\n");
+  EXPECT_EQ(st.array_count(), 2);  // outer list + inner list
+  EXPECT_TRUE(st.Validate().ok());
+}
+
+TEST(TemplateTest, ParseEscapes) {
+  StructureTemplate st = MustParse("F\\(F\\)\n");
+  EXPECT_EQ(st.charset().Contains('('), true);
+  EXPECT_EQ(st.field_count(), 2);
+}
+
+TEST(TemplateTest, MultiLineSpan) {
+  StructureTemplate st = MustParse("F: F\nF: F\nF\n");
+  EXPECT_EQ(st.line_span(), 3);
+}
+
+TEST(TemplateTest, RejectsMalformed) {
+  EXPECT_FALSE(StructureTemplate::FromCanonical("(F,\n").ok());
+  EXPECT_FALSE(StructureTemplate::FromCanonical("(F,)*G\n").ok());
+  EXPECT_FALSE(StructureTemplate::FromCanonical("F,F\\").ok());
+  EXPECT_FALSE(StructureTemplate::FromCanonical(")F\n").ok());
+  EXPECT_FALSE(StructureTemplate::FromCanonical("(F)*F\n").ok());  // no sep
+}
+
+TEST(TemplateTest, ValidateRejectsNoNewlineEnd) {
+  StructureTemplate st = MustParse("F,F");
+  EXPECT_FALSE(st.Validate().ok());
+}
+
+TEST(TemplateTest, ValidateRejectsArrayTerminatorEqualsSeparator) {
+  // (F,)*F followed by ',' : y == x.
+  auto r = StructureTemplate::FromCanonical("(F,)*F,F\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().Validate().ok());
+}
+
+TEST(TemplateTest, CopySemantics) {
+  StructureTemplate a = MustParse("(F,)*F\n");
+  StructureTemplate b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.canonical(), "(F,)*F\n");
+}
+
+TEST(TemplateTest, RoundTripThroughReduction) {
+  // reduce -> parse -> serialize is the identity on the canonical string.
+  for (const char* rt :
+       {"F,F,F\n", "[F] F F\n", "F=F;F=F;F=F\n", "F F F F F\n",
+        "F|F|F|F\nF\n"}) {
+    std::string canonical = ReduceToCanonical(rt);
+    StructureTemplate st = MustParse(canonical);
+    EXPECT_EQ(st.canonical(), canonical) << rt;
+  }
+}
+
+// --------------------------------------------------------------- matcher --
+
+TEST(MatcherTest, SimpleStructMatch) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  auto r = m.TryMatch("abc,def\n", 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->end, 8u);
+  EXPECT_EQ(r->field_chars, 6u);
+}
+
+TEST(MatcherTest, RejectsMissingDelimiter) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  EXPECT_FALSE(m.TryMatch("abcdef\n", 0).has_value());
+}
+
+TEST(MatcherTest, RejectsEmptyField) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  EXPECT_FALSE(m.TryMatch(",def\n", 0).has_value());
+}
+
+TEST(MatcherTest, ArrayMatchesVariableLengths) {
+  StructureTemplate st = MustParse("(F,)*F\n");
+  TemplateMatcher m(&st);
+  EXPECT_TRUE(m.TryMatch("a\n", 0).has_value());
+  EXPECT_TRUE(m.TryMatch("a,b\n", 0).has_value());
+  EXPECT_TRUE(m.TryMatch("a,b,c,d,e\n", 0).has_value());
+  EXPECT_FALSE(m.TryMatch("a,b,\n", 0).has_value());  // dangling separator
+}
+
+TEST(MatcherTest, FieldStopsAtTemplateCharset) {
+  // ':' in the charset ends fields; '-' is not, so it stays inside.
+  StructureTemplate st = MustParse("F:F\n");
+  TemplateMatcher m(&st);
+  auto r = m.TryMatch("2026-06-10:ok\n", 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field_chars, 12u);
+}
+
+TEST(MatcherTest, MultiLineRecord) {
+  StructureTemplate st = MustParse("F: F\nF: F\n");
+  TemplateMatcher m(&st);
+  auto r = m.TryMatch("name: bob\nage: 42\n", 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->end, 18u);
+  // A single line must not match the two-line template.
+  EXPECT_FALSE(m.TryMatch("name: bob\n", 0).has_value());
+}
+
+TEST(MatcherTest, MatchAtOffset) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  std::string text = "noise line\na,b\n";
+  EXPECT_FALSE(m.TryMatch(text, 0).has_value());
+  auto r = m.TryMatch(text, 11);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->end, text.size());
+}
+
+TEST(MatcherTest, ParseCapturesFieldSpans) {
+  StructureTemplate st = MustParse("F,F\n");
+  TemplateMatcher m(&st);
+  std::string text = "abc,de\n";
+  auto v = m.Parse(text, 0);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, NodeKind::kStruct);
+  ASSERT_EQ(v->children.size(), 4u);  // F , F \n
+  EXPECT_EQ(v->children[0].kind, NodeKind::kField);
+  EXPECT_EQ(text.substr(v->children[0].begin,
+                        v->children[0].end - v->children[0].begin),
+            "abc");
+  EXPECT_EQ(text.substr(v->children[2].begin,
+                        v->children[2].end - v->children[2].begin),
+            "de");
+}
+
+TEST(MatcherTest, ParseCapturesArrayRepetitions) {
+  StructureTemplate st = MustParse("(F,)*F\n");
+  TemplateMatcher m(&st);
+  std::string text = "a,bb,ccc\n";
+  auto v = m.Parse(text, 0);
+  ASSERT_TRUE(v.has_value());
+  // Root is Struct[Array, '\n'].
+  ASSERT_EQ(v->children.size(), 2u);
+  const ParsedValue& arr = v->children[0];
+  ASSERT_EQ(arr.kind, NodeKind::kArray);
+  ASSERT_EQ(arr.children.size(), 3u);
+  EXPECT_EQ(text.substr(arr.children[1].begin,
+                        arr.children[1].end - arr.children[1].begin),
+            "bb");
+}
+
+// ------------------------------------------------------- property tests --
+
+// Property: for a random CSV-like record template, instantiating fields with
+// random letter runs and re-extracting the record template is the identity,
+// and the reduced template matches the instantiated record.
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, ExtractReduceMatch) {
+  Rng rng(GetParam());
+  const std::vector<char> seps = {',', ';', '|', ' ', ':'};
+  for (int iter = 0; iter < 50; ++iter) {
+    char sep = seps[static_cast<size_t>(rng.Uniform(0, seps.size() - 1))];
+    int fields = static_cast<int>(rng.Uniform(1, 8));
+    std::string record;
+    std::string expected_template;
+    for (int i = 0; i < fields; ++i) {
+      if (i > 0) {
+        record.push_back(sep);
+        expected_template.push_back(sep);
+      }
+      int len = static_cast<int>(rng.Uniform(1, 6));
+      for (int j = 0; j < len; ++j) {
+        record.push_back(static_cast<char>('a' + rng.Uniform(0, 25)));
+      }
+      expected_template.push_back('F');
+    }
+    record.push_back('\n');
+    expected_template.push_back('\n');
+
+    CharSet cs;
+    cs.Add(static_cast<unsigned char>(sep));
+    cs.Add('\n');
+    std::string rt = ExtractRecordTemplate(record, cs);
+    EXPECT_EQ(rt, expected_template);
+
+    std::string canonical = ReduceToCanonical(rt);
+    auto st = StructureTemplate::FromCanonical(canonical);
+    ASSERT_TRUE(st.ok()) << canonical;
+    TemplateMatcher m(&st.value());
+    auto match = m.TryMatch(record, 0);
+    ASSERT_TRUE(match.has_value())
+        << "record=" << record << " canonical=" << canonical;
+    EXPECT_EQ(match->end, record.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: reduction output always parses and its charset is a subset of
+// the input template's characters.
+class ReductionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionProperty, OutputParsesAndShrinks) {
+  Rng rng(GetParam() * 977);
+  const std::string special = ",;|: =[]";
+  for (int iter = 0; iter < 80; ++iter) {
+    // Random record template: alternate fields and random special chars.
+    std::string rt;
+    int parts = static_cast<int>(rng.Uniform(1, 12));
+    for (int i = 0; i < parts; ++i) {
+      rt.push_back('F');
+      rt.push_back(special[static_cast<size_t>(
+          rng.Uniform(0, special.size() - 1))]);
+    }
+    rt.push_back('F');
+    rt.push_back('\n');
+    std::string canonical = ReduceToCanonical(rt);
+    auto st = StructureTemplate::FromCanonical(canonical);
+    ASSERT_TRUE(st.ok()) << "input=" << rt << " out=" << canonical;
+    // Each fold may expand the string slightly ("F,F,F" -> "(F,)*F"); bound
+    // the total expansion.
+    EXPECT_LE(canonical.size(), rt.size() + 16) << rt;
+    // The reduced template must still match the original record template
+    // text (with fields instantiated as single letters).
+    std::string record = rt;
+    for (auto& c : record) {
+      if (c == 'F') c = 'x';
+    }
+    TemplateMatcher m(&st.value());
+    auto match = m.TryMatch(record, 0);
+    ASSERT_TRUE(match.has_value()) << "rt=" << rt << " canon=" << canonical;
+    EXPECT_EQ(match->end, record.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace datamaran

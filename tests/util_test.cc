@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "util/char_class.h"
+#include "util/file_io.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "util/sampler.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace datamaran {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IO_ERROR: nope");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingle) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitLinesDropsTrailingNewline) {
+  auto lines = SplitLines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(StringsTest, SplitLinesWithoutTrailingNewline) {
+  auto lines = SplitLines("a\nb");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(Join(v, ","), "a,b,c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim("\t \n"), "");
+  EXPECT_EQ(Trim("ab"), "ab");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("h", "he"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("o", "lo"));
+}
+
+TEST(StringsTest, ParseInt64Basics) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("0042").value(), 42);  // zero padding accepted
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("-").has_value());
+  EXPECT_FALSE(ParseInt64("12a").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(StringsTest, ParseDecimalBasics) {
+  int exp = -1;
+  EXPECT_DOUBLE_EQ(ParseDecimal("3.25", &exp).value(), 3.25);
+  EXPECT_EQ(exp, 2);
+  EXPECT_DOUBLE_EQ(ParseDecimal("-1.5", &exp).value(), -1.5);
+  EXPECT_EQ(exp, 1);
+  EXPECT_DOUBLE_EQ(ParseDecimal("7", &exp).value(), 7.0);
+  EXPECT_EQ(exp, 0);
+  EXPECT_FALSE(ParseDecimal("12.", &exp).has_value());
+  EXPECT_FALSE(ParseDecimal(".5", &exp).has_value());
+  EXPECT_FALSE(ParseDecimal("1e5", &exp).has_value());
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringsTest, EscapeForDisplay) {
+  EXPECT_EQ(EscapeForDisplay("a\nb\t"), "a\\nb\\t");
+  EXPECT_EQ(EscapeForDisplay(std::string_view("\x01", 1)), "\\x01");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+}
+
+// ------------------------------------------------------------- CharClass --
+
+TEST(CharClassTest, OfAndContains) {
+  CharSet s = CharSet::Of(",;");
+  EXPECT_TRUE(s.Contains(','));
+  EXPECT_TRUE(s.Contains(';'));
+  EXPECT_FALSE(s.Contains('a'));
+  EXPECT_EQ(s.Size(), 2);
+}
+
+TEST(CharClassTest, AddRemove) {
+  CharSet s;
+  s.Add('x');
+  EXPECT_TRUE(s.Contains('x'));
+  s.Remove('x');
+  EXPECT_FALSE(s.Contains('x'));
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(CharClassTest, SubsetUnionIntersect) {
+  CharSet a = CharSet::Of("ab");
+  CharSet b = CharSet::Of("abc");
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_EQ(a.Union(b).Size(), 3);
+  EXPECT_EQ(a.Intersect(b).Size(), 2);
+}
+
+TEST(CharClassTest, DefaultSpecialsContainPunctuationNotLetters) {
+  EXPECT_TRUE(IsDefaultSpecial(','));
+  EXPECT_TRUE(IsDefaultSpecial(' '));
+  EXPECT_TRUE(IsDefaultSpecial('\t'));
+  EXPECT_FALSE(IsDefaultSpecial('a'));
+  EXPECT_FALSE(IsDefaultSpecial('7'));
+  EXPECT_FALSE(IsDefaultSpecial('\n'));  // handled separately
+}
+
+TEST(CharClassTest, CountSpecialCharsSortsByFrequency) {
+  auto counts = CountSpecialChars("a,b,c;d", DefaultSpecialChars());
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, ',');
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[1].first, ';');
+}
+
+// --------------------------------------------------------------- File IO --
+
+TEST(FileIoTest, RoundTrip) {
+  std::string path = testing::TempDir() + "/dm_fileio_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIoError) {
+  auto r = ReadFileToString("/nonexistent/dir/file.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// --------------------------------------------------------------- Hashing --
+
+TEST(HashingTest, DistinctStringsDistinctHashes) {
+  EXPECT_NE(Fnv1a("(F,)*F\n"), Fnv1a("F,F\n"));
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+}
+
+TEST(HashingTest, IncrementalMatchesBulk) {
+  uint64_t h = kFnvOffset;
+  for (char c : std::string_view("hello")) {
+    h = Fnv1aByte(h, static_cast<unsigned char>(c));
+  }
+  EXPECT_EQ(h, Fnv1a("hello"));
+}
+
+// --------------------------------------------------------------- Sampler --
+
+TEST(SamplerTest, SmallInputReturnedWhole) {
+  SamplerOptions opts;
+  opts.max_sample_bytes = 1024;
+  std::string text = "a\nb\nc\n";
+  EXPECT_EQ(SampleLines(text, opts), text);
+}
+
+TEST(SamplerTest, LargeInputIsLineAlignedAndBounded) {
+  std::string text;
+  for (int i = 0; i < 20000; ++i) {
+    text += "line-" + std::to_string(i) + ",field,value\n";
+  }
+  SamplerOptions opts;
+  opts.max_sample_bytes = 8 * 1024;
+  opts.num_chunks = 4;
+  std::string sample = SampleLines(text, opts);
+  EXPECT_LE(sample.size(), opts.max_sample_bytes + 4096u);
+  EXPECT_FALSE(sample.empty());
+  EXPECT_EQ(sample.back(), '\n');
+  // Every sampled line must be a complete line from the original.
+  for (auto line : SplitLines(sample)) {
+    EXPECT_TRUE(StartsWith(line, "line-")) << line;
+    EXPECT_TRUE(EndsWith(line, ",field,value")) << line;
+  }
+}
+
+TEST(SamplerTest, ChunksSpreadThroughFile) {
+  std::string text;
+  for (int i = 0; i < 10000; ++i) {
+    text += "row" + std::to_string(i) + "\n";
+  }
+  SamplerOptions opts;
+  opts.max_sample_bytes = 4096;
+  opts.num_chunks = 4;
+  std::string sample = SampleLines(text, opts);
+  // The sample should contain rows from both the beginning and the end half.
+  EXPECT_NE(sample.find("row0\n"), std::string::npos);
+  EXPECT_NE(sample.find("row9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datamaran

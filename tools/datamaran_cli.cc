@@ -1,0 +1,138 @@
+// Command-line front end: extract structure from a log file and emit
+// relational tables.
+//
+//   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
+//             [--out=DIR] [--normalized] [--verbose]
+//
+// Prints the discovered templates and a summary; with --out, writes one
+// CSV per record type (plus child tables for arrays with --normalized).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/datamaran.h"
+#include "extraction/relational.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
+               "                 [--retain=M] [--out=DIR] [--normalized]\n"
+               "                 [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace datamaran;
+
+  std::string path;
+  std::string out_dir;
+  bool normalized = false;
+  DatamaranOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--greedy") {
+      options.search = CharsetSearch::kGreedy;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--normalized") {
+      normalized = true;
+    } else if (StartsWith(arg, "--alpha=")) {
+      options.coverage_threshold = std::atof(arg.substr(8).data()) / 100.0;
+    } else if (StartsWith(arg, "--span=")) {
+      options.max_record_span = std::atoi(arg.substr(7).data());
+    } else if (StartsWith(arg, "--retain=")) {
+      options.num_retained = std::atoi(arg.substr(9).data());
+    } else if (StartsWith(arg, "--out=")) {
+      out_dir = std::string(arg.substr(6));
+    } else if (!StartsWith(arg, "--")) {
+      path = std::string(arg);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  Datamaran dm(options);
+  auto result = dm.ExtractFile(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu structure template(s):\n", result->templates.size());
+  for (size_t t = 0; t < result->templates.size(); ++t) {
+    std::printf("  [%zu] span=%d fields=%d  %s\n", t,
+                result->templates[t].line_span(),
+                result->templates[t].field_count(),
+                result->templates[t].Display().c_str());
+  }
+  size_t per_type[64] = {};
+  for (const auto& rec : result->extraction.records) {
+    if (rec.template_id < 64) per_type[rec.template_id]++;
+  }
+  std::printf("records:");
+  for (size_t t = 0; t < result->templates.size() && t < 64; ++t) {
+    std::printf(" type%zu=%zu", t, per_type[t]);
+  }
+  std::printf("  noise_lines=%zu  coverage=%.1f%%\n",
+              result->extraction.noise_lines.size(),
+              result->extraction.coverage() * 100);
+  std::printf("timings: gen=%.2fs prune=%.2fs eval=%.2fs extract=%.2fs\n",
+              result->timings.generation_s, result->timings.pruning_s,
+              result->timings.evaluation_s, result->timings.extraction_s);
+
+  if (out_dir.empty() || result->templates.empty()) return 0;
+
+  if (!MakeDirs(out_dir).ok()) {
+    std::fprintf(stderr, "error: cannot create %s\n", out_dir.c_str());
+    return 1;
+  }
+  // Re-read the text to materialize tables (extraction spans index into it).
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data(std::move(text.value()));
+  Extractor extractor(&result->templates);
+  ExtractionResult extraction = extractor.Extract(data);
+  for (size_t t = 0; t < result->templates.size(); ++t) {
+    std::string base = StrFormat("%s/type%zu", out_dir.c_str(), t);
+    if (normalized) {
+      auto tables = NormalizedTables(result->templates[t], extraction.records,
+                                     data.text(), static_cast<int>(t),
+                                     StrFormat("type%zu", t));
+      for (const Table& table : tables) {
+        std::string file = StrFormat("%s/%s.csv", out_dir.c_str(),
+                                     table.name.c_str());
+        if (!WriteStringToFile(file, table.ToCsv()).ok()) {
+          std::fprintf(stderr, "error: cannot write %s\n", file.c_str());
+          return 1;
+        }
+        std::printf("wrote %s (%zu rows)\n", file.c_str(), table.row_count());
+      }
+    } else {
+      Table table = DenormalizedTable(result->templates[t],
+                                      extraction.records, data.text(),
+                                      static_cast<int>(t),
+                                      StrFormat("type%zu", t));
+      std::string file = base + ".csv";
+      if (!WriteStringToFile(file, table.ToCsv()).ok()) {
+        std::fprintf(stderr, "error: cannot write %s\n", file.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu rows)\n", file.c_str(), table.row_count());
+    }
+  }
+  return 0;
+}
