@@ -1,20 +1,38 @@
 // Micro-benchmarks (google-benchmark) for the pipeline's hot paths:
-// record-template extraction, reduction, LL(1) matching, hashing-based
-// generation, and MDL scoring. These back the engineering claims in
-// DESIGN.md (generation cost per charset, parse-bound extraction).
+// record-template extraction, reduction, LL(1) matching (tree and flat),
+// hashing-based generation, and MDL scoring. These back the engineering
+// claims in DESIGN.md (generation cost per charset, parse-bound
+// extraction).
+//
+// In addition to the google-benchmark micro suite, main() first runs the
+// end-to-end pipeline over a GitHub-corpus workload at num_threads=1 and
+// num_threads=max(4, hardware) and writes machine-readable results to
+// BENCH_micro.json (override the path with DM_BENCH_OUT, the thread count
+// with DM_BENCH_THREADS): per-stage wall seconds, MB/s, the speedup, and
+// whether the two configurations produced byte-identical output. Future
+// PRs track the perf trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench_common.h"
+#include "core/datamaran.h"
 #include "core/dataset.h"
 #include "core/options.h"
+#include "datagen/github_corpus.h"
 #include "generation/generator.h"
 #include "scoring/mdl.h"
 #include "template/matcher.h"
 #include "template/record_template.h"
 #include "template/template.h"
+#include "util/hashing.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -101,6 +119,24 @@ void BM_Ll1Parse(benchmark::State& state) {
 }
 BENCHMARK(BM_Ll1Parse);
 
+// The allocation-free flat parse used by the MDL scoring loop; compare
+// against BM_Ll1Parse to see the cost of materializing ParsedValue trees.
+void BM_Ll1ParseFlat(benchmark::State& state) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  TemplateMatcher matcher(&st.value());
+  Dataset data(MakeCsv(100));
+  std::vector<MatchEvent> events;
+  for (auto _ : state) {
+    for (size_t li = 0; li < data.line_count(); ++li) {
+      auto v = matcher.ParseFlat(data.text(), data.line_begin(li), &events);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_Ll1ParseFlat);
+
 void BM_GenerationCharsetPass(benchmark::State& state) {
   Dataset data(MakeCsv(2000));
   DatamaranOptions opts;
@@ -129,6 +165,163 @@ void BM_MdlEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_MdlEvaluate);
 
+// ---------------------------------------------------------------------------
+// End-to-end pipeline: single- vs multi-thread throughput on the GitHub
+// corpus workload, emitted as BENCH_micro.json.
+// ---------------------------------------------------------------------------
+
+struct PipelineRun {
+  StepTimings timings;    // summed over all datasets
+  size_t bytes = 0;       // total input bytes
+  uint64_t signature = kFnvOffset;  // fingerprint of templates + extraction
+};
+
+void HashSizeT(uint64_t* h, size_t v) {
+  for (int b = 0; b < 8; ++b) {
+    *h = Fnv1aByte(*h, static_cast<unsigned char>(v >> (b * 8)));
+  }
+}
+
+PipelineRun RunPipelineWorkload(const std::vector<std::string>& texts,
+                                int num_threads) {
+  DatamaranOptions opts;
+  opts.num_threads = num_threads;
+  Datamaran dm(opts);
+  PipelineRun run;
+  for (const std::string& text : texts) {
+    run.bytes += text.size();
+    PipelineResult r = dm.ExtractText(text);
+    run.timings.generation_s += r.timings.generation_s;
+    run.timings.pruning_s += r.timings.pruning_s;
+    run.timings.evaluation_s += r.timings.evaluation_s;
+    run.timings.extraction_s += r.timings.extraction_s;
+    run.timings.total_s += r.timings.total_s;
+    // Fingerprint everything downstream consumers would see: the accepted
+    // templates and the full record/noise segmentation.
+    for (const StructureTemplate& st : r.templates) {
+      run.signature = Fnv1a(st.canonical(), run.signature);
+    }
+    for (const ExtractedRecord& rec : r.extraction.records) {
+      HashSizeT(&run.signature, static_cast<size_t>(rec.template_id));
+      HashSizeT(&run.signature, rec.begin);
+      HashSizeT(&run.signature, rec.end);
+      HashSizeT(&run.signature, rec.first_line);
+    }
+    for (size_t noise : r.extraction.noise_lines) {
+      HashSizeT(&run.signature, noise);
+    }
+  }
+  return run;
+}
+
+double MbPerSec(size_t bytes, double seconds) {
+  return seconds <= 0 ? 0 : static_cast<double>(bytes) / (1024.0 * 1024.0) /
+                                seconds;
+}
+
+void PrintRunJson(FILE* f, const char* key, const PipelineRun& run,
+                  int threads) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"threads\": %d,\n"
+               "    \"generation_s\": %.6f,\n"
+               "    \"pruning_s\": %.6f,\n"
+               "    \"evaluation_s\": %.6f,\n"
+               "    \"extraction_s\": %.6f,\n"
+               "    \"total_s\": %.6f,\n"
+               "    \"mb_per_s\": %.3f\n"
+               "  }",
+               key, threads, run.timings.generation_s, run.timings.pruning_s,
+               run.timings.evaluation_s, run.timings.extraction_s,
+               run.timings.total_s, MbPerSec(run.bytes, run.timings.total_s));
+}
+
+int RunPipelineBench() {
+  const bool quick = bench::QuickMode();
+  const int datasets = bench::EnvInt("DM_BENCH_DATASETS", quick ? 4 : 16);
+  const size_t bytes = quick ? 24 * 1024 : 48 * 1024;
+  const int hw = ThreadPool::DefaultThreadCount();
+  const int multi = bench::EnvInt("DM_BENCH_THREADS", std::max(4, hw));
+
+  std::vector<std::string> texts;
+  texts.reserve(static_cast<size_t>(datasets));
+  for (int i = 0; static_cast<int>(texts.size()) < datasets; ++i) {
+    // Skip pure-noise corpus entries: they exercise nothing downstream.
+    GeneratedDataset ds = BuildGithubDataset(i % kGithubCorpusSize, bytes);
+    if (ds.label == DatasetLabel::kNoStructure) continue;
+    texts.push_back(std::move(ds.text));
+  }
+
+  std::printf("pipeline workload: %d GitHub-corpus datasets, %.1f MB total\n",
+              datasets,
+              static_cast<double>(bytes) * datasets / (1024.0 * 1024.0));
+  PipelineRun single = RunPipelineWorkload(texts, 1);
+  std::printf("  threads=1:  total %.3fs  (gen %.3fs, eval %.3fs, "
+              "extract %.3fs)  %.2f MB/s\n",
+              single.timings.total_s, single.timings.generation_s,
+              single.timings.evaluation_s, single.timings.extraction_s,
+              MbPerSec(single.bytes, single.timings.total_s));
+  PipelineRun parallel = RunPipelineWorkload(texts, multi);
+  std::printf("  threads=%d:  total %.3fs  (gen %.3fs, eval %.3fs, "
+              "extract %.3fs)  %.2f MB/s\n",
+              multi, parallel.timings.total_s, parallel.timings.generation_s,
+              parallel.timings.evaluation_s, parallel.timings.extraction_s,
+              MbPerSec(parallel.bytes, parallel.timings.total_s));
+
+  const bool identical = single.signature == parallel.signature;
+  const double speedup = parallel.timings.total_s > 0
+                             ? single.timings.total_s / parallel.timings.total_s
+                             : 0;
+  std::printf("  speedup %.2fx, output identical: %s\n", speedup,
+              identical ? "yes" : "NO — DETERMINISM BUG");
+
+  const char* out_path = std::getenv("DM_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_micro.json";
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"github_corpus\",\n"
+               "  \"datasets\": %d,\n"
+               "  \"bytes\": %zu,\n"
+               "  \"hardware_threads\": %d,\n",
+               datasets, single.bytes, hw);
+  PrintRunJson(f, "single_thread", single, 1);
+  std::fprintf(f, ",\n");
+  PrintRunJson(f, "multi_thread", parallel, multi);
+  std::fprintf(f,
+               ",\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"identical_output\": %s\n"
+               "}\n",
+               speedup, identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", out_path);
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The pipeline section takes seconds and writes BENCH_micro.json; skip
+  // it for google-benchmark introspection/filter invocations (and on
+  // DM_BENCH_SKIP_PIPELINE=1) so the standard bench CLI stays snappy and
+  // side-effect free. Scan argv before Initialize — it consumes the flags
+  // it recognizes.
+  bool pipeline = std::getenv("DM_BENCH_SKIP_PIPELINE") == nullptr;
+  for (int i = 1; i < argc && pipeline; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--benchmark_list_tests", 0) == 0 ||
+        arg.rfind("--benchmark_filter", 0) == 0 || arg == "--help") {
+      pipeline = false;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  const int rc = pipeline ? RunPipelineBench() : 0;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

@@ -1,6 +1,7 @@
 #include "core/datamaran.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "generation/generator.h"
@@ -15,7 +16,9 @@
 namespace datamaran {
 
 Datamaran::Datamaran(DatamaranOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(
+          ThreadPool::ResolveThreadCount(options_.num_threads))) {
   if (options_.verbose) SetLogLevel(LogLevel::kInfo);
 }
 
@@ -59,7 +62,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
 
     // --- Generation ---
     Timer gen_timer;
-    CandidateGenerator generator(&residual, &options_);
+    CandidateGenerator generator(&residual, &options_, pool_.get());
     GenerationResult gen = generator.Run();
     if (timings != nullptr) timings->generation_s += gen_timer.Seconds();
     if (stats != nullptr) {
@@ -80,13 +83,17 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
       StructureTemplate st;
       double score;
     };
-    std::vector<Scored> scored;
-    for (const CandidateTemplate& cand : retained) {
+    // Each retained candidate scores independently (parse, validate,
+    // auto-unfold, MDL) — the evaluation step's hot loop. Parallel workers
+    // fill per-candidate slots; collecting them in candidate order makes
+    // the scored list identical to the sequential loop's.
+    std::vector<std::optional<Scored>> slots(retained.size());
+    ForEachIndex(pool_.get(), retained.size(), [&](size_t i, int) {
+      const CandidateTemplate& cand = retained[i];
       auto parsed = StructureTemplate::FromCanonical(cand.canonical);
-      if (!parsed.ok()) continue;
+      if (!parsed.ok()) return;
       StructureTemplate st = std::move(parsed.value());
-      if (!st.Validate().ok()) continue;
-      if (stats != nullptr) stats->candidates_evaluated++;
+      if (!st.Validate().ok()) return;
       // Score the candidate in its most-typed form: constant-count arrays
       // are unfolded first, otherwise a template whose payoff only shows
       // after unfolding (e.g. "(F;)*F" for a fixed-width table) would rank
@@ -96,14 +103,21 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
         double unfolded_score = scorer_.Score(residual, unfolded);
         double plain_score = scorer_.Score(residual, st);
         if (unfolded_score < plain_score) {
-          scored.push_back({std::move(unfolded), unfolded_score});
+          slots[i] = Scored{std::move(unfolded), unfolded_score};
         } else {
-          scored.push_back({std::move(st), plain_score});
+          slots[i] = Scored{std::move(st), plain_score};
         }
       } else {
         double score = scorer_.Score(residual, st);
-        scored.push_back({std::move(st), score});
+        slots[i] = Scored{std::move(st), score};
       }
+    });
+    std::vector<Scored> scored;
+    scored.reserve(retained.size());
+    for (std::optional<Scored>& slot : slots) {
+      if (!slot.has_value()) continue;
+      if (stats != nullptr) stats->candidates_evaluated++;
+      scored.push_back(std::move(*slot));
     }
     if (scored.empty()) {
       if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
@@ -121,12 +135,17 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
     Refiner refiner(&residual, &scorer_, &options_);
     size_t refine_count = std::min(
         scored.size(), static_cast<size_t>(std::max(1, options_.refine_top_k)));
+    // Refinements are independent; the winner is picked by a strict-less
+    // scan in rank order, the same tie-break as the sequential loop.
+    std::vector<Refiner::Refined> refined_slots(refine_count);
+    ForEachIndex(pool_.get(), refine_count, [&](size_t k, int) {
+      refined_slots[k] = refiner.Refine(scored[k].st);
+    });
     Refiner::Refined refined{scored[0].st, scored[0].score};
     bool have_refined = false;
     for (size_t k = 0; k < refine_count; ++k) {
-      Refiner::Refined r = refiner.Refine(scored[k].st);
-      if (!have_refined || r.score < refined.score) {
-        refined = std::move(r);
+      if (!have_refined || refined_slots[k].score < refined.score) {
+        refined = std::move(refined_slots[k]);
         have_refined = true;
       }
     }
@@ -174,7 +193,7 @@ PipelineResult Datamaran::ExtractText(std::string text) const {
   result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
                                        &result.reports);
   Timer extract_timer;
-  Extractor extractor(&result.templates);
+  Extractor extractor(&result.templates, pool_.get());
   result.extraction = extractor.Extract(data);
   result.timings.extraction_s = extract_timer.Seconds();
   result.timings.total_s = total_timer.Seconds();

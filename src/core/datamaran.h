@@ -1,6 +1,7 @@
 #ifndef DATAMARAN_CORE_DATAMARAN_H_
 #define DATAMARAN_CORE_DATAMARAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "scoring/mdl.h"
 #include "template/template.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// Public entry point: the end-to-end Datamaran pipeline (Figure 9).
 ///
@@ -88,6 +90,11 @@ class Datamaran {
  private:
   DatamaranOptions options_;
   MdlScorer scorer_;
+  /// Shared worker pool for all parallel stages (options_.num_threads,
+  /// 0 = hardware concurrency). Created once per Datamaran instance; a
+  /// size-1 pool runs everything inline, reproducing the sequential
+  /// reference behavior bit for bit.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Removes every line covered by a match of `st` from `data`, returning the

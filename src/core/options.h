@@ -76,6 +76,15 @@ struct DatamaranOptions {
 
   /// Emit INFO-level progress logging.
   bool verbose = false;
+
+  /// Worker threads for the parallel hot paths: generation's independent
+  /// charset trials, candidate scoring/refinement in the evaluation step,
+  /// and chunked whole-file extraction. 0 = use all hardware threads
+  /// (std::thread::hardware_concurrency); 1 = fully sequential reference
+  /// behavior. Results are byte-identical across all values — parallel
+  /// workers fill per-index slots that are merged in a fixed order — so
+  /// this knob trades nothing but wall-clock time.
+  int num_threads = 0;
 };
 
 }  // namespace datamaran

@@ -1,6 +1,9 @@
 #include "extraction/extractor.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace datamaran {
 
@@ -30,10 +33,30 @@ class CollectingSink : public RecordSink {
   ExtractionResult* out_;
 };
 
+/// Speculative scan of one line-range chunk: every attempted line with its
+/// outcome, in increasing line order, plus the first line the scan did NOT
+/// consume (>= end_line when a record spills past the chunk boundary).
+struct ChunkScan {
+  struct Attempt {
+    size_t line = 0;
+    int template_id = -1;  // -1 = noise line
+    ParsedValue value;     // only meaningful for records
+  };
+  size_t begin_line = 0;
+  size_t end_line = 0;
+  size_t final_line = 0;
+  std::vector<Attempt> attempts;
+};
+
+/// Minimum lines per chunk: below this the per-chunk bookkeeping outweighs
+/// the matching work.
+constexpr size_t kMinLinesPerChunk = 256;
+
 }  // namespace
 
-Extractor::Extractor(const std::vector<StructureTemplate>* templates)
-    : templates_(templates) {
+Extractor::Extractor(const std::vector<StructureTemplate>* templates,
+                     ThreadPool* pool)
+    : templates_(templates), pool_(pool) {
   matchers_.reserve(templates_->size());
   for (const StructureTemplate& st : *templates_) {
     matchers_.emplace_back(&st);
@@ -41,32 +64,126 @@ Extractor::Extractor(const std::vector<StructureTemplate>* templates)
   }
 }
 
-ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
-                                             RecordSink* sink) const {
+int Extractor::MatchAt(const Dataset& data, size_t li,
+                       ParsedValue* value) const {
+  const std::string_view text = data.text();
+  const size_t pos = data.line_begin(li);
+  for (size_t t = 0; t < matchers_.size(); ++t) {
+    auto parsed = matchers_[t].Parse(text, pos);
+    if (!parsed.has_value()) continue;
+    *value = std::move(*parsed);
+    return static_cast<int>(t);
+  }
+  return -1;
+}
+
+size_t Extractor::EmitAt(const Dataset& data, size_t li, RecordSink* sink,
+                         size_t* covered_chars) const {
+  ParsedValue value;
+  const int t = MatchAt(data, li, &value);
+  if (t < 0) {
+    if (sink != nullptr) sink->OnNoiseLine(li);
+    return li + 1;
+  }
+  *covered_chars += value.end - value.begin;
+  const size_t span = static_cast<size_t>(spans_[static_cast<size_t>(t)]);
+  if (sink != nullptr) sink->OnRecord(t, li, std::move(value));
+  return li + span;
+}
+
+ExtractionResult Extractor::ExtractSequential(const Dataset& data,
+                                              RecordSink* sink) const {
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
-  const std::string_view text = data.text();
   size_t li = 0;
   const size_t n = data.line_count();
   while (li < n) {
-    const size_t pos = data.line_begin(li);
-    bool matched = false;
-    for (size_t t = 0; t < matchers_.size(); ++t) {
-      auto parsed = matchers_[t].Parse(text, pos);
-      if (!parsed.has_value()) continue;
-      stats.covered_chars += parsed->end - pos;
-      int span = spans_[t];
-      if (sink != nullptr) {
-        sink->OnRecord(static_cast<int>(t), li, std::move(*parsed));
+    li = EmitAt(data, li, sink, &stats.covered_chars);
+  }
+  return stats;
+}
+
+ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
+                                             RecordSink* sink) const {
+  const size_t n = data.line_count();
+  const int threads = pool_ != nullptr ? pool_->thread_count() : 1;
+  size_t chunk_lines = lines_per_chunk_;
+  if (chunk_lines == 0) {
+    chunk_lines = std::max(kMinLinesPerChunk,
+                           n / (static_cast<size_t>(threads) * 16));
+  }
+  if (threads <= 1 || matchers_.empty() || n < 2 * chunk_lines) {
+    return ExtractSequential(data, sink);
+  }
+
+  ExtractionResult stats;
+  stats.total_chars = data.size_bytes();
+
+  // Waves bound the buffered state: at most `chunks_per_wave` chunks of
+  // parsed records are alive at once, flushed to the sink in order before
+  // the next wave is scanned.
+  const size_t chunks_per_wave = static_cast<size_t>(threads) * 2;
+  std::vector<ChunkScan> scans(chunks_per_wave);
+
+  size_t li = 0;  // stitched (authoritative) line position
+  size_t wave_start = 0;
+  while (wave_start < n) {
+    const size_t wave_chunks = std::min(
+        chunks_per_wave, (n - wave_start + chunk_lines - 1) / chunk_lines);
+
+    pool_->ParallelFor(wave_chunks, [&](size_t k) {
+      ChunkScan& cs = scans[k];
+      cs.attempts.clear();
+      cs.begin_line = wave_start + k * chunk_lines;
+      cs.end_line = std::min(cs.begin_line + chunk_lines, n);
+      size_t cli = cs.begin_line;
+      while (cli < cs.end_line) {
+        ChunkScan::Attempt attempt;
+        attempt.line = cli;
+        attempt.template_id = MatchAt(data, cli, &attempt.value);
+        cli = attempt.template_id >= 0
+                  ? cli + static_cast<size_t>(
+                              spans_[static_cast<size_t>(attempt.template_id)])
+                  : cli + 1;
+        cs.attempts.push_back(std::move(attempt));
       }
-      li += static_cast<size_t>(span);
-      matched = true;
-      break;
+      cs.final_line = cli;
+    });
+
+    // Stitch this wave in order. The loop invariant `li >= cs.begin_line`
+    // holds because stitching chunk k only finishes once li >= its
+    // end_line, which is chunk k+1's begin_line.
+    for (size_t k = 0; k < wave_chunks; ++k) {
+      ChunkScan& cs = scans[k];
+      while (li < cs.end_line) {
+        auto it = std::lower_bound(
+            cs.attempts.begin(), cs.attempts.end(), li,
+            [](const ChunkScan::Attempt& a, size_t line) {
+              return a.line < line;
+            });
+        if (it != cs.attempts.end() && it->line == li) {
+          // Realigned with the speculative stream: splice the rest of the
+          // chunk wholesale.
+          for (auto j = it; j != cs.attempts.end(); ++j) {
+            if (j->template_id >= 0) {
+              stats.covered_chars += j->value.end - j->value.begin;
+              if (sink != nullptr) {
+                sink->OnRecord(j->template_id, j->line, std::move(j->value));
+              }
+            } else {
+              if (sink != nullptr) sink->OnNoiseLine(j->line);
+            }
+          }
+          li = cs.final_line;
+        } else {
+          // A record from an earlier chunk spilled into this one and the
+          // speculative stream never attempted `li`; re-match lines until
+          // the streams realign (or the chunk is exhausted).
+          li = EmitAt(data, li, sink, &stats.covered_chars);
+        }
+      }
     }
-    if (!matched) {
-      if (sink != nullptr) sink->OnNoiseLine(li);
-      ++li;
-    }
+    wave_start += wave_chunks * chunk_lines;
   }
   return stats;
 }

@@ -13,9 +13,25 @@
 /// templates are tried in priority order, the first match emits one record
 /// and skips its span, and unmatched lines are noise. This pass dominates
 /// total runtime for large files (Section 5.2.2) and is embarrassingly
-/// chunk-parallel; this implementation is single-threaded like the paper's.
+/// chunk-parallel; given a thread pool this implementation shards the file
+/// into line-range chunks, scans them speculatively in parallel, and
+/// stitches the per-chunk results back together in file order.
+///
+/// Stitching preserves the sequential semantics exactly: whether a record
+/// *starts* at line k depends on earlier matches (a span-s record consumes
+/// the next s-1 lines), but the match attempt itself is a pure function of
+/// the text and the templates. Each chunk records the lines it attempted;
+/// the sequential stitch walks chunks in order and, when the incoming line
+/// position equals one of the chunk's attempted lines, splices the rest of
+/// the chunk's speculative stream wholesale. When a long record spills
+/// across a chunk boundary and desynchronizes the stream, the stitch
+/// re-matches lines one by one until the positions realign. The emitted
+/// record/noise sequence — and therefore every downstream artifact — is
+/// byte-identical for every thread count.
 
 namespace datamaran {
+
+class ThreadPool;
 
 struct ExtractedRecord {
   int template_id = 0;
@@ -26,13 +42,14 @@ struct ExtractedRecord {
   ParsedValue value;
 };
 
-/// Streaming consumer of extraction events.
+/// Streaming consumer of extraction events. Events arrive in file order
+/// regardless of the extractor's thread count.
 class RecordSink {
  public:
   virtual ~RecordSink() = default;
   virtual void OnRecord(int template_id, size_t first_line,
                         ParsedValue&& value) = 0;
-  virtual void OnNoiseLine(size_t line_index) {}
+  virtual void OnNoiseLine(size_t /*line_index*/) {}
 };
 
 /// In-memory extraction output.
@@ -53,21 +70,50 @@ struct ExtractionResult {
 class Extractor {
  public:
   /// `templates` in priority order (the pipeline's discovery order). The
-  /// templates must outlive the extractor.
-  explicit Extractor(const std::vector<StructureTemplate>* templates);
+  /// templates must outlive the extractor. When `pool` is non-null and has
+  /// more than one thread, ExtractStreaming shards the scan across it.
+  explicit Extractor(const std::vector<StructureTemplate>* templates,
+                     ThreadPool* pool = nullptr);
 
-  /// Streams records/noise into `sink`; returns coverage statistics without
-  /// retaining parsed values (suitable for arbitrarily large files).
+  /// Streams records/noise into `sink` in file order; returns coverage
+  /// statistics without retaining parsed values. Memory stays bounded in
+  /// the parallel case too: chunks are processed in waves of a few per
+  /// thread, and each chunk's buffered results are flushed to the sink
+  /// before the next wave starts.
   ExtractionResult ExtractStreaming(const Dataset& data,
                                     RecordSink* sink) const;
 
   /// Convenience: collects everything in memory.
   ExtractionResult Extract(const Dataset& data) const;
 
+  /// Overrides the automatic chunk granularity (lines per parallel chunk);
+  /// 0 restores the automatic choice. Exposed for tests and tuning.
+  void set_lines_per_chunk(size_t lines) { lines_per_chunk_ = lines; }
+
  private:
+  /// The pure first-match rule every scan shares: tries the templates in
+  /// priority order at line `li`; on a match fills `*value` and returns
+  /// the template id, else returns -1 (noise). Both the sequential scan
+  /// and the parallel chunk scan go through this single helper — the
+  /// byte-identical-output contract depends on there being exactly one
+  /// copy of this policy.
+  int MatchAt(const Dataset& data, size_t li, ParsedValue* value) const;
+
+  /// Applies MatchAt at line `li` and emits the outcome (one record or one
+  /// noise line) to `sink`; returns the next unconsumed line. Used by the
+  /// sequential path and by the stitcher to re-synchronize across
+  /// chunk-spill divergences.
+  size_t EmitAt(const Dataset& data, size_t li, RecordSink* sink,
+                size_t* covered_chars) const;
+
+  ExtractionResult ExtractSequential(const Dataset& data,
+                                     RecordSink* sink) const;
+
   const std::vector<StructureTemplate>* templates_;
+  ThreadPool* pool_;
   std::vector<TemplateMatcher> matchers_;
   std::vector<int> spans_;
+  size_t lines_per_chunk_ = 0;
 };
 
 }  // namespace datamaran

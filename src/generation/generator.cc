@@ -7,6 +7,7 @@
 #include "util/common.h"
 #include "util/hashing.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace datamaran {
 
@@ -117,8 +118,9 @@ std::string CanonicalizeRotation(std::string_view canonical) {
 }
 
 CandidateGenerator::CandidateGenerator(const Dataset* sample,
-                                       const DatamaranOptions* options)
-    : sample_(sample), options_(options) {
+                                       const DatamaranOptions* options,
+                                       ThreadPool* pool)
+    : sample_(sample), options_(options), pool_(pool) {
   auto counts = CountSpecialChars(sample_->text(), options_->special_chars);
   int limit = options_->max_special_chars;
   for (const auto& [c, freq] : counts) {
@@ -129,10 +131,23 @@ CandidateGenerator::CandidateGenerator(const Dataset* sample,
 
 double CandidateGenerator::RunCharset(const CharSet& rt_charset,
                                       std::vector<CandidateTemplate>* out) {
+  return RunCharset(rt_charset, &scratch_, out);
+}
+
+double CandidateGenerator::RunCharset(const CharSet& rt_charset,
+                                      GenerationWorkspace* ws,
+                                      std::vector<CandidateTemplate>* out)
+    const {
   CharSet charset = rt_charset;
   charset.Add('\n');
   const size_t n = sample_->line_count();
   if (n == 0) return 0;
+
+  auto& line_canonical_ = ws->line_canonical;
+  auto& line_hash_ = ws->line_hash;
+  auto& prefix_len_ = ws->prefix_len;
+  auto& prefix_field_len_ = ws->prefix_field_len;
+  auto& line_has_field_ = ws->line_has_field;
 
   line_canonical_.resize(n);
   line_hash_.resize(n);
@@ -140,19 +155,17 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
   prefix_field_len_.resize(n + 1);
   line_has_field_.resize(n);
 
-  // Per-line record templates, reduced and hashed once for this charset.
-  std::string raw_template;
+  // Per-line record templates, reduced and hashed once for this charset;
+  // the field-character count falls out of the same single scan.
+  std::string& raw_template = ws->raw_template;
   prefix_len_[0] = prefix_field_len_[0] = 0;
   for (size_t k = 0; k < n; ++k) {
     std::string_view line = sample_->line_with_newline(k);
     raw_template.clear();
-    AppendRecordTemplate(line, charset, &raw_template);
-    ReduceToCanonical(raw_template, &reduce_ws_, &line_canonical_[k]);
+    const size_t field_chars =
+        AppendRecordTemplateCounting(line, charset, &raw_template);
+    ReduceToCanonical(raw_template, &ws->reduce_ws, &line_canonical_[k]);
     line_hash_[k] = Fnv1a(line_canonical_[k]);
-    size_t field_chars = 0;
-    for (char c : line) {
-      if (!charset.Contains(static_cast<unsigned char>(c))) ++field_chars;
-    }
     prefix_len_[k + 1] = prefix_len_[k] + line.size();
     prefix_field_len_[k + 1] = prefix_field_len_[k] + field_chars;
     line_has_field_[k] =
@@ -185,7 +198,7 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
       }
       bin.first_line = std::min<uint32_t>(bin.first_line,
                                           static_cast<uint32_t>(i));
-      ++records_hashed_;
+      ++ws->records_hashed;
     }
   }
 
@@ -241,21 +254,17 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
 }
 
 void CandidateGenerator::MergeCandidates(
-    std::vector<CandidateTemplate>* accumulated,
+    std::vector<CandidateTemplate>* accumulated, MergeIndex* index,
     std::vector<CandidateTemplate>&& fresh) const {
-  // Keys are owned copies: views into `accumulated` would dangle when
-  // push_back reallocates and SSO string bodies move.
-  std::unordered_map<std::string, size_t> index;
-  index.reserve(accumulated->size());
-  for (size_t i = 0; i < accumulated->size(); ++i) {
-    index.emplace((*accumulated)[i].canonical, i);
-  }
+  // `index` persists across all of a search's merges, so each trial costs
+  // O(fresh), not a full O(accumulated) re-index. Keys are owned copies:
+  // views into `accumulated` would dangle when push_back reallocates and
+  // SSO string bodies move.
   for (auto& cand : fresh) {
-    auto it = index.find(cand.canonical);
-    if (it == index.end()) {
+    auto it = index->find(cand.canonical);
+    if (it == index->end()) {
+      index->emplace(cand.canonical, accumulated->size());
       accumulated->push_back(std::move(cand));
-      index.emplace(accumulated->back().canonical,
-                    accumulated->size() - 1);
     } else {
       CandidateTemplate& existing = (*accumulated)[it->second];
       // The same minimal template found under a different charset: keep the
@@ -272,56 +281,91 @@ void CandidateGenerator::MergeCandidates(
 
 GenerationResult CandidateGenerator::ExhaustiveSearch() {
   GenerationResult result;
+  MergeIndex index;
   const size_t c = search_chars_.size();
   const size_t subsets = size_t{1} << c;
-  for (size_t mask = 0; mask < subsets; ++mask) {
-    CharSet charset;
-    for (size_t b = 0; b < c; ++b) {
-      if (mask & (size_t{1} << b)) {
-        charset.Add(static_cast<unsigned char>(search_chars_[b]));
+  const int workers =
+      pool_ != nullptr ? pool_->thread_count() : 1;
+  std::vector<GenerationWorkspace> ws(static_cast<size_t>(workers));
+
+  // Every subset is an independent trial; run them in parallel and merge
+  // in ascending mask order — the sequential iteration order — so the
+  // accumulated candidate list is identical for any thread count. Waves
+  // of a few trials per thread bound the per-trial buffers held live at
+  // once (2^c grows fast when max_special_chars is raised).
+  const size_t wave_size = std::max<size_t>(static_cast<size_t>(workers) * 8,
+                                            size_t{1});
+  std::vector<std::vector<CandidateTemplate>> fresh(
+      std::min(wave_size, subsets));
+  for (size_t wave_start = 0; wave_start < subsets;
+       wave_start += wave_size) {
+    const size_t wave = std::min(wave_size, subsets - wave_start);
+    ForEachIndex(pool_, wave, [&](size_t k, int worker) {
+      const size_t mask = wave_start + k;
+      CharSet charset;
+      for (size_t b = 0; b < c; ++b) {
+        if (mask & (size_t{1} << b)) {
+          charset.Add(static_cast<unsigned char>(search_chars_[b]));
+        }
       }
+      fresh[k].clear();
+      RunCharset(charset, &ws[static_cast<size_t>(worker)], &fresh[k]);
+    });
+    for (size_t k = 0; k < wave; ++k) {
+      MergeCandidates(&result.candidates, &index, std::move(fresh[k]));
+      ++result.charsets_tried;
     }
-    std::vector<CandidateTemplate> fresh;
-    RunCharset(charset, &fresh);
-    MergeCandidates(&result.candidates, std::move(fresh));
-    ++result.charsets_tried;
   }
+  for (const GenerationWorkspace& w : ws) records_hashed_ += w.records_hashed;
   return result;
 }
 
 GenerationResult CandidateGenerator::GreedySearch() {
   GenerationResult result;
+  MergeIndex index;
   CharSet current;  // '\n' is implicit
   std::vector<char> remaining = search_chars_;
+  const int workers =
+      pool_ != nullptr ? pool_->thread_count() : 1;
+  std::vector<GenerationWorkspace> ws(static_cast<size_t>(workers));
 
   // Baseline: the empty charset (records delimited by '\n' only).
   {
     std::vector<CandidateTemplate> fresh;
-    RunCharset(current, &fresh);
-    MergeCandidates(&result.candidates, std::move(fresh));
+    RunCharset(current, &ws[0], &fresh);
+    MergeCandidates(&result.candidates, &index, std::move(fresh));
     ++result.charsets_tried;
   }
 
   while (!remaining.empty()) {
-    double best_score = 0;
-    size_t best_idx = remaining.size();
-    for (size_t idx = 0; idx < remaining.size(); ++idx) {
+    // The trial extensions of this round are independent of one another:
+    // run them in parallel, then merge and pick the winner in ascending
+    // trial order exactly as the sequential loop would.
+    const size_t trials = remaining.size();
+    std::vector<double> scores(trials, 0.0);
+    std::vector<std::vector<CandidateTemplate>> fresh(trials);
+    ForEachIndex(pool_, trials, [&](size_t idx, int worker) {
       CharSet trial = current;
       trial.Add(static_cast<unsigned char>(remaining[idx]));
-      std::vector<CandidateTemplate> fresh;
-      double score = RunCharset(trial, &fresh);
-      MergeCandidates(&result.candidates, std::move(fresh));
+      scores[idx] =
+          RunCharset(trial, &ws[static_cast<size_t>(worker)], &fresh[idx]);
+    });
+    double best_score = 0;
+    size_t best_idx = trials;
+    for (size_t idx = 0; idx < trials; ++idx) {
+      MergeCandidates(&result.candidates, &index, std::move(fresh[idx]));
       ++result.charsets_tried;
-      if (score > best_score) {
-        best_score = score;
+      if (scores[idx] > best_score) {
+        best_score = scores[idx];
         best_idx = idx;
       }
     }
     // Stop when no extension yields a template with alpha% coverage.
-    if (best_idx == remaining.size()) break;
+    if (best_idx == trials) break;
     current.Add(static_cast<unsigned char>(remaining[best_idx]));
     remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_idx));
   }
+  for (const GenerationWorkspace& w : ws) records_hashed_ += w.records_hashed;
   return result;
 }
 

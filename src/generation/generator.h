@@ -1,7 +1,9 @@
 #ifndef DATAMARAN_GENERATION_GENERATOR_H_
 #define DATAMARAN_GENERATION_GENERATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dataset.h"
@@ -31,6 +33,8 @@
 
 namespace datamaran {
 
+class ThreadPool;
+
 /// Reduces a multi-line canonical template to its minimal line period:
 /// "(F,)*F\n(F,)*F\n" is two copies of "(F,)*F\n" and describes the same
 /// records, so only the one-period form is kept (Figure 11's first
@@ -56,42 +60,70 @@ struct GenerationResult {
   size_t records_hashed = 0;
 };
 
+/// Per-thread scratch for RunCharset. Each worker owns one workspace for
+/// the lifetime of a search, so the steady state performs no per-charset
+/// allocation and concurrent charset trials never share mutable state.
+struct GenerationWorkspace {
+  ReduceWorkspace reduce_ws;
+  std::string raw_template;
+  std::vector<std::string> line_canonical;
+  std::vector<uint64_t> line_hash;
+  std::vector<size_t> prefix_len;         // raw chars, prefix sum
+  std::vector<size_t> prefix_field_len;   // field chars, prefix sum
+  std::vector<uint8_t> line_has_field;
+  /// (boundary pair, charset) candidates hashed, accumulated across calls.
+  size_t records_hashed = 0;
+};
+
 class CandidateGenerator {
  public:
-  /// `sample` must outlive the generator.
-  CandidateGenerator(const Dataset* sample, const DatamaranOptions* options);
+  /// `sample` must outlive the generator. When `pool` is non-null and has
+  /// more than one thread, the independent charset trials of both search
+  /// strategies run in parallel; per-trial results are merged in the same
+  /// fixed order as the sequential search, so the output is identical for
+  /// every pool size.
+  CandidateGenerator(const Dataset* sample, const DatamaranOptions* options,
+                     ThreadPool* pool = nullptr);
 
   /// Runs the full generation step with the configured search strategy.
   GenerationResult Run();
 
   /// Runs steps 2-5 for one specific RT-CharSet ('\n' is added
   /// automatically); appends surviving candidates to `out` and returns the
-  /// best assimilation score among them (0 if none survive).
+  /// best assimilation score among them (0 if none survive). Uses the
+  /// generator's own scratch workspace; not safe to call concurrently.
   double RunCharset(const CharSet& rt_charset,
                     std::vector<CandidateTemplate>* out);
+
+  /// Re-entrant form: all mutable state lives in `ws`, so distinct
+  /// workspaces may run distinct charsets concurrently.
+  double RunCharset(const CharSet& rt_charset, GenerationWorkspace* ws,
+                    std::vector<CandidateTemplate>* out) const;
 
   /// The (at most max_special_chars) special characters present in the
   /// sample that the search enumerates over, most frequent first.
   const std::vector<char>& search_chars() const { return search_chars_; }
 
  private:
+  /// Canonical -> index into the accumulated candidate vector. Kept
+  /// alongside the accumulator for the whole search so merging each trial
+  /// is O(fresh) instead of O(accumulated + fresh).
+  using MergeIndex = std::unordered_map<std::string, size_t>;
+
   GenerationResult ExhaustiveSearch();
   GenerationResult GreedySearch();
   void MergeCandidates(std::vector<CandidateTemplate>* accumulated,
+                       MergeIndex* index,
                        std::vector<CandidateTemplate>&& fresh) const;
 
   const Dataset* sample_;
   const DatamaranOptions* options_;
+  ThreadPool* pool_;
   std::vector<char> search_chars_;
   size_t records_hashed_ = 0;
 
-  // Reused per-charset scratch (sized to the line count once).
-  ReduceWorkspace reduce_ws_;
-  std::vector<std::string> line_canonical_;
-  std::vector<uint64_t> line_hash_;
-  std::vector<size_t> prefix_len_;         // raw chars, prefix sum
-  std::vector<size_t> prefix_field_len_;   // field chars, prefix sum
-  std::vector<uint8_t> line_has_field_;
+  // Scratch for the single-threaded public RunCharset overload.
+  GenerationWorkspace scratch_;
 };
 
 }  // namespace datamaran

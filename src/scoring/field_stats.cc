@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/common.h"
 #include "util/strings.h"
 
 namespace datamaran {
@@ -113,57 +114,72 @@ double ColumnStats::BestBits() const { return TotalBits(InferType()); }
 
 namespace {
 
-int CountSubtreeFields(
-    const TemplateNode& node,
-    std::unordered_map<const TemplateNode*, int>* subtree_fields) {
-  int total = 0;
+/// Assigns columns to kField leaves in pre-order (array elements visited
+/// once). This single assignment is shared by the tree path (Walk) and the
+/// flat path (AddRecordFlat), so the two can never disagree on bucketing.
+void AssignFieldColumns(
+    const TemplateNode& node, int* next_column,
+    std::unordered_map<const TemplateNode*, int>* field_column) {
   switch (node.kind) {
     case NodeKind::kField:
-      total = 1;
+      (*field_column)[&node] = (*next_column)++;
       break;
     case NodeKind::kChar:
-      total = 0;
       break;
     case NodeKind::kStruct:
     case NodeKind::kArray:
       for (const auto& c : node.children) {
-        total += CountSubtreeFields(*c, subtree_fields);
+        AssignFieldColumns(*c, next_column, field_column);
       }
       break;
   }
-  (*subtree_fields)[&node] = total;
-  return total;
 }
 
 }  // namespace
 
 TemplateStatsCollector::TemplateStatsCollector(const StructureTemplate* st)
     : st_(st) {
-  int total = CountSubtreeFields(st_->root(), &subtree_fields_);
-  columns_.resize(static_cast<size_t>(total));
+  int next_column = 0;
+  AssignFieldColumns(st_->root(), &next_column, &field_column_);
+  DM_CHECK(next_column == st_->field_count());
+  columns_.resize(static_cast<size_t>(next_column));
 }
 
 void TemplateStatsCollector::AddRecord(const ParsedValue& root,
                                        std::string_view text) {
   ++records_;
-  Walk(st_->root(), root, text, 0);
+  Walk(st_->root(), root, text);
+}
+
+void TemplateStatsCollector::AddRecordFlat(
+    const std::vector<MatchEvent>& events, std::string_view text) {
+  ++records_;
+  for (const MatchEvent& ev : events) {
+    switch (ev.kind) {
+      case MatchEvent::kFieldValue:
+        columns_[static_cast<size_t>(field_column_.at(ev.node))].Add(
+            text.substr(ev.begin, ev.end - ev.begin));
+        break;
+      case MatchEvent::kArrayCount:
+        array_bits_ += GammaBits(ev.count);
+        break;
+    }
+  }
 }
 
 void TemplateStatsCollector::Walk(const TemplateNode& node,
                                   const ParsedValue& value,
-                                  std::string_view text, int leaf_base) {
+                                  std::string_view text) {
   switch (node.kind) {
     case NodeKind::kField:
-      columns_[static_cast<size_t>(leaf_base)].Add(
+      columns_[static_cast<size_t>(field_column_.at(&node))].Add(
           text.substr(value.begin, value.end - value.begin));
       break;
     case NodeKind::kChar:
       break;
     case NodeKind::kStruct: {
-      int base = leaf_base;
       for (size_t i = 0; i < node.children.size(); ++i) {
-        Walk(*node.children[i], value.children[i], text, base);
-        base += subtree_fields_.at(node.children[i].get());
+        Walk(*node.children[i], value.children[i], text);
       }
       break;
     }
@@ -171,7 +187,7 @@ void TemplateStatsCollector::Walk(const TemplateNode& node,
       array_bits_ += GammaBits(value.children.size());
       // All repetitions pool into the element's columns.
       for (const ParsedValue& rep : value.children) {
-        Walk(*node.children[0], rep, text, leaf_base);
+        Walk(*node.children[0], rep, text);
       }
       break;
     }

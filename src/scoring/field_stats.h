@@ -73,6 +73,13 @@ class TemplateStatsCollector {
   /// template's matcher).
   void AddRecord(const ParsedValue& root, std::string_view text);
 
+  /// Adds one record from a flat event stream (TemplateMatcher::ParseFlat
+  /// with the same template). Equivalent to AddRecord but consumes the
+  /// allocation-free representation directly, so the scoring hot loop
+  /// never builds a ParsedValue tree.
+  void AddRecordFlat(const std::vector<MatchEvent>& events,
+                     std::string_view text);
+
   /// Bits for all field values (best type per column, parameters included).
   double FieldBits() const;
 
@@ -85,11 +92,13 @@ class TemplateStatsCollector {
 
  private:
   void Walk(const TemplateNode& node, const ParsedValue& value,
-            std::string_view text, int leaf_base);
+            std::string_view text);
 
   const StructureTemplate* st_;
-  /// Field leaves in each subtree, keyed by node; fixes each leaf's column.
-  std::unordered_map<const TemplateNode*, int> subtree_fields_;
+  /// Column index of each kField leaf (pre-order over leaves, array
+  /// elements counted once). The single source of truth for bucketing,
+  /// shared by the tree path (Walk) and the flat path (AddRecordFlat).
+  std::unordered_map<const TemplateNode*, int> field_column_;
   std::vector<ColumnStats> columns_;
   double array_bits_ = 0;
   size_t records_ = 0;

@@ -38,15 +38,20 @@ MdlBreakdown MdlScorer::EvaluateSet(
           ? Log2Ceil(static_cast<double>(templates.size()))
           : 0;
 
+  // The scan parses with the flat event API into one reused buffer: no
+  // ParsedValue tree (a vector-of-children allocation per node per record)
+  // is ever built, so the per-line cost is pure matching plus stats
+  // accumulation.
+  std::vector<MatchEvent> events;
   size_t li = 0;
   const size_t n = sample.line_count();
   while (li < n) {
     const size_t pos = sample.line_begin(li);
     bool matched = false;
     for (size_t t = 0; t < matchers.size(); ++t) {
-      auto parsed = matchers[t].Parse(text, pos);
+      auto parsed = matchers[t].ParseFlat(text, pos, &events);
       if (!parsed.has_value()) continue;
-      collectors[t].AddRecord(*parsed, text);
+      collectors[t].AddRecordFlat(events, text);
       out.records += 1;
       const int span = templates[t]->line_span();
       out.record_lines += static_cast<size_t>(span);

@@ -2,6 +2,7 @@
 #define DATAMARAN_TEMPLATE_MATCHER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,25 @@ struct MatchStats {
   size_t field_chars = 0;  ///< total characters inside field values
 };
 
+/// One entry of a flat (allocation-free) parse. Instead of materializing
+/// the ParsedValue tree — a vector-of-children allocation per node per
+/// record — ParseFlat appends plain events to a caller-owned buffer that
+/// is reused across records. `node` identifies the template node, which is
+/// all a consumer needs to attribute the event to a relational column
+/// (each distinct kField node is one column; array repetitions revisit the
+/// same element nodes and pool into the same columns).
+struct MatchEvent {
+  enum Kind : uint8_t {
+    kFieldValue,  ///< `node` is a kField leaf; [begin, end) is the value
+    kArrayCount,  ///< `node` is a kArray; `count` repetitions were parsed
+  };
+  Kind kind;
+  const TemplateNode* node;
+  size_t begin = 0;  ///< kFieldValue: value span start
+  size_t end = 0;    ///< kFieldValue: value span end
+  size_t count = 0;  ///< kArrayCount: number of repetitions
+};
+
 /// Matcher bound to one structure template. Cheap to construct; holds only
 /// pointers/derived sets, so the template must outlive the matcher.
 class TemplateMatcher {
@@ -49,13 +69,27 @@ class TemplateMatcher {
   /// Like TryMatch but also produces the parsed value tree.
   std::optional<ParsedValue> Parse(std::string_view text, size_t pos) const;
 
+  /// Like Parse but emits a flat event stream instead of a tree: `events`
+  /// is cleared, then one kFieldValue event is appended per field value
+  /// and one kArrayCount event per array node (in template order, the
+  /// array's count preceding its elements' fields). Performs no heap
+  /// allocation once the buffer's capacity is warm, which is what makes
+  /// the scoring hot loop allocation-free. On a failed match `events` is
+  /// left partially filled and must be ignored.
+  std::optional<MatchStats> ParseFlat(std::string_view text, size_t pos,
+                                      std::vector<MatchEvent>* events) const;
+
   const StructureTemplate& structure_template() const { return *st_; }
 
  private:
-  bool MatchNode(const TemplateNode& node, std::string_view text, size_t* pos,
-                 size_t* field_chars) const;
   bool ParseNode(const TemplateNode& node, std::string_view text, size_t* pos,
                  ParsedValue* out) const;
+  /// Shared LL(1) walker for TryMatch (events == nullptr) and ParseFlat:
+  /// one implementation keeps capture-free matching and flat parsing in
+  /// lockstep by construction.
+  bool ParseFlatNode(const TemplateNode& node, std::string_view text,
+                     size_t* pos, size_t* field_chars,
+                     std::vector<MatchEvent>* events) const;
 
   const StructureTemplate* st_;
   CharSet rt_charset_;

@@ -7,6 +7,13 @@ namespace datamaran {
 
 void AppendRecordTemplate(std::string_view text, const CharSet& rt_charset,
                           std::string* out) {
+  AppendRecordTemplateCounting(text, rt_charset, out);
+}
+
+size_t AppendRecordTemplateCounting(std::string_view text,
+                                    const CharSet& rt_charset,
+                                    std::string* out) {
+  size_t field_chars = 0;
   bool in_field = false;
   for (char c : text) {
     if (rt_charset.Contains(static_cast<unsigned char>(c))) {
@@ -15,8 +22,10 @@ void AppendRecordTemplate(std::string_view text, const CharSet& rt_charset,
     } else {
       if (!in_field) out->push_back('F');
       in_field = true;
+      ++field_chars;
     }
   }
+  return field_chars;
 }
 
 std::string ExtractRecordTemplate(std::string_view text,

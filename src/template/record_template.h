@@ -31,6 +31,14 @@ namespace datamaran {
 void AppendRecordTemplate(std::string_view text, const CharSet& rt_charset,
                           std::string* out);
 
+/// Single-pass variant that also returns the number of field characters
+/// (bytes outside `rt_charset`) in `text`. The generation hot loop needs
+/// both the record template and the field-character count of every line;
+/// folding them into one scan halves the per-line traffic.
+size_t AppendRecordTemplateCounting(std::string_view text,
+                                    const CharSet& rt_charset,
+                                    std::string* out);
+
 /// Convenience form returning a fresh string.
 std::string ExtractRecordTemplate(std::string_view text,
                                   const CharSet& rt_charset);

@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace datamaran {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int total = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(total - 1));
+  for (int w = 1; w < total; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::ResolveThreadCount(int num_threads) {
+  if (num_threads == 0) return DefaultThreadCount();
+  return std::max(1, num_threads);
+}
+
+void ThreadPool::RunJob(Job* job, int worker_id) {
+  const size_t count = job->count;
+  for (;;) {
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    (*job->fn)(i, worker_id);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      // Last index done: wake the caller. Acquiring the mutex orders the
+      // notification after the caller's predicate check so it cannot be
+      // missed.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_seq_ != seen);
+      });
+      if (shutdown_) return;
+      job = job_;
+      seen = job_seq_;
+    }
+    RunJob(job.get(), worker_id);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t index, int worker)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_seq_;
+  }
+  wake_.notify_all();
+  RunJob(job.get(), 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == count;
+    });
+    job_.reset();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t index)>& fn) {
+  ParallelFor(count, [&fn](size_t i, int) { fn(i); });
+}
+
+void ForEachIndex(ThreadPool* pool, size_t count,
+                  const std::function<void(size_t index, int worker)>& fn) {
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  pool->ParallelFor(count, fn);
+}
+
+}  // namespace datamaran

@@ -1,0 +1,100 @@
+#ifndef DATAMARAN_UTIL_THREAD_POOL_H_
+#define DATAMARAN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Reusable worker pool for the pipeline's embarrassingly parallel hot
+/// paths (charset trials in generation, candidate scoring in evaluation,
+/// chunked whole-file extraction). Design constraints:
+///
+///  * Determinism is the caller's contract: ParallelFor only promises that
+///    every index runs exactly once; callers collect results into
+///    per-index (or per-worker) slots and merge them in a fixed order so
+///    output is byte-identical to a sequential run.
+///  * No exceptions cross task boundaries (library code is no-throw).
+///  * A pool of size 1 runs everything inline on the calling thread — the
+///    `num_threads = 1` reference configuration has zero threading
+///    overhead and exactly the pre-parallelism behavior.
+///  * ParallelFor calls must not be nested (a task must not itself call
+///    ParallelFor on the same pool); the pipeline parallelizes at one
+///    level only.
+
+namespace datamaran {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `num_threads` threads total,
+  /// including the caller of ParallelFor; `num_threads - 1` workers are
+  /// spawned. Values < 1 are clamped to 1 (inline execution, no workers).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in ParallelFor (workers + caller).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(index, worker)` for every index in [0, count), distributing
+  /// indices dynamically over all threads, and blocks until every call has
+  /// returned. `worker` is in [0, thread_count()) and is stable within one
+  /// ParallelFor call — use it to index per-worker scratch state. The
+  /// calling thread participates as worker 0.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t index, int worker)>& fn);
+
+  /// Convenience overload without the worker id.
+  void ParallelFor(size_t count, const std::function<void(size_t index)>& fn);
+
+  /// Hardware concurrency, always >= 1.
+  static int DefaultThreadCount();
+
+  /// Resolves an options-style thread count: 0 (auto) maps to
+  /// DefaultThreadCount(), anything else is clamped to >= 1.
+  static int ResolveThreadCount(int num_threads);
+
+ private:
+  /// One ParallelFor invocation shared between the caller and the workers.
+  /// Held by shared_ptr so a straggling worker that copied the pointer can
+  /// still touch the (completed) job after the caller has returned.
+  struct Job {
+    const std::function<void(size_t, int)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop(int worker_id);
+  void RunJob(Job* job, int worker_id);
+
+  std::vector<std::thread> workers_;
+
+  // Job hand-off: ParallelFor publishes `job_` under `mutex_` and bumps
+  // `job_seq_`; workers wake on `wake_`, drain the job, and the thread
+  // finishing the last index signals `done_` back to the caller.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;
+  uint64_t job_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(index, worker)` over [0, count): inline (worker 0) when `pool`
+/// is null or single-threaded, else via pool->ParallelFor. Lets call sites
+/// treat "no pool" and "pool of 1" uniformly as the sequential reference
+/// path.
+void ForEachIndex(ThreadPool* pool, size_t count,
+                  const std::function<void(size_t index, int worker)>& fn);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_THREAD_POOL_H_

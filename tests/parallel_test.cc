@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/datamaran.h"
+#include "core/dataset.h"
+#include "core/options.h"
+#include "datagen/github_corpus.h"
+#include "extraction/extractor.h"
+#include "generation/generator.h"
+#include "scoring/field_stats.h"
+#include "template/matcher.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+// Determinism-parity tests for the parallel hot paths: with identical
+// inputs, num_threads=1 and num_threads=N must produce identical accepted
+// templates, scores, and extraction output. Plus unit tests for the thread
+// pool itself and for the allocation-free flat-match path.
+
+namespace datamaran {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(5000, [&](size_t, int worker) {
+    if (worker < 0 || worker >= pool.thread_count()) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  const std::thread::id self = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(100, [&](size_t, int worker) {
+    if (worker != 0 || std::this_thread::get_id() != self) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), size_t{100 * 99 / 2});
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, ForEachIndexWithoutPoolRunsInline) {
+  std::vector<int> hits(64, 0);
+  ForEachIndex(nullptr, hits.size(), [&](size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Flat-match (allocation-free) parity with the tree parser
+// ---------------------------------------------------------------------------
+
+TEST(FlatMatchTest, FlatStatsMatchTreeStats) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F;F\n");
+  ASSERT_TRUE(st.ok());
+  TemplateMatcher matcher(&st.value());
+  Rng rng(11);
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    int reps = static_cast<int>(rng.Uniform(1, 5));
+    for (int r = 0; r < reps; ++r) {
+      text += std::to_string(rng.Uniform(0, 999));
+      text += r + 1 < reps ? "," : ";";
+    }
+    text += std::to_string(rng.Uniform(0, 99)) + "\n";
+  }
+  Dataset data(std::move(text));
+
+  TemplateStatsCollector tree_stats(&st.value());
+  TemplateStatsCollector flat_stats(&st.value());
+  std::vector<MatchEvent> events;
+  for (size_t li = 0; li < data.line_count(); ++li) {
+    const size_t pos = data.line_begin(li);
+    auto tree = matcher.Parse(data.text(), pos);
+    auto flat = matcher.ParseFlat(data.text(), pos, &events);
+    ASSERT_EQ(tree.has_value(), flat.has_value()) << "line " << li;
+    if (!tree.has_value()) continue;
+    EXPECT_EQ(tree->end, flat->end);
+    tree_stats.AddRecord(*tree, data.text());
+    flat_stats.AddRecordFlat(events, data.text());
+  }
+  ASSERT_GT(tree_stats.record_count(), 0u);
+  EXPECT_EQ(tree_stats.record_count(), flat_stats.record_count());
+  EXPECT_DOUBLE_EQ(tree_stats.FieldBits(), flat_stats.FieldBits());
+  EXPECT_DOUBLE_EQ(tree_stats.ArrayCountBits(), flat_stats.ArrayCountBits());
+  ASSERT_EQ(tree_stats.columns().size(), flat_stats.columns().size());
+  for (size_t c = 0; c < tree_stats.columns().size(); ++c) {
+    EXPECT_EQ(tree_stats.columns()[c].count(), flat_stats.columns()[c].count());
+    EXPECT_EQ(tree_stats.columns()[c].InferType(),
+              flat_stats.columns()[c].InferType());
+  }
+}
+
+TEST(FlatMatchTest, FailedMatchIsReported) {
+  auto st = StructureTemplate::FromCanonical("F,F\n");
+  ASSERT_TRUE(st.ok());
+  TemplateMatcher matcher(&st.value());
+  std::vector<MatchEvent> events;
+  std::string text = "no delimiters here\n";
+  EXPECT_FALSE(matcher.ParseFlat(text, 0, &events).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Generation parity across thread counts
+// ---------------------------------------------------------------------------
+
+std::string InterleavedLog(int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (int i = 0; i < rows; ++i) {
+    if (rng.Bernoulli(0.4)) {
+      text += "GET /p/" + std::to_string(rng.Uniform(0, 9999)) + " " +
+              std::to_string(rng.Uniform(200, 504)) + "\n";
+    } else if (rng.Bernoulli(0.5)) {
+      text += "user=" + std::to_string(rng.Uniform(0, 999)) + ";op=" +
+              std::to_string(rng.Uniform(0, 20)) + ";\n";
+    } else {
+      text += std::to_string(rng.Uniform(0, 255)) + "." +
+              std::to_string(rng.Uniform(0, 255)) + ": " +
+              std::to_string(rng.Uniform(0, 99)) + "," +
+              std::to_string(rng.Uniform(0, 99)) + "\n";
+    }
+  }
+  return text;
+}
+
+void ExpectSameCandidates(const GenerationResult& a,
+                          const GenerationResult& b) {
+  EXPECT_EQ(a.charsets_tried, b.charsets_tried);
+  EXPECT_EQ(a.records_hashed, b.records_hashed);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateTemplate& ca = a.candidates[i];
+    const CandidateTemplate& cb = b.candidates[i];
+    EXPECT_EQ(ca.canonical, cb.canonical) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(ca.coverage, cb.coverage) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(ca.non_field_coverage, cb.non_field_coverage)
+        << "candidate " << i;
+    EXPECT_EQ(ca.count, cb.count) << "candidate " << i;
+    EXPECT_EQ(ca.first_line, cb.first_line) << "candidate " << i;
+    EXPECT_EQ(ca.span, cb.span) << "candidate " << i;
+  }
+}
+
+TEST(ParallelGenerationTest, ExhaustiveSearchParity) {
+  Dataset data(InterleavedLog(600, 21));
+  DatamaranOptions opts;
+  opts.max_special_chars = 6;
+  ThreadPool pool(4);
+  CandidateGenerator seq(&data, &opts, nullptr);
+  CandidateGenerator par(&data, &opts, &pool);
+  ExpectSameCandidates(seq.Run(), par.Run());
+}
+
+TEST(ParallelGenerationTest, GreedySearchParity) {
+  Dataset data(InterleavedLog(600, 22));
+  DatamaranOptions opts;
+  opts.max_special_chars = 8;
+  opts.search = CharsetSearch::kGreedy;
+  ThreadPool pool(4);
+  CandidateGenerator seq(&data, &opts, nullptr);
+  CandidateGenerator par(&data, &opts, &pool);
+  ExpectSameCandidates(seq.Run(), par.Run());
+}
+
+// ---------------------------------------------------------------------------
+// Extraction parity across thread counts
+// ---------------------------------------------------------------------------
+
+/// Multi-line records with interspersed noise so records regularly straddle
+/// chunk boundaries and force the stitcher's resync path.
+std::string MultiLineWithNoise(int blocks, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (int i = 0; i < blocks; ++i) {
+    text += "BEGIN " + std::to_string(i) + "\n";
+    text += " v=" + std::to_string(rng.Uniform(0, 9999)) + "\n";
+    text += "END\n";
+    if (rng.Bernoulli(0.2)) {
+      text += "!!corrupted " + std::to_string(rng.Uniform(0, 999999)) + "\n";
+    }
+  }
+  return text;
+}
+
+void ExpectSameExtraction(const ExtractionResult& a,
+                          const ExtractionResult& b) {
+  EXPECT_EQ(a.covered_chars, b.covered_chars);
+  EXPECT_EQ(a.total_chars, b.total_chars);
+  EXPECT_EQ(a.noise_lines, b.noise_lines);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].template_id, b.records[i].template_id) << i;
+    EXPECT_EQ(a.records[i].begin, b.records[i].begin) << i;
+    EXPECT_EQ(a.records[i].end, b.records[i].end) << i;
+    EXPECT_EQ(a.records[i].first_line, b.records[i].first_line) << i;
+    EXPECT_EQ(a.records[i].line_count, b.records[i].line_count) << i;
+  }
+}
+
+TEST(ParallelExtractionTest, MultiLineSpillParity) {
+  // A 3-line template over a file whose noise lines shift the record
+  // alignment: with a tiny chunk size, records straddle every few chunk
+  // boundaries, exercising both the splice and the resync stitch paths.
+  auto st = StructureTemplate::FromCanonical("F F\n F=F\nF\n");
+  ASSERT_TRUE(st.ok());
+  std::vector<StructureTemplate> templates;
+  templates.push_back(std::move(st.value()));
+  Dataset data(MultiLineWithNoise(3000, 23));
+
+  Extractor seq(&templates, nullptr);
+  ExtractionResult expected = seq.Extract(data);
+  ASSERT_GT(expected.records.size(), 1000u);
+  ASSERT_GT(expected.noise_lines.size(), 100u);
+
+  for (int threads : {2, 4, 7}) {
+    ThreadPool pool(threads);
+    Extractor par(&templates, &pool);
+    par.set_lines_per_chunk(64);  // force many chunk boundaries
+    ExpectSameExtraction(expected, par.Extract(data));
+  }
+}
+
+TEST(ParallelExtractionTest, SingleLineParity) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  ASSERT_TRUE(st.ok());
+  std::vector<StructureTemplate> templates;
+  templates.push_back(std::move(st.value()));
+  Rng rng(24);
+  std::string text;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      text += "~~~ noise ~~~\n";
+    } else {
+      text += std::to_string(rng.Uniform(0, 999)) + "," +
+              std::to_string(rng.Uniform(0, 999)) + "\n";
+    }
+  }
+  Dataset data(std::move(text));
+  Extractor seq(&templates, nullptr);
+  ThreadPool pool(4);
+  Extractor par(&templates, &pool);
+  ExpectSameExtraction(seq.Extract(data), par.Extract(data));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline parity: templates, scores, extraction
+// ---------------------------------------------------------------------------
+
+void ExpectSamePipelineResult(const PipelineResult& a,
+                              const PipelineResult& b) {
+  ASSERT_EQ(a.templates.size(), b.templates.size());
+  for (size_t i = 0; i < a.templates.size(); ++i) {
+    EXPECT_EQ(a.templates[i].canonical(), b.templates[i].canonical()) << i;
+  }
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.reports[i].mdl_bits, b.reports[i].mdl_bits) << i;
+    EXPECT_DOUBLE_EQ(a.reports[i].noise_only_bits, b.reports[i].noise_only_bits)
+        << i;
+    EXPECT_EQ(a.reports[i].sample_records, b.reports[i].sample_records) << i;
+  }
+  EXPECT_EQ(a.stats.charsets_tried, b.stats.charsets_tried);
+  EXPECT_EQ(a.stats.candidates_generated, b.stats.candidates_generated);
+  EXPECT_EQ(a.stats.candidates_evaluated, b.stats.candidates_evaluated);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  ExpectSameExtraction(a.extraction, b.extraction);
+}
+
+PipelineResult RunWith(int num_threads, const std::string& text,
+                       CharsetSearch search = CharsetSearch::kExhaustive) {
+  DatamaranOptions opts;
+  opts.max_special_chars = 6;
+  opts.max_sample_bytes = 64 * 1024;
+  opts.num_threads = num_threads;
+  opts.search = search;
+  Datamaran dm(opts);
+  return dm.ExtractText(text);
+}
+
+TEST(ParallelPipelineTest, InterleavedParity) {
+  const std::string text = InterleavedLog(800, 31);
+  PipelineResult seq = RunWith(1, text);
+  ASSERT_GE(seq.templates.size(), 1u);
+  ExpectSamePipelineResult(seq, RunWith(4, text));
+}
+
+TEST(ParallelPipelineTest, GreedyParity) {
+  const std::string text = InterleavedLog(800, 32);
+  PipelineResult seq = RunWith(1, text, CharsetSearch::kGreedy);
+  ASSERT_GE(seq.templates.size(), 1u);
+  ExpectSamePipelineResult(seq, RunWith(4, text, CharsetSearch::kGreedy));
+}
+
+TEST(ParallelPipelineTest, GithubCorpusDatasetParity) {
+  // A multi-line interleaved corpus entry — the hardest label class.
+  GeneratedDataset ds = BuildGithubDataset(70, 24 * 1024);
+  PipelineResult seq = RunWith(1, ds.text);
+  ExpectSamePipelineResult(seq, RunWith(4, ds.text));
+}
+
+}  // namespace
+}  // namespace datamaran

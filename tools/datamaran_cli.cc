@@ -2,7 +2,7 @@
 // relational tables.
 //
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
-//             [--out=DIR] [--normalized] [--verbose]
+//             [--threads=N] [--out=DIR] [--normalized] [--verbose]
 //
 // Prints the discovered templates and a summary; with --out, writes one
 // CSV per record type (plus child tables for arrays with --normalized).
@@ -21,8 +21,10 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
-               "                 [--retain=M] [--out=DIR] [--normalized]\n"
-               "                 [--verbose]\n");
+               "                 [--retain=M] [--threads=N] [--out=DIR]\n"
+               "                 [--normalized] [--verbose]\n"
+               "  --threads=N   worker threads (0 = all hardware threads,\n"
+               "                1 = sequential; output is identical)\n");
 }
 
 }  // namespace
@@ -48,6 +50,8 @@ int main(int argc, char** argv) {
       options.max_record_span = std::atoi(arg.substr(7).data());
     } else if (StartsWith(arg, "--retain=")) {
       options.num_retained = std::atoi(arg.substr(9).data());
+    } else if (StartsWith(arg, "--threads=")) {
+      options.num_threads = std::atoi(arg.substr(10).data());
     } else if (StartsWith(arg, "--out=")) {
       out_dir = std::string(arg.substr(6));
     } else if (!StartsWith(arg, "--")) {
