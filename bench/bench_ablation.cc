@@ -49,9 +49,10 @@ void AblateAssimilation(const std::vector<GeneratedDataset>& corpus) {
   int g_hits = 0, cov_hits = 0, total = 0;
   for (const auto& ds : corpus) {
     if (ds.label == DatasetLabel::kNoStructure) continue;
-    Dataset sample(SampleLines(ds.text, SamplerOptions()));
+    Dataset data{std::string(ds.text)};
+    DatasetView sample = SampleView(data, SamplerOptions());
     DatamaranOptions opts;
-    CandidateGenerator gen(&sample, &opts);
+    CandidateGenerator gen(sample, &opts);
     auto candidates = gen.Run().candidates;
     if (candidates.empty()) continue;
     // Reference: best MDL among all candidates.

@@ -38,8 +38,9 @@ int main() {
     // Complexity: candidates meeting the 10% threshold under exhaustive
     // generation on the sample.
     DatamaranOptions opts;
-    Dataset sample(SampleLines(ds.text, SamplerOptions()));
-    CandidateGenerator gen(&sample, &opts);
+    Dataset data{std::string(ds.text)};
+    DatasetView sample = SampleView(data, SamplerOptions());
+    CandidateGenerator gen(sample, &opts);
     size_t complexity = gen.Run().candidates.size();
 
     Timer t1;

@@ -7,6 +7,7 @@
 // best assimilation score.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,9 @@ namespace {
 using namespace datamaran;
 
 /// Evaluation-step winner (pre-refinement) under the given parameters.
-std::string WinnerCanonical(const Dataset& sample, DatamaranOptions opts) {
-  CandidateGenerator gen(&sample, &opts);
+std::string WinnerCanonical(const DatasetView& sample,
+                            DatamaranOptions opts) {
+  CandidateGenerator gen(sample, &opts);
   GenerationResult generated = gen.Run();
   auto retained =
       PruneCandidates(std::move(generated.candidates), opts.num_retained);
@@ -43,9 +45,10 @@ std::string WinnerCanonical(const Dataset& sample, DatamaranOptions opts) {
 }
 
 /// Whether the top-assimilation candidate is also the optimal one.
-bool AssimilationPicksOptimal(const Dataset& sample, DatamaranOptions opts,
+bool AssimilationPicksOptimal(const DatasetView& sample,
+                              DatamaranOptions opts,
                               const std::string& optimal) {
-  CandidateGenerator gen(&sample, &opts);
+  CandidateGenerator gen(sample, &opts);
   auto retained = PruneCandidates(gen.Run().candidates, 1);
   return !retained.empty() && retained[0].canonical == optimal;
 }
@@ -58,13 +61,15 @@ int main() {
                 "parameter combination");
 
   const int n = bench::QuickMode() ? 10 : kManualDatasetCount;
-  std::vector<Dataset> samples;
+  std::vector<std::unique_ptr<Dataset>> backing;  // stable view targets
+  std::vector<DatasetView> samples;
   std::vector<std::string> optimal;
   int assim_optimal = 0;
   for (int i = 0; i < n; ++i) {
     GeneratedDataset ds = BuildManualDataset(
         i, static_cast<size_t>(DefaultManualBytes(i) * 0.5));
-    samples.emplace_back(SampleLines(ds.text, SamplerOptions()));
+    backing.push_back(std::make_unique<Dataset>(std::string(ds.text)));
+    samples.push_back(SampleView(*backing.back(), SamplerOptions()));
     DatamaranOptions ref;
     ref.num_retained = -1;  // M = infinity
     optimal.push_back(WinnerCanonical(samples.back(), ref));

@@ -8,9 +8,13 @@
 // end-to-end pipeline over a GitHub-corpus workload at num_threads=1 and
 // num_threads=max(4, hardware) and writes machine-readable results to
 // BENCH_micro.json (override the path with DM_BENCH_OUT, the thread count
-// with DM_BENCH_THREADS): per-stage wall seconds, MB/s, the speedup, and
-// whether the two configurations produced byte-identical output. Future
-// PRs track the perf trajectory from that file.
+// with DM_BENCH_THREADS): per-stage wall seconds, MB/s, the speedup,
+// whether the two configurations produced byte-identical output, the
+// process peak RSS, and the bytes the index-only residual transitions
+// materialized (cross-gap windows only — the old per-round string rebuild
+// is gone). A second section extracts one large synthetic file through
+// both backings (mmap vs owned read) and checks they are byte-identical.
+// Future PRs track the perf trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
@@ -20,8 +24,13 @@
 #include <string_view>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_common.h"
 #include "core/datamaran.h"
+#include "util/file_io.h"
 #include "core/dataset.h"
 #include "core/options.h"
 #include "datagen/github_corpus.h"
@@ -173,8 +182,24 @@ BENCHMARK(BM_MdlEvaluate);
 struct PipelineRun {
   StepTimings timings;    // summed over all datasets
   size_t bytes = 0;       // total input bytes
+  size_t residual_copy_bytes = 0;  // text materialized by residual rounds
   uint64_t signature = kFnvOffset;  // fingerprint of templates + extraction
 };
+
+/// Process peak resident set size in bytes (0 when unavailable).
+size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 void HashSizeT(uint64_t* h, size_t v) {
   for (int b = 0; b < 8; ++b) {
@@ -191,6 +216,7 @@ PipelineRun RunPipelineWorkload(const std::vector<std::string>& texts,
   for (const std::string& text : texts) {
     run.bytes += text.size();
     PipelineResult r = dm.ExtractText(text);
+    run.residual_copy_bytes += r.stats.residual_copy_bytes;
     run.timings.generation_s += r.timings.generation_s;
     run.timings.pruning_s += r.timings.pruning_s;
     run.timings.evaluation_s += r.timings.evaluation_s;
@@ -292,15 +318,82 @@ int RunPipelineBench() {
   PrintRunJson(f, "single_thread", single, 1);
   std::fprintf(f, ",\n");
   PrintRunJson(f, "multi_thread", parallel, multi);
+  // --- Large-file extraction through both backings (the mmap path). ---
+  const size_t big_bytes = quick ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
+  Rng rng(5);
+  std::string big;
+  big.reserve(big_bytes + 128);
+  while (big.size() < big_bytes) {
+    big += std::to_string(rng.Uniform(0, 999999)) + "," +
+           std::to_string(rng.Uniform(0, 999)) + "," +
+           std::to_string(rng.Uniform(0, 999)) + "\n";
+    if (rng.Bernoulli(0.02)) big += "## unstructured comment line\n";
+  }
+  const std::string big_path = "bench_micro_mmap_input.tmp";
+  double mapped_s = 0, read_s = 0;
+  bool mmap_identical = false;
+  size_t resident = 0;
+  if (WriteStringToFile(big_path, big).ok()) {
+    auto run_mode = [&](MapMode mode, double* seconds,
+                        bool* used_map) -> uint64_t {
+      DatamaranOptions opts;
+      opts.num_threads = multi;
+      opts.mmap_mode = mode;
+      Datamaran dm(opts);
+      auto r = dm.ExtractFile(big_path);
+      if (!r.ok()) return 0;
+      *seconds = r->timings.total_s;
+      *used_map = r->stats.input_mapped;
+      if (mode == MapMode::kAlways) resident = r->stats.input_resident_bytes;
+      uint64_t sig = kFnvOffset;
+      for (const StructureTemplate& st : r->templates) {
+        sig = Fnv1a(st.canonical(), sig);
+      }
+      for (const ExtractedRecord& rec : r->extraction.records) {
+        HashSizeT(&sig, static_cast<size_t>(rec.template_id));
+        HashSizeT(&sig, rec.begin);
+        HashSizeT(&sig, rec.end);
+      }
+      for (size_t noise : r->extraction.noise_lines) HashSizeT(&sig, noise);
+      return sig;
+    };
+    bool mapped_used = false, read_used = false;
+    const uint64_t sig_map = run_mode(MapMode::kAlways, &mapped_s,
+                                      &mapped_used);
+    const uint64_t sig_read = run_mode(MapMode::kNever, &read_s, &read_used);
+    mmap_identical = sig_map != 0 && sig_map == sig_read && mapped_used &&
+                     !read_used;
+    std::printf("large-file (%zu MB): mmap %.3fs (%.2f MB/s, ~%zu KB "
+                "resident), read %.3fs, identical: %s\n",
+                big.size() >> 20, mapped_s, MbPerSec(big.size(), mapped_s),
+                resident >> 10, read_s,
+                mmap_identical ? "yes" : "NO — BACKING BUG");
+    std::remove(big_path.c_str());
+  }
+
   std::fprintf(f,
                ",\n"
                "  \"speedup\": %.3f,\n"
-               "  \"identical_output\": %s\n"
+               "  \"identical_output\": %s,\n"
+               "  \"residual_copy_bytes\": %zu,\n"
+               "  \"peak_rss_bytes\": %zu,\n"
+               "  \"mmap_case\": {\n"
+               "    \"bytes\": %zu,\n"
+               "    \"mapped_s\": %.6f,\n"
+               "    \"read_s\": %.6f,\n"
+               "    \"mapped_mb_per_s\": %.3f,\n"
+               "    \"resident_bytes\": %zu,\n"
+               "    \"identical\": %s\n"
+               "  }\n"
                "}\n",
-               speedup, identical ? "true" : "false");
+               speedup, identical ? "true" : "false",
+               single.residual_copy_bytes + parallel.residual_copy_bytes,
+               PeakRssBytes(), big.size(), mapped_s, read_s,
+               MbPerSec(big.size(), mapped_s), resident,
+               mmap_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
-  return identical ? 0 : 1;
+  return identical && mmap_identical ? 0 : 1;
 }
 
 }  // namespace

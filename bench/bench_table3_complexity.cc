@@ -21,8 +21,8 @@ namespace {
 
 using namespace datamaran;
 
-double GenerationSeconds(const Dataset& sample, DatamaranOptions opts) {
-  CandidateGenerator gen(&sample, &opts);
+double GenerationSeconds(const DatasetView& sample, DatamaranOptions opts) {
+  CandidateGenerator gen(sample, &opts);
   Timer timer;
   gen.Run();
   return timer.Seconds();
@@ -34,13 +34,14 @@ int main() {
   bench::Header("Table 3", "empirical step scaling");
 
   GeneratedDataset base = BuildManualDataset(2, 512 * 1024);  // web log
+  Dataset base_data{std::string(base.text)};
 
   std::printf("--- generation vs S_data (expect ~2x per doubling) ---\n");
   double prev = 0;
   for (size_t kb : {64, 128, 256}) {
     SamplerOptions so;
     so.max_sample_bytes = kb * 1024;
-    Dataset sample(SampleLines(base.text, so));
+    DatasetView sample = SampleView(base_data, so);
     DatamaranOptions opts;
     double s = GenerationSeconds(sample, opts);
     std::printf("  S_data=%4zuKB  gen=%7.3fs%s\n", kb, s,
@@ -54,7 +55,7 @@ int main() {
   {
     SamplerOptions so;
     so.max_sample_bytes = 128 * 1024;
-    Dataset sample(SampleLines(base.text, so));
+    DatasetView sample = SampleView(base_data, so);
     prev = 0;
     for (int l : {5, 10, 20}) {
       DatamaranOptions opts;
@@ -72,7 +73,7 @@ int main() {
   {
     SamplerOptions so;
     so.max_sample_bytes = 64 * 1024;
-    Dataset sample(SampleLines(base.text, so));
+    DatasetView sample = SampleView(base_data, so);
     for (int c : {4, 6, 8}) {
       DatamaranOptions ex;
       ex.max_special_chars = c;

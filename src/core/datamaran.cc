@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "generation/generator.h"
 #include "pruning/pruner.h"
 #include "refinement/refiner.h"
+#include "scoring/score_cache.h"
 #include "template/matcher.h"
 #include "util/file_io.h"
 #include "util/logging.h"
@@ -22,23 +24,53 @@ Datamaran::Datamaran(DatamaranOptions options)
   if (options_.verbose) SetLogLevel(LogLevel::kInfo);
 }
 
-std::string RemoveMatchedLines(const Dataset& data,
-                               const StructureTemplate& st) {
-  TemplateMatcher matcher(&st);
-  const std::string_view text = data.text();
+ResidualMask MaskMatchedLines(const DatasetView& view,
+                              const StructureTemplate& st, ThreadPool* pool) {
+  const size_t n = view.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
-  std::string residual;
-  size_t li = 0;
-  const size_t n = data.line_count();
-  while (li < n) {
-    if (matcher.TryMatch(text, data.line_begin(li)).has_value()) {
-      li += span;
+  TemplateMatcher matcher(&st);
+
+  // Phase 1 (parallel): the match attempt at each live line is a pure
+  // function of (window text, template), so all n attempts fan out across
+  // the pool; per-worker scratch backs the rare cross-gap window.
+  std::vector<uint8_t> matched(n, 0);
+  const int workers = pool != nullptr ? pool->thread_count() : 1;
+  std::vector<std::string> scratch(static_cast<size_t>(workers));
+  std::vector<size_t> assembled(static_cast<size_t>(workers), 0);
+  ForEachIndex(pool, n, [&](size_t v, int worker) {
+    std::string* buf = &scratch[static_cast<size_t>(worker)];
+    const DatasetView::SpanText win = view.ResolveSpan(v, span, buf);
+    if (win.assembled) {
+      assembled[static_cast<size_t>(worker)] += win.text.size();
+    }
+    matched[v] = matcher.TryMatch(win.text, win.pos).has_value() ? 1 : 0;
+  });
+
+  // Phase 2 (sequential, O(live)): the greedy first-match walk — identical
+  // to the sequential scan's skip rule — decides which attempts count,
+  // then compacts the survivors' physical indices.
+  ResidualMask out{view, {}, 0, 0};
+  for (size_t w = 0; w < static_cast<size_t>(workers); ++w) {
+    out.assembled_bytes += assembled[w];
+  }
+  std::vector<uint32_t> live;
+  live.reserve(n);
+  size_t v = 0;
+  while (v < n) {
+    if (matched[v] != 0) {
+      for (size_t k = v; k < v + span; ++k) {
+        out.removed_lines.push_back(
+            static_cast<uint32_t>(view.physical_line(k)));
+      }
+      out.matched_records += 1;
+      v += span;
     } else {
-      residual.append(data.line_with_newline(li));
-      ++li;
+      live.push_back(static_cast<uint32_t>(view.physical_line(v)));
+      ++v;
     }
   }
-  return residual;
+  out.view = DatasetView(view.dataset(), std::move(live));
+  return out;
 }
 
 std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
@@ -47,12 +79,20 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
   SamplerOptions sampler_opts;
   sampler_opts.max_sample_bytes = options_.max_sample_bytes;
   sampler_opts.num_chunks = options_.sample_chunks;
-  Dataset sample(SampleLines(data.text(), sampler_opts));
-  if (stats != nullptr) stats->sample_bytes = sample.size_bytes();
+  DatasetView residual = SampleView(data, sampler_opts);
+  if (stats != nullptr) stats->sample_bytes = residual.size_bytes();
 
   std::vector<StructureTemplate> accepted;
-  Dataset residual = std::move(sample);
   const size_t initial_bytes = residual.size_bytes();
+
+  // Cross-round score reuse: the backing buffer never moves, so line
+  // identity is stable and cached scores stay exact (score_cache.h). The
+  // caching decorator serves both the candidate-scoring loop below and the
+  // Refiner's unfold variants.
+  ScoreCache cache;
+  const CachingScorer cached_scorer(&scorer_,
+                                    options_.enable_score_cache ? &cache
+                                                                : nullptr);
 
   for (int round = 0; round < options_.max_record_types; ++round) {
     if (residual.size_bytes() <
@@ -62,7 +102,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
 
     // --- Generation ---
     Timer gen_timer;
-    CandidateGenerator generator(&residual, &options_, pool_.get());
+    CandidateGenerator generator(residual, &options_, pool_.get());
     GenerationResult gen = generator.Run();
     if (timings != nullptr) timings->generation_s += gen_timer.Seconds();
     if (stats != nullptr) {
@@ -100,15 +140,15 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
       // below the trivial template and never reach refinement.
       if (st.array_count() > 0) {
         StructureTemplate unfolded = AutoUnfoldConstantArrays(residual, st);
-        double unfolded_score = scorer_.Score(residual, unfolded);
-        double plain_score = scorer_.Score(residual, st);
+        double unfolded_score = cached_scorer.Score(residual, unfolded);
+        double plain_score = cached_scorer.Score(residual, st);
         if (unfolded_score < plain_score) {
           slots[i] = Scored{std::move(unfolded), unfolded_score};
         } else {
           slots[i] = Scored{std::move(st), plain_score};
         }
       } else {
-        double score = scorer_.Score(residual, st);
+        double score = cached_scorer.Score(residual, st);
         slots[i] = Scored{std::move(st), score};
       }
     });
@@ -132,7 +172,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
     // refined score. Unfolding changes relative order (it exposes
     // per-column types), so refining only the unrefined winner would let
     // overly generic templates that merge record types slip through.
-    Refiner refiner(&residual, &scorer_, &options_);
+    Refiner refiner(residual, &cached_scorer, &options_);
     size_t refine_count = std::min(
         scored.size(), static_cast<size_t>(std::max(1, options_.refine_top_k)));
     // Refinements are independent; the winner is picked by a strict-less
@@ -178,18 +218,23 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
     accepted.push_back(refined.st);
     if (stats != nullptr) stats->rounds = round + 1;
 
-    // --- Residual for the next round ---
-    std::string rest = RemoveMatchedLines(residual, refined.st);
-    if (rest.size() == residual.size_bytes()) break;  // nothing matched
-    residual = Dataset(std::move(rest));
+    // --- Residual for the next round: index-only mask-and-compact ---
+    ResidualMask mask = MaskMatchedLines(residual, refined.st, pool_.get());
+    if (stats != nullptr) stats->residual_copy_bytes += mask.assembled_bytes;
+    if (mask.removed_lines.empty()) break;  // nothing matched
+    cache.InvalidateRemovedLines(mask.removed_lines);
+    residual = std::move(mask.view);
+  }
+  if (stats != nullptr) {
+    stats->score_cache_hits = cache.hits();
+    stats->score_cache_misses = cache.misses();
   }
   return accepted;
 }
 
-PipelineResult Datamaran::ExtractText(std::string text) const {
+PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   PipelineResult result;
   Timer total_timer;
-  Dataset data(std::move(text));
   result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
                                        &result.reports);
   Timer extract_timer;
@@ -197,13 +242,22 @@ PipelineResult Datamaran::ExtractText(std::string text) const {
   result.extraction = extractor.Extract(data);
   result.timings.extraction_s = extract_timer.Seconds();
   result.timings.total_s = total_timer.Seconds();
+  result.stats.input_bytes = data.size_bytes();
+  result.stats.input_mapped = data.is_mapped();
+  result.stats.input_resident_bytes = data.resident_bytes();
   return result;
 }
 
+PipelineResult Datamaran::ExtractText(std::string text) const {
+  Dataset data(std::move(text));
+  return ExtractDataset(data);
+}
+
 Result<PipelineResult> Datamaran::ExtractFile(const std::string& path) const {
-  auto text = ReadFileToString(path);
-  if (!text.ok()) return text.status();
-  return ExtractText(std::move(text.value()));
+  auto data = Dataset::FromFile(path, options_.mmap_mode,
+                                options_.mmap_threshold_bytes);
+  if (!data.ok()) return data.status();
+  return ExtractDataset(data.value());
 }
 
 }  // namespace datamaran

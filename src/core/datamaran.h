@@ -1,6 +1,7 @@
 #ifndef DATAMARAN_CORE_DATAMARAN_H_
 #define DATAMARAN_CORE_DATAMARAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,8 +28,18 @@
 ///   Interleaved datasets are handled by re-running the three steps on the
 ///   unexplained residual (Section 9.1) until nothing else clears alpha%.
 ///   Finally the whole file is extracted with the accepted template set.
+///
+/// Memory model: the input file is one immutable backing buffer (owned or
+/// mmap'd — see Dataset::FromFile), the discovery sample is a DatasetView
+/// of its lines, and each residual round is produced by MaskMatchedLines —
+/// an index-only mask-and-compact over the previous round's live lines.
+/// No stage ever rewrites text, so the per-round cost is O(live lines) and
+/// a mapped multi-GB file only faults in the pages the sample and the
+/// final extraction actually touch.
 
 namespace datamaran {
+
+class ScoreCache;
 
 /// Wall-clock seconds per pipeline step (Table 3's empirical counterpart).
 struct StepTimings {
@@ -55,6 +66,19 @@ struct PipelineStats {
   size_t candidates_evaluated = 0;
   size_t sample_bytes = 0;
   int rounds = 0;
+  /// Cross-round score cache effectiveness (0/0 when the cache is off).
+  /// Counts may vary slightly with thread count (benign lookup races);
+  /// results never do.
+  size_t score_cache_hits = 0;
+  size_t score_cache_misses = 0;
+  /// Text bytes materialized by residual transitions. Index-only masking
+  /// copies nothing except the rare candidate window that straddles a view
+  /// gap, so this stays O(gaps x record) instead of O(rounds x sample).
+  size_t residual_copy_bytes = 0;
+  /// Input backing diagnostics (ExtractFile / ExtractDataset only).
+  size_t input_bytes = 0;
+  bool input_mapped = false;
+  size_t input_resident_bytes = 0;
 };
 
 struct PipelineResult {
@@ -73,8 +97,12 @@ class Datamaran {
 
   const DatamaranOptions& options() const { return options_; }
 
-  /// Runs the full pipeline over the file at `path`.
+  /// Runs the full pipeline over the file at `path`, choosing the backing
+  /// (mmap vs owned read) per options().mmap_mode.
   Result<PipelineResult> ExtractFile(const std::string& path) const;
+
+  /// Runs the full pipeline over an already-opened dataset.
+  PipelineResult ExtractDataset(const Dataset& data) const;
 
   /// Runs the full pipeline over an in-memory dataset.
   PipelineResult ExtractText(std::string text) const;
@@ -97,10 +125,23 @@ class Datamaran {
   std::unique_ptr<ThreadPool> pool_;
 };
 
-/// Removes every line covered by a match of `st` from `data`, returning the
-/// concatenation of the remaining lines (the residual for the next round).
-std::string RemoveMatchedLines(const Dataset& data,
-                               const StructureTemplate& st);
+/// The index-only residual transition (replaces the old residual-string
+/// rebuild): every live line covered by a greedy first-match scan of `st`
+/// is masked out, and the survivors are compacted into the returned view.
+/// The expensive per-line match attempts run on `pool` in parallel (pure
+/// per-index work), the O(live) mask walk is sequential, and the result is
+/// identical for every thread count. No text is copied — only candidate
+/// windows straddling a view gap are assembled transiently
+/// (`assembled_bytes` totals them).
+struct ResidualMask {
+  DatasetView view;                     ///< surviving lines
+  std::vector<uint32_t> removed_lines;  ///< physical ids masked out, ascending
+  size_t matched_records = 0;
+  size_t assembled_bytes = 0;
+};
+ResidualMask MaskMatchedLines(const DatasetView& view,
+                              const StructureTemplate& st,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace datamaran
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/dataset.h"
 #include "util/char_class.h"
 
 /// Configuration for the Datamaran pipeline. Field names follow the paper's
@@ -48,9 +49,23 @@ struct DatamaranOptions {
   int max_special_chars = 10;
 
   /// Sampling bounds for the generation and evaluation steps (Section 9.1);
-  /// the final extraction pass always scans the whole file.
+  /// the final extraction pass always scans the whole file. The sample is a
+  /// DatasetView into the backing file (line indices, no text copy).
   size_t max_sample_bytes = 256 * 1024;
   int sample_chunks = 8;
+
+  /// Input backing for ExtractFile: memory-map files at/above
+  /// mmap_threshold_bytes (kAuto), always map (kAlways, with read
+  /// fallback), or always read (kNever). Pipeline output is byte-identical
+  /// across backings; mapping keeps multi-GB extractions from requiring the
+  /// whole file in memory.
+  MapMode mmap_mode = MapMode::kAuto;
+  size_t mmap_threshold_bytes = Dataset::kDefaultMmapThreshold;
+
+  /// Reuse candidate MDL scores across residual rounds (exact — cached
+  /// values are bit-identical to fresh evaluation; see
+  /// scoring/score_cache.h). Disable to measure the uncached cost.
+  bool enable_score_cache = true;
 
   /// Maximum number of record types extracted from an interleaved dataset
   /// (the Generation-Pruning-Evaluation loop re-runs on the residual).

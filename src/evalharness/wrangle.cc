@@ -28,11 +28,17 @@ bool OpConcatenate(Table* table, const std::vector<size_t>& columns,
 bool OpSplit(Table* table, size_t col, char delim) {
   if (col >= table->columns.size()) return false;
   size_t max_parts = 1;
-  std::vector<std::vector<std::string_view>> split_rows;
+  // Own the parts: the views Split returns point into the row's cell
+  // strings, which push_back below may reallocate (SSO cells move).
+  std::vector<std::vector<std::string>> split_rows;
   split_rows.reserve(table->rows.size());
   for (const auto& row : table->rows) {
-    split_rows.push_back(Split(row[col], delim));
-    max_parts = std::max(max_parts, split_rows.back().size());
+    std::vector<std::string> parts;
+    for (std::string_view part : Split(row[col], delim)) {
+      parts.emplace_back(part);
+    }
+    max_parts = std::max(max_parts, parts.size());
+    split_rows.push_back(std::move(parts));
   }
   for (size_t p = 0; p < max_parts; ++p) {
     table->columns.push_back(
@@ -40,8 +46,8 @@ bool OpSplit(Table* table, size_t col, char delim) {
   }
   for (size_t r = 0; r < table->rows.size(); ++r) {
     for (size_t p = 0; p < max_parts; ++p) {
-      table->rows[r].push_back(
-          p < split_rows[r].size() ? std::string(split_rows[r][p])
+      table->rows[r].push_back(p < split_rows[r].size()
+                                   ? std::move(split_rows[r][p])
                                    : std::string());
     }
   }

@@ -41,6 +41,10 @@ struct ChunkScan {
     size_t line = 0;
     int template_id = -1;  // -1 = noise line
     ParsedValue value;     // only meaningful for records
+    /// A cross-gap record's window text, owned here so the value's spans
+    /// stay valid until the stitcher flushes the attempt to the sink
+    /// (empty for in-place matches — always, on identity views).
+    std::string assembled_text;
   };
   size_t begin_line = 0;
   size_t end_line = 0;
@@ -64,23 +68,25 @@ Extractor::Extractor(const std::vector<StructureTemplate>* templates,
   }
 }
 
-int Extractor::MatchAt(const Dataset& data, size_t li,
-                       ParsedValue* value) const {
-  const std::string_view text = data.text();
-  const size_t pos = data.line_begin(li);
+int Extractor::MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
+                       std::string* scratch, bool* assembled) const {
+  if (assembled != nullptr) *assembled = false;
   for (size_t t = 0; t < matchers_.size(); ++t) {
-    auto parsed = matchers_[t].Parse(text, pos);
+    const DatasetView::SpanText win = data.ResolveSpan(
+        li, static_cast<size_t>(spans_[t]), scratch);
+    auto parsed = matchers_[t].Parse(win.text, win.pos);
     if (!parsed.has_value()) continue;
     *value = std::move(*parsed);
+    if (assembled != nullptr) *assembled = win.assembled;
     return static_cast<int>(t);
   }
   return -1;
 }
 
-size_t Extractor::EmitAt(const Dataset& data, size_t li, RecordSink* sink,
-                         size_t* covered_chars) const {
+size_t Extractor::EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
+                         size_t* covered_chars, std::string* scratch) const {
   ParsedValue value;
-  const int t = MatchAt(data, li, &value);
+  const int t = MatchAt(data, li, &value, scratch);
   if (t < 0) {
     if (sink != nullptr) sink->OnNoiseLine(li);
     return li + 1;
@@ -91,19 +97,20 @@ size_t Extractor::EmitAt(const Dataset& data, size_t li, RecordSink* sink,
   return li + span;
 }
 
-ExtractionResult Extractor::ExtractSequential(const Dataset& data,
+ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
                                               RecordSink* sink) const {
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
+  std::string scratch;
   size_t li = 0;
   const size_t n = data.line_count();
   while (li < n) {
-    li = EmitAt(data, li, sink, &stats.covered_chars);
+    li = EmitAt(data, li, sink, &stats.covered_chars, &scratch);
   }
   return stats;
 }
 
-ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
+ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
                                              RecordSink* sink) const {
   const size_t n = data.line_count();
   const int threads = pool_ != nullptr ? pool_->thread_count() : 1;
@@ -124,6 +131,8 @@ ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
   // the next wave is scanned.
   const size_t chunks_per_wave = static_cast<size_t>(threads) * 2;
   std::vector<ChunkScan> scans(chunks_per_wave);
+  std::vector<std::string> chunk_scratch(chunks_per_wave);
+  std::string stitch_scratch;
 
   size_t li = 0;  // stitched (authoritative) line position
   size_t wave_start = 0;
@@ -140,7 +149,15 @@ ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
       while (cli < cs.end_line) {
         ChunkScan::Attempt attempt;
         attempt.line = cli;
-        attempt.template_id = MatchAt(data, cli, &attempt.value);
+        bool assembled = false;
+        attempt.template_id =
+            MatchAt(data, cli, &attempt.value, &chunk_scratch[k], &assembled);
+        if (assembled && attempt.template_id >= 0) {
+          // The buffered value's spans index into the scratch text: move it
+          // into the attempt so later windows cannot overwrite it before
+          // the stitch flushes this record.
+          attempt.assembled_text = std::move(chunk_scratch[k]);
+        }
         cli = attempt.template_id >= 0
                   ? cli + static_cast<size_t>(
                               spans_[static_cast<size_t>(attempt.template_id)])
@@ -179,7 +196,7 @@ ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
           // A record from an earlier chunk spilled into this one and the
           // speculative stream never attempted `li`; re-match lines until
           // the streams realign (or the chunk is exhausted).
-          li = EmitAt(data, li, sink, &stats.covered_chars);
+          li = EmitAt(data, li, sink, &stats.covered_chars, &stitch_scratch);
         }
       }
     }
@@ -188,7 +205,7 @@ ExtractionResult Extractor::ExtractStreaming(const Dataset& data,
   return stats;
 }
 
-ExtractionResult Extractor::Extract(const Dataset& data) const {
+ExtractionResult Extractor::Extract(const DatasetView& data) const {
   ExtractionResult out;
   CollectingSink sink(&out);
   ExtractionResult stats = ExtractStreaming(data, &sink);

@@ -2,6 +2,7 @@
 #define DATAMARAN_EXTRACTION_EXTRACTOR_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/dataset.h"
@@ -9,13 +10,20 @@
 #include "template/template.h"
 
 /// Whole-file extraction with the final structure templates (the canonical
-/// LL(1) parse of Section 3.3). The scan walks line starts; at each line the
-/// templates are tried in priority order, the first match emits one record
-/// and skips its span, and unmatched lines are noise. This pass dominates
-/// total runtime for large files (Section 5.2.2) and is embarrassingly
-/// chunk-parallel; given a thread pool this implementation shards the file
-/// into line-range chunks, scans them speculatively in parallel, and
-/// stitches the per-chunk results back together in file order.
+/// LL(1) parse of Section 3.3). The scan walks the live lines of a
+/// DatasetView; at each line the templates are tried in priority order, the
+/// first match emits one record and skips its span, and unmatched lines are
+/// noise. The usual input is the identity view of a full (possibly
+/// mmap-backed) file, where every candidate window is matched in place on
+/// the backing buffer — extraction of a multi-GB mapping therefore streams
+/// through the file without ever materializing a copy. Gapped views (e.g. a
+/// residual) are also supported: windows that straddle a gap are assembled
+/// into a per-scan scratch buffer, exactly like the discovery stages.
+///
+/// This pass dominates total runtime for large files (Section 5.2.2) and is
+/// embarrassingly chunk-parallel; given a thread pool this implementation
+/// shards the view into line-range chunks, scans them speculatively in
+/// parallel, and stitches the per-chunk results back together in order.
 ///
 /// Stitching preserves the sequential semantics exactly: whether a record
 /// *starts* at line k depends on earlier matches (a span-s record consumes
@@ -27,7 +35,8 @@
 /// across a chunk boundary and desynchronizes the stream, the stitch
 /// re-matches lines one by one until the positions realign. The emitted
 /// record/noise sequence — and therefore every downstream artifact — is
-/// byte-identical for every thread count.
+/// byte-identical for every thread count, and identical between mmap-backed
+/// and in-memory datasets.
 
 namespace datamaran {
 
@@ -42,8 +51,9 @@ struct ExtractedRecord {
   ParsedValue value;
 };
 
-/// Streaming consumer of extraction events. Events arrive in file order
-/// regardless of the extractor's thread count.
+/// Streaming consumer of extraction events. Events arrive in scan order
+/// regardless of the extractor's thread count. Line indices are view
+/// indices (== physical line indices for the identity view).
 class RecordSink {
  public:
   virtual ~RecordSink() = default;
@@ -75,16 +85,19 @@ class Extractor {
   explicit Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool = nullptr);
 
-  /// Streams records/noise into `sink` in file order; returns coverage
+  /// Streams records/noise into `sink` in scan order; returns coverage
   /// statistics without retaining parsed values. Memory stays bounded in
   /// the parallel case too: chunks are processed in waves of a few per
   /// thread, and each chunk's buffered results are flushed to the sink
-  /// before the next wave starts.
-  ExtractionResult ExtractStreaming(const Dataset& data,
+  /// before the next wave starts. ParsedValue spans index into the backing
+  /// text for in-place windows (always, for identity views); a cross-gap
+  /// window of a gapped view parses against transient scratch, so its spans
+  /// are only meaningful inside the sink callback.
+  ExtractionResult ExtractStreaming(const DatasetView& data,
                                     RecordSink* sink) const;
 
   /// Convenience: collects everything in memory.
-  ExtractionResult Extract(const Dataset& data) const;
+  ExtractionResult Extract(const DatasetView& data) const;
 
   /// Overrides the automatic chunk granularity (lines per parallel chunk);
   /// 0 restores the automatic choice. Exposed for tests and tuning.
@@ -92,21 +105,25 @@ class Extractor {
 
  private:
   /// The pure first-match rule every scan shares: tries the templates in
-  /// priority order at line `li`; on a match fills `*value` and returns
-  /// the template id, else returns -1 (noise). Both the sequential scan
-  /// and the parallel chunk scan go through this single helper — the
+  /// priority order at view line `li`; on a match fills `*value` and
+  /// returns the template id, else returns -1 (noise). Both the sequential
+  /// scan and the parallel chunk scan go through this single helper — the
   /// byte-identical-output contract depends on there being exactly one
-  /// copy of this policy.
-  int MatchAt(const Dataset& data, size_t li, ParsedValue* value) const;
+  /// copy of this policy. `scratch` backs cross-gap windows of gapped
+  /// views; identity views never touch it.
+  /// On return, *assembled is true iff the matched window crossed a view
+  /// gap and `*scratch` holds its text (the value's spans index into it).
+  int MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
+              std::string* scratch, bool* assembled = nullptr) const;
 
   /// Applies MatchAt at line `li` and emits the outcome (one record or one
   /// noise line) to `sink`; returns the next unconsumed line. Used by the
   /// sequential path and by the stitcher to re-synchronize across
   /// chunk-spill divergences.
-  size_t EmitAt(const Dataset& data, size_t li, RecordSink* sink,
-                size_t* covered_chars) const;
+  size_t EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
+                size_t* covered_chars, std::string* scratch) const;
 
-  ExtractionResult ExtractSequential(const Dataset& data,
+  ExtractionResult ExtractSequential(const DatasetView& data,
                                      RecordSink* sink) const;
 
   const std::vector<StructureTemplate>* templates_;

@@ -1,7 +1,9 @@
 #include "generation/generator.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
+#include <utility>
 
 #include "template/record_template.h"
 #include "util/common.h"
@@ -117,13 +119,21 @@ std::string CanonicalizeRotation(std::string_view canonical) {
   return out;
 }
 
-CandidateGenerator::CandidateGenerator(const Dataset* sample,
+CandidateGenerator::CandidateGenerator(DatasetView sample,
                                        const DatamaranOptions* options,
                                        ThreadPool* pool)
-    : sample_(sample), options_(options), pool_(pool) {
-  auto counts = CountSpecialChars(sample_->text(), options_->special_chars);
+    : sample_(std::move(sample)), options_(options), pool_(pool) {
+  // Histogram only the live lines; a gapped view must not let dead
+  // (sampled-out or already-explained) text vote on the search alphabet.
+  std::array<size_t, 256> counts{};
+  for (size_t v = 0; v < sample_.line_count(); ++v) {
+    for (char c : sample_.line_with_newline(v)) {
+      counts[static_cast<unsigned char>(c)]++;
+    }
+  }
+  auto ranked = SortSpecialCounts(counts, options_->special_chars);
   int limit = options_->max_special_chars;
-  for (const auto& [c, freq] : counts) {
+  for (const auto& [c, freq] : ranked) {
     if (static_cast<int>(search_chars_.size()) >= limit) break;
     search_chars_.push_back(c);
   }
@@ -140,7 +150,7 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
     const {
   CharSet charset = rt_charset;
   charset.Add('\n');
-  const size_t n = sample_->line_count();
+  const size_t n = sample_.line_count();
   if (n == 0) return 0;
 
   auto& line_canonical_ = ws->line_canonical;
@@ -160,7 +170,7 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
   std::string& raw_template = ws->raw_template;
   prefix_len_[0] = prefix_field_len_[0] = 0;
   for (size_t k = 0; k < n; ++k) {
-    std::string_view line = sample_->line_with_newline(k);
+    std::string_view line = sample_.line_with_newline(k);
     raw_template.clear();
     const size_t field_chars =
         AppendRecordTemplateCounting(line, charset, &raw_template);
@@ -205,7 +215,7 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
   // Keep bins meeting the alpha% coverage threshold (Assumption 1) that
   // contain at least one field (Definition 2.1 requires a placeholder).
   const double min_coverage =
-      options_->coverage_threshold * static_cast<double>(sample_->size_bytes());
+      options_->coverage_threshold * static_cast<double>(sample_.size_bytes());
   double best_assimilation = 0;
   // Dedupe within this charset: stacked/rotated bins canonicalize to the
   // same template; keep the strongest stats.

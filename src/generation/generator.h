@@ -77,13 +77,21 @@ struct GenerationWorkspace {
 
 class CandidateGenerator {
  public:
-  /// `sample` must outlive the generator. When `pool` is non-null and has
-  /// more than one thread, the independent charset trials of both search
-  /// strategies run in parallel; per-trial results are merged in the same
-  /// fixed order as the sequential search, so the output is identical for
-  /// every pool size.
-  CandidateGenerator(const Dataset* sample, const DatamaranOptions* options,
+  /// The generation step consumes a DatasetView — the sampled lines of the
+  /// backing file, or a residual round's live lines — and only ever reads
+  /// per-line content, so no sample text is materialized. The view's
+  /// backing dataset must outlive the generator. When `pool` is non-null
+  /// and has more than one thread, the independent charset trials of both
+  /// search strategies run in parallel; per-trial results are merged in the
+  /// same fixed order as the sequential search, so the output is identical
+  /// for every pool size.
+  CandidateGenerator(DatasetView sample, const DatamaranOptions* options,
                      ThreadPool* pool = nullptr);
+
+  /// Convenience: all lines of `sample` (which must outlive the generator).
+  CandidateGenerator(const Dataset* sample, const DatamaranOptions* options,
+                     ThreadPool* pool = nullptr)
+      : CandidateGenerator(DatasetView(*sample), options, pool) {}
 
   /// Runs the full generation step with the configured search strategy.
   GenerationResult Run();
@@ -116,7 +124,7 @@ class CandidateGenerator {
                        MergeIndex* index,
                        std::vector<CandidateTemplate>&& fresh) const;
 
-  const Dataset* sample_;
+  DatasetView sample_;
   const DatamaranOptions* options_;
   ThreadPool* pool_;
   std::vector<char> search_chars_;

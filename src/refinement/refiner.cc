@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "template/matcher.h"
 #include "util/logging.h"
@@ -103,18 +105,19 @@ void CloneUnfolding(const TemplateNode& node, int target, size_t reps,
 
 }  // namespace
 
-std::vector<ArrayCountStats> CollectArrayCounts(const Dataset& sample,
+std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
                                                 const StructureTemplate& st) {
   std::vector<ArrayCountStats> stats(
       static_cast<size_t>(CountArrays(st.root())));
   if (stats.empty()) return stats;
   TemplateMatcher matcher(&st);
-  const std::string_view text = sample.text();
+  std::string scratch;
   size_t li = 0;
   const size_t n = sample.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
   while (li < n) {
-    auto parsed = matcher.Parse(text, sample.line_begin(li));
+    const DatasetView::SpanText win = sample.ResolveSpan(li, span, &scratch);
+    auto parsed = matcher.Parse(win.text, win.pos);
     if (parsed.has_value()) {
       int idx = 0;
       WalkArrayCounts(st.root(), *parsed, &idx, &stats);
@@ -168,17 +171,19 @@ std::vector<StructureTemplate> LineRotations(const StructureTemplate& st) {
   return rotations;
 }
 
-size_t FirstOccurrenceLine(const Dataset& sample,
+size_t FirstOccurrenceLine(const DatasetView& sample,
                            const StructureTemplate& st) {
   TemplateMatcher matcher(&st);
-  const std::string_view text = sample.text();
+  std::string scratch;
+  const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
   for (size_t li = 0; li < sample.line_count(); ++li) {
-    if (matcher.TryMatch(text, sample.line_begin(li)).has_value()) return li;
+    const DatasetView::SpanText win = sample.ResolveSpan(li, span, &scratch);
+    if (matcher.TryMatch(win.text, win.pos).has_value()) return li;
   }
   return std::numeric_limits<size_t>::max();
 }
 
-StructureTemplate AutoUnfoldConstantArrays(const Dataset& sample,
+StructureTemplate AutoUnfoldConstantArrays(const DatasetView& sample,
                                            const StructureTemplate& st,
                                            int max_passes) {
   StructureTemplate current = st;
@@ -200,18 +205,18 @@ StructureTemplate AutoUnfoldConstantArrays(const Dataset& sample,
   return current;
 }
 
-Refiner::Refiner(const Dataset* sample, const RegularityScorer* scorer,
+Refiner::Refiner(DatasetView sample, const RegularityScorer* scorer,
                  const DatamaranOptions* options)
-    : sample_(sample), scorer_(scorer), options_(options) {}
+    : sample_(std::move(sample)), scorer_(scorer), options_(options) {}
 
 Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
-  Refined current{st, scorer_->Score(*sample_, st)};
+  Refined current{st, scorer_->Score(sample_, st)};
 
   // --- Array unfolding: repeat until no variant improves the score. ---
   bool improved = true;
   while (improved) {
     improved = false;
-    auto counts = CollectArrayCounts(*sample_, current.st);
+    auto counts = CollectArrayCounts(sample_, current.st);
     for (int a = 0; a < static_cast<int>(counts.size()) && !improved; ++a) {
       const ArrayCountStats& s = counts[static_cast<size_t>(a)];
       if (s.occurrences == 0) continue;
@@ -229,7 +234,7 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
       for (const auto& [reps, keep] : variants) {
         StructureTemplate variant = UnfoldArray(current.st, a, reps, keep);
         if (variant.empty() || !variant.Validate().ok()) continue;
-        double score = scorer_->Score(*sample_, variant);
+        double score = scorer_->Score(sample_, variant);
         if (score < current.score) {
           DM_LOG(kInfo, "refine: unfold a=%d reps=%zu keep=%d: %.0f -> %.0f",
                  a, reps, keep ? 1 : 0, current.score, score);
@@ -245,10 +250,10 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
   // --- Structure shifting: earliest first occurrence wins. ---
   auto rotations = LineRotations(current.st);
   if (!rotations.empty()) {
-    size_t best_line = FirstOccurrenceLine(*sample_, current.st);
+    size_t best_line = FirstOccurrenceLine(sample_, current.st);
     const StructureTemplate* best = nullptr;
     for (const StructureTemplate& rot : rotations) {
-      size_t line = FirstOccurrenceLine(*sample_, rot);
+      size_t line = FirstOccurrenceLine(sample_, rot);
       if (line < best_line) {
         best_line = line;
         best = &rot;
@@ -258,7 +263,7 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
       DM_LOG(kInfo, "refine: shifted to rotation first seen at line %zu",
              best_line);
       current.st = *best;
-      current.score = scorer_->Score(*sample_, current.st);
+      current.score = scorer_->Score(sample_, current.st);
     }
   }
   return current;

@@ -36,8 +36,8 @@ struct ArrayCountStats {
 };
 
 /// Collects repetition stats for every array node (pre-order index) by
-/// parsing all matches of `st` in `sample`.
-std::vector<ArrayCountStats> CollectArrayCounts(const Dataset& sample,
+/// parsing all matches of `st` in the live lines of `sample`.
+std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
                                                 const StructureTemplate& st);
 
 /// Rewrites array node `array_index` (pre-order). If `keep_array` is false
@@ -51,8 +51,9 @@ StructureTemplate UnfoldArray(const StructureTemplate& st, int array_index,
 /// original. Empty for single-line templates.
 std::vector<StructureTemplate> LineRotations(const StructureTemplate& st);
 
-/// Line index of the first match of `st` in `sample`, or SIZE_MAX.
-size_t FirstOccurrenceLine(const Dataset& sample, const StructureTemplate& st);
+/// View-line index of the first match of `st` in `sample`, or SIZE_MAX.
+size_t FirstOccurrenceLine(const DatasetView& sample,
+                           const StructureTemplate& st);
 
 /// Unfolds every array whose observed repetition count is constant across
 /// the sample (iterated up to `max_passes`). A constant-count array is
@@ -60,14 +61,21 @@ size_t FirstOccurrenceLine(const Dataset& sample, const StructureTemplate& st);
 /// its unfolded form exposes per-column types; scoring candidates in this
 /// form keeps the evaluation ranking honest. Returns the input when no
 /// array qualifies or the unfold fails validation.
-StructureTemplate AutoUnfoldConstantArrays(const Dataset& sample,
+StructureTemplate AutoUnfoldConstantArrays(const DatasetView& sample,
                                            const StructureTemplate& st,
                                            int max_passes = 4);
 
 class Refiner {
  public:
-  Refiner(const Dataset* sample, const RegularityScorer* scorer,
+  /// Refinement reads `sample` through the view (cheap copy; the backing
+  /// dataset must outlive the refiner).
+  Refiner(DatasetView sample, const RegularityScorer* scorer,
           const DatamaranOptions* options);
+
+  /// Convenience: all lines of `sample` (must outlive the refiner).
+  Refiner(const Dataset* sample, const RegularityScorer* scorer,
+          const DatamaranOptions* options)
+      : Refiner(DatasetView(*sample), scorer, options) {}
 
   struct Refined {
     StructureTemplate st;
@@ -79,7 +87,7 @@ class Refiner {
   Refined Refine(const StructureTemplate& st) const;
 
  private:
-  const Dataset* sample_;
+  DatasetView sample_;
   const RegularityScorer* scorer_;
   const DatamaranOptions* options_;
 };

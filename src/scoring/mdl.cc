@@ -1,21 +1,25 @@
 #include "scoring/mdl.h"
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "template/matcher.h"
 
 namespace datamaran {
 
 double MdlScorer::ScoreSet(
-    const Dataset& sample,
+    const DatasetView& sample,
     const std::vector<const StructureTemplate*>& templates) const {
   return EvaluateSet(sample, templates).total_bits;
 }
 
 MdlBreakdown MdlScorer::EvaluateSet(
-    const Dataset& sample,
-    const std::vector<const StructureTemplate*>& templates) const {
+    const DatasetView& sample,
+    const std::vector<const StructureTemplate*>& templates,
+    std::vector<uint32_t>* covered_lines) const {
   MdlBreakdown out;
+  if (covered_lines != nullptr) covered_lines->clear();
   // Noise is charged 8 bits per character including the line's '\n'
   // (paper: len(block) * 8). Keeping the newline in both the noise coding
   // and the record templates makes the trivial "F\n" template an exact
@@ -25,14 +29,16 @@ MdlBreakdown MdlScorer::EvaluateSet(
 
   std::vector<TemplateMatcher> matchers;
   std::vector<TemplateStatsCollector> collectors;
+  std::vector<size_t> spans;
   matchers.reserve(templates.size());
   collectors.reserve(templates.size());
+  spans.reserve(templates.size());
   for (const StructureTemplate* st : templates) {
     matchers.emplace_back(st);
     collectors.emplace_back(st);
+    spans.push_back(static_cast<size_t>(std::max(1, st->line_span())));
   }
 
-  const std::string_view text = sample.text();
   const double type_bits =
       templates.size() > 1
           ? Log2Ceil(static_cast<double>(templates.size()))
@@ -41,29 +47,37 @@ MdlBreakdown MdlScorer::EvaluateSet(
   // The scan parses with the flat event API into one reused buffer: no
   // ParsedValue tree (a vector-of-children allocation per node per record)
   // is ever built, so the per-line cost is pure matching plus stats
-  // accumulation.
+  // accumulation. Candidate windows resolve against the backing buffer in
+  // place; only windows that straddle a view gap touch `scratch`.
   std::vector<MatchEvent> events;
+  std::string scratch;
   size_t li = 0;
   const size_t n = sample.line_count();
   while (li < n) {
-    const size_t pos = sample.line_begin(li);
     bool matched = false;
     for (size_t t = 0; t < matchers.size(); ++t) {
-      auto parsed = matchers[t].ParseFlat(text, pos, &events);
+      const DatasetView::SpanText win = sample.ResolveSpan(li, spans[t],
+                                                           &scratch);
+      auto parsed = matchers[t].ParseFlat(win.text, win.pos, &events);
       if (!parsed.has_value()) continue;
-      collectors[t].AddRecordFlat(events, text);
+      collectors[t].AddRecordFlat(events, win.text);
       out.records += 1;
-      const int span = templates[t]->line_span();
-      out.record_lines += static_cast<size_t>(span);
-      out.covered_chars += parsed->end - pos;
+      out.record_lines += spans[t];
+      out.covered_chars += parsed->end - win.pos;
       out.record_bits += type_bits;
-      li += static_cast<size_t>(span);
+      if (covered_lines != nullptr) {
+        for (size_t k = li; k < li + spans[t]; ++k) {
+          covered_lines->push_back(
+              static_cast<uint32_t>(sample.physical_line(k)));
+        }
+      }
+      li += spans[t];
       matched = true;
       break;
     }
     if (!matched) {
-      const size_t len = sample.line_end(li) - pos;  // includes the '\n'
-      out.noise_bits += 8.0 * static_cast<double>(len);
+      out.noise_bits +=
+          8.0 * static_cast<double>(sample.line_with_newline(li).size());
       out.noise_lines += 1;
       ++li;
     }

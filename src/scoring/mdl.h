@@ -1,6 +1,7 @@
 #ifndef DATAMARAN_SCORING_MDL_H_
 #define DATAMARAN_SCORING_MDL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dataset.h"
@@ -11,6 +12,12 @@
 /// a black box — any function mimicking human judgment plugs in via the
 /// RegularityScorer interface — and ships the minimum-description-length
 /// scorer of Section 9.2 as the default.
+///
+/// Scorers consume a DatasetView (the sampled lines, or a residual round's
+/// live lines) and never materialize text: candidate windows that are
+/// physically contiguous in the backing buffer are matched in place, and
+/// only the rare window crossing a view gap is assembled into a reused
+/// scratch buffer (see DatasetView::ResolveSpan).
 ///
 /// MDL model (lower is better, in bits):
 ///   model:   8 * len(ST) per template + 32, plus per-column parameters
@@ -33,13 +40,14 @@ class RegularityScorer {
   virtual ~RegularityScorer() = default;
 
   /// Scores the structural component (a set of templates, priority order)
-  /// against `sample`. Lines no template matches are charged as noise.
+  /// against the live lines of `sample`. Lines no template matches are
+  /// charged as noise.
   virtual double ScoreSet(
-      const Dataset& sample,
+      const DatasetView& sample,
       const std::vector<const StructureTemplate*>& templates) const = 0;
 
   /// Convenience: score a single-template structural component.
-  double Score(const Dataset& sample, const StructureTemplate& st) const {
+  double Score(const DatasetView& sample, const StructureTemplate& st) const {
     std::vector<const StructureTemplate*> ts = {&st};
     return ScoreSet(sample, ts);
   }
@@ -65,19 +73,23 @@ struct MdlBreakdown {
 /// Minimum-description-length scorer (Section 9.2).
 class MdlScorer : public RegularityScorer {
  public:
-  double ScoreSet(const Dataset& sample,
+  double ScoreSet(const DatasetView& sample,
                   const std::vector<const StructureTemplate*>& templates)
       const override;
 
-  /// Full breakdown; ScoreSet returns .total_bits of this.
+  /// Full breakdown; ScoreSet returns .total_bits of this. When
+  /// `covered_lines` is non-null it receives the *physical* (backing
+  /// dataset) indices of every record-covered line, ascending — the
+  /// invalidation key for the cross-round score cache.
   MdlBreakdown EvaluateSet(
-      const Dataset& sample,
-      const std::vector<const StructureTemplate*>& templates) const;
+      const DatasetView& sample,
+      const std::vector<const StructureTemplate*>& templates,
+      std::vector<uint32_t>* covered_lines = nullptr) const;
 
-  MdlBreakdown Evaluate(const Dataset& sample,
-                        const StructureTemplate& st) const {
+  MdlBreakdown Evaluate(const DatasetView& sample, const StructureTemplate& st,
+                        std::vector<uint32_t>* covered_lines = nullptr) const {
     std::vector<const StructureTemplate*> ts = {&st};
-    return EvaluateSet(sample, ts);
+    return EvaluateSet(sample, ts, covered_lines);
   }
 };
 

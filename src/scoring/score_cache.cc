@@ -1,0 +1,102 @@
+#include "scoring/score_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace datamaran {
+
+namespace {
+
+/// Two-pointer intersection test over ascending sequences.
+bool SortedIntersect(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> ScoreCache::Lookup(std::string_view canonical,
+                                         const DatasetView& view) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::string(canonical));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  const Entry& e = it->second;
+  const double flag_bits =
+      static_cast<double>(e.records) +
+      static_cast<double>(view.line_count() - e.record_lines);
+  const double noise_bits =
+      8.0 * static_cast<double>(view.size_bytes() - e.covered_chars);
+  return e.base_bits + flag_bits + noise_bits;
+}
+
+void ScoreCache::Insert(const std::string& canonical, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[canonical] = std::move(entry);
+}
+
+void ScoreCache::InvalidateRemovedLines(
+    const std::vector<uint32_t>& removed_lines) {
+  if (removed_lines.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    bool drop = e.line_span > 1;
+    if (!drop) {
+      // Both sides ascending: one merge pass decides the intersection.
+      drop = SortedIntersect(e.covered_lines, removed_lines);
+    }
+    it = drop ? entries_.erase(it) : ++it;
+  }
+}
+
+size_t ScoreCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t ScoreCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+double CachingScorer::ScoreSet(
+    const DatasetView& sample,
+    const std::vector<const StructureTemplate*>& templates) const {
+  if (cache_ == nullptr || templates.size() != 1) {
+    return base_->ScoreSet(sample, templates);
+  }
+  const StructureTemplate& st = *templates[0];
+  if (auto cached = cache_->Lookup(st.canonical(), sample)) {
+    return *cached;
+  }
+  ScoreCache::Entry entry;
+  MdlBreakdown b = base_->EvaluateSet(sample, templates, &entry.covered_lines);
+  entry.base_bits = b.model_bits + b.record_bits;
+  entry.records = b.records;
+  entry.record_lines = b.record_lines;
+  entry.covered_chars = b.covered_chars;
+  entry.line_span = std::max(1, st.line_span());
+  cache_->Insert(st.canonical(), std::move(entry));
+  return b.total_bits;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,103 @@
+#ifndef DATAMARAN_SCORING_SCORE_CACHE_H_
+#define DATAMARAN_SCORING_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "scoring/mdl.h"
+
+/// Cross-round MDL score cache for the evaluation step.
+///
+/// The iterated structure extraction (Section 9.1) rescores candidates
+/// against a shrinking residual every round, and most candidates reappear
+/// verbatim (same canonical form) round after round. Because the residual
+/// is now an index-only DatasetView over an immutable backing buffer, line
+/// identity is stable across rounds — which makes a score computed in
+/// round r exactly reusable in round r+1:
+///
+///   total = [model + record bits]  +  records            (view-independent)
+///         + (live_lines - record_lines)                  (flag bits)
+///         + 8 * (live_bytes - covered_chars)             (noise bits)
+///
+/// The bracketed terms depend only on the *matched record set*. Removing
+/// live lines that no match of the candidate covers leaves that set intact
+/// for single-line templates (each line matches independently), so the
+/// cached terms stay exact and the view-dependent terms are recomputed in
+/// O(1) from the current view's aggregates. Entries are invalidated when
+/// the live-line set shrinks under the candidate's matched lines; for
+/// multi-line templates a removal anywhere can splice previously separated
+/// lines into a new matchable window, so those entries are conservatively
+/// dropped on every shrink (correctness over reuse — cached values are
+/// always bit-identical to a fresh evaluation).
+///
+/// Thread safety: Lookup/Insert/Invalidate are mutex-guarded; concurrent
+/// misses on the same key may both evaluate and insert, but entries are a
+/// pure function of (canonical, view) so the race is benign and results
+/// stay deterministic for every thread count.
+
+namespace datamaran {
+
+class ScoreCache {
+ public:
+  struct Entry {
+    /// model_bits + record_bits: the view-independent part of the total.
+    double base_bits = 0;
+    size_t records = 0;
+    size_t record_lines = 0;
+    size_t covered_chars = 0;
+    int line_span = 1;
+    /// Physical backing-dataset lines covered by matched records, ascending.
+    std::vector<uint32_t> covered_lines;
+  };
+
+  /// Returns the exact MDL total for `canonical` against `view` if a valid
+  /// entry exists.
+  std::optional<double> Lookup(std::string_view canonical,
+                               const DatasetView& view) const;
+
+  void Insert(const std::string& canonical, Entry entry);
+
+  /// Round transition: `removed_lines` (physical, ascending) just left the
+  /// live set. Drops every multi-line entry and every single-line entry
+  /// whose covered lines intersect the removal.
+  void InvalidateRemovedLines(const std::vector<uint32_t>& removed_lines);
+
+  size_t hits() const;
+  size_t misses() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+/// RegularityScorer decorator that serves single-template scores from a
+/// ScoreCache and delegates everything else to the wrapped MdlScorer. The
+/// pipeline hands this to the evaluation loop and the Refiner, so repeated
+/// scoring of the same canonical — across rounds, and across the unfold
+/// variants of parallel refinement branches — costs one hash lookup.
+class CachingScorer : public RegularityScorer {
+ public:
+  CachingScorer(const MdlScorer* base, ScoreCache* cache)
+      : base_(base), cache_(cache) {}
+
+  double ScoreSet(const DatasetView& sample,
+                  const std::vector<const StructureTemplate*>& templates)
+      const override;
+
+ private:
+  const MdlScorer* base_;
+  ScoreCache* cache_;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_SCORING_SCORE_CACHE_H_

@@ -220,6 +220,15 @@ char FirstChar(const TemplateNode& node) {
 /// is legal iff x is not in its FOLLOW set (the paper's x != y condition,
 /// generalized to nested arrays: an inner array's terminator may be the
 /// outer separator or the outer terminator).
+/// True if the subtree contains a literal '\n'.
+bool ContainsNewline(const TemplateNode& node) {
+  if (node.kind == NodeKind::kChar && node.ch == '\n') return true;
+  for (const auto& child : node.children) {
+    if (ContainsNewline(*child)) return true;
+  }
+  return false;
+}
+
 Status ValidateNode(const TemplateNode& node, const CharSet& follow) {
   switch (node.kind) {
     case NodeKind::kField:
@@ -256,6 +265,16 @@ Status ValidateNode(const TemplateNode& node, const CharSet& follow) {
       if (follow.Contains(static_cast<unsigned char>(node.ch))) {
         return Status::InvalidArgument(
             "array terminator equals separator (x == y)");
+      }
+      // Records are line-aligned with a span fixed by the template's '\n'
+      // literals (Definition 2.4); an array whose separator or element
+      // contains '\n' would make the matched line count repetition-
+      // dependent, which every line-indexed scan (scoring, residual
+      // masking, extraction, the score cache) relies on being constant.
+      // Generation cannot produce such templates (reduction is per line);
+      // reject them so hand-built ones cannot slip in either.
+      if (node.ch == '\n' || ContainsNewline(elem)) {
+        return Status::InvalidArgument("array must not span lines");
       }
       CharSet elem_follow = follow;
       elem_follow.Add(static_cast<unsigned char>(node.ch));

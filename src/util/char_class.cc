@@ -68,6 +68,11 @@ std::vector<std::pair<char, size_t>> CountSpecialChars(
     std::string_view text, const CharSet& special) {
   std::array<size_t, 256> counts{};
   for (char c : text) counts[static_cast<unsigned char>(c)]++;
+  return SortSpecialCounts(counts, special);
+}
+
+std::vector<std::pair<char, size_t>> SortSpecialCounts(
+    const std::array<size_t, 256>& counts, const CharSet& special) {
   std::vector<std::pair<char, size_t>> out;
   for (int c = 0; c < 256; ++c) {
     if (counts[c] > 0 && special.Contains(static_cast<unsigned char>(c))) {

@@ -65,6 +65,13 @@ bool IsDefaultSpecial(unsigned char c);
 std::vector<std::pair<char, size_t>> CountSpecialChars(std::string_view text,
                                                        const CharSet& special);
 
+/// Filters a raw per-byte histogram down to `special` members with count
+/// > 0, most frequent first (ties by byte value). Shared by
+/// CountSpecialChars and callers that accumulate counts over non-contiguous
+/// text (e.g. the live lines of a DatasetView).
+std::vector<std::pair<char, size_t>> SortSpecialCounts(
+    const std::array<size_t, 256>& counts, const CharSet& special);
+
 }  // namespace datamaran
 
 #endif  // DATAMARAN_UTIL_CHAR_CLASS_H_

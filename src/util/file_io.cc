@@ -3,6 +3,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace datamaran {
 
@@ -48,6 +57,115 @@ Status MakeDirs(const std::string& path) {
   std::filesystem::create_directories(path, ec);
   if (ec) return Status::IoError("mkdir failed: " + path + ": " + ec.message());
   return Status::Ok();
+}
+
+MappedRegion::~MappedRegion() {
+#if DM_HAVE_MMAP
+  if (mapped_ && addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+#endif
+}
+
+MappedRegion::MappedRegion(MappedRegion&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
+  if (this == &other) return *this;
+#if DM_HAVE_MMAP
+  if (mapped_ && addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+#endif
+  addr_ = other.addr_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  owned_ = std::move(other.owned_);
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.owned_.clear();
+  return *this;
+}
+
+MappedRegion MappedRegion::FromOwned(std::string text) {
+  MappedRegion region;
+  region.owned_ = std::move(text);
+  return region;
+}
+
+std::string MappedRegion::ReleaseOwned() {
+  std::string out = std::move(owned_);
+  owned_.clear();
+  return out;
+}
+
+Result<size_t> FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat: " + path + ": " + ec.message());
+  return static_cast<size_t>(size);
+}
+
+size_t MappedRegion::ResidentBytes() const {
+  if (!mapped_) return owned_.size();
+#if DM_HAVE_MMAP
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  if (page == 0) return size_;
+  const size_t pages = (size_ + page - 1) / page;
+  std::string vec(pages, '\0');
+#if defined(__APPLE__)
+  using MincoreVec = char*;
+#else
+  using MincoreVec = unsigned char*;
+#endif
+  if (::mincore(addr_, size_, reinterpret_cast<MincoreVec>(vec.data())) != 0) {
+    return size_;
+  }
+  size_t resident_pages = 0;
+  for (char c : vec) resident_pages += static_cast<unsigned char>(c) & 1u;
+  const size_t resident = resident_pages * page;
+  return resident < size_ ? resident : size_;
+#else
+  return size_;
+#endif
+}
+
+Result<MappedRegion> MmapFile(const std::string& path) {
+#if DM_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedRegion::FromOwned(std::string());
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    // Graceful fallback: serve the bytes from an owned copy instead.
+    auto text = ReadFileToString(path);
+    if (!text.ok()) return text.status();
+    return MappedRegion::FromOwned(std::move(text.value()));
+  }
+  MappedRegion region;
+  region.addr_ = addr;
+  region.size_ = size;
+  region.mapped_ = true;
+  return region;
+#else
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return MappedRegion::FromOwned(std::move(text.value()));
+#endif
 }
 
 }  // namespace datamaran

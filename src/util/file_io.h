@@ -1,13 +1,20 @@
 #ifndef DATAMARAN_UTIL_FILE_IO_H_
 #define DATAMARAN_UTIL_FILE_IO_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
 #include "util/status.h"
 
-/// Whole-file read/write helpers. Datamaran operates on in-memory buffers;
-/// large-file sampling is done by util/sampler.h on top of these.
+/// File access helpers. Datamaran has two ways of getting a file's bytes
+/// into the pipeline: a plain whole-file read (ReadFileToString) and a
+/// read-only memory mapping (MmapFile) whose pages fault in lazily — the
+/// backing store of choice for multi-GB data-lake files, where the sampled
+/// discovery phase touches only a few chunks and extraction streams through
+/// the rest. MmapFile degrades gracefully: on platforms without mmap, or
+/// when the mapping fails, the region falls back to an owned in-memory
+/// copy, so callers never need a second code path.
 
 namespace datamaran {
 
@@ -19,6 +26,59 @@ Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 /// Creates directory `path` (and parents) if it does not exist.
 Status MakeDirs(const std::string& path);
+
+/// A read-only view of a file's bytes, backed either by an mmap'd region
+/// (is_mapped() == true; pages fault in on demand) or by an owned string
+/// (the read fallback). Move-only; the view stays valid across moves.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  ~MappedRegion();
+
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+  MappedRegion(MappedRegion&& other) noexcept;
+  MappedRegion& operator=(MappedRegion&& other) noexcept;
+
+  /// The file's bytes. Valid for the lifetime of the region.
+  std::string_view view() const {
+    return mapped_ ? std::string_view(static_cast<const char*>(addr_), size_)
+                   : std::string_view(owned_);
+  }
+  size_t size() const { return mapped_ ? size_ : owned_.size(); }
+
+  /// True when the bytes are served by a lazy mmap rather than an owned
+  /// in-memory copy.
+  bool is_mapped() const { return mapped_; }
+
+  /// Best-effort count of bytes currently resident in memory (mincore).
+  /// Owned regions are fully resident by definition; on platforms without
+  /// mincore a mapped region conservatively reports its full size.
+  size_t ResidentBytes() const;
+
+  /// Takes ownership of an in-memory copy (the read-fallback constructor).
+  static MappedRegion FromOwned(std::string text);
+
+  /// Moves the fallback buffer out of a non-mapped region (the region
+  /// becomes empty). Lets consumers adopt the bytes without a second copy.
+  std::string ReleaseOwned();
+
+ private:
+  friend Result<MappedRegion> MmapFile(const std::string& path);
+
+  void* addr_ = nullptr;  // mmap base (mapped_ only)
+  size_t size_ = 0;       // mapped length
+  bool mapped_ = false;
+  std::string owned_;     // fallback storage
+};
+
+/// Size of the file at `path` in bytes, without opening or mapping it.
+Result<size_t> FileSizeBytes(const std::string& path);
+
+/// Maps the file at `path` read-only. Falls back to ReadFileToString when
+/// mapping is unavailable (empty file, platform without mmap, mmap error),
+/// so a successful Result always carries the file's bytes.
+Result<MappedRegion> MmapFile(const std::string& path);
 
 }  // namespace datamaran
 

@@ -6,15 +6,15 @@
 
 namespace datamaran {
 
-std::string SampleLines(std::string_view text, const SamplerOptions& options) {
+std::vector<SampleRange> SampleRanges(std::string_view text,
+                                      const SamplerOptions& options) {
   if (text.size() <= options.max_sample_bytes) {
-    return std::string(text);
+    return {{0, text.size()}};
   }
   DM_CHECK(options.num_chunks > 0);
   const size_t chunk_bytes = options.max_sample_bytes / options.num_chunks;
   const size_t stride = text.size() / options.num_chunks;
-  std::string sample;
-  sample.reserve(options.max_sample_bytes + 1024);
+  std::vector<SampleRange> ranges;
   size_t last_end = 0;  // avoid overlapping chunks
   for (int i = 0; i < options.num_chunks; ++i) {
     size_t nominal = static_cast<size_t>(i) * stride;
@@ -31,12 +31,29 @@ std::string SampleLines(std::string_view text, const SamplerOptions& options) {
     // Extend to the end of the current line (inclusive of '\n').
     size_t nl = text.find('\n', end);
     end = (nl == std::string_view::npos) ? text.size() : nl + 1;
-    sample.append(text.substr(begin, end - begin));
+    ranges.push_back({begin, end});
     last_end = end;
   }
-  // Ensure the sample ends with a newline so the last block is well formed.
-  if (!sample.empty() && sample.back() != '\n') sample.push_back('\n');
-  return sample;
+  return ranges;
+}
+
+DatasetView SampleView(const Dataset& data, const SamplerOptions& options) {
+  std::vector<SampleRange> ranges = SampleRanges(data.text(), options);
+  if (ranges.size() == 1 && ranges[0].begin == 0 &&
+      ranges[0].end == data.size_bytes()) {
+    return DatasetView(data);
+  }
+  std::vector<uint32_t> live;
+  for (const SampleRange& r : ranges) {
+    // Range bounds are line-aligned by construction, so the covered lines
+    // are exactly those whose begin falls inside the range.
+    size_t li = data.LineOfOffset(r.begin);
+    if (data.line_begin(li) < r.begin) ++li;
+    for (; li < data.line_count() && data.line_begin(li) < r.end; ++li) {
+      live.push_back(static_cast<uint32_t>(li));
+    }
+  }
+  return DatasetView(data, std::move(live));
 }
 
 }  // namespace datamaran

@@ -2,29 +2,47 @@
 #define DATAMARAN_UTIL_SAMPLER_H_
 
 #include <cstddef>
-#include <string>
 #include <string_view>
+#include <vector>
+
+#include "core/dataset.h"
 
 /// Cache-aware sampling (Section 9.1, "Sampling Technique"): for large
-/// datasets the generation and evaluation steps run on a concatenation of a
-/// few large line-aligned chunks instead of the whole file, bounding S_data
-/// by a constant. The final extraction pass always scans the full file.
+/// datasets the generation and evaluation steps run on a few large
+/// line-aligned chunks instead of the whole file, bounding S_data by a
+/// constant. The sample is *views into the backing dataset* — byte ranges,
+/// and a DatasetView of the sampled lines — never a concatenated text copy,
+/// so sampling a mapped multi-GB file faults in only the chunks it touches.
+/// The final extraction pass always scans the full file.
 
 namespace datamaran {
 
 struct SamplerOptions {
-  /// Upper bound on the concatenated sample size in bytes. Files at or below
+  /// Upper bound on the combined sample size in bytes. Files at or below
   /// this size are used whole.
   size_t max_sample_bytes = 256 * 1024;
   /// Number of chunks spread evenly through the file.
   int num_chunks = 8;
 };
 
-/// Returns a line-aligned sample of `text` of at most max_sample_bytes.
-/// Chunks start at the first line boundary at/after their nominal offset and
-/// always end on a line boundary, so the sample is itself a well-formed
-/// '\n'-separated block sequence (Definition 2.4 still applies to it).
-std::string SampleLines(std::string_view text, const SamplerOptions& options);
+/// One line-aligned chunk: byte offsets [begin, end) into the sampled text.
+struct SampleRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Line-aligned, non-overlapping, ascending chunk ranges of `text` totaling
+/// at most (approximately) max_sample_bytes. Chunks start at the first line
+/// boundary at/after their nominal offset and always end on a line
+/// boundary, so every chunk is a well-formed '\n'-separated block sequence
+/// (Definition 2.4 still applies to the sampled lines). A text at or below
+/// the budget yields the single range [0, size).
+std::vector<SampleRange> SampleRanges(std::string_view text,
+                                      const SamplerOptions& options);
+
+/// View of the sampled lines of `data` (no text copy). The whole-file case
+/// returns the identity view.
+DatasetView SampleView(const Dataset& data, const SamplerOptions& options);
 
 }  // namespace datamaran
 

@@ -8,9 +8,10 @@ using namespace datamaran;
 int main(int argc, char** argv) {
   int index = argc > 1 ? std::atoi(argv[1]) : 11;
   GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
-  Dataset sample(SampleLines(ds.text, SamplerOptions()));
+  Dataset data{std::string(ds.text)};
+  DatasetView sample = SampleView(data, SamplerOptions());
   DatamaranOptions opts;
-  CandidateGenerator gen(&sample, &opts);
+  CandidateGenerator gen(sample, &opts);
   std::printf("search chars: '%s'\n",
               EscapeForDisplay(std::string(gen.search_chars().begin(),
                                            gen.search_chars().end())).c_str());

@@ -13,14 +13,15 @@ using namespace datamaran;
 int main(int argc, char** argv) {
   int index = argc > 1 ? std::atoi(argv[1]) : 2;
   GeneratedDataset ds = BuildManualDataset(index, 24 * 1024);
-  Dataset sample(SampleLines(ds.text, SamplerOptions()));
+  Dataset data{std::string(ds.text)};
+  DatasetView sample = SampleView(data, SamplerOptions());
   DatamaranOptions opts;
-  CandidateGenerator gen(&sample, &opts);
+  CandidateGenerator gen(sample, &opts);
   auto retained = PruneCandidates(gen.Run().candidates, 50);
   MdlScorer scorer;
   struct Row { std::string canon; double score; double refined; std::string rcanon; };
   std::vector<Row> rows;
-  Refiner refiner(&sample, &scorer, &opts);
+  Refiner refiner(sample, &scorer, &opts);
   for (auto& c : retained) {
     auto st = StructureTemplate::FromCanonical(c.canonical);
     if (!st.ok() || !st->Validate().ok()) continue;

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/datamaran.h"
@@ -13,6 +15,7 @@
 #include "generation/generator.h"
 #include "scoring/field_stats.h"
 #include "template/matcher.h"
+#include "util/file_io.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -340,6 +343,43 @@ TEST(ParallelPipelineTest, GithubCorpusDatasetParity) {
   GeneratedDataset ds = BuildGithubDataset(70, 24 * 1024);
   PipelineResult seq = RunWith(1, ds.text);
   ExpectSamePipelineResult(seq, RunWith(4, ds.text));
+}
+
+// ---------------------------------------------------------------------------
+// Backing parity: mmap vs in-memory, across thread counts
+// ---------------------------------------------------------------------------
+
+TEST(MmapParityTest, ExtractionIdenticalAcrossBackingsAndThreads) {
+  // The acceptance contract of the zero-copy dataset layer: pipeline output
+  // is byte-identical whether the input is mmap-backed or read into memory,
+  // for every thread count.
+  const std::string text = InterleavedLog(4000, 41);
+  const std::string path = ::testing::TempDir() + "dm_parallel_mmap.log";
+  ASSERT_TRUE(WriteStringToFile(path, text).ok());
+
+  PipelineResult reference;
+  bool have_reference = false;
+  for (const MapMode mode : {MapMode::kNever, MapMode::kAlways}) {
+    for (const int threads : {1, 4}) {
+      DatamaranOptions opts;
+      opts.max_special_chars = 6;
+      opts.max_sample_bytes = 64 * 1024;
+      opts.num_threads = threads;
+      opts.mmap_mode = mode;
+      Datamaran dm(opts);
+      auto result = dm.ExtractFile(path);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->stats.input_mapped, mode == MapMode::kAlways);
+      if (!have_reference) {
+        reference = std::move(result.value());
+        have_reference = true;
+        ASSERT_GE(reference.templates.size(), 1u);
+        continue;
+      }
+      ExpectSamePipelineResult(reference, result.value());
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

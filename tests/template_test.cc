@@ -161,6 +161,39 @@ TEST(TemplateTest, ValidateRejectsArrayTerminatorEqualsSeparator) {
   EXPECT_FALSE(r.value().Validate().ok());
 }
 
+TEST(TemplateTest, ValidateRejectsLineSpanningArrays) {
+  // An array whose element or separator contains '\n' would match a
+  // repetition-dependent number of lines; every line-indexed scan assumes
+  // the span is fixed by the template's newline literals. The canonical
+  // parser already refuses such forms...
+  EXPECT_FALSE(StructureTemplate::FromCanonical("(F\n,)*F;F\n").ok());
+  // ...and Validate rejects ones built directly from nodes.
+  {
+    std::vector<std::unique_ptr<TemplateNode>> elem_children;
+    elem_children.push_back(TemplateNode::Field());
+    elem_children.push_back(TemplateNode::Char('\n'));
+    std::vector<std::unique_ptr<TemplateNode>> children;
+    children.push_back(TemplateNode::Array(
+        TemplateNode::Struct(std::move(elem_children)), ','));
+    children.push_back(TemplateNode::Field());
+    children.push_back(TemplateNode::Char('\n'));
+    StructureTemplate st(TemplateNode::Struct(std::move(children)));
+    EXPECT_FALSE(st.Validate().ok());
+  }
+  {
+    std::vector<std::unique_ptr<TemplateNode>> elem_children;
+    elem_children.push_back(TemplateNode::Field());
+    elem_children.push_back(TemplateNode::Char(';'));
+    std::vector<std::unique_ptr<TemplateNode>> children;
+    children.push_back(TemplateNode::Array(
+        TemplateNode::Struct(std::move(elem_children)), '\n'));
+    children.push_back(TemplateNode::Field());
+    children.push_back(TemplateNode::Char('\n'));
+    StructureTemplate st(TemplateNode::Struct(std::move(children)));
+    EXPECT_FALSE(st.Validate().ok());
+  }
+}
+
 TEST(TemplateTest, CopySemantics) {
   StructureTemplate a = MustParse("(F,)*F\n");
   StructureTemplate b = a;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <set>
 
+#include "core/dataset.h"
 #include "util/char_class.h"
 #include "util/file_io.h"
 #include "util/hashing.h"
@@ -246,7 +247,15 @@ TEST(SamplerTest, SmallInputReturnedWhole) {
   SamplerOptions opts;
   opts.max_sample_bytes = 1024;
   std::string text = "a\nb\nc\n";
-  EXPECT_EQ(SampleLines(text, opts), text);
+  auto ranges = SampleRanges(text, opts);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, text.size());
+  Dataset data{std::string(text)};
+  DatasetView view = SampleView(data, opts);
+  EXPECT_TRUE(view.is_identity());
+  EXPECT_EQ(view.line_count(), 3u);
+  EXPECT_EQ(view.size_bytes(), text.size());
 }
 
 TEST(SamplerTest, LargeInputIsLineAlignedAndBounded) {
@@ -257,15 +266,30 @@ TEST(SamplerTest, LargeInputIsLineAlignedAndBounded) {
   SamplerOptions opts;
   opts.max_sample_bytes = 8 * 1024;
   opts.num_chunks = 4;
-  std::string sample = SampleLines(text, opts);
-  EXPECT_LE(sample.size(), opts.max_sample_bytes + 4096u);
-  EXPECT_FALSE(sample.empty());
-  EXPECT_EQ(sample.back(), '\n');
-  // Every sampled line must be a complete line from the original.
-  for (auto line : SplitLines(sample)) {
+  Dataset data{std::string(text)};
+  DatasetView view = SampleView(data, opts);
+  EXPECT_FALSE(view.is_identity());
+  EXPECT_LE(view.size_bytes(), opts.max_sample_bytes + 4096u);
+  ASSERT_GT(view.line_count(), 0u);
+  // Every sampled line must be a complete line from the original, and the
+  // ranges must be line-aligned, ascending, and non-overlapping.
+  for (size_t v = 0; v < view.line_count(); ++v) {
+    auto line = view.line(v);
     EXPECT_TRUE(StartsWith(line, "line-")) << line;
     EXPECT_TRUE(EndsWith(line, ",field,value")) << line;
   }
+  auto ranges = SampleRanges(text, opts);
+  size_t total = 0;
+  size_t prev_end = 0;
+  for (const SampleRange& r : ranges) {
+    EXPECT_GE(r.begin, prev_end);
+    EXPECT_LT(r.begin, r.end);
+    EXPECT_TRUE(r.begin == 0 || text[r.begin - 1] == '\n');
+    EXPECT_EQ(text[r.end - 1], '\n');
+    total += r.end - r.begin;
+    prev_end = r.end;
+  }
+  EXPECT_EQ(total, view.size_bytes());
 }
 
 TEST(SamplerTest, ChunksSpreadThroughFile) {
@@ -276,10 +300,11 @@ TEST(SamplerTest, ChunksSpreadThroughFile) {
   SamplerOptions opts;
   opts.max_sample_bytes = 4096;
   opts.num_chunks = 4;
-  std::string sample = SampleLines(text, opts);
+  Dataset data{std::string(text)};
+  DatasetView view = SampleView(data, opts);
   // The sample should contain rows from both the beginning and the end half.
-  EXPECT_NE(sample.find("row0\n"), std::string::npos);
-  EXPECT_NE(sample.find("row9"), std::string::npos);
+  EXPECT_EQ(view.line(0), "row0");
+  EXPECT_GE(view.physical_line(view.line_count() - 1), data.line_count() / 2);
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 // relational tables.
 //
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
-//             [--threads=N] [--out=DIR] [--normalized] [--verbose]
+//             [--threads=N] [--mmap=MODE] [--out=DIR] [--normalized]
+//             [--verbose]
 //
-// Prints the discovered templates and a summary; with --out, writes one
-// CSV per record type (plus child tables for arrays with --normalized).
+// Prints the discovered templates and a summary (including how the input
+// was backed: mmap'd bytes vs. bytes actually resident); with --out,
+// writes one CSV per record type (plus child tables for arrays with
+// --normalized).
 
 #include <cstdio>
 #include <cstring>
@@ -21,10 +24,13 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
-               "                 [--retain=M] [--threads=N] [--out=DIR]\n"
-               "                 [--normalized] [--verbose]\n"
+               "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
+               "                 [--out=DIR] [--normalized] [--verbose]\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
-               "                1 = sequential; output is identical)\n");
+               "                1 = sequential; output is identical)\n"
+               "  --mmap=MODE   input backing: auto (default; mmap files\n"
+               "                above a size threshold), always, never.\n"
+               "                Output is identical either way\n");
 }
 
 }  // namespace
@@ -52,6 +58,18 @@ int main(int argc, char** argv) {
       options.num_retained = std::atoi(arg.substr(9).data());
     } else if (StartsWith(arg, "--threads=")) {
       options.num_threads = std::atoi(arg.substr(10).data());
+    } else if (StartsWith(arg, "--mmap=")) {
+      std::string_view mode = arg.substr(7);
+      if (mode == "auto") {
+        options.mmap_mode = MapMode::kAuto;
+      } else if (mode == "always") {
+        options.mmap_mode = MapMode::kAlways;
+      } else if (mode == "never") {
+        options.mmap_mode = MapMode::kNever;
+      } else {
+        Usage();
+        return 2;
+      }
     } else if (StartsWith(arg, "--out=")) {
       out_dir = std::string(arg.substr(6));
     } else if (!StartsWith(arg, "--")) {
@@ -94,6 +112,21 @@ int main(int argc, char** argv) {
   std::printf("timings: gen=%.2fs prune=%.2fs eval=%.2fs extract=%.2fs\n",
               result->timings.generation_s, result->timings.pruning_s,
               result->timings.evaluation_s, result->timings.extraction_s);
+  if (result->stats.input_mapped) {
+    std::printf("input: %zu bytes mmap-backed, ~%zu resident after run\n",
+                result->stats.input_bytes,
+                result->stats.input_resident_bytes);
+  } else {
+    std::printf("input: %zu bytes read into memory\n",
+                result->stats.input_bytes);
+  }
+  if (result->stats.score_cache_hits + result->stats.score_cache_misses > 0) {
+    std::printf("score cache: %zu hits / %zu misses over %d round(s); "
+                "residual copies %zu bytes\n",
+                result->stats.score_cache_hits,
+                result->stats.score_cache_misses, result->stats.rounds,
+                result->stats.residual_copy_bytes);
+  }
 
   if (out_dir.empty() || result->templates.empty()) return 0;
 
@@ -101,13 +134,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot create %s\n", out_dir.c_str());
     return 1;
   }
-  // Re-read the text to materialize tables (extraction spans index into it).
-  auto text = ReadFileToString(path);
-  if (!text.ok()) {
-    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+  // Re-open the input to materialize tables (extraction spans index into
+  // it), honoring the same backing policy as the pipeline run.
+  auto reopened = Dataset::FromFile(path, options.mmap_mode,
+                                    options.mmap_threshold_bytes);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 reopened.status().ToString().c_str());
     return 1;
   }
-  Dataset data(std::move(text.value()));
+  Dataset data = std::move(reopened.value());
   Extractor extractor(&result->templates);
   ExtractionResult extraction = extractor.Extract(data);
   for (size_t t = 0; t < result->templates.size(); ++t) {
