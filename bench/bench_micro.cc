@@ -14,12 +14,18 @@
 // materialized (cross-gap windows only — the old per-round string rebuild
 // is gone). A second section extracts one large synthetic file through
 // both backings (mmap vs owned read) and checks they are byte-identical.
-// Future PRs track the perf trajectory from that file.
+// A third section compares the two match engines (reference tree walker vs
+// compiled bytecode + TemplateSetIndex dispatch) on the discovered
+// templates: records/s each, the speedup, and an engine-parity bit; parity
+// failure or a speedup below 1.2x fails the process, which is what gates
+// the CI smoke job. Future PRs track the perf trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,12 +42,15 @@
 #include "datagen/github_corpus.h"
 #include "generation/generator.h"
 #include "scoring/mdl.h"
+#include "template/compiled.h"
+#include "template/dispatch.h"
 #include "template/matcher.h"
 #include "template/record_template.h"
 #include "template/template.h"
 #include "util/hashing.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -146,6 +155,43 @@ void BM_Ll1ParseFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_Ll1ParseFlat);
 
+// The compiled bytecode counterpart of BM_Ll1Match: same template, same
+// text, matching through CompiledTemplate instead of the tree walker.
+void BM_CompiledMatch(benchmark::State& state) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  CompiledTemplate compiled(&st.value());
+  std::string text = MakeCsv(100);
+  Dataset data(std::move(text));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t li = 0; li < data.line_count(); ++li) {
+      auto m = compiled.TryMatch(data.text(), data.line_begin(li));
+      if (m.has_value()) total += m->end;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_CompiledMatch);
+
+// Compiled flat parse (events emitted), vs BM_Ll1ParseFlat.
+void BM_CompiledParseFlat(benchmark::State& state) {
+  auto st = StructureTemplate::FromCanonical("(F,)*F\n");
+  CompiledTemplate compiled(&st.value());
+  Dataset data(MakeCsv(100));
+  std::vector<MatchEvent> events;
+  for (auto _ : state) {
+    for (size_t li = 0; li < data.line_count(); ++li) {
+      auto v = compiled.ParseFlat(data.text(), data.line_begin(li), &events);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size_bytes()));
+}
+BENCHMARK(BM_CompiledParseFlat);
+
 void BM_GenerationCharsetPass(benchmark::State& state) {
   Dataset data(MakeCsv(2000));
   DatamaranOptions opts;
@@ -207,8 +253,9 @@ void HashSizeT(uint64_t* h, size_t v) {
   }
 }
 
-PipelineRun RunPipelineWorkload(const std::vector<std::string>& texts,
-                                int num_threads) {
+PipelineRun RunPipelineWorkload(
+    const std::vector<std::string>& texts, int num_threads,
+    std::vector<std::vector<StructureTemplate>>* templates_out = nullptr) {
   DatamaranOptions opts;
   opts.num_threads = num_threads;
   Datamaran dm(opts);
@@ -216,6 +263,7 @@ PipelineRun RunPipelineWorkload(const std::vector<std::string>& texts,
   for (const std::string& text : texts) {
     run.bytes += text.size();
     PipelineResult r = dm.ExtractText(text);
+    if (templates_out != nullptr) templates_out->push_back(r.templates);
     run.residual_copy_bytes += r.stats.residual_copy_bytes;
     run.timings.generation_s += r.timings.generation_s;
     run.timings.pruning_s += r.timings.pruning_s;
@@ -238,6 +286,214 @@ PipelineRun RunPipelineWorkload(const std::vector<std::string>& texts,
     }
   }
   return run;
+}
+
+// ---------------------------------------------------------------------------
+// Match-engine microbench: the extraction-style greedy first-match scan over
+// the GitHub-corpus workload, tree walker (try every template in priority
+// order) vs compiled bytecode with first-byte TemplateSetIndex dispatch —
+// the before/after of the compiled-matching PR. Records/s, speedup, and an
+// identical-output parity bit land in BENCH_micro.json; parity failure or a
+// speedup below 1.2x fails the process (the CI smoke gate).
+// ---------------------------------------------------------------------------
+
+struct EngineScan {
+  uint64_t signature = kFnvOffset;
+  size_t records = 0;
+  size_t lines = 0;
+};
+
+/// One workload dataset with both engines' matchers prebuilt — setup cost
+/// (template lowering, index construction) is paid once, like the pipeline
+/// pays it once per stage, so the timed loops measure pure matching.
+struct PreparedDataset {
+  Dataset data;
+  std::vector<StructureTemplate> templates;
+  std::vector<int> spans;
+  std::vector<TemplateMatcher> tree;
+  std::vector<RecordMatcher> compiled;
+  TemplateSetIndex index;
+
+  PreparedDataset(std::string text, std::vector<StructureTemplate> ts)
+      : data(std::move(text)), templates(std::move(ts)) {
+    for (const StructureTemplate& st : templates) {
+      spans.push_back(std::max(1, st.line_span()));
+      tree.emplace_back(&st);
+    }
+    compiled = BuildMatchers(templates, MatchEngine::kCompiled);
+    index = TemplateSetIndex(compiled);
+  }
+  PreparedDataset(PreparedDataset&&) = delete;  // matchers point into *this
+};
+
+/// `with_signature` folds every outcome into a parity fingerprint; the
+/// timed throughput passes turn it off so both engines are measured on
+/// matching alone.
+EngineScan ScanOnce(const PreparedDataset& ds, bool use_compiled,
+                    bool with_signature = false) {
+  EngineScan out;
+  const std::string_view text = ds.data.text();
+  const size_t n = ds.data.line_count();
+  out.lines = n;
+
+  auto emit = [&](int hit, size_t end, size_t* li) {
+    if (hit >= 0) {
+      out.records++;
+      if (with_signature) {
+        HashSizeT(&out.signature, static_cast<size_t>(hit));
+        HashSizeT(&out.signature, end);
+      }
+      *li += static_cast<size_t>(ds.spans[static_cast<size_t>(hit)]);
+    } else {
+      ++*li;
+    }
+  };
+
+  if (use_compiled) {
+    // Same dispatch policy as Extractor::MatchAt: singleton sets answer
+    // from the matcher's FIRST set, larger sets go through the index.
+    const bool singleton = ds.compiled.size() == 1;
+    size_t li = 0;
+    while (li < n) {
+      const unsigned char first =
+          static_cast<unsigned char>(text[ds.data.line_begin(li)]);
+      int hit = -1;
+      size_t end = 0;
+      if (singleton) {
+        if (ds.compiled[0].CanStartWith(first)) {
+          auto m = ds.compiled[0].TryMatch(text, ds.data.line_begin(li));
+          if (m.has_value()) {
+            hit = 0;
+            end = m->end;
+          }
+        }
+      } else {
+        for (uint16_t t : ds.index.Candidates(first)) {
+          auto m = ds.compiled[t].TryMatch(text, ds.data.line_begin(li));
+          if (m.has_value()) {
+            hit = static_cast<int>(t);
+            end = m->end;
+            break;
+          }
+        }
+      }
+      emit(hit, end, &li);
+    }
+  } else {
+    size_t li = 0;
+    while (li < n) {
+      int hit = -1;
+      size_t end = 0;
+      for (size_t t = 0; t < ds.tree.size(); ++t) {
+        auto m = ds.tree[t].TryMatch(text, ds.data.line_begin(li));
+        if (m.has_value()) {
+          hit = static_cast<int>(t);
+          end = m->end;
+          break;
+        }
+      }
+      emit(hit, end, &li);
+    }
+  }
+  return out;
+}
+
+/// One timed block: `reps` full-workload scans. Returns records/second.
+double TimeScanBlock(
+    const std::vector<std::unique_ptr<PreparedDataset>>& datasets,
+    bool use_compiled, int reps) {
+  size_t records = 0;
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& ds : datasets) {
+      records += ScanOnce(*ds, use_compiled).records;
+    }
+  }
+  const double s = timer.Seconds();
+  return s > 0 ? static_cast<double>(records) / s : 0;
+}
+
+/// Best-of-N records/second per engine, measured in alternating rounds:
+/// background load only ever slows a round down, so the fastest round is
+/// the cleanest throughput estimate, and alternation keeps cache/frequency
+/// drift from favoring whichever engine runs last.
+void MeasureEngines(
+    const std::vector<std::unique_ptr<PreparedDataset>>& datasets,
+    double min_seconds, double* tree_rate, double* compiled_rate) {
+  constexpr int kRounds = 3;
+  // Calibrate block size on the tree engine so each round carries
+  // comparable, non-trivial work.
+  Timer calibrate;
+  (void)TimeScanBlock(datasets, /*use_compiled=*/false, 1);
+  const double once = calibrate.Seconds();
+  const double per_block = min_seconds / kRounds;
+  const int reps =
+      once > 0 ? std::max(1, static_cast<int>(per_block / once)) : 1;
+  *tree_rate = 0;
+  *compiled_rate = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    *tree_rate = std::max(
+        *tree_rate, TimeScanBlock(datasets, /*use_compiled=*/false, reps));
+    *compiled_rate = std::max(
+        *compiled_rate, TimeScanBlock(datasets, /*use_compiled=*/true, reps));
+  }
+}
+
+/// Runs the engine comparison; writes the "match_engine" JSON object to `f`
+/// (preceded by a comma) and returns true when output parity holds and the
+/// compiled engine is not a >20% regression against the 1.5x target.
+bool RunMatchEngineBench(FILE* f, const std::vector<std::string>& texts,
+                         std::vector<std::vector<StructureTemplate>> templates,
+                         bool quick) {
+  std::vector<std::unique_ptr<PreparedDataset>> datasets;
+  for (size_t i = 0; i < texts.size() && i < templates.size(); ++i) {
+    if (templates[i].empty()) continue;  // nothing to match against
+    datasets.push_back(std::make_unique<PreparedDataset>(
+        texts[i], std::move(templates[i])));
+  }
+  if (datasets.empty()) {
+    std::fprintf(f, ",\n  \"match_engine\": {\"skipped\": true}");
+    return true;
+  }
+
+  // Parity first: one scan per engine must segment every dataset
+  // identically.
+  bool identical = true;
+  size_t lines = 0;
+  for (const auto& ds : datasets) {
+    EngineScan tree = ScanOnce(*ds, /*use_compiled=*/false,
+                               /*with_signature=*/true);
+    EngineScan comp = ScanOnce(*ds, /*use_compiled=*/true,
+                               /*with_signature=*/true);
+    identical = identical && tree.signature == comp.signature &&
+                tree.records == comp.records;
+    lines += tree.lines;
+  }
+
+  const double min_seconds = quick ? 0.3 : 1.0;
+  double tree_rate = 0, compiled_rate = 0;
+  MeasureEngines(datasets, min_seconds, &tree_rate, &compiled_rate);
+  const double speedup = tree_rate > 0 ? compiled_rate / tree_rate : 0;
+
+  std::printf("match engines: tree %.0f records/s, compiled %.0f records/s "
+              "(%.2fx), identical: %s\n",
+              tree_rate, compiled_rate, speedup,
+              identical ? "yes" : "NO — ENGINE PARITY BUG");
+
+  std::fprintf(f,
+               ",\n"
+               "  \"match_engine\": {\n"
+               "    \"datasets\": %zu,\n"
+               "    \"lines\": %zu,\n"
+               "    \"tree_records_per_s\": %.1f,\n"
+               "    \"compiled_records_per_s\": %.1f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical_output\": %s\n"
+               "  }",
+               datasets.size(), lines, tree_rate, compiled_rate, speedup,
+               identical ? "true" : "false");
+  // 1.5x is the target; below 1.2x counts as a >20% throughput regression.
+  return identical && speedup >= 1.2;
 }
 
 double MbPerSec(size_t bytes, double seconds) {
@@ -287,7 +543,9 @@ int RunPipelineBench() {
               single.timings.total_s, single.timings.generation_s,
               single.timings.evaluation_s, single.timings.extraction_s,
               MbPerSec(single.bytes, single.timings.total_s));
-  PipelineRun parallel = RunPipelineWorkload(texts, multi);
+  std::vector<std::vector<StructureTemplate>> workload_templates;
+  PipelineRun parallel =
+      RunPipelineWorkload(texts, multi, &workload_templates);
   std::printf("  threads=%d:  total %.3fs  (gen %.3fs, eval %.3fs, "
               "extract %.3fs)  %.2f MB/s\n",
               multi, parallel.timings.total_s, parallel.timings.generation_s,
@@ -318,6 +576,8 @@ int RunPipelineBench() {
   PrintRunJson(f, "single_thread", single, 1);
   std::fprintf(f, ",\n");
   PrintRunJson(f, "multi_thread", parallel, multi);
+  const bool match_ok =
+      RunMatchEngineBench(f, texts, std::move(workload_templates), quick);
   // --- Large-file extraction through both backings (the mmap path). ---
   const size_t big_bytes = quick ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
   Rng rng(5);
@@ -393,7 +653,7 @@ int RunPipelineBench() {
                mmap_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
-  return identical && mmap_identical ? 0 : 1;
+  return identical && mmap_identical && match_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -9,7 +9,7 @@
 #include "pruning/pruner.h"
 #include "refinement/refiner.h"
 #include "scoring/score_cache.h"
-#include "template/matcher.h"
+#include "template/dispatch.h"
 #include "util/file_io.h"
 #include "util/logging.h"
 #include "util/sampler.h"
@@ -19,25 +19,32 @@ namespace datamaran {
 
 Datamaran::Datamaran(DatamaranOptions options)
     : options_(std::move(options)),
+      scorer_(options_.match_engine),
       pool_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreadCount(options_.num_threads))) {
   if (options_.verbose) SetLogLevel(LogLevel::kInfo);
 }
 
 ResidualMask MaskMatchedLines(const DatasetView& view,
-                              const StructureTemplate& st, ThreadPool* pool) {
+                              const StructureTemplate& st, ThreadPool* pool,
+                              MatchEngine engine) {
   const size_t n = view.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
-  TemplateMatcher matcher(&st);
+  const RecordMatcher matcher(&st, engine);
 
   // Phase 1 (parallel): the match attempt at each live line is a pure
   // function of (window text, template), so all n attempts fan out across
-  // the pool; per-worker scratch backs the rare cross-gap window.
+  // the pool; per-worker scratch backs the rare cross-gap window. Lines
+  // whose first byte is outside the template's FIRST set are rejected
+  // without resolving the window at all.
   std::vector<uint8_t> matched(n, 0);
   const int workers = pool != nullptr ? pool->thread_count() : 1;
   std::vector<std::string> scratch(static_cast<size_t>(workers));
   std::vector<size_t> assembled(static_cast<size_t>(workers), 0);
   ForEachIndex(pool, n, [&](size_t v, int worker) {
+    const unsigned char first =
+        static_cast<unsigned char>(view.line_with_newline(v).front());
+    if (!matcher.CanStartWith(first)) return;
     std::string* buf = &scratch[static_cast<size_t>(worker)];
     const DatasetView::SpanText win = view.ResolveSpan(v, span, buf);
     if (win.assembled) {
@@ -89,7 +96,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
   // identity is stable and cached scores stay exact (score_cache.h). The
   // caching decorator serves both the candidate-scoring loop below and the
   // Refiner's unfold variants.
-  ScoreCache cache;
+  ScoreCache cache(options_.match_engine);
   const CachingScorer cached_scorer(&scorer_,
                                     options_.enable_score_cache ? &cache
                                                                 : nullptr);
@@ -139,7 +146,8 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
       // after unfolding (e.g. "(F;)*F" for a fixed-width table) would rank
       // below the trivial template and never reach refinement.
       if (st.array_count() > 0) {
-        StructureTemplate unfolded = AutoUnfoldConstantArrays(residual, st);
+        StructureTemplate unfolded = AutoUnfoldConstantArrays(
+            residual, st, /*max_passes=*/4, options_.match_engine);
         double unfolded_score = cached_scorer.Score(residual, unfolded);
         double plain_score = cached_scorer.Score(residual, st);
         if (unfolded_score < plain_score) {
@@ -219,11 +227,15 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
     if (stats != nullptr) stats->rounds = round + 1;
 
     // --- Residual for the next round: index-only mask-and-compact ---
-    ResidualMask mask = MaskMatchedLines(residual, refined.st, pool_.get());
+    ResidualMask mask = MaskMatchedLines(residual, refined.st, pool_.get(),
+                                         options_.match_engine);
     if (stats != nullptr) stats->residual_copy_bytes += mask.assembled_bytes;
     if (mask.removed_lines.empty()) break;  // nothing matched
-    cache.InvalidateRemovedLines(mask.removed_lines);
     residual = std::move(mask.view);
+    // Adjacency-aware invalidation (score_cache.h): entries whose matched
+    // windows are untouched by the shrink — including multi-line ones —
+    // survive into the next round.
+    cache.InvalidateRemovedLines(mask.removed_lines, residual);
   }
   if (stats != nullptr) {
     stats->score_cache_hits = cache.hits();
@@ -235,11 +247,17 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
 PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   PipelineResult result;
   Timer total_timer;
+  // Discovery touches scattered sample chunks of a mapped file; the final
+  // scan streams through it once. Both hints are best-effort no-ops for
+  // owned backings and platforms without madvise.
+  data.Advise(AccessHint::kRandom);
   result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
                                        &result.reports);
   Timer extract_timer;
-  Extractor extractor(&result.templates, pool_.get());
+  data.Advise(AccessHint::kSequential);
+  Extractor extractor(&result.templates, pool_.get(), options_.match_engine);
   result.extraction = extractor.Extract(data);
+  data.Advise(AccessHint::kNormal);
   result.timings.extraction_s = extract_timer.Seconds();
   result.timings.total_s = total_timer.Seconds();
   result.stats.input_bytes = data.size_bytes();

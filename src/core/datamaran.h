@@ -129,10 +129,10 @@ class Datamaran {
 /// rebuild): every live line covered by a greedy first-match scan of `st`
 /// is masked out, and the survivors are compacted into the returned view.
 /// The expensive per-line match attempts run on `pool` in parallel (pure
-/// per-index work), the O(live) mask walk is sequential, and the result is
-/// identical for every thread count. No text is copied — only candidate
-/// windows straddling a view gap are assembled transiently
-/// (`assembled_bytes` totals them).
+/// per-index work) through the selected match engine, the O(live) mask walk
+/// is sequential, and the result is identical for every thread count and
+/// either engine. No text is copied — only candidate windows straddling a
+/// view gap are assembled transiently (`assembled_bytes` totals them).
 struct ResidualMask {
   DatasetView view;                     ///< surviving lines
   std::vector<uint32_t> removed_lines;  ///< physical ids masked out, ascending
@@ -141,7 +141,8 @@ struct ResidualMask {
 };
 ResidualMask MaskMatchedLines(const DatasetView& view,
                               const StructureTemplate& st,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              MatchEngine engine = MatchEngine::kCompiled);
 
 }  // namespace datamaran
 

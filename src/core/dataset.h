@@ -84,6 +84,14 @@ class Dataset {
     return use_region_ ? region_.ResidentBytes() : owned_.size();
   }
 
+  /// Forwards an access-pattern hint to a mapped backing (util/file_io's
+  /// AccessHint): the pipeline advises kRandom while sampling/discovering
+  /// and kSequential for the final whole-file scan. No-op for owned
+  /// backings and platforms without madvise.
+  void Advise(AccessHint hint) const {
+    if (use_region_) region_.Advise(hint);
+  }
+
   /// Byte offset of the first character of line `i`.
   size_t line_begin(size_t i) const { return line_begin_[i]; }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/dataset.h"
+#include "template/match_engine.h"
 #include "util/char_class.h"
 
 /// Configuration for the Datamaran pipeline. Field names follow the paper's
@@ -66,6 +67,14 @@ struct DatamaranOptions {
   /// values are bit-identical to fresh evaluation; see
   /// scoring/score_cache.h). Disable to measure the uncached cost.
   bool enable_score_cache = true;
+
+  /// Matching engine for every match hot loop (generation-round masking,
+  /// MDL scoring, refinement, extraction): kCompiled runs templates as flat
+  /// bytecode programs with first-byte template-set dispatch
+  /// (template/compiled.h, template/dispatch.h); kTree is the reference
+  /// recursive walker. Pipeline output is byte-identical between engines —
+  /// the switch trades nothing but speed.
+  MatchEngine match_engine = MatchEngine::kCompiled;
 
   /// Maximum number of record types extracted from an interleaved dataset
   /// (the Generation-Pruning-Evaluation loop re-runs on the residual).

@@ -59,24 +59,43 @@ constexpr size_t kMinLinesPerChunk = 256;
 }  // namespace
 
 Extractor::Extractor(const std::vector<StructureTemplate>* templates,
-                     ThreadPool* pool)
-    : templates_(templates), pool_(pool) {
-  matchers_.reserve(templates_->size());
+                     ThreadPool* pool, MatchEngine engine)
+    : templates_(templates),
+      pool_(pool),
+      matchers_(BuildMatchers(*templates, engine)),
+      index_(matchers_) {
   for (const StructureTemplate& st : *templates_) {
-    matchers_.emplace_back(&st);
     spans_.push_back(std::max(1, st.line_span()));
   }
 }
 
 int Extractor::MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
-                       std::string* scratch, bool* assembled) const {
+                       std::string* scratch, std::vector<MatchEvent>* events,
+                       bool* assembled) const {
   if (assembled != nullptr) *assembled = false;
-  for (size_t t = 0; t < matchers_.size(); ++t) {
+  // Lines always contain their '\n', so front() is safe. Dispatching on the
+  // first byte attempts only templates whose FIRST set admits the line —
+  // skipped templates could never have matched, so the first-match-in-
+  // priority-order outcome is unchanged. The common single-template case
+  // answers from the matcher's own FIRST set without touching the index.
+  const unsigned char first =
+      static_cast<unsigned char>(data.line_with_newline(li).front());
+  if (matchers_.size() == 1) {
+    if (!matchers_[0].CanStartWith(first)) return -1;
+    const DatasetView::SpanText win =
+        data.ResolveSpan(li, static_cast<size_t>(spans_[0]), scratch);
+    auto stats = matchers_[0].ParseFlat(win.text, win.pos, events);
+    if (!stats.has_value()) return -1;
+    *value = BuildParsedValue((*templates_)[0], win.pos, *events);
+    if (assembled != nullptr) *assembled = win.assembled;
+    return 0;
+  }
+  for (uint16_t t : index_.Candidates(first)) {
     const DatasetView::SpanText win = data.ResolveSpan(
         li, static_cast<size_t>(spans_[t]), scratch);
-    auto parsed = matchers_[t].Parse(win.text, win.pos);
-    if (!parsed.has_value()) continue;
-    *value = std::move(*parsed);
+    auto stats = matchers_[t].ParseFlat(win.text, win.pos, events);
+    if (!stats.has_value()) continue;
+    *value = BuildParsedValue((*templates_)[t], win.pos, *events);
     if (assembled != nullptr) *assembled = win.assembled;
     return static_cast<int>(t);
   }
@@ -84,9 +103,10 @@ int Extractor::MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
 }
 
 size_t Extractor::EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
-                         size_t* covered_chars, std::string* scratch) const {
+                         size_t* covered_chars, std::string* scratch,
+                         std::vector<MatchEvent>* events) const {
   ParsedValue value;
-  const int t = MatchAt(data, li, &value, scratch);
+  const int t = MatchAt(data, li, &value, scratch, events);
   if (t < 0) {
     if (sink != nullptr) sink->OnNoiseLine(li);
     return li + 1;
@@ -102,10 +122,11 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
   std::string scratch;
+  std::vector<MatchEvent> events;
   size_t li = 0;
   const size_t n = data.line_count();
   while (li < n) {
-    li = EmitAt(data, li, sink, &stats.covered_chars, &scratch);
+    li = EmitAt(data, li, sink, &stats.covered_chars, &scratch, &events);
   }
   return stats;
 }
@@ -132,7 +153,9 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
   const size_t chunks_per_wave = static_cast<size_t>(threads) * 2;
   std::vector<ChunkScan> scans(chunks_per_wave);
   std::vector<std::string> chunk_scratch(chunks_per_wave);
+  std::vector<std::vector<MatchEvent>> chunk_events(chunks_per_wave);
   std::string stitch_scratch;
+  std::vector<MatchEvent> stitch_events;
 
   size_t li = 0;  // stitched (authoritative) line position
   size_t wave_start = 0;
@@ -150,8 +173,9 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
         ChunkScan::Attempt attempt;
         attempt.line = cli;
         bool assembled = false;
-        attempt.template_id =
-            MatchAt(data, cli, &attempt.value, &chunk_scratch[k], &assembled);
+        attempt.template_id = MatchAt(data, cli, &attempt.value,
+                                      &chunk_scratch[k], &chunk_events[k],
+                                      &assembled);
         if (assembled && attempt.template_id >= 0) {
           // The buffered value's spans index into the scratch text: move it
           // into the attempt so later windows cannot overwrite it before
@@ -196,7 +220,8 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
           // A record from an earlier chunk spilled into this one and the
           // speculative stream never attempted `li`; re-match lines until
           // the streams realign (or the chunk is exhausted).
-          li = EmitAt(data, li, sink, &stats.covered_chars, &stitch_scratch);
+          li = EmitAt(data, li, sink, &stats.covered_chars, &stitch_scratch,
+                      &stitch_events);
         }
       }
     }

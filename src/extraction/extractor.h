@@ -6,14 +6,19 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "template/dispatch.h"
 #include "template/matcher.h"
 #include "template/template.h"
 
 /// Whole-file extraction with the final structure templates (the canonical
 /// LL(1) parse of Section 3.3). The scan walks the live lines of a
-/// DatasetView; at each line the templates are tried in priority order, the
-/// first match emits one record and skips its span, and unmatched lines are
-/// noise. The usual input is the identity view of a full (possibly
+/// DatasetView; at each line the templates are tried in priority order —
+/// dispatched through a TemplateSetIndex on the line's first byte, so only
+/// templates whose FIRST set admits the line are attempted — the first
+/// match emits one record and skips its span, and unmatched lines are
+/// noise. Matching runs on the configured engine (compiled bytecode by
+/// default; the tree walker reference via MatchEngine::kTree) with
+/// byte-identical output either way. The usual input is the identity view of a full (possibly
 /// mmap-backed) file, where every candidate window is matched in place on
 /// the backing buffer — extraction of a multi-GB mapping therefore streams
 /// through the file without ever materializing a copy. Gapped views (e.g. a
@@ -83,7 +88,8 @@ class Extractor {
   /// templates must outlive the extractor. When `pool` is non-null and has
   /// more than one thread, ExtractStreaming shards the scan across it.
   explicit Extractor(const std::vector<StructureTemplate>* templates,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     MatchEngine engine = MatchEngine::kCompiled);
 
   /// Streams records/noise into `sink` in scan order; returns coverage
   /// statistics without retaining parsed values. Memory stays bounded in
@@ -104,31 +110,37 @@ class Extractor {
   void set_lines_per_chunk(size_t lines) { lines_per_chunk_ = lines; }
 
  private:
-  /// The pure first-match rule every scan shares: tries the templates in
-  /// priority order at view line `li`; on a match fills `*value` and
-  /// returns the template id, else returns -1 (noise). Both the sequential
-  /// scan and the parallel chunk scan go through this single helper — the
-  /// byte-identical-output contract depends on there being exactly one
-  /// copy of this policy. `scratch` backs cross-gap windows of gapped
-  /// views; identity views never touch it.
+  /// The pure first-match rule every scan shares: tries the templates the
+  /// dispatch index admits for the line's first byte, in priority order, at
+  /// view line `li`; on a match fills `*value` and returns the template id,
+  /// else returns -1 (noise). Both the sequential scan and the parallel
+  /// chunk scan go through this single helper — the byte-identical-output
+  /// contract depends on there being exactly one copy of this policy.
+  /// `scratch` backs cross-gap windows of gapped views (identity views
+  /// never touch it); `events` is the caller's reused flat-parse buffer
+  /// (matches parse flat, then the ParsedValue is replayed from events —
+  /// no per-attempt tree allocation on failed templates).
   /// On return, *assembled is true iff the matched window crossed a view
   /// gap and `*scratch` holds its text (the value's spans index into it).
   int MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
-              std::string* scratch, bool* assembled = nullptr) const;
+              std::string* scratch, std::vector<MatchEvent>* events,
+              bool* assembled = nullptr) const;
 
   /// Applies MatchAt at line `li` and emits the outcome (one record or one
   /// noise line) to `sink`; returns the next unconsumed line. Used by the
   /// sequential path and by the stitcher to re-synchronize across
   /// chunk-spill divergences.
   size_t EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
-                size_t* covered_chars, std::string* scratch) const;
+                size_t* covered_chars, std::string* scratch,
+                std::vector<MatchEvent>* events) const;
 
   ExtractionResult ExtractSequential(const DatasetView& data,
                                      RecordSink* sink) const;
 
   const std::vector<StructureTemplate>* templates_;
   ThreadPool* pool_;
-  std::vector<TemplateMatcher> matchers_;
+  std::vector<RecordMatcher> matchers_;
+  TemplateSetIndex index_;
   std::vector<int> spans_;
   size_t lines_per_chunk_ = 0;
 };

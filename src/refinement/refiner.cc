@@ -3,49 +3,25 @@
 #include <algorithm>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
-#include "template/matcher.h"
+#include "template/dispatch.h"
 #include "util/logging.h"
 
 namespace datamaran {
 
 namespace {
 
-void WalkArrayCounts(const TemplateNode& node, const ParsedValue& value,
-                     int* array_idx, std::vector<ArrayCountStats>* stats) {
-  switch (node.kind) {
-    case NodeKind::kField:
-    case NodeKind::kChar:
-      break;
-    case NodeKind::kStruct:
-      for (size_t i = 0; i < node.children.size(); ++i) {
-        WalkArrayCounts(*node.children[i], value.children[i], array_idx,
-                        stats);
-      }
-      break;
-    case NodeKind::kArray: {
-      int idx = (*array_idx)++;
-      ArrayCountStats& s = (*stats)[static_cast<size_t>(idx)];
-      size_t reps = value.children.size();
-      if (s.occurrences == 0) {
-        s.min_count = s.max_count = reps;
-      } else {
-        s.min_count = std::min(s.min_count, reps);
-        s.max_count = std::max(s.max_count, reps);
-      }
-      s.occurrences++;
-      // Note: nested arrays inside the element advance the pre-order index
-      // identically for every repetition, so walk the first repetition for
-      // index bookkeeping and all of them for stats. Simpler: walk each
-      // repetition with a fresh copy of the index and commit the last.
-      int saved = *array_idx;
-      for (const ParsedValue& rep : value.children) {
-        *array_idx = saved;
-        WalkArrayCounts(*node.children[0], rep, array_idx, stats);
-      }
-      break;
-    }
+/// Maps every array node to its pre-order index (the numbering UnfoldArray
+/// targets: a node before its element subtree, struct children in order).
+void IndexArrays(const TemplateNode& node, int* next,
+                 std::unordered_map<const TemplateNode*, int>* index) {
+  if (node.kind == NodeKind::kArray) {
+    index->emplace(&node, (*next)++);
+  }
+  for (const auto& child : node.children) {
+    IndexArrays(*child, next, index);
   }
 }
 
@@ -106,21 +82,45 @@ void CloneUnfolding(const TemplateNode& node, int target, size_t reps,
 }  // namespace
 
 std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
-                                                const StructureTemplate& st) {
+                                                const StructureTemplate& st,
+                                                MatchEngine engine) {
   std::vector<ArrayCountStats> stats(
       static_cast<size_t>(CountArrays(st.root())));
   if (stats.empty()) return stats;
-  TemplateMatcher matcher(&st);
+  std::unordered_map<const TemplateNode*, int> array_index;
+  int next = 0;
+  IndexArrays(st.root(), &next, &array_index);
+  const RecordMatcher matcher(&st, engine);
+  std::vector<MatchEvent> events;
   std::string scratch;
   size_t li = 0;
   const size_t n = sample.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
   while (li < n) {
+    const unsigned char first =
+        static_cast<unsigned char>(sample.line_with_newline(li).front());
+    if (!matcher.CanStartWith(first)) {
+      ++li;
+      continue;
+    }
     const DatasetView::SpanText win = sample.ResolveSpan(li, span, &scratch);
-    auto parsed = matcher.Parse(win.text, win.pos);
+    auto parsed = matcher.ParseFlat(win.text, win.pos, &events);
     if (parsed.has_value()) {
-      int idx = 0;
-      WalkArrayCounts(st.root(), *parsed, &idx, &stats);
+      // Every array instantiation — outer arrays once per record, nested
+      // arrays once per enclosing repetition — emits one kArrayCount event,
+      // exactly the visits the old ParsedValue walk made.
+      for (const MatchEvent& ev : events) {
+        if (ev.kind != MatchEvent::kArrayCount) continue;
+        ArrayCountStats& s =
+            stats[static_cast<size_t>(array_index.at(ev.node))];
+        if (s.occurrences == 0) {
+          s.min_count = s.max_count = ev.count;
+        } else {
+          s.min_count = std::min(s.min_count, ev.count);
+          s.max_count = std::max(s.max_count, ev.count);
+        }
+        s.occurrences++;
+      }
       li += span;
     } else {
       ++li;
@@ -172,11 +172,14 @@ std::vector<StructureTemplate> LineRotations(const StructureTemplate& st) {
 }
 
 size_t FirstOccurrenceLine(const DatasetView& sample,
-                           const StructureTemplate& st) {
-  TemplateMatcher matcher(&st);
+                           const StructureTemplate& st, MatchEngine engine) {
+  const RecordMatcher matcher(&st, engine);
   std::string scratch;
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
   for (size_t li = 0; li < sample.line_count(); ++li) {
+    const unsigned char first =
+        static_cast<unsigned char>(sample.line_with_newline(li).front());
+    if (!matcher.CanStartWith(first)) continue;
     const DatasetView::SpanText win = sample.ResolveSpan(li, span, &scratch);
     if (matcher.TryMatch(win.text, win.pos).has_value()) return li;
   }
@@ -185,10 +188,10 @@ size_t FirstOccurrenceLine(const DatasetView& sample,
 
 StructureTemplate AutoUnfoldConstantArrays(const DatasetView& sample,
                                            const StructureTemplate& st,
-                                           int max_passes) {
+                                           int max_passes, MatchEngine engine) {
   StructureTemplate current = st;
   for (int pass = 0; pass < max_passes; ++pass) {
-    auto counts = CollectArrayCounts(sample, current);
+    auto counts = CollectArrayCounts(sample, current, engine);
     bool changed = false;
     for (int a = 0; a < static_cast<int>(counts.size()); ++a) {
       const ArrayCountStats& s = counts[static_cast<size_t>(a)];
@@ -216,7 +219,8 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
   bool improved = true;
   while (improved) {
     improved = false;
-    auto counts = CollectArrayCounts(sample_, current.st);
+    auto counts =
+        CollectArrayCounts(sample_, current.st, options_->match_engine);
     for (int a = 0; a < static_cast<int>(counts.size()) && !improved; ++a) {
       const ArrayCountStats& s = counts[static_cast<size_t>(a)];
       if (s.occurrences == 0) continue;
@@ -250,10 +254,11 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
   // --- Structure shifting: earliest first occurrence wins. ---
   auto rotations = LineRotations(current.st);
   if (!rotations.empty()) {
-    size_t best_line = FirstOccurrenceLine(sample_, current.st);
+    size_t best_line =
+        FirstOccurrenceLine(sample_, current.st, options_->match_engine);
     const StructureTemplate* best = nullptr;
     for (const StructureTemplate& rot : rotations) {
-      size_t line = FirstOccurrenceLine(sample_, rot);
+      size_t line = FirstOccurrenceLine(sample_, rot, options_->match_engine);
       if (line < best_line) {
         best_line = line;
         best = &rot;

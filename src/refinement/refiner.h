@@ -36,9 +36,12 @@ struct ArrayCountStats {
 };
 
 /// Collects repetition stats for every array node (pre-order index) by
-/// parsing all matches of `st` in the live lines of `sample`.
-std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
-                                                const StructureTemplate& st);
+/// parsing all matches of `st` in the live lines of `sample`. Counts come
+/// straight from the flat kArrayCount event stream — no ParsedValue tree is
+/// materialized.
+std::vector<ArrayCountStats> CollectArrayCounts(
+    const DatasetView& sample, const StructureTemplate& st,
+    MatchEngine engine = MatchEngine::kCompiled);
 
 /// Rewrites array node `array_index` (pre-order). If `keep_array` is false
 /// the array is fully expanded into `reps` copies (reps >= 1); otherwise
@@ -53,7 +56,8 @@ std::vector<StructureTemplate> LineRotations(const StructureTemplate& st);
 
 /// View-line index of the first match of `st` in `sample`, or SIZE_MAX.
 size_t FirstOccurrenceLine(const DatasetView& sample,
-                           const StructureTemplate& st);
+                           const StructureTemplate& st,
+                           MatchEngine engine = MatchEngine::kCompiled);
 
 /// Unfolds every array whose observed repetition count is constant across
 /// the sample (iterated up to `max_passes`). A constant-count array is
@@ -61,9 +65,9 @@ size_t FirstOccurrenceLine(const DatasetView& sample,
 /// its unfolded form exposes per-column types; scoring candidates in this
 /// form keeps the evaluation ranking honest. Returns the input when no
 /// array qualifies or the unfold fails validation.
-StructureTemplate AutoUnfoldConstantArrays(const DatasetView& sample,
-                                           const StructureTemplate& st,
-                                           int max_passes = 4);
+StructureTemplate AutoUnfoldConstantArrays(
+    const DatasetView& sample, const StructureTemplate& st, int max_passes = 4,
+    MatchEngine engine = MatchEngine::kCompiled);
 
 class Refiner {
  public:

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "template/dispatch.h"
 #include "template/matcher.h"
 
 namespace datamaran {
@@ -27,17 +28,25 @@ MdlBreakdown MdlScorer::EvaluateSet(
   out.noise_only_bits = 32 + static_cast<double>(sample.line_count()) +
                         8.0 * static_cast<double>(sample.size_bytes());
 
-  std::vector<TemplateMatcher> matchers;
+  std::vector<RecordMatcher> matchers;
   std::vector<TemplateStatsCollector> collectors;
   std::vector<size_t> spans;
   matchers.reserve(templates.size());
   collectors.reserve(templates.size());
   spans.reserve(templates.size());
   for (const StructureTemplate* st : templates) {
-    matchers.emplace_back(st);
+    matchers.emplace_back(st, engine_);
     collectors.emplace_back(st);
     spans.push_back(static_cast<size_t>(std::max(1, st->line_span())));
   }
+  // Multi-template sets dispatch on the line's first byte; a template whose
+  // FIRST set misses it cannot match, so the index only narrows the
+  // priority-ordered attempt list, never changes its outcome. Singleton
+  // sets (the per-candidate scoring path) use the matcher's own
+  // first-byte filter and skip the index build.
+  const bool use_index = templates.size() > 1;
+  const TemplateSetIndex index =
+      use_index ? TemplateSetIndex(matchers) : TemplateSetIndex();
 
   const double type_bits =
       templates.size() > 1
@@ -53,27 +62,40 @@ MdlBreakdown MdlScorer::EvaluateSet(
   std::string scratch;
   size_t li = 0;
   const size_t n = sample.line_count();
+  auto try_template = [&](size_t t) -> bool {
+    const DatasetView::SpanText win = sample.ResolveSpan(li, spans[t],
+                                                         &scratch);
+    auto parsed = matchers[t].ParseFlat(win.text, win.pos, &events);
+    if (!parsed.has_value()) return false;
+    collectors[t].AddRecordFlat(events, win.text);
+    out.records += 1;
+    out.record_lines += spans[t];
+    out.covered_chars += parsed->end - win.pos;
+    out.record_bits += type_bits;
+    if (covered_lines != nullptr) {
+      for (size_t k = li; k < li + spans[t]; ++k) {
+        covered_lines->push_back(
+            static_cast<uint32_t>(sample.physical_line(k)));
+      }
+    }
+    li += spans[t];
+    return true;
+  };
   while (li < n) {
+    // Lines always contain at least their '\n', so front() is safe; the
+    // first byte keys both the index dispatch and the singleton filter.
+    const unsigned char first = static_cast<unsigned char>(
+        sample.line_with_newline(li).front());
     bool matched = false;
-    for (size_t t = 0; t < matchers.size(); ++t) {
-      const DatasetView::SpanText win = sample.ResolveSpan(li, spans[t],
-                                                           &scratch);
-      auto parsed = matchers[t].ParseFlat(win.text, win.pos, &events);
-      if (!parsed.has_value()) continue;
-      collectors[t].AddRecordFlat(events, win.text);
-      out.records += 1;
-      out.record_lines += spans[t];
-      out.covered_chars += parsed->end - win.pos;
-      out.record_bits += type_bits;
-      if (covered_lines != nullptr) {
-        for (size_t k = li; k < li + spans[t]; ++k) {
-          covered_lines->push_back(
-              static_cast<uint32_t>(sample.physical_line(k)));
+    if (use_index) {
+      for (uint16_t t : index.Candidates(first)) {
+        if (try_template(t)) {
+          matched = true;
+          break;
         }
       }
-      li += spans[t];
-      matched = true;
-      break;
+    } else if (!matchers.empty() && matchers[0].CanStartWith(first)) {
+      matched = try_template(0);
     }
     if (!matched) {
       out.noise_bits +=

@@ -6,6 +6,7 @@
 
 #include "core/dataset.h"
 #include "scoring/field_stats.h"
+#include "template/match_engine.h"
 #include "template/template.h"
 
 /// The regularity score F(T,S) (Problem 2). Datamaran treats the scorer as
@@ -70,9 +71,19 @@ struct MdlBreakdown {
   size_t covered_chars = 0;
 };
 
-/// Minimum-description-length scorer (Section 9.2).
+/// Minimum-description-length scorer (Section 9.2). The scan matches
+/// through RecordMatcher (compiled bytecode by default, the reference tree
+/// walker via MatchEngine::kTree — identical results either way) and, when
+/// scoring a multi-template set, dispatches each line through a
+/// TemplateSetIndex so only templates whose FIRST set contains the line's
+/// first byte are attempted.
 class MdlScorer : public RegularityScorer {
  public:
+  MdlScorer() = default;
+  explicit MdlScorer(MatchEngine engine) : engine_(engine) {}
+
+  MatchEngine engine() const { return engine_; }
+
   double ScoreSet(const DatasetView& sample,
                   const std::vector<const StructureTemplate*>& templates)
       const override;
@@ -91,6 +102,9 @@ class MdlScorer : public RegularityScorer {
     std::vector<const StructureTemplate*> ts = {&st};
     return EvaluateSet(sample, ts, covered_lines);
   }
+
+ private:
+  MatchEngine engine_ = MatchEngine::kCompiled;
 };
 
 }  // namespace datamaran

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "template/dispatch.h"
+
 namespace datamaran {
 
 namespace {
@@ -19,6 +21,51 @@ bool SortedIntersect(const std::vector<uint32_t>& a,
     } else {
       return true;
     }
+  }
+  return false;
+}
+
+/// New-view positions v where removed lines sat strictly between live[v]
+/// and live[v+1] — the splice points where previously separated lines
+/// became adjacent. One merge pass over two ascending sequences.
+std::vector<uint32_t> SplicePositions(const std::vector<uint32_t>& removed,
+                                      const DatasetView& view) {
+  std::vector<uint32_t> splices;
+  const size_t n = view.line_count();
+  size_t r = 0;
+  for (size_t v = 0; v + 1 < n; ++v) {
+    const uint32_t a = static_cast<uint32_t>(view.physical_line(v));
+    const uint32_t b = static_cast<uint32_t>(view.physical_line(v + 1));
+    while (r < removed.size() && removed[r] <= a) ++r;
+    if (r >= removed.size()) break;
+    if (removed[r] < b) splices.push_back(static_cast<uint32_t>(v));
+  }
+  return splices;
+}
+
+/// True when any span-window crossing a splice point matches `st` in the
+/// new view — the one way a covered-disjoint shrink can still change a
+/// multi-line candidate's matched record set. A window [w, w+span) crosses
+/// the splice (v, v+1) iff w in [v-span+2, v].
+bool AnySpliceWindowMatches(const StructureTemplate& st, size_t span,
+                            const std::vector<uint32_t>& splices,
+                            const DatasetView& view, MatchEngine engine,
+                            std::string* scratch) {
+  const RecordMatcher matcher(&st, engine);
+  const size_t n = view.line_count();
+  size_t next_unchecked = 0;  // dedupes overlapping ranges of close splices
+  for (uint32_t v : splices) {
+    const size_t lo =
+        static_cast<size_t>(v) + 2 > span ? static_cast<size_t>(v) + 2 - span
+                                          : 0;
+    for (size_t w = std::max(lo, next_unchecked); w <= v && w < n; ++w) {
+      const unsigned char first =
+          static_cast<unsigned char>(view.line_with_newline(w).front());
+      if (!matcher.CanStartWith(first)) continue;
+      const DatasetView::SpanText win = view.ResolveSpan(w, span, scratch);
+      if (matcher.TryMatch(win.text, win.pos).has_value()) return true;
+    }
+    next_unchecked = static_cast<size_t>(v) + 1;
   }
   return false;
 }
@@ -49,15 +96,37 @@ void ScoreCache::Insert(const std::string& canonical, Entry entry) {
 }
 
 void ScoreCache::InvalidateRemovedLines(
-    const std::vector<uint32_t>& removed_lines) {
+    const std::vector<uint32_t>& removed_lines, const DatasetView& new_view) {
   if (removed_lines.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return;
+  // The O(live) splice scan is only needed once a surviving multi-line
+  // entry is actually reached (an empty or all-single-line cache, or one
+  // fully dropped by the covered-lines test, never pays it).
+  std::optional<std::vector<uint32_t>> splices;
+  std::string scratch;
   for (auto it = entries_.begin(); it != entries_.end();) {
     const Entry& e = it->second;
-    bool drop = e.line_span > 1;
-    if (!drop) {
-      // Both sides ascending: one merge pass decides the intersection.
-      drop = SortedIntersect(e.covered_lines, removed_lines);
+    // Both sides ascending: one merge pass decides the intersection. A hit
+    // means a matched window lost a line — the cached record set is gone.
+    bool drop = SortedIntersect(e.covered_lines, removed_lines);
+    if (!drop && e.line_span > 1) {
+      if (!splices.has_value()) {
+        splices = SplicePositions(removed_lines, new_view);
+      }
+      if (!splices->empty()) {
+        const size_t span = static_cast<size_t>(e.line_span);
+        // When checking every splice-crossing window would approach the
+        // cost of just rescoring the candidate, drop conservatively.
+        const size_t budget =
+            std::max<size_t>(64, new_view.line_count() / 4);
+        if (splices->size() * span > budget || e.st == nullptr) {
+          drop = true;
+        } else {
+          drop = AnySpliceWindowMatches(*e.st, span, *splices, new_view,
+                                        engine_, &scratch);
+        }
+      }
     }
     it = drop ? entries_.erase(it) : ++it;
   }
@@ -95,6 +164,9 @@ double CachingScorer::ScoreSet(
   entry.record_lines = b.record_lines;
   entry.covered_chars = b.covered_chars;
   entry.line_span = std::max(1, st.line_span());
+  if (entry.line_span > 1) {
+    entry.st = std::make_shared<const StructureTemplate>(st);
+  }
   cache_->Insert(st.canonical(), std::move(entry));
   return b.total_bits;
 }

@@ -2,6 +2,7 @@
 #define DATAMARAN_SCORING_SCORE_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -25,16 +26,29 @@
 ///         + (live_lines - record_lines)                  (flag bits)
 ///         + 8 * (live_bytes - covered_chars)             (noise bits)
 ///
-/// The bracketed terms depend only on the *matched record set*. Removing
-/// live lines that no match of the candidate covers leaves that set intact
-/// for single-line templates (each line matches independently), so the
-/// cached terms stay exact and the view-dependent terms are recomputed in
-/// O(1) from the current view's aggregates. Entries are invalidated when
-/// the live-line set shrinks under the candidate's matched lines; for
-/// multi-line templates a removal anywhere can splice previously separated
-/// lines into a new matchable window, so those entries are conservatively
-/// dropped on every shrink (correctness over reuse — cached values are
-/// always bit-identical to a fresh evaluation).
+/// The bracketed terms depend only on the *matched record set*, so an
+/// entry stays exact precisely when the shrink provably leaves that set
+/// unchanged; the view-dependent terms are then recomputed in O(1) from
+/// the current view's aggregates. Invalidation reasons about window
+/// adjacency:
+///
+///  - An entry whose covered lines intersect the removal is dropped (a
+///    matched window lost a line).
+///  - Single-line entries otherwise survive: each line matches
+///    independently, and removed non-covered lines were non-matching.
+///  - A multi-line entry's matched windows are runs of consecutive *view*
+///    positions, so covered-disjoint removals leave every matched window
+///    intact and adjacent. The only remaining hazard is a *splice*: where
+///    removed lines sat between two surviving lines, previously separated
+///    lines become adjacent and can form brand-new candidate windows. The
+///    entry survives iff no window crossing a splice point matches the
+///    candidate — checked by re-matching just those O(span) windows per
+///    splice against the new view (with a budget: when splices are so
+///    numerous the checks would rival a fresh evaluation, the entry is
+///    dropped conservatively instead).
+///
+/// Either way, cached values are always bit-identical to a fresh
+/// evaluation (ScoreCacheTest).
 ///
 /// Thread safety: Lookup/Insert/Invalidate are mutex-guarded; concurrent
 /// misses on the same key may both evaluate and insert, but entries are a
@@ -45,6 +59,12 @@ namespace datamaran {
 
 class ScoreCache {
  public:
+  /// `engine` drives the splice-window re-matching during invalidation
+  /// (results are engine-independent; the knob only keeps a single engine
+  /// active per pipeline).
+  explicit ScoreCache(MatchEngine engine = MatchEngine::kCompiled)
+      : engine_(engine) {}
+
   struct Entry {
     /// model_bits + record_bits: the view-independent part of the total.
     double base_bits = 0;
@@ -54,6 +74,10 @@ class ScoreCache {
     int line_span = 1;
     /// Physical backing-dataset lines covered by matched records, ascending.
     std::vector<uint32_t> covered_lines;
+    /// Multi-line entries keep their parsed template so splice-window
+    /// re-matching at invalidation needn't re-parse the canonical key.
+    /// shared_ptr: stable address across map rehashes, copy-friendly.
+    std::shared_ptr<const StructureTemplate> st;
   };
 
   /// Returns the exact MDL total for `canonical` against `view` if a valid
@@ -64,9 +88,12 @@ class ScoreCache {
   void Insert(const std::string& canonical, Entry entry);
 
   /// Round transition: `removed_lines` (physical, ascending) just left the
-  /// live set. Drops every multi-line entry and every single-line entry
-  /// whose covered lines intersect the removal.
-  void InvalidateRemovedLines(const std::vector<uint32_t>& removed_lines);
+  /// live set and `new_view` is the surviving residual. Drops every entry
+  /// whose covered lines intersect the removal, and every multi-line entry
+  /// for which a window crossing a removal splice point now matches (see
+  /// the header comment); everything else survives, still exact.
+  void InvalidateRemovedLines(const std::vector<uint32_t>& removed_lines,
+                              const DatasetView& new_view);
 
   size_t hits() const;
   size_t misses() const;
@@ -74,6 +101,7 @@ class ScoreCache {
 
  private:
   mutable std::mutex mu_;
+  MatchEngine engine_ = MatchEngine::kCompiled;
   std::unordered_map<std::string, Entry> entries_;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;

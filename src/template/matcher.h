@@ -16,6 +16,19 @@
 /// A field matches the maximal non-empty run of characters outside the
 /// template's RT-CharSet; a literal matches itself; an array repeats its
 /// element as long as the lookahead equals the separator.
+///
+/// Two engines implement these semantics with byte-identical results:
+///  - TemplateMatcher (this header): the reference recursive tree walker.
+///  - CompiledTemplate (template/compiled.h): the template lowered once
+///    into a flat bytecode program run by a non-recursive loop — what the
+///    pipeline's hot paths use by default.
+/// Call sites go through RecordMatcher (template/dispatch.h), which binds
+/// one template to the engine selected by DatamaranOptions::match_engine;
+/// multi-template sites dispatch through a TemplateSetIndex so only
+/// templates whose FIRST set admits a line's first byte are attempted.
+/// Both engines emit the MatchEvent stream defined here, and a ParsedValue
+/// tree can be replayed from it without re-scanning the text
+/// (BuildParsedValue in dispatch.h).
 
 namespace datamaran {
 
@@ -56,8 +69,11 @@ struct MatchEvent {
   size_t count = 0;  ///< kArrayCount: number of repetitions
 };
 
-/// Matcher bound to one structure template. Cheap to construct; holds only
-/// pointers/derived sets, so the template must outlive the matcher.
+/// The reference tree-walking matcher, bound to one structure template.
+/// Cheap to construct; holds only pointers/derived sets, so the template
+/// must outlive the matcher. Kept as the differential-testing baseline for
+/// the compiled engine (tests/compiled_test.cc) and selectable pipeline-
+/// wide via MatchEngine::kTree.
 class TemplateMatcher {
  public:
   explicit TemplateMatcher(const StructureTemplate* st);

@@ -132,6 +132,28 @@ size_t MappedRegion::ResidentBytes() const {
 #endif
 }
 
+void MappedRegion::Advise(AccessHint hint) const {
+#if DM_HAVE_MMAP && defined(MADV_NORMAL)
+  if (!mapped_ || addr_ == nullptr || size_ == 0) return;
+  int advice = MADV_NORMAL;
+  switch (hint) {
+    case AccessHint::kNormal:
+      advice = MADV_NORMAL;
+      break;
+    case AccessHint::kSequential:
+      advice = MADV_SEQUENTIAL;
+      break;
+    case AccessHint::kRandom:
+      advice = MADV_RANDOM;
+      break;
+  }
+  // Best effort: a failing madvise changes nothing but prefetch behavior.
+  (void)::madvise(addr_, size_, advice);
+#else
+  (void)hint;
+#endif
+}
+
 Result<MappedRegion> MmapFile(const std::string& path) {
 #if DM_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);

@@ -27,6 +27,17 @@ Status WriteStringToFile(const std::string& path, std::string_view contents);
 /// Creates directory `path` (and parents) if it does not exist.
 Status MakeDirs(const std::string& path);
 
+/// Expected access pattern for a mapped region, forwarded to the kernel as
+/// an madvise hint: kSequential readahead for the streaming extraction
+/// scan, kRandom for the scattered sampling/discovery touches, kNormal to
+/// restore the default. Purely advisory — a no-op for owned (read-fallback)
+/// regions and on platforms without madvise.
+enum class AccessHint {
+  kNormal,
+  kSequential,
+  kRandom,
+};
+
 /// A read-only view of a file's bytes, backed either by an mmap'd region
 /// (is_mapped() == true; pages fault in on demand) or by an owned string
 /// (the read fallback). Move-only; the view stays valid across moves.
@@ -55,6 +66,10 @@ class MappedRegion {
   /// Owned regions are fully resident by definition; on platforms without
   /// mincore a mapped region conservatively reports its full size.
   size_t ResidentBytes() const;
+
+  /// Advises the kernel of the expected access pattern (best effort; no-op
+  /// when the region is not a live mapping or madvise is unavailable).
+  void Advise(AccessHint hint) const;
 
   /// Takes ownership of an in-memory copy (the read-fallback constructor).
   static MappedRegion FromOwned(std::string text);

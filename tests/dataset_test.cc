@@ -7,6 +7,7 @@
 #include "core/datamaran.h"
 #include "core/dataset.h"
 #include "core/options.h"
+#include "scoring/score_cache.h"
 #include "util/file_io.h"
 #include "util/rng.h"
 #include "util/sampler.h"
@@ -257,6 +258,82 @@ TEST(MaskMatchedLinesTest, MultiLineTemplateMatchesAcrossNewGap) {
 }
 
 // ------------------------------------------------------- score caching ----
+
+// A multi-line entry must survive a residual shrink that neither touches
+// its matched windows nor splices a new matchable window into existence —
+// and the served value must still be bit-identical to a fresh evaluation.
+TEST(ScoreCacheTest, MultiLineEntrySurvivesUntouchedShrink) {
+  // T2 = "F F\nF F\n" matches line pairs (0,1) and (5,6); lines 2,3 are the
+  // to-be-removed type; line 4 ("q-q", no space) blocks the spliced window.
+  Dataset data{std::string("a b\nc d\nx,1\nx,2\nq-q\ne f\ng h\n")};
+  auto t2 = StructureTemplate::FromCanonical("F F\nF F\n");
+  ASSERT_TRUE(t2.ok());
+
+  ScoreCache cache;
+  MdlScorer scorer;
+  CachingScorer cached(&scorer, &cache);
+  const DatasetView full(data);
+  const double before = cached.Score(full, t2.value());
+  EXPECT_DOUBLE_EQ(before, scorer.Score(full, t2.value()));
+  ASSERT_EQ(cache.size(), 1u);
+
+  const std::vector<uint32_t> removed = {2, 3};
+  const DatasetView shrunk(data, {0, 1, 4, 5, 6});
+  cache.InvalidateRemovedLines(removed, shrunk);
+  ASSERT_EQ(cache.size(), 1u);  // the entry survived the shrink
+
+  const size_t hits_before = cache.hits();
+  const double after = cached.Score(shrunk, t2.value());
+  EXPECT_EQ(cache.hits(), hits_before + 1);  // served from cache...
+  EXPECT_DOUBLE_EQ(after, scorer.Score(shrunk, t2.value()));  // ...exactly
+}
+
+// The correctness-critical case: removing a line splices two previously
+// separated lines into a window that now matches the cached multi-line
+// candidate. The entry must be dropped (its cached record set is stale).
+TEST(ScoreCacheTest, SpliceCreatingNewMatchDropsEntry) {
+  // T2 never matches the full view ("k-1"/"k-2" and the ","-lines break
+  // every window), but removing line 2 makes "a b\nc d\n" adjacent.
+  Dataset data{std::string("k-1\na b\nx,1\nc d\nk-2\n")};
+  auto t2 = StructureTemplate::FromCanonical("F F\nF F\n");
+  ASSERT_TRUE(t2.ok());
+
+  ScoreCache cache;
+  MdlScorer scorer;
+  CachingScorer cached(&scorer, &cache);
+  const DatasetView full(data);
+  cached.Score(full, t2.value());
+  ASSERT_EQ(cache.size(), 1u);
+
+  const std::vector<uint32_t> removed = {2};
+  const DatasetView shrunk(data, {0, 1, 3, 4});
+  cache.InvalidateRemovedLines(removed, shrunk);
+  EXPECT_EQ(cache.size(), 0u);  // stale entry dropped
+
+  // And the rescore (a miss) agrees with the uncached scorer.
+  const size_t misses_before = cache.misses();
+  const double after = cached.Score(shrunk, t2.value());
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_DOUBLE_EQ(after, scorer.Score(shrunk, t2.value()));
+}
+
+// Removing a line covered by a matched window always drops the entry.
+TEST(ScoreCacheTest, CoveredLineRemovalDropsEntry) {
+  Dataset data{std::string("a b\nc d\nx,1\n")};
+  auto t2 = StructureTemplate::FromCanonical("F F\nF F\n");
+  ASSERT_TRUE(t2.ok());
+
+  ScoreCache cache;
+  MdlScorer scorer;
+  CachingScorer cached(&scorer, &cache);
+  cached.Score(DatasetView(data), t2.value());
+  ASSERT_EQ(cache.size(), 1u);
+
+  const std::vector<uint32_t> removed = {1};  // inside the matched pair
+  const DatasetView shrunk(data, {0, 2});
+  cache.InvalidateRemovedLines(removed, shrunk);
+  EXPECT_EQ(cache.size(), 0u);
+}
 
 TEST(ScoreCacheTest, CachedPipelineMatchesUncached) {
   std::string text = InterleavedTwoTypes(1200, 33);

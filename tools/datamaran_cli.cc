@@ -2,8 +2,8 @@
 // relational tables.
 //
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
-//             [--threads=N] [--mmap=MODE] [--out=DIR] [--normalized]
-//             [--verbose]
+//             [--threads=N] [--mmap=MODE] [--match-engine=ENGINE]
+//             [--out=DIR] [--normalized] [--verbose]
 //
 // Prints the discovered templates and a summary (including how the input
 // was backed: mmap'd bytes vs. bytes actually resident); with --out,
@@ -25,12 +25,17 @@ void Usage() {
   std::fprintf(stderr,
                "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
                "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
-               "                 [--out=DIR] [--normalized] [--verbose]\n"
+               "                 [--match-engine=ENGINE] [--out=DIR]\n"
+               "                 [--normalized] [--verbose]\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
                "                1 = sequential; output is identical)\n"
                "  --mmap=MODE   input backing: auto (default; mmap files\n"
                "                above a size threshold), always, never.\n"
-               "                Output is identical either way\n");
+               "                Output is identical either way\n"
+               "  --match-engine=ENGINE  compiled (default; templates run\n"
+               "                as bytecode with first-byte dispatch) or\n"
+               "                tree (reference walker). Output is\n"
+               "                identical either way\n");
 }
 
 }  // namespace
@@ -66,6 +71,16 @@ int main(int argc, char** argv) {
         options.mmap_mode = MapMode::kAlways;
       } else if (mode == "never") {
         options.mmap_mode = MapMode::kNever;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--match-engine=")) {
+      std::string_view engine = arg.substr(15);
+      if (engine == "compiled") {
+        options.match_engine = MatchEngine::kCompiled;
+      } else if (engine == "tree") {
+        options.match_engine = MatchEngine::kTree;
       } else {
         Usage();
         return 2;
@@ -112,6 +127,9 @@ int main(int argc, char** argv) {
   std::printf("timings: gen=%.2fs prune=%.2fs eval=%.2fs extract=%.2fs\n",
               result->timings.generation_s, result->timings.pruning_s,
               result->timings.evaluation_s, result->timings.extraction_s);
+  std::printf("match engine: %s\n",
+              options.match_engine == MatchEngine::kCompiled ? "compiled"
+                                                             : "tree");
   if (result->stats.input_mapped) {
     std::printf("input: %zu bytes mmap-backed, ~%zu resident after run\n",
                 result->stats.input_bytes,
