@@ -18,13 +18,19 @@
 // compiled bytecode + TemplateSetIndex dispatch) on the discovered
 // templates: records/s each, the speedup, and an engine-parity bit; parity
 // failure or a speedup below 1.2x fails the process, which is what gates
-// the CI smoke job. Future PRs track the perf trajectory from that file.
+// the CI smoke job. A fourth section extracts one large synthetic file
+// through the collecting sink (O(file): one ParsedValue tree per record)
+// and the streaming columnar sink (O(wave): flat events straight to CSV),
+// isolating per-phase peak RSS; streaming peak RSS at or above 50% of the
+// collecting peak also fails the process. Future PRs track the perf
+// trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -36,6 +42,7 @@
 
 #include "bench_common.h"
 #include "core/datamaran.h"
+#include "extraction/sinks.h"
 #include "util/file_io.h"
 #include "core/dataset.h"
 #include "core/options.h"
@@ -245,6 +252,42 @@ size_t PeakRssBytes() {
 #else
   return 0;
 #endif
+}
+
+/// Resets the kernel's per-process peak-RSS watermark (Linux: writing "5"
+/// to /proc/self/clear_refs resets VmHWM to the current VmRSS). Returns
+/// false when unsupported — per-phase peaks can then not be isolated.
+bool ResetPeakRss() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite("5", 1, 1, f) == 1;
+  return (std::fclose(f) == 0) && wrote;
+#else
+  return false;
+#endif
+}
+
+/// Peak RSS since the last ResetPeakRss (Linux VmHWM); falls back to the
+/// monotone getrusage peak elsewhere.
+size_t ReadPeakRssBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    size_t kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return kb * 1024;
+  }
+#endif
+  return PeakRssBytes();
 }
 
 void HashSizeT(uint64_t* h, size_t v) {
@@ -501,6 +544,110 @@ double MbPerSec(size_t bytes, double seconds) {
                                 seconds;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming-sink memory case: the collecting sink materializes one
+// ParsedValue tree per record (O(file) memory); the columnar streaming sink
+// consumes the flat event stream and flushes per wave (O(wave) memory).
+// Both paths extract the same large synthetic file; per-phase peak RSS is
+// isolated with ResetPeakRss. Streaming peak RSS >= 50% of the collecting
+// peak — or a record-count mismatch — fails the process (the CI smoke
+// gate). Runs first, before other workloads can pre-grow the allocator
+// arena and mask the collecting balloon.
+// ---------------------------------------------------------------------------
+
+struct SinkCase {
+  size_t bytes = 0;
+  size_t records = 0;
+  size_t streaming_peak = 0;   // bytes, per-phase when gated
+  size_t collecting_peak = 0;  // bytes, per-phase when gated
+  double streaming_s = 0;
+  double collecting_s = 0;
+  bool counts_match = false;
+  bool rss_gated = false;  // per-phase peaks available (clear_refs worked)
+  bool ok = false;
+};
+
+SinkCase RunStreamingSinkCase(int threads, bool quick) {
+  SinkCase out;
+  const size_t target_bytes = quick ? 6 * 1024 * 1024 : 16 * 1024 * 1024;
+  Rng rng(7);
+  std::string big;
+  big.reserve(target_bytes + 128);
+  while (big.size() < target_bytes) {
+    const int reps = static_cast<int>(rng.Uniform(3, 7));
+    for (int r = 0; r < reps; ++r) {
+      big += std::to_string(rng.Uniform(0, 99999));
+      if (r + 1 < reps) big += ",";
+    }
+    big += "\n";
+    // A line starting with the separator cannot parse (fields are
+    // non-empty): genuine noise for the template below.
+    if (rng.Bernoulli(0.02)) big += ",noise\n";
+  }
+  Dataset data(std::move(big));
+  out.bytes = data.size_bytes();
+
+  std::vector<StructureTemplate> templates;
+  templates.push_back(std::move(
+      StructureTemplate::FromCanonical("(F,)*F\n").value()));
+  ThreadPool pool(threads);
+  Extractor extractor(&templates, &pool);
+  const std::string out_dir = "bench_micro_sink_out.tmp";
+
+  // Streaming first: its peak is the phase baseline, so even without
+  // per-phase isolation the comparison errs against us, never for us.
+  const bool reset_ok = ResetPeakRss();
+  size_t streamed_records = 0;
+  size_t streamed_covered = 0;
+  {
+    Timer timer;
+    DatasetView view(data);
+    ColumnarWriteSink sink(&templates, view, out_dir);
+    ExtractionResult stats = extractor.ExtractEvents(view, &sink);
+    const Status finished = sink.Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "streaming sink: %s\n",
+                   finished.ToString().c_str());
+      std::error_code cleanup;
+      std::filesystem::remove_all(out_dir, cleanup);
+      return out;
+    }
+    out.streaming_s = timer.Seconds();
+    streamed_records = sink.stats().total_records;
+    streamed_covered = stats.covered_chars;
+  }
+  out.streaming_peak = ReadPeakRssBytes();
+
+  out.rss_gated = reset_ok && ResetPeakRss();
+  {
+    Timer timer;
+    ExtractionResult collected = extractor.Extract(data);
+    out.collecting_s = timer.Seconds();
+    out.records = collected.records.size();
+    out.counts_match = collected.records.size() == streamed_records &&
+                       collected.covered_chars == streamed_covered;
+  }
+  out.collecting_peak = ReadPeakRssBytes();
+  std::error_code ec;
+  std::filesystem::remove_all(out_dir, ec);
+
+  const double ratio =
+      out.collecting_peak > 0
+          ? static_cast<double>(out.streaming_peak) /
+                static_cast<double>(out.collecting_peak)
+          : 1.0;
+  std::printf("streaming sink (%zu MB, %zu records): streamed %.3fs "
+              "(%.2f MB/s) peak %zu MB, collecting %.3fs peak %zu MB "
+              "(%.2fx)%s, counts %s\n",
+              out.bytes >> 20, out.records, out.streaming_s,
+              MbPerSec(out.bytes, out.streaming_s), out.streaming_peak >> 20,
+              out.collecting_s, out.collecting_peak >> 20, ratio,
+              out.rss_gated ? "" : " [peaks not isolated; gate skipped]",
+              out.counts_match ? "match" : "MISMATCH — SINK BUG");
+  out.ok = out.counts_match && (!out.rss_gated || ratio < 0.5);
+  return out;
+}
+
 void PrintRunJson(FILE* f, const char* key, const PipelineRun& run,
                   int threads) {
   std::fprintf(f,
@@ -524,6 +671,9 @@ int RunPipelineBench() {
   const size_t bytes = quick ? 24 * 1024 : 48 * 1024;
   const int hw = ThreadPool::DefaultThreadCount();
   const int multi = bench::EnvInt("DM_BENCH_THREADS", std::max(4, hw));
+
+  // Streaming-vs-collecting sink memory case first (fresh allocator).
+  const SinkCase sink_case = RunStreamingSinkCase(multi, quick);
 
   std::vector<std::string> texts;
   texts.reserve(static_cast<size_t>(datasets));
@@ -644,16 +794,31 @@ int RunPipelineBench() {
                "    \"mapped_mb_per_s\": %.3f,\n"
                "    \"resident_bytes\": %zu,\n"
                "    \"identical\": %s\n"
+               "  },\n"
+               "  \"streaming_sink\": {\n"
+               "    \"bytes\": %zu,\n"
+               "    \"records\": %zu,\n"
+               "    \"streaming_s\": %.6f,\n"
+               "    \"collecting_s\": %.6f,\n"
+               "    \"streaming_peak_rss_bytes\": %zu,\n"
+               "    \"collecting_peak_rss_bytes\": %zu,\n"
+               "    \"rss_gated\": %s,\n"
+               "    \"counts_match\": %s\n"
                "  }\n"
                "}\n",
                speedup, identical ? "true" : "false",
                single.residual_copy_bytes + parallel.residual_copy_bytes,
                PeakRssBytes(), big.size(), mapped_s, read_s,
                MbPerSec(big.size(), mapped_s), resident,
-               mmap_identical ? "true" : "false");
+               mmap_identical ? "true" : "false", sink_case.bytes,
+               sink_case.records, sink_case.streaming_s,
+               sink_case.collecting_s, sink_case.streaming_peak,
+               sink_case.collecting_peak,
+               sink_case.rss_gated ? "true" : "false",
+               sink_case.counts_match ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
-  return identical && mmap_identical && match_ok ? 0 : 1;
+  return identical && mmap_identical && match_ok && sink_case.ok ? 0 : 1;
 }
 
 }  // namespace

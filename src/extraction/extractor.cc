@@ -9,6 +9,33 @@ namespace datamaran {
 
 namespace {
 
+/// EventSink adapter that replays each record's event stream into a
+/// ParsedValue tree and forwards to a tree-shaped RecordSink. This is how
+/// the legacy tree path rides on the single flat-event scan.
+class TreeReplaySink : public EventSink {
+ public:
+  TreeReplaySink(const std::vector<StructureTemplate>* templates,
+                 RecordSink* sink)
+      : templates_(templates), sink_(sink) {}
+
+  void OnRecord(int template_id, size_t first_line,
+                std::string_view /*text*/, size_t pos, size_t /*end*/,
+                const MatchEvent* events, size_t num_events) override {
+    sink_->OnRecord(
+        template_id, first_line,
+        BuildParsedValue((*templates_)[static_cast<size_t>(template_id)], pos,
+                         events, num_events));
+  }
+
+  void OnNoiseLine(size_t line_index) override {
+    sink_->OnNoiseLine(line_index);
+  }
+
+ private:
+  const std::vector<StructureTemplate>* templates_;
+  RecordSink* sink_;
+};
+
 /// Sink that materializes ExtractedRecords.
 class CollectingSink : public RecordSink {
  public:
@@ -36,20 +63,28 @@ class CollectingSink : public RecordSink {
 /// Speculative scan of one line-range chunk: every attempted line with its
 /// outcome, in increasing line order, plus the first line the scan did NOT
 /// consume (>= end_line when a record spills past the chunk boundary).
+/// Record attempts buffer only their flat events (ranges into the chunk's
+/// shared event store) and window bookkeeping — no ParsedValue trees — so a
+/// wave's buffered state is a few machine words plus field/array events per
+/// record.
 struct ChunkScan {
   struct Attempt {
     size_t line = 0;
     int template_id = -1;  // -1 = noise line
-    ParsedValue value;     // only meaningful for records
-    /// A cross-gap record's window text, owned here so the value's spans
-    /// stay valid until the stitcher flushes the attempt to the sink
-    /// (empty for in-place matches — always, on identity views).
+    size_t pos = 0;        // records: match begin within the window text
+    size_t end = 0;        // records: one past the match
+    uint32_t event_begin = 0;  // records: event range in ChunkScan::events
+    uint32_t event_count = 0;
+    /// A cross-gap record's window text, owned here so the event spans stay
+    /// valid until the stitcher flushes the attempt to the sink (empty for
+    /// in-place matches — always, on identity views).
     std::string assembled_text;
   };
   size_t begin_line = 0;
   size_t end_line = 0;
   size_t final_line = 0;
   std::vector<Attempt> attempts;
+  std::vector<MatchEvent> events;  // concatenated per-record event ranges
 };
 
 /// Minimum lines per chunk: below this the per-chunk bookkeeping outweighs
@@ -69,10 +104,9 @@ Extractor::Extractor(const std::vector<StructureTemplate>* templates,
   }
 }
 
-int Extractor::MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
+int Extractor::MatchAt(const DatasetView& data, size_t li,
                        std::string* scratch, std::vector<MatchEvent>* events,
-                       bool* assembled) const {
-  if (assembled != nullptr) *assembled = false;
+                       DatasetView::SpanText* win, size_t* end) const {
   // Lines always contain their '\n', so front() is safe. Dispatching on the
   // first byte attempts only templates whose FIRST set admits the line —
   // skipped templates could never have matched, so the first-match-in-
@@ -82,43 +116,42 @@ int Extractor::MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
       static_cast<unsigned char>(data.line_with_newline(li).front());
   if (matchers_.size() == 1) {
     if (!matchers_[0].CanStartWith(first)) return -1;
-    const DatasetView::SpanText win =
-        data.ResolveSpan(li, static_cast<size_t>(spans_[0]), scratch);
-    auto stats = matchers_[0].ParseFlat(win.text, win.pos, events);
+    *win = data.ResolveSpan(li, static_cast<size_t>(spans_[0]), scratch);
+    auto stats = matchers_[0].ParseFlat(win->text, win->pos, events);
     if (!stats.has_value()) return -1;
-    *value = BuildParsedValue((*templates_)[0], win.pos, *events);
-    if (assembled != nullptr) *assembled = win.assembled;
+    *end = stats->end;
     return 0;
   }
   for (uint16_t t : index_.Candidates(first)) {
-    const DatasetView::SpanText win = data.ResolveSpan(
-        li, static_cast<size_t>(spans_[t]), scratch);
-    auto stats = matchers_[t].ParseFlat(win.text, win.pos, events);
+    *win = data.ResolveSpan(li, static_cast<size_t>(spans_[t]), scratch);
+    auto stats = matchers_[t].ParseFlat(win->text, win->pos, events);
     if (!stats.has_value()) continue;
-    *value = BuildParsedValue((*templates_)[t], win.pos, *events);
-    if (assembled != nullptr) *assembled = win.assembled;
+    *end = stats->end;
     return static_cast<int>(t);
   }
   return -1;
 }
 
-size_t Extractor::EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
+size_t Extractor::EmitAt(const DatasetView& data, size_t li, EventSink* sink,
                          size_t* covered_chars, std::string* scratch,
                          std::vector<MatchEvent>* events) const {
-  ParsedValue value;
-  const int t = MatchAt(data, li, &value, scratch, events);
+  DatasetView::SpanText win;
+  size_t end = 0;
+  const int t = MatchAt(data, li, scratch, events, &win, &end);
   if (t < 0) {
     if (sink != nullptr) sink->OnNoiseLine(li);
     return li + 1;
   }
-  *covered_chars += value.end - value.begin;
-  const size_t span = static_cast<size_t>(spans_[static_cast<size_t>(t)]);
-  if (sink != nullptr) sink->OnRecord(t, li, std::move(value));
-  return li + span;
+  *covered_chars += end - win.pos;
+  if (sink != nullptr) {
+    sink->OnRecord(t, li, win.text, win.pos, end, events->data(),
+                   events->size());
+  }
+  return li + static_cast<size_t>(spans_[static_cast<size_t>(t)]);
 }
 
 ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
-                                              RecordSink* sink) const {
+                                              EventSink* sink) const {
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
   std::string scratch;
@@ -128,11 +161,12 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
   while (li < n) {
     li = EmitAt(data, li, sink, &stats.covered_chars, &scratch, &events);
   }
+  if (sink != nullptr) sink->OnWaveEnd();
   return stats;
 }
 
-ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
-                                             RecordSink* sink) const {
+ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
+                                          EventSink* sink) const {
   const size_t n = data.line_count();
   const int threads = pool_ != nullptr ? pool_->thread_count() : 1;
   size_t chunk_lines = lines_per_chunk_;
@@ -148,7 +182,7 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
   stats.total_chars = data.size_bytes();
 
   // Waves bound the buffered state: at most `chunks_per_wave` chunks of
-  // parsed records are alive at once, flushed to the sink in order before
+  // buffered events are alive at once, flushed to the sink in order before
   // the next wave is scanned.
   const size_t chunks_per_wave = static_cast<size_t>(threads) * 2;
   std::vector<ChunkScan> scans(chunks_per_wave);
@@ -156,6 +190,7 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
   std::vector<std::vector<MatchEvent>> chunk_events(chunks_per_wave);
   std::string stitch_scratch;
   std::vector<MatchEvent> stitch_events;
+  const std::string_view backing = data.dataset().text();
 
   size_t li = 0;  // stitched (authoritative) line position
   size_t wave_start = 0;
@@ -166,26 +201,35 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
     pool_->ParallelFor(wave_chunks, [&](size_t k) {
       ChunkScan& cs = scans[k];
       cs.attempts.clear();
+      cs.events.clear();
       cs.begin_line = wave_start + k * chunk_lines;
       cs.end_line = std::min(cs.begin_line + chunk_lines, n);
       size_t cli = cs.begin_line;
       while (cli < cs.end_line) {
         ChunkScan::Attempt attempt;
         attempt.line = cli;
-        bool assembled = false;
-        attempt.template_id = MatchAt(data, cli, &attempt.value,
-                                      &chunk_scratch[k], &chunk_events[k],
-                                      &assembled);
-        if (assembled && attempt.template_id >= 0) {
-          // The buffered value's spans index into the scratch text: move it
-          // into the attempt so later windows cannot overwrite it before
-          // the stitch flushes this record.
-          attempt.assembled_text = std::move(chunk_scratch[k]);
+        DatasetView::SpanText win;
+        size_t match_end = 0;
+        attempt.template_id = MatchAt(data, cli, &chunk_scratch[k],
+                                      &chunk_events[k], &win, &match_end);
+        if (attempt.template_id >= 0) {
+          attempt.pos = win.pos;
+          attempt.end = match_end;
+          attempt.event_begin = static_cast<uint32_t>(cs.events.size());
+          attempt.event_count = static_cast<uint32_t>(chunk_events[k].size());
+          cs.events.insert(cs.events.end(), chunk_events[k].begin(),
+                           chunk_events[k].end());
+          if (win.assembled) {
+            // The buffered event spans index into the scratch text: move it
+            // into the attempt so later windows cannot overwrite it before
+            // the stitch flushes this record.
+            attempt.assembled_text = std::move(chunk_scratch[k]);
+          }
+          cli += static_cast<size_t>(
+              spans_[static_cast<size_t>(attempt.template_id)]);
+        } else {
+          cli += 1;
         }
-        cli = attempt.template_id >= 0
-                  ? cli + static_cast<size_t>(
-                              spans_[static_cast<size_t>(attempt.template_id)])
-                  : cli + 1;
         cs.attempts.push_back(std::move(attempt));
       }
       cs.final_line = cli;
@@ -207,9 +251,15 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
           // chunk wholesale.
           for (auto j = it; j != cs.attempts.end(); ++j) {
             if (j->template_id >= 0) {
-              stats.covered_chars += j->value.end - j->value.begin;
+              stats.covered_chars += j->end - j->pos;
               if (sink != nullptr) {
-                sink->OnRecord(j->template_id, j->line, std::move(j->value));
+                const std::string_view wtext =
+                    j->assembled_text.empty()
+                        ? backing
+                        : std::string_view(j->assembled_text);
+                sink->OnRecord(j->template_id, j->line, wtext, j->pos, j->end,
+                               cs.events.data() + j->event_begin,
+                               j->event_count);
               }
             } else {
               if (sink != nullptr) sink->OnNoiseLine(j->line);
@@ -225,9 +275,17 @@ ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
         }
       }
     }
+    if (sink != nullptr) sink->OnWaveEnd();
     wave_start += wave_chunks * chunk_lines;
   }
   return stats;
+}
+
+ExtractionResult Extractor::ExtractStreaming(const DatasetView& data,
+                                             RecordSink* sink) const {
+  if (sink == nullptr) return ExtractEvents(data, nullptr);
+  TreeReplaySink adapter(templates_, sink);
+  return ExtractEvents(data, &adapter);
 }
 
 ExtractionResult Extractor::Extract(const DatasetView& data) const {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dataset.h"
@@ -42,6 +43,23 @@
 /// record/noise sequence — and therefore every downstream artifact — is
 /// byte-identical for every thread count, and identical between mmap-backed
 /// and in-memory datasets.
+///
+/// Sink family. Records parse flat (template/matcher.h MatchEvent streams);
+/// the scan buffers nothing but those events plus span bookkeeping, so peak
+/// memory is O(wave), not O(file):
+///
+///  * EventSink is the primitive consumer: it receives each record's flat
+///    event stream in scan order (ExtractEvents). The columnar writers in
+///    extraction/sinks.h implement it to stream per-template CSV/NDJSON
+///    rows and a noise-line stream straight to disk, never materializing a
+///    ParsedValue, which is what keeps `datamaran_cli --out` O(wave) in
+///    memory end to end on a mapped multi-GB file.
+///  * RecordSink is the tree-shaped convenience: ExtractStreaming wraps it
+///    in an adapter that replays each event stream into a ParsedValue
+///    (BuildParsedValue) before forwarding — one scan implementation serves
+///    both shapes.
+///  * Extract collects everything into an ExtractionResult (a RecordSink
+///    that buffers; O(file) memory, for callers that want the records).
 
 namespace datamaran {
 
@@ -56,9 +74,37 @@ struct ExtractedRecord {
   ParsedValue value;
 };
 
-/// Streaming consumer of extraction events. Events arrive in scan order
-/// regardless of the extractor's thread count. Line indices are view
-/// indices (== physical line indices for the identity view).
+/// Flat-event streaming consumer of extraction outcomes — the primitive
+/// sink the scan drives directly. Events arrive in scan order regardless of
+/// the extractor's thread count; the emitted byte stream of any
+/// deterministic writer is therefore identical for every thread count, both
+/// match engines, and both dataset backings. Line indices are view indices
+/// (== physical line indices for the identity view).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// One record: `events[0..num_events)` is its flat parse (field spans and
+  /// array counts, spans indexing into `text`), `pos`/`end` the matched
+  /// window [pos, end) within `text`. For in-place windows (always, on
+  /// identity views) `text` is the backing buffer; a cross-gap window of a
+  /// gapped view parses against transient scratch, so `text`, the spans and
+  /// `pos` are only meaningful inside the callback.
+  virtual void OnRecord(int template_id, size_t first_line,
+                        std::string_view text, size_t pos, size_t end,
+                        const MatchEvent* events, size_t num_events) = 0;
+
+  virtual void OnNoiseLine(size_t /*line_index*/) {}
+
+  /// Called after each parallel wave is stitched (and once at end of scan):
+  /// the hook where buffering writers flush, bounding their state to one
+  /// wave of output.
+  virtual void OnWaveEnd() {}
+};
+
+/// Tree-shaped streaming consumer: like EventSink, but each record arrives
+/// as a replayed ParsedValue. Prefer EventSink for writers that do not need
+/// the tree — it skips the per-record tree allocation entirely.
 class RecordSink {
  public:
   virtual ~RecordSink() = default;
@@ -86,19 +132,28 @@ class Extractor {
  public:
   /// `templates` in priority order (the pipeline's discovery order). The
   /// templates must outlive the extractor. When `pool` is non-null and has
-  /// more than one thread, ExtractStreaming shards the scan across it.
+  /// more than one thread, the streaming scans shard across it.
   explicit Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool = nullptr,
                      MatchEngine engine = MatchEngine::kCompiled);
 
+  /// Streams each record's flat MatchEvent parse into `sink` in scan order;
+  /// returns coverage statistics. This is the one scan implementation — the
+  /// tree paths below are adapters over it. Memory stays bounded in the
+  /// parallel case too: chunks are processed in waves of a few per thread,
+  /// each chunk buffering only events and span bookkeeping (no ParsedValue
+  /// trees), flushed to the sink in stitched order before the next wave
+  /// starts — peak memory is O(wave), not O(file).
+  ExtractionResult ExtractEvents(const DatasetView& data,
+                                 EventSink* sink) const;
+
   /// Streams records/noise into `sink` in scan order; returns coverage
-  /// statistics without retaining parsed values. Memory stays bounded in
-  /// the parallel case too: chunks are processed in waves of a few per
-  /// thread, and each chunk's buffered results are flushed to the sink
-  /// before the next wave starts. ParsedValue spans index into the backing
-  /// text for in-place windows (always, for identity views); a cross-gap
-  /// window of a gapped view parses against transient scratch, so its spans
-  /// are only meaningful inside the sink callback.
+  /// statistics without retaining parsed values. Each record's ParsedValue
+  /// is replayed from its event stream (BuildParsedValue) just before the
+  /// callback; spans index into the backing text for in-place windows
+  /// (always, for identity views), and into transient scratch for a
+  /// cross-gap window of a gapped view (only meaningful inside the
+  /// callback).
   ExtractionResult ExtractStreaming(const DatasetView& data,
                                     RecordSink* sink) const;
 
@@ -112,30 +167,28 @@ class Extractor {
  private:
   /// The pure first-match rule every scan shares: tries the templates the
   /// dispatch index admits for the line's first byte, in priority order, at
-  /// view line `li`; on a match fills `*value` and returns the template id,
-  /// else returns -1 (noise). Both the sequential scan and the parallel
-  /// chunk scan go through this single helper — the byte-identical-output
-  /// contract depends on there being exactly one copy of this policy.
-  /// `scratch` backs cross-gap windows of gapped views (identity views
-  /// never touch it); `events` is the caller's reused flat-parse buffer
-  /// (matches parse flat, then the ParsedValue is replayed from events —
-  /// no per-attempt tree allocation on failed templates).
-  /// On return, *assembled is true iff the matched window crossed a view
-  /// gap and `*scratch` holds its text (the value's spans index into it).
-  int MatchAt(const DatasetView& data, size_t li, ParsedValue* value,
-              std::string* scratch, std::vector<MatchEvent>* events,
-              bool* assembled = nullptr) const;
+  /// view line `li`; on a match fills `*events` with the flat parse,
+  /// `*win` with the resolved window (text/pos/assembled) and `*end` with
+  /// one past the match, returning the template id; else returns -1
+  /// (noise). Both the sequential scan and the parallel chunk scan go
+  /// through this single helper — the byte-identical-output contract
+  /// depends on there being exactly one copy of this policy. `scratch`
+  /// backs cross-gap windows of gapped views (identity views never touch
+  /// it); `events` is the caller's reused flat-parse buffer.
+  int MatchAt(const DatasetView& data, size_t li, std::string* scratch,
+              std::vector<MatchEvent>* events, DatasetView::SpanText* win,
+              size_t* end) const;
 
   /// Applies MatchAt at line `li` and emits the outcome (one record or one
   /// noise line) to `sink`; returns the next unconsumed line. Used by the
   /// sequential path and by the stitcher to re-synchronize across
   /// chunk-spill divergences.
-  size_t EmitAt(const DatasetView& data, size_t li, RecordSink* sink,
+  size_t EmitAt(const DatasetView& data, size_t li, EventSink* sink,
                 size_t* covered_chars, std::string* scratch,
                 std::vector<MatchEvent>* events) const;
 
   ExtractionResult ExtractSequential(const DatasetView& data,
-                                     RecordSink* sink) const;
+                                     EventSink* sink) const;
 
   const std::vector<StructureTemplate>* templates_;
   ThreadPool* pool_;

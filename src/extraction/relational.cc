@@ -1,5 +1,6 @@
 #include "extraction/relational.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/common.h"
@@ -7,14 +8,8 @@
 
 namespace datamaran {
 
-namespace {
-
-bool NeedsCsvQuoting(std::string_view s) {
-  return s.find_first_of(",\"\n") != std::string_view::npos;
-}
-
 void AppendCsvField(std::string_view s, std::string* out) {
-  if (!NeedsCsvQuoting(s)) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
     out->append(s);
     return;
   }
@@ -25,6 +20,8 @@ void AppendCsvField(std::string_view s, std::string* out) {
   }
   out->push_back('"');
 }
+
+namespace {
 
 /// Pre-order field-leaf and array numbering shared by both layouts.
 struct TemplateIndex {
@@ -82,6 +79,59 @@ void FillDenormalized(const TemplateNode& node, const ParsedValue& value,
         *leaf = saved;
         FillDenormalized(*node.children[0], rep, text, node.ch, leaf, cells,
                          filled);
+      }
+      break;
+    }
+  }
+}
+
+/// Event-stream counterpart of FillDenormalized: walks the template with a
+/// cursor over the record's flat parse (one kFieldValue event per field
+/// visit, one kArrayCount event per array, in template order) and fills the
+/// same cells. Kept structurally parallel to FillDenormalized so the two
+/// stay in lockstep — the streaming-vs-tree row parity tests enforce it.
+struct EventCursor {
+  const MatchEvent* events;
+  size_t count;
+  size_t i = 0;
+  const MatchEvent& Next() {
+    DM_CHECK(i < count);
+    return events[i++];
+  }
+};
+
+void FillRowFromEvents(const TemplateNode& node, EventCursor* cur,
+                       std::string_view text, char join_sep, int* leaf,
+                       std::vector<std::string>* cells,
+                       std::vector<char>* filled) {
+  switch (node.kind) {
+    case NodeKind::kField: {
+      size_t i = static_cast<size_t>((*leaf)++);
+      const MatchEvent& ev = cur->Next();
+      std::string_view v = text.substr(ev.begin, ev.end - ev.begin);
+      if ((*filled)[i]) {
+        (*cells)[i].push_back(join_sep == 0 ? ' ' : join_sep);
+        (*cells)[i].append(v);
+      } else {
+        (*cells)[i].assign(v);
+        (*filled)[i] = 1;
+      }
+      break;
+    }
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (const auto& c : node.children) {
+        FillRowFromEvents(*c, cur, text, join_sep, leaf, cells, filled);
+      }
+      break;
+    case NodeKind::kArray: {
+      const MatchEvent& ev = cur->Next();
+      int saved = *leaf;
+      for (size_t r = 0; r < ev.count; ++r) {
+        *leaf = saved;
+        FillRowFromEvents(*node.children[0], cur, text, node.ch, leaf, cells,
+                          filled);
       }
       break;
     }
@@ -198,21 +248,49 @@ std::string Table::ToCsv() const {
   return out;
 }
 
+DenormalizedSchema DenormalizedSchemaFor(const StructureTemplate& st) {
+  TemplateIndex idx;
+  IndexTemplate(st.root(), &idx);
+  DenormalizedSchema schema;
+  schema.leaf_count = idx.leaf_count;
+  schema.columns.reserve(static_cast<size_t>(idx.leaf_count));
+  for (int i = 0; i < idx.leaf_count; ++i) {
+    schema.columns.push_back(StrFormat("f%d", i));
+  }
+  return schema;
+}
+
+DenormalizedRowBuilder::DenormalizedRowBuilder(const StructureTemplate* st)
+    : st_(st) {
+  TemplateIndex idx;
+  IndexTemplate(st_->root(), &idx);
+  leaf_count_ = idx.leaf_count;
+  cells_.resize(static_cast<size_t>(leaf_count_));
+  filled_.resize(static_cast<size_t>(leaf_count_));
+}
+
+const std::vector<std::string>& DenormalizedRowBuilder::FillFromEvents(
+    std::string_view text, const MatchEvent* events, size_t num_events) {
+  for (std::string& cell : cells_) cell.clear();
+  std::fill(filled_.begin(), filled_.end(), 0);
+  EventCursor cur{events, num_events};
+  int leaf = 0;
+  FillRowFromEvents(st_->root(), &cur, text, 0, &leaf, &cells_, &filled_);
+  return cells_;
+}
+
 Table DenormalizedTable(const StructureTemplate& st,
                         const std::vector<ExtractedRecord>& records,
                         std::string_view text, int template_id,
                         const std::string& name) {
-  TemplateIndex idx;
-  IndexTemplate(st.root(), &idx);
+  DenormalizedSchema schema = DenormalizedSchemaFor(st);
   Table table;
   table.name = name;
-  for (int i = 0; i < idx.leaf_count; ++i) {
-    table.columns.push_back(StrFormat("f%d", i));
-  }
+  table.columns = std::move(schema.columns);
   for (const ExtractedRecord& rec : records) {
     if (rec.template_id != template_id) continue;
-    std::vector<std::string> cells(static_cast<size_t>(idx.leaf_count));
-    std::vector<bool> filled(static_cast<size_t>(idx.leaf_count), false);
+    std::vector<std::string> cells(static_cast<size_t>(schema.leaf_count));
+    std::vector<bool> filled(static_cast<size_t>(schema.leaf_count), false);
     int leaf = 0;
     FillDenormalized(st.root(), rec.value, text, 0, &leaf, &cells, &filled);
     table.rows.push_back(std::move(cells));

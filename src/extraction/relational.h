@@ -17,6 +17,12 @@
 ///  * Normalized: a root table per record type plus one child table per
 ///    array node; child rows reference their parent row through a foreign
 ///    key and keep their position, so join paths are preserved.
+///
+/// This header is also the schema layer for the streaming columnar sinks
+/// (extraction/sinks.h): DenormalizedSchemaFor drives column headers, and
+/// DenormalizedRowBuilder unfolds one record's flat MatchEvent parse into
+/// the same cells FillDenormalized derives from the ParsedValue tree — the
+/// two paths are asserted row-identical by the extraction tests.
 
 namespace datamaran {
 
@@ -32,6 +38,48 @@ struct Table {
   /// RFC-4180-ish CSV rendering (fields with commas/quotes/newlines are
   /// quoted, quotes doubled).
   std::string ToCsv() const;
+};
+
+/// Appends `s` to `out` with RFC-4180 CSV quoting: fields containing a
+/// comma, double quote, CR or LF are wrapped in double quotes with embedded
+/// quotes doubled; everything else (including arbitrary non-UTF8 bytes) is
+/// appended verbatim. Shared by Table::ToCsv and the streaming CSV sink so
+/// the two emit byte-identical rows.
+void AppendCsvField(std::string_view s, std::string* out);
+
+/// Column layout of the denormalized table for one template: one column per
+/// field leaf in pre-order, named f0..f{n-1}.
+struct DenormalizedSchema {
+  int leaf_count = 0;
+  std::vector<std::string> columns;
+};
+DenormalizedSchema DenormalizedSchemaFor(const StructureTemplate& st);
+
+/// Unfolds one record's flat MatchEvent parse into denormalized cells,
+/// without materializing a ParsedValue tree. Cell semantics are identical
+/// to the tree-path fill used by DenormalizedTable: each field leaf is one
+/// cell, array repetitions re-visit the same leaves and are joined with the
+/// array's separator character. Cell storage is reused across records, so
+/// the steady state allocates only when a cell outgrows its capacity.
+class DenormalizedRowBuilder {
+ public:
+  /// The template must outlive the builder.
+  explicit DenormalizedRowBuilder(const StructureTemplate* st);
+
+  /// Fills and returns the cells for one record whose flat parse is
+  /// `events[0..num_events)` with spans indexing into `text`. The returned
+  /// reference is invalidated by the next call.
+  const std::vector<std::string>& FillFromEvents(std::string_view text,
+                                                 const MatchEvent* events,
+                                                 size_t num_events);
+
+  int leaf_count() const { return leaf_count_; }
+
+ private:
+  const StructureTemplate* st_;
+  int leaf_count_ = 0;
+  std::vector<std::string> cells_;
+  std::vector<char> filled_;
 };
 
 /// Builds the denormalized table for record type `template_id`.

@@ -1,0 +1,200 @@
+#include "extraction/sinks.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace datamaran {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    const unsigned char b = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (b < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out->append("\\u00");
+          out->push_back(kHex[b >> 4]);
+          out->push_back(kHex[b & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string ColumnarWriteSink::FileName(size_t template_id,
+                                        OutputFormat format) {
+  return StrFormat("type%zu.%s", template_id,
+                   format == OutputFormat::kCsv ? "csv" : "ndjson");
+}
+
+std::string ColumnarWriteSink::NoiseFileName() { return "noise.txt"; }
+
+ColumnarWriteSink::ColumnarWriteSink(
+    const std::vector<StructureTemplate>* templates, const DatasetView& data,
+    const std::string& out_dir, OutputFormat format,
+    size_t flush_threshold_bytes)
+    : templates_(templates),
+      data_(data),
+      format_(format),
+      flush_threshold_(flush_threshold_bytes) {
+  stats_.records_per_template.assign(templates_->size(), 0);
+  // Build the per-template state unconditionally so the sink stays safe to
+  // feed (as a counting no-op) even when the directory or a file cannot be
+  // created — the error surfaces in Finish().
+  type_streams_.resize(templates_->size());
+  rows_.reserve(templates_->size());
+  size_t max_columns = 0;
+  for (const StructureTemplate& st : *templates_) {
+    rows_.emplace_back(&st);
+    max_columns = std::max(
+        max_columns, static_cast<size_t>(rows_.back().leaf_count()));
+  }
+  if (format_ == OutputFormat::kNdjson) {
+    // Prebuilt `"fN":"` key prefixes: the record hot path must not format
+    // or allocate per cell.
+    json_keys_.reserve(max_columns);
+    for (size_t c = 0; c < max_columns; ++c) {
+      json_keys_.push_back(StrFormat("\"f%zu\":\"", c));
+    }
+  }
+  Status made = MakeDirs(out_dir);
+  if (!made.ok() && status_.ok()) status_ = std::move(made);
+  for (size_t t = 0; t < templates_->size(); ++t) {
+    const StructureTemplate& st = (*templates_)[t];
+    Open(&type_streams_[t], out_dir + "/" + FileName(t, format_));
+    if (format_ == OutputFormat::kCsv) {
+      // Header row, byte-identical to Table::ToCsv's first line.
+      const DenormalizedSchema schema = DenormalizedSchemaFor(st);
+      std::string& buf = type_streams_[t].buffer;
+      for (size_t c = 0; c < schema.columns.size(); ++c) {
+        if (c > 0) buf.push_back(',');
+        AppendCsvField(schema.columns[c], &buf);
+      }
+      buf.push_back('\n');
+    }
+  }
+  Open(&noise_stream_, out_dir + "/" + NoiseFileName());
+}
+
+ColumnarWriteSink::~ColumnarWriteSink() { Finish(); }
+
+void ColumnarWriteSink::Open(Stream* stream, const std::string& path) {
+  stream->path = path;
+  if (!status_.ok()) return;
+  stream->file = std::fopen(path.c_str(), "wb");
+  if (stream->file == nullptr) {
+    Fail("cannot open " + path + ": " + std::strerror(errno));
+  }
+}
+
+void ColumnarWriteSink::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::IoError(message);
+}
+
+void ColumnarWriteSink::FlushStream(Stream* stream) {
+  if (stream->buffer.empty()) return;
+  if (status_.ok() && stream->file != nullptr) {
+    const size_t written = std::fwrite(stream->buffer.data(), 1,
+                                       stream->buffer.size(), stream->file);
+    if (written != stream->buffer.size()) {
+      Fail(StrFormat("%s: short write (%zu of %zu bytes)",
+                     stream->path.c_str(), written, stream->buffer.size()));
+    } else {
+      stats_.bytes_written += written;
+    }
+  }
+  stream->buffer.clear();
+}
+
+void ColumnarWriteSink::MaybeFlush(Stream* stream) {
+  if (stream->buffer.size() >= flush_threshold_) FlushStream(stream);
+}
+
+void ColumnarWriteSink::OnRecord(int template_id, size_t /*first_line*/,
+                                 std::string_view text, size_t /*pos*/,
+                                 size_t /*end*/, const MatchEvent* events,
+                                 size_t num_events) {
+  const size_t t = static_cast<size_t>(template_id);
+  stats_.records_per_template[t]++;
+  stats_.total_records++;
+  if (!status_.ok()) return;
+  const std::vector<std::string>& cells =
+      rows_[t].FillFromEvents(text, events, num_events);
+  Stream& stream = type_streams_[t];
+  std::string& buf = stream.buffer;
+  if (format_ == OutputFormat::kCsv) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) buf.push_back(',');
+      AppendCsvField(cells[c], &buf);
+    }
+    buf.push_back('\n');
+  } else {
+    buf.push_back('{');
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) buf.push_back(',');
+      buf.append(json_keys_[c]);
+      AppendJsonEscaped(cells[c], &buf);
+      buf.push_back('"');
+    }
+    buf.append("}\n");
+  }
+  MaybeFlush(&stream);
+}
+
+void ColumnarWriteSink::OnNoiseLine(size_t line_index) {
+  stats_.noise_lines++;
+  if (!status_.ok()) return;
+  const std::string_view line = data_.line_with_newline(line_index);
+  noise_stream_.buffer.append(line.data(), line.size());
+  MaybeFlush(&noise_stream_);
+}
+
+void ColumnarWriteSink::OnWaveEnd() {
+  for (Stream& stream : type_streams_) FlushStream(&stream);
+  FlushStream(&noise_stream_);
+}
+
+Status ColumnarWriteSink::Finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  OnWaveEnd();
+  for (Stream& stream : type_streams_) {
+    if (stream.file != nullptr && std::fclose(stream.file) != 0) {
+      Fail(stream.path + ": close failed");
+    }
+    stream.file = nullptr;
+  }
+  if (noise_stream_.file != nullptr && std::fclose(noise_stream_.file) != 0) {
+    Fail(noise_stream_.path + ": close failed");
+  }
+  noise_stream_.file = nullptr;
+  return status_;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,137 @@
+#ifndef DATAMARAN_EXTRACTION_SINKS_H_
+#define DATAMARAN_EXTRACTION_SINKS_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dataset.h"
+#include "extraction/extractor.h"
+#include "extraction/relational.h"
+#include "util/status.h"
+
+/// Streaming columnar output sinks: EventSink implementations that turn the
+/// extraction scan's flat MatchEvent stream into per-template relational
+/// files incrementally, without ever materializing ParsedValue trees or an
+/// in-memory record set. Combined with the wave-bounded parallel scan
+/// (Extractor::ExtractEvents) and an mmap-backed Dataset, `datamaran_cli
+/// --out` therefore runs a multi-GB extraction at O(wave) peak memory end
+/// to end.
+///
+/// Determinism is a hard contract: records and noise lines arrive in scan
+/// order regardless of thread count, match engine, or dataset backing, and
+/// the writers are pure functions of that sequence — the emitted files are
+/// byte-identical across all of those configurations (enforced by the CLI
+/// golden tests and the wave-determinism tests).
+///
+/// Layout: one file per record type in the denormalized layout of
+/// extraction/relational.h — `type<t>.csv` (RFC-4180 quoting, header row,
+/// byte-identical to Table::ToCsv of the tree path) or `type<t>.ndjson`
+/// (one JSON object per record, keys f0..fn-1) — plus `noise.txt` holding
+/// every unmatched line verbatim. All files are created up front so the
+/// output directory's shape depends only on the template set.
+
+namespace datamaran {
+
+/// Output file format for ColumnarWriteSink.
+enum class OutputFormat {
+  kCsv,
+  kNdjson,
+};
+
+/// Appends `s` to `out` as the body of a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, control bytes < 0x20 use
+/// the short escapes (\n, \t, \r, \b, \f) or \u00XX, and all other bytes —
+/// including non-UTF8 ones — pass through verbatim, so a byte-oriented
+/// unescape reproduces `s` exactly.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Counters a streaming extraction accumulates; the streaming counterpart
+/// of ExtractionResult's record/noise vectors (which a streaming run never
+/// materializes). Matches the collecting path exactly — same records per
+/// template, same noise count — for every dataset, including the
+/// appended-final-newline edge case.
+struct SinkStats {
+  std::vector<size_t> records_per_template;
+  size_t total_records = 0;
+  size_t noise_lines = 0;
+  size_t bytes_written = 0;  // payload bytes handed to the OS so far
+};
+
+/// Streams per-template columnar files from the flat event stream. One
+/// DenormalizedRowBuilder per template unfolds each record's events into
+/// cells (array repetitions joined with the array separator, identical to
+/// the tree path); rows append to a per-file buffer that flushes to disk at
+/// a size threshold and at every wave boundary, so buffered output is
+/// O(wave). I/O errors are sticky: the first failure is recorded, later
+/// writes become no-ops, and Finish() reports it.
+class ColumnarWriteSink : public EventSink {
+ public:
+  /// Writes into `out_dir` (created if missing): one type<t>.<ext> per
+  /// template plus noise.txt. `data` must be the view being extracted (it
+  /// resolves noise-line text) and `templates` the extractor's template
+  /// vector; both must outlive the sink.
+  ColumnarWriteSink(const std::vector<StructureTemplate>* templates,
+                    const DatasetView& data, const std::string& out_dir,
+                    OutputFormat format = OutputFormat::kCsv,
+                    size_t flush_threshold_bytes = kDefaultFlushThreshold);
+  ~ColumnarWriteSink() override;
+
+  ColumnarWriteSink(const ColumnarWriteSink&) = delete;
+  ColumnarWriteSink& operator=(const ColumnarWriteSink&) = delete;
+
+  void OnRecord(int template_id, size_t first_line, std::string_view text,
+                size_t pos, size_t end, const MatchEvent* events,
+                size_t num_events) override;
+  void OnNoiseLine(size_t line_index) override;
+  void OnWaveEnd() override;
+
+  /// Flushes and closes every file; returns the first error encountered
+  /// (construction, write, or close). Idempotent. The destructor calls it,
+  /// but callers that care about errors should call it explicitly.
+  Status Finish();
+
+  const SinkStats& stats() const { return stats_; }
+
+  /// Current health: ok() until the first construction or write error.
+  /// Callers should check this right after construction — a sink that
+  /// failed to open its files consumes the scan as a counting no-op, so
+  /// bailing early saves the whole extraction pass.
+  const Status& status() const { return status_; }
+
+  /// File name of record type `t` under this format ("type3.csv").
+  static std::string FileName(size_t template_id, OutputFormat format);
+  /// File name of the noise stream ("noise.txt").
+  static std::string NoiseFileName();
+
+  static constexpr size_t kDefaultFlushThreshold = 1 << 20;
+
+ private:
+  struct Stream {
+    FILE* file = nullptr;
+    std::string path;  // for error messages
+    std::string buffer;
+  };
+
+  void Open(Stream* stream, const std::string& path);
+  void FlushStream(Stream* stream);
+  void MaybeFlush(Stream* stream);
+  void Fail(const std::string& message);
+
+  const std::vector<StructureTemplate>* templates_;
+  DatasetView data_;
+  OutputFormat format_;
+  size_t flush_threshold_;
+  std::vector<Stream> type_streams_;  // one per template
+  Stream noise_stream_;
+  std::vector<DenormalizedRowBuilder> rows_;  // one per template
+  std::vector<std::string> json_keys_;  // `"fN":"` prefixes (ndjson only)
+  SinkStats stats_;
+  Status status_ = Status::Ok();
+  bool finished_ = false;
+};
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_EXTRACTION_SINKS_H_

@@ -5,7 +5,7 @@ namespace datamaran {
 namespace {
 
 struct ReplayCursor {
-  const std::vector<MatchEvent>* events;
+  const MatchEvent* events;
   size_t next_event = 0;
   size_t pos = 0;
 };
@@ -21,7 +21,7 @@ void ReplayNode(const TemplateNode& node, ReplayCursor* cursor,
       ++cursor->pos;
       break;
     case NodeKind::kField: {
-      const MatchEvent& ev = (*cursor->events)[cursor->next_event++];
+      const MatchEvent& ev = cursor->events[cursor->next_event++];
       cursor->pos = ev.end;
       break;
     }
@@ -35,7 +35,7 @@ void ReplayNode(const TemplateNode& node, ReplayCursor* cursor,
       break;
     }
     case NodeKind::kArray: {
-      const MatchEvent& ev = (*cursor->events)[cursor->next_event++];
+      const MatchEvent& ev = cursor->events[cursor->next_event++];
       const TemplateNode& elem = *node.children[0];
       out->children.reserve(ev.count);
       for (size_t r = 0; r < ev.count; ++r) {
@@ -53,8 +53,8 @@ void ReplayNode(const TemplateNode& node, ReplayCursor* cursor,
 }  // namespace
 
 ParsedValue BuildParsedValue(const StructureTemplate& st, size_t pos,
-                             const std::vector<MatchEvent>& events) {
-  ReplayCursor cursor{&events, 0, pos};
+                             const MatchEvent* events, size_t /*num_events*/) {
+  ReplayCursor cursor{events, 0, pos};
   ParsedValue root;
   ReplayNode(st.root(), &cursor, &root);
   return root;

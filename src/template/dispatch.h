@@ -35,7 +35,12 @@ namespace datamaran {
 /// span, arrays iterate their recorded count. Produces exactly the tree
 /// TemplateMatcher::Parse builds, without re-scanning the text.
 ParsedValue BuildParsedValue(const StructureTemplate& st, size_t pos,
-                             const std::vector<MatchEvent>& events);
+                             const MatchEvent* events, size_t num_events);
+
+inline ParsedValue BuildParsedValue(const StructureTemplate& st, size_t pos,
+                                    const std::vector<MatchEvent>& events) {
+  return BuildParsedValue(st, pos, events.data(), events.size());
+}
 
 /// One template bound to one engine. Cheap to construct and move; the
 /// template must outlive the matcher (same contract as TemplateMatcher).

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/strings.h"
+
+// End-to-end golden harness for `datamaran_cli --out`: runs the real binary
+// (full pipeline: discovery + streaming columnar extraction) on small
+// committed corpora and compares the output directory byte-for-byte against
+// checked-in goldens, across the full determinism matrix —
+// threads {1,4} x match engine {tree,compiled} x mmap {always,never} — for
+// CSV, plus both formats at one representative configuration. Any
+// divergence in discovery, scan order, stitching, or writer bytes fails
+// with the offending file named.
+//
+// DM_CLI_PATH and DM_SOURCE_DIR are injected by CMake.
+
+namespace datamaran {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SourcePath(const std::string& rel) {
+  return std::string(DM_SOURCE_DIR) + "/" + rel;
+}
+
+/// Runs the CLI; returns its exit code (-1 when it did not exit normally).
+int RunCli(const std::string& args) {
+  const std::string cmd =
+      std::string("\"") + DM_CLI_PATH + "\" " + args + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+#if defined(__unix__) || defined(__APPLE__)
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+#else
+  return rc;
+#endif
+}
+
+/// Sorted relative file names under `dir` (empty when dir is missing).
+std::vector<std::string> ListFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Asserts `actual_dir` holds exactly the same file set with the same bytes
+/// as `golden_dir`.
+void ExpectDirsEqual(const std::string& golden_dir,
+                     const std::string& actual_dir,
+                     const std::string& context) {
+  const std::vector<std::string> golden_files = ListFiles(golden_dir);
+  const std::vector<std::string> actual_files = ListFiles(actual_dir);
+  ASSERT_FALSE(golden_files.empty())
+      << "missing golden directory " << golden_dir;
+  EXPECT_EQ(golden_files, actual_files) << context;
+  for (const std::string& name : golden_files) {
+    auto want = ReadFileToString(golden_dir + "/" + name);
+    auto got = ReadFileToString(actual_dir + "/" + name);
+    ASSERT_TRUE(want.ok()) << golden_dir << "/" << name;
+    ASSERT_TRUE(got.ok()) << context << ": missing " << name;
+    EXPECT_TRUE(want.value() == got.value())
+        << context << ": " << name << " differs from golden ("
+        << got.value().size() << " vs " << want.value().size() << " bytes)";
+  }
+}
+
+struct Config {
+  int threads;
+  const char* engine;
+  const char* mmap;
+};
+
+void RunGoldenMatrix(const std::string& corpus) {
+  const std::string input = SourcePath("tests/data/" + corpus + ".log");
+  ASSERT_TRUE(ReadFileToString(input).ok()) << input;
+  int run = 0;
+  for (const Config& cfg : {Config{1, "tree", "always"},
+                            Config{1, "tree", "never"},
+                            Config{1, "compiled", "always"},
+                            Config{1, "compiled", "never"},
+                            Config{4, "tree", "always"},
+                            Config{4, "tree", "never"},
+                            Config{4, "compiled", "always"},
+                            Config{4, "compiled", "never"}}) {
+    const std::string out = ::testing::TempDir() +
+                            StrFormat("dm_cli_%s_%d", corpus.c_str(), run++);
+    fs::remove_all(out);
+    const std::string context =
+        StrFormat("%s --threads=%d --match-engine=%s --mmap=%s",
+                  corpus.c_str(), cfg.threads, cfg.engine, cfg.mmap);
+    const int rc = RunCli(StrFormat(
+        "\"%s\" --threads=%d --match-engine=%s --mmap=%s --out=\"%s\"",
+        input.c_str(), cfg.threads, cfg.engine, cfg.mmap, out.c_str()));
+    ASSERT_EQ(rc, 0) << context;
+    ExpectDirsEqual(SourcePath("tests/golden/" + corpus + "_csv"), out,
+                    context);
+    fs::remove_all(out);
+  }
+}
+
+void RunGoldenNdjson(const std::string& corpus) {
+  const std::string input = SourcePath("tests/data/" + corpus + ".log");
+  const std::string out =
+      ::testing::TempDir() + "dm_cli_" + corpus + "_ndjson";
+  fs::remove_all(out);
+  const int rc = RunCli(StrFormat(
+      "\"%s\" --threads=4 --format=ndjson --mmap=always --out=\"%s\"",
+      input.c_str(), out.c_str()));
+  ASSERT_EQ(rc, 0) << corpus << " ndjson";
+  ExpectDirsEqual(SourcePath("tests/golden/" + corpus + "_ndjson"), out,
+                  corpus + " ndjson");
+  fs::remove_all(out);
+}
+
+TEST(CliGoldenTest, BasicCsvMatrix) { RunGoldenMatrix("cli_basic"); }
+TEST(CliGoldenTest, InterleavedCsvMatrix) { RunGoldenMatrix("cli_interleaved"); }
+TEST(CliGoldenTest, MultilineCsvMatrix) { RunGoldenMatrix("cli_multiline"); }
+
+TEST(CliGoldenTest, BasicNdjson) { RunGoldenNdjson("cli_basic"); }
+TEST(CliGoldenTest, InterleavedNdjson) { RunGoldenNdjson("cli_interleaved"); }
+TEST(CliGoldenTest, MultilineNdjson) { RunGoldenNdjson("cli_multiline"); }
+
+TEST(CliGoldenTest, BadFlagsExitWithUsage) {
+  EXPECT_EQ(RunCli("--format=parquet input.log"), 2);
+  EXPECT_EQ(RunCli("--mmap=sometimes input.log"), 2);
+  EXPECT_EQ(RunCli(""), 2);
+}
+
+}  // namespace
+}  // namespace datamaran

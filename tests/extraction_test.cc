@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/dataset.h"
 #include "extraction/extractor.h"
 #include "extraction/relational.h"
+#include "extraction/sinks.h"
 #include "template/template.h"
+#include "util/file_io.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace datamaran {
 namespace {
@@ -161,6 +167,326 @@ TEST(RelationalTest, CsvEscaping) {
   EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
   EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
   EXPECT_NE(csv.find("\"has\nnewline\""), std::string::npos);
+}
+
+// ------------------------------------------- writer escaping round trips --
+
+/// Reference RFC-4180 parser for the round-trip property tests: splits one
+/// CSV document (as produced by AppendCsvField + '\n' row terminators) back
+/// into rows of raw cells. Byte-oriented; no charset assumptions.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view csv) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  size_t i = 0;
+  while (i < csv.size()) {
+    if (csv[i] == '"') {  // quoted cell
+      ++i;
+      while (i < csv.size()) {
+        if (csv[i] == '"') {
+          if (i + 1 < csv.size() && csv[i + 1] == '"') {
+            cell.push_back('"');
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            break;
+          }
+        } else {
+          cell.push_back(csv[i++]);
+        }
+      }
+    } else {
+      while (i < csv.size() && csv[i] != ',' && csv[i] != '\n') {
+        cell.push_back(csv[i++]);
+      }
+    }
+    if (i >= csv.size() || csv[i] == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+      ++i;
+    } else {  // ','
+      row.push_back(std::move(cell));
+      cell.clear();
+      ++i;
+    }
+  }
+  return rows;
+}
+
+/// Byte-oriented unescape of a JSON string body as AppendJsonEscaped emits
+/// it (short escapes + \u00XX; anything else passes through).
+std::string JsonUnescape(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        const int hi = std::stoi(std::string(s.substr(i + 1, 4)), nullptr, 16);
+        out.push_back(static_cast<char>(hi));
+        i += 4;
+        break;
+      }
+      default: out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Random byte string biased toward the CSV/JSON metacharacters, including
+/// embedded NUL and non-UTF8 bytes.
+std::string RandomNastyString(Rng* rng) {
+  static const std::string kNasty = ",\"\n\r\\{}:\t";
+  std::string s;
+  const int len = static_cast<int>(rng->Uniform(0, 12));
+  for (int i = 0; i < len; ++i) {
+    const int kind = static_cast<int>(rng->Uniform(0, 3));
+    if (kind == 0) {
+      s.push_back(kNasty[static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(kNasty.size()) - 1))]);
+    } else if (kind == 1) {
+      s.push_back(static_cast<char>(rng->Uniform(0, 255)));  // any byte
+    } else {
+      s.push_back(static_cast<char>(rng->Uniform('a', 'z')));
+    }
+  }
+  return s;
+}
+
+TEST(WriterEscapingTest, CsvRoundTripsArbitraryBytes) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<std::string>> want;
+    std::string csv;
+    const int rows = static_cast<int>(rng.Uniform(1, 4));
+    const int cols = static_cast<int>(rng.Uniform(1, 5));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (int c = 0; c < cols; ++c) {
+        row.push_back(RandomNastyString(&rng));
+        if (c > 0) csv.push_back(',');
+        AppendCsvField(row.back(), &csv);
+      }
+      csv.push_back('\n');
+      want.push_back(std::move(row));
+    }
+    EXPECT_EQ(ParseCsv(csv), want) << "trial " << trial;
+  }
+}
+
+TEST(WriterEscapingTest, NdjsonRoundTripsArbitraryBytes) {
+  Rng rng(72);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string want = RandomNastyString(&rng);
+    std::string escaped;
+    AppendJsonEscaped(want, &escaped);
+    // The escaped body must not contain raw quotes, backslash-less control
+    // bytes, or newlines (it has to live inside one NDJSON line).
+    for (size_t i = 0; i < escaped.size(); ++i) {
+      EXPECT_NE(escaped[i], '\n');
+      EXPECT_GE(static_cast<unsigned char>(escaped[i]), 0x20)
+          << "raw control byte in trial " << trial;
+    }
+    EXPECT_EQ(JsonUnescape(escaped), want) << "trial " << trial;
+  }
+}
+
+// ----------------------------------- streaming vs collecting sink parity --
+
+/// Generates a corpus of lines matching randomly chosen templates plus
+/// noise, returns the text. Shapes cover single-line, array, and multi-line
+/// templates so array unfolding and span handling are both exercised.
+std::string RandomCorpus(Rng* rng, int lines) {
+  std::string text;
+  for (int i = 0; i < lines; ++i) {
+    const int kind = static_cast<int>(rng->Uniform(0, 3));
+    if (kind == 0) {
+      const int reps = static_cast<int>(rng->Uniform(1, 4));
+      for (int r = 0; r < reps; ++r) {
+        text += std::to_string(rng->Uniform(0, 9999));
+        text += (r + 1 < reps) ? "," : "";
+      }
+      text += "\n";
+    } else if (kind == 1) {
+      text += "k=" + std::to_string(rng->Uniform(0, 99)) + ";v=" +
+              std::to_string(rng->Uniform(0, 999)) + ";\n";
+    } else if (kind == 2) {
+      text += "open " + std::to_string(rng->Uniform(0, 99)) + "\nclose " +
+              std::to_string(rng->Uniform(0, 99)) + "\n";
+    } else {
+      text += "??? unparseable " + std::to_string(rng->Uniform(0, 999)) +
+              " ???\n";
+    }
+  }
+  return text;
+}
+
+std::string ReadOrDie(const std::string& path) {
+  auto r = ReadFileToString(path);
+  EXPECT_TRUE(r.ok()) << path;
+  return r.ok() ? r.value() : std::string();
+}
+
+TEST(StreamingSinkParityTest, CsvRowsEqualTreePathOnRandomDraws) {
+  std::vector<StructureTemplate> templates;
+  templates.push_back(MustParse("(F,)*F\n"));
+  templates.push_back(MustParse("F=F;F=F;\n"));
+  templates.push_back(MustParse("F F\nF F\n"));
+  for (uint64_t seed : {81u, 82u, 83u, 84u}) {
+    Rng rng(seed);
+    Dataset data(RandomCorpus(&rng, 400));
+    Extractor ex(&templates);
+
+    // Tree path: collect everything, materialize per-type tables.
+    ExtractionResult collected = ex.Extract(data);
+    ASSERT_GT(collected.records.size(), 0u);
+
+    // Streaming path: flat events straight into the columnar writers.
+    const std::string dir =
+        ::testing::TempDir() + "dm_parity_" + std::to_string(seed);
+    std::filesystem::remove_all(dir);
+    DatasetView view(data);
+    ColumnarWriteSink sink(&templates, view, dir);
+    ExtractionResult streamed = ex.ExtractEvents(view, &sink);
+    ASSERT_TRUE(sink.Finish().ok());
+
+    EXPECT_EQ(streamed.covered_chars, collected.covered_chars);
+    EXPECT_EQ(streamed.total_chars, collected.total_chars);
+    EXPECT_EQ(sink.stats().noise_lines, collected.noise_lines.size());
+    for (size_t t = 0; t < templates.size(); ++t) {
+      SCOPED_TRACE(StrFormat("seed %zu template %zu", size_t(seed), t));
+      const std::string streamed_csv = ReadOrDie(
+          dir + "/" + ColumnarWriteSink::FileName(t, OutputFormat::kCsv));
+      const Table table =
+          DenormalizedTable(templates[t], collected.records, data.text(),
+                            static_cast<int>(t), StrFormat("type%zu", t));
+      EXPECT_EQ(sink.stats().records_per_template[t], table.row_count());
+      EXPECT_EQ(streamed_csv, table.ToCsv());
+    }
+    // Noise stream holds exactly the unmatched lines, in order.
+    std::string want_noise;
+    for (size_t li : collected.noise_lines) {
+      const auto l = data.line_with_newline(li);
+      want_noise.append(l.data(), l.size());
+    }
+    EXPECT_EQ(ReadOrDie(dir + "/" + ColumnarWriteSink::NoiseFileName()),
+              want_noise);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(StreamingSinkParityTest, NdjsonCellsEqualTreePath) {
+  std::vector<StructureTemplate> templates;
+  templates.push_back(MustParse("(F,)*F\n"));
+  Rng rng(85);
+  Dataset data(RandomCorpus(&rng, 300));
+  Extractor ex(&templates);
+  ExtractionResult collected = ex.Extract(data);
+  const Table table = DenormalizedTable(templates[0], collected.records,
+                                        data.text(), 0, "t");
+
+  const std::string dir = ::testing::TempDir() + "dm_parity_ndjson";
+  std::filesystem::remove_all(dir);
+  DatasetView view(data);
+  ColumnarWriteSink sink(&templates, view, dir, OutputFormat::kNdjson);
+  ex.ExtractEvents(view, &sink);
+  ASSERT_TRUE(sink.Finish().ok());
+
+  const std::string ndjson = ReadOrDie(
+      dir + "/" + ColumnarWriteSink::FileName(0, OutputFormat::kNdjson));
+  const std::vector<std::string_view> lines = SplitLines(ndjson);
+  ASSERT_EQ(lines.size(), table.row_count());
+  for (size_t r = 0; r < lines.size(); ++r) {
+    // Parse {"f0":"...","f1":"..."} structurally: values are everything
+    // between unescaped quotes at odd positions.
+    std::string_view line = lines[r];
+    ASSERT_TRUE(line.size() >= 2 && line.front() == '{' && line.back() == '}');
+    std::vector<std::string> values;
+    size_t i = 1;
+    while (i < line.size() - 1) {
+      // key
+      ASSERT_EQ(line[i], '"');
+      size_t end = line.find('"', i + 1);
+      ASSERT_NE(end, std::string_view::npos);
+      ASSERT_EQ(line.substr(i + 1, end - i - 1),
+                StrFormat("f%zu", values.size()));
+      ASSERT_EQ(line[end + 1], ':');
+      i = end + 2;
+      // value: scan for the closing quote, skipping escape pairs
+      ASSERT_EQ(line[i], '"');
+      size_t j = i + 1;
+      while (j < line.size() && line[j] != '"') {
+        j += line[j] == '\\' ? 2 : 1;
+      }
+      ASSERT_LT(j, line.size());
+      values.push_back(JsonUnescape(line.substr(i + 1, j - i - 1)));
+      i = j + 1;
+      if (i < line.size() - 1 && line[i] == ',') ++i;
+    }
+    EXPECT_EQ(values, table.rows[r]) << "row " << r;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------- streaming noise accounting --
+
+/// The streaming path must report exactly the coverage statistics of the
+/// collecting path, for every dataset shape — including a final line with
+/// no terminating newline (the Dataset appends one) and datasets with no
+/// matches at all.
+TEST(StreamingAccountingTest, MatchesCollectingPathOnEdgeCases) {
+  std::vector<StructureTemplate> templates;
+  templates.push_back(MustParse("F,F\n"));
+  const std::vector<std::string> cases = {
+      "a,b\nnoise here\nc,d\n",  // regular
+      "a,b\nnoise here\nc,d",    // unterminated final record line
+      "only noise",              // unterminated noise, no records
+      "x,y",                     // single unterminated record
+      "\n\n",                    // empty lines are noise
+      "noise\nmore noise\n",     // no records at all
+  };
+  for (const std::string& text : cases) {
+    SCOPED_TRACE(EscapeForDisplay(text));
+    Dataset data{std::string(text)};
+    Extractor ex(&templates);
+    ExtractionResult collected = ex.Extract(data);
+
+    const std::string dir = ::testing::TempDir() + "dm_acct";
+    std::filesystem::remove_all(dir);
+    DatasetView view(data);
+    ColumnarWriteSink sink(&templates, view, dir);
+    ExtractionResult streamed = ex.ExtractEvents(view, &sink);
+    ASSERT_TRUE(sink.Finish().ok());
+
+    EXPECT_EQ(streamed.covered_chars, collected.covered_chars);
+    EXPECT_EQ(streamed.total_chars, collected.total_chars);
+    EXPECT_DOUBLE_EQ(streamed.coverage(), collected.coverage());
+    EXPECT_EQ(sink.stats().noise_lines, collected.noise_lines.size());
+    EXPECT_EQ(sink.stats().total_records, collected.records.size());
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(StreamingAccountingTest, FailedWritesSurfaceInFinish) {
+  std::vector<StructureTemplate> templates;
+  templates.push_back(MustParse("F,F\n"));
+  Dataset data("a,b\n");
+  DatasetView view(data);
+  // /proc/version is not a writable directory on any platform we run on.
+  ColumnarWriteSink sink(&templates, view, "/proc/version/nope");
+  Extractor ex(&templates);
+  ex.ExtractEvents(view, &sink);
+  EXPECT_FALSE(sink.Finish().ok());
 }
 
 }  // namespace

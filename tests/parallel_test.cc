@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -12,11 +14,13 @@
 #include "core/options.h"
 #include "datagen/github_corpus.h"
 #include "extraction/extractor.h"
+#include "extraction/sinks.h"
 #include "generation/generator.h"
 #include "scoring/field_stats.h"
 #include "template/matcher.h"
 #include "util/file_io.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 // Determinism-parity tests for the parallel hot paths: with identical
@@ -287,6 +291,72 @@ TEST(ParallelExtractionTest, SingleLineParity) {
   ThreadPool pool(4);
   Extractor par(&templates, &pool);
   ExpectSameExtraction(seq.Extract(data), par.Extract(data));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming columnar sink determinism under tiny waves
+// ---------------------------------------------------------------------------
+
+/// Reads every regular file of `dir` into name -> contents.
+std::map<std::string, std::string> SlurpDir(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    auto contents = ReadFileToString(entry.path().string());
+    EXPECT_TRUE(contents.ok()) << entry.path();
+    files[entry.path().filename().string()] =
+        contents.ok() ? contents.value() : std::string();
+  }
+  return files;
+}
+
+TEST(StreamingSinkDeterminismTest, TinyWavesAreByteIdentical) {
+  // 3-line records with interspersed noise, scanned with a 3-line chunk
+  // size: chunk and wave boundaries land mid-record constantly, forcing
+  // both the wholesale-splice and the resync stitch paths. The streamed
+  // files must be byte-identical for every thread count, and for both
+  // match engines, to the sequential reference.
+  auto st = StructureTemplate::FromCanonical("F F\n F=F\nF\n");
+  ASSERT_TRUE(st.ok());
+  std::vector<StructureTemplate> templates;
+  templates.push_back(std::move(st.value()));
+  Dataset data(MultiLineWithNoise(1200, 77));
+  DatasetView view(data);
+
+  auto stream_to = [&](ThreadPool* pool, MatchEngine engine,
+                       OutputFormat format, const std::string& dir) {
+    std::filesystem::remove_all(dir);
+    Extractor ex(&templates, pool, engine);
+    ex.set_lines_per_chunk(3);  // waves of a few lines each
+    ColumnarWriteSink sink(&templates, view, dir, format);
+    ExtractionResult stats = ex.ExtractEvents(view, &sink);
+    EXPECT_TRUE(sink.Finish().ok());
+    EXPECT_GT(sink.stats().total_records, 1000u);
+    return std::make_pair(SlurpDir(dir), stats);
+  };
+
+  for (const OutputFormat format :
+       {OutputFormat::kCsv, OutputFormat::kNdjson}) {
+    SCOPED_TRACE(format == OutputFormat::kCsv ? "csv" : "ndjson");
+    const std::string base = ::testing::TempDir() + "dm_wave_ref";
+    auto [want_files, want_stats] =
+        stream_to(nullptr, MatchEngine::kCompiled, format, base);
+    std::filesystem::remove_all(base);
+    for (const int threads : {2, 4, 7}) {
+      for (const MatchEngine engine :
+           {MatchEngine::kCompiled, MatchEngine::kTree}) {
+        SCOPED_TRACE(StrFormat("threads=%d engine=%s", threads,
+                               engine == MatchEngine::kTree ? "tree"
+                                                            : "compiled"));
+        ThreadPool pool(threads);
+        const std::string dir = ::testing::TempDir() + "dm_wave_run";
+        auto [files, stats] = stream_to(&pool, engine, format, dir);
+        EXPECT_EQ(files, want_files);
+        EXPECT_EQ(stats.covered_chars, want_stats.covered_chars);
+        std::filesystem::remove_all(dir);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -3,12 +3,17 @@
 //
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
 //             [--threads=N] [--mmap=MODE] [--match-engine=ENGINE]
-//             [--out=DIR] [--normalized] [--verbose]
+//             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
 //
 // Prints the discovered templates and a summary (including how the input
 // was backed: mmap'd bytes vs. bytes actually resident); with --out,
-// writes one CSV per record type (plus child tables for arrays with
-// --normalized).
+// streams one columnar file per record type (type<t>.csv or
+// type<t>.ndjson per --format) plus noise.txt through the flat-event
+// writers in extraction/sinks.h — rows are written incrementally as the
+// scan stitches each wave, so peak memory stays O(wave) even for a
+// multi-GB mmap'd input. --normalized instead materializes the normalized
+// table tree (root + per-array child tables, foreign keys), which buffers
+// the extraction in memory.
 
 #include <cstdio>
 #include <cstring>
@@ -16,8 +21,10 @@
 
 #include "core/datamaran.h"
 #include "extraction/relational.h"
+#include "extraction/sinks.h"
 #include "util/file_io.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -26,7 +33,7 @@ void Usage() {
                "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
                "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
                "                 [--match-engine=ENGINE] [--out=DIR]\n"
-               "                 [--normalized] [--verbose]\n"
+               "                 [--format=FMT] [--normalized] [--verbose]\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
                "                1 = sequential; output is identical)\n"
                "  --mmap=MODE   input backing: auto (default; mmap files\n"
@@ -35,7 +42,17 @@ void Usage() {
                "  --match-engine=ENGINE  compiled (default; templates run\n"
                "                as bytecode with first-byte dispatch) or\n"
                "                tree (reference walker). Output is\n"
-               "                identical either way\n");
+               "                identical either way\n"
+               "  --out=DIR     stream per-record-type columnar files into\n"
+               "                DIR (type<t>.csv/.ndjson + noise.txt),\n"
+               "                written incrementally at O(wave) memory;\n"
+               "                byte-identical for every --threads,\n"
+               "                --match-engine and --mmap setting\n"
+               "  --format=FMT  --out file format: csv (default,\n"
+               "                RFC-4180 quoting) or ndjson (one JSON\n"
+               "                object per record)\n"
+               "  --normalized  with --out: write the normalized table\n"
+               "                tree (CSV only; buffers records in memory)\n");
 }
 
 }  // namespace
@@ -46,6 +63,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string out_dir;
   bool normalized = false;
+  OutputFormat format = OutputFormat::kCsv;
   DatamaranOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -85,6 +103,16 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
+    } else if (StartsWith(arg, "--format=")) {
+      std::string_view fmt = arg.substr(9);
+      if (fmt == "csv") {
+        format = OutputFormat::kCsv;
+      } else if (fmt == "ndjson") {
+        format = OutputFormat::kNdjson;
+      } else {
+        Usage();
+        return 2;
+      }
     } else if (StartsWith(arg, "--out=")) {
       out_dir = std::string(arg.substr(6));
     } else if (!StartsWith(arg, "--")) {
@@ -95,6 +123,12 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
+    Usage();
+    return 2;
+  }
+  if (normalized && format != OutputFormat::kCsv) {
+    // The normalized table tree is CSV-only; reject the contradiction
+    // instead of silently writing CSV.
     Usage();
     return 2;
   }
@@ -148,12 +182,8 @@ int main(int argc, char** argv) {
 
   if (out_dir.empty() || result->templates.empty()) return 0;
 
-  if (!MakeDirs(out_dir).ok()) {
-    std::fprintf(stderr, "error: cannot create %s\n", out_dir.c_str());
-    return 1;
-  }
-  // Re-open the input to materialize tables (extraction spans index into
-  // it), honoring the same backing policy as the pipeline run.
+  // Re-open the input to materialize the output (spans index into it),
+  // honoring the same backing policy as the pipeline run.
   auto reopened = Dataset::FromFile(path, options.mmap_mode,
                                     options.mmap_threshold_bytes);
   if (!reopened.ok()) {
@@ -162,11 +192,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   Dataset data = std::move(reopened.value());
-  Extractor extractor(&result->templates);
-  ExtractionResult extraction = extractor.Extract(data);
-  for (size_t t = 0; t < result->templates.size(); ++t) {
-    std::string base = StrFormat("%s/type%zu", out_dir.c_str(), t);
-    if (normalized) {
+  data.Advise(AccessHint::kSequential);
+  ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
+  Extractor extractor(&result->templates, &pool, options.match_engine);
+
+  if (normalized) {
+    if (!MakeDirs(out_dir).ok()) {
+      std::fprintf(stderr, "error: cannot create %s\n", out_dir.c_str());
+      return 1;
+    }
+    ExtractionResult extraction = extractor.Extract(data);
+    for (size_t t = 0; t < result->templates.size(); ++t) {
       auto tables = NormalizedTables(result->templates[t], extraction.records,
                                      data.text(), static_cast<int>(t),
                                      StrFormat("type%zu", t));
@@ -179,18 +215,31 @@ int main(int argc, char** argv) {
         }
         std::printf("wrote %s (%zu rows)\n", file.c_str(), table.row_count());
       }
-    } else {
-      Table table = DenormalizedTable(result->templates[t],
-                                      extraction.records, data.text(),
-                                      static_cast<int>(t),
-                                      StrFormat("type%zu", t));
-      std::string file = base + ".csv";
-      if (!WriteStringToFile(file, table.ToCsv()).ok()) {
-        std::fprintf(stderr, "error: cannot write %s\n", file.c_str());
-        return 1;
-      }
-      std::printf("wrote %s (%zu rows)\n", file.c_str(), table.row_count());
     }
+    return 0;
   }
+
+  // Default: the streaming columnar path. The scan's flat events feed the
+  // writers directly; nothing is buffered beyond one wave of rows.
+  DatasetView view(data);
+  ColumnarWriteSink sink(&result->templates, view, out_dir, format);
+  if (!sink.status().ok()) {  // unwritable out dir: fail before the scan
+    std::fprintf(stderr, "error: %s\n", sink.status().ToString().c_str());
+    return 1;
+  }
+  extractor.ExtractEvents(view, &sink);
+  Status finished = sink.Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "error: %s\n", finished.ToString().c_str());
+    return 1;
+  }
+  for (size_t t = 0; t < result->templates.size(); ++t) {
+    std::printf("wrote %s/%s (%zu rows)\n", out_dir.c_str(),
+                ColumnarWriteSink::FileName(t, format).c_str(),
+                sink.stats().records_per_template[t]);
+  }
+  std::printf("wrote %s/%s (%zu lines); %zu bytes streamed\n",
+              out_dir.c_str(), ColumnarWriteSink::NoiseFileName().c_str(),
+              sink.stats().noise_lines, sink.stats().bytes_written);
   return 0;
 }
