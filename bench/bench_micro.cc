@@ -22,8 +22,10 @@
 // through the collecting sink (O(file): one ParsedValue tree per record)
 // and the streaming columnar sink (O(wave): flat events straight to CSV),
 // isolating per-phase peak RSS; streaming peak RSS at or above 50% of the
-// collecting peak also fails the process. Future PRs track the perf
-// trajectory from that file.
+// collecting peak also fails the process. A fifth section runs the same
+// gate for the normalized layout: NormalizedWriteSink streaming root +
+// child-table CSVs vs collecting into NormalizedTables and rendering
+// ToCsv. Future PRs track the perf trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
@@ -567,10 +569,14 @@ struct SinkCase {
   bool ok = false;
 };
 
-SinkCase RunStreamingSinkCase(int threads, bool quick) {
-  SinkCase out;
+/// The shared corpus for both sink memory cases (denormalized and
+/// normalized gates must measure the same workload shape): comma lists
+/// of 3-7 fields matching "(F,)*F\n", plus ~2% noise. A line starting
+/// with the separator cannot parse (fields are non-empty), so the noise
+/// lines are genuine noise for that template.
+std::string MakeSinkCorpus(uint64_t seed, bool quick) {
   const size_t target_bytes = quick ? 6 * 1024 * 1024 : 16 * 1024 * 1024;
-  Rng rng(7);
+  Rng rng(seed);
   std::string big;
   big.reserve(target_bytes + 128);
   while (big.size() < target_bytes) {
@@ -580,11 +586,35 @@ SinkCase RunStreamingSinkCase(int threads, bool quick) {
       if (r + 1 < reps) big += ",";
     }
     big += "\n";
-    // A line starting with the separator cannot parse (fields are
-    // non-empty): genuine noise for the template below.
     if (rng.Bernoulli(0.02)) big += ",noise\n";
   }
-  Dataset data(std::move(big));
+  return big;
+}
+
+/// The shared gate and report of both sink memory cases: streaming peak
+/// RSS at or above 50% of the collecting peak — or a count mismatch —
+/// clears `ok`, which fails the process (the CI smoke gate).
+void FinishSinkCase(const char* label, SinkCase* out) {
+  const double ratio =
+      out->collecting_peak > 0
+          ? static_cast<double>(out->streaming_peak) /
+                static_cast<double>(out->collecting_peak)
+          : 1.0;
+  std::printf("%s sink (%zu MB, %zu records): streamed %.3fs "
+              "(%.2f MB/s) peak %zu MB, collecting %.3fs peak %zu MB "
+              "(%.2fx)%s, counts %s\n",
+              label, out->bytes >> 20, out->records, out->streaming_s,
+              MbPerSec(out->bytes, out->streaming_s),
+              out->streaming_peak >> 20, out->collecting_s,
+              out->collecting_peak >> 20, ratio,
+              out->rss_gated ? "" : " [peaks not isolated; gate skipped]",
+              out->counts_match ? "match" : "MISMATCH — SINK BUG");
+  out->ok = out->counts_match && (!out->rss_gated || ratio < 0.5);
+}
+
+SinkCase RunStreamingSinkCase(int threads, bool quick) {
+  SinkCase out;
+  Dataset data(MakeSinkCorpus(7, quick));
   out.bytes = data.size_bytes();
 
   std::vector<StructureTemplate> templates;
@@ -631,20 +661,75 @@ SinkCase RunStreamingSinkCase(int threads, bool quick) {
   std::error_code ec;
   std::filesystem::remove_all(out_dir, ec);
 
-  const double ratio =
-      out.collecting_peak > 0
-          ? static_cast<double>(out.streaming_peak) /
-                static_cast<double>(out.collecting_peak)
-          : 1.0;
-  std::printf("streaming sink (%zu MB, %zu records): streamed %.3fs "
-              "(%.2f MB/s) peak %zu MB, collecting %.3fs peak %zu MB "
-              "(%.2fx)%s, counts %s\n",
-              out.bytes >> 20, out.records, out.streaming_s,
-              MbPerSec(out.bytes, out.streaming_s), out.streaming_peak >> 20,
-              out.collecting_s, out.collecting_peak >> 20, ratio,
-              out.rss_gated ? "" : " [peaks not isolated; gate skipped]",
-              out.counts_match ? "match" : "MISMATCH — SINK BUG");
-  out.ok = out.counts_match && (!out.rss_gated || ratio < 0.5);
+  FinishSinkCase("streaming", &out);
+  return out;
+}
+
+/// Normalized-layout counterpart of RunStreamingSinkCase: the streaming
+/// NormalizedWriteSink (O(wave): flat events to root + child-table CSVs,
+/// per-table row-id counters rebased at flush) against what the collecting
+/// path used to do — Extract() into ParsedValue trees, materialize the
+/// NormalizedTables tree, render ToCsv (all O(file)). Same corpus shape
+/// and the same 50% RSS gate.
+SinkCase RunNormalizedSinkCase(int threads, bool quick) {
+  SinkCase out;
+  Dataset data(MakeSinkCorpus(11, quick));
+  out.bytes = data.size_bytes();
+
+  std::vector<StructureTemplate> templates;
+  templates.push_back(std::move(
+      StructureTemplate::FromCanonical("(F,)*F\n").value()));
+  ThreadPool pool(threads);
+  Extractor extractor(&templates, &pool);
+  const std::string out_dir = "bench_micro_norm_out.tmp";
+
+  const bool reset_ok = ResetPeakRss();
+  size_t streamed_records = 0;
+  size_t streamed_covered = 0;
+  size_t streamed_child_rows = 0;
+  {
+    Timer timer;
+    DatasetView view(data);
+    NormalizedWriteSink sink(&templates, view, out_dir);
+    ExtractionResult stats = extractor.ExtractEvents(view, &sink);
+    const Status finished = sink.Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "normalized sink: %s\n",
+                   finished.ToString().c_str());
+      std::error_code cleanup;
+      std::filesystem::remove_all(out_dir, cleanup);
+      return out;
+    }
+    out.streaming_s = timer.Seconds();
+    streamed_records = sink.stats().total_records;
+    streamed_covered = stats.covered_chars;
+    streamed_child_rows = sink.rows_in_table(0, 1);
+  }
+  out.streaming_peak = ReadPeakRssBytes();
+
+  out.rss_gated = reset_ok && ResetPeakRss();
+  {
+    Timer timer;
+    ExtractionResult collected = extractor.Extract(data);
+    auto tables = NormalizedTables(templates[0], collected.records,
+                                   data.text(), 0, "type0");
+    size_t collected_bytes = 0;
+    for (const Table& table : tables) {
+      collected_bytes += table.ToCsv().size();
+    }
+    out.collecting_s = timer.Seconds();
+    out.records = collected.records.size();
+    out.counts_match = collected.records.size() == streamed_records &&
+                       collected.covered_chars == streamed_covered &&
+                       tables[0].row_count() == streamed_records &&
+                       tables[1].row_count() == streamed_child_rows &&
+                       collected_bytes > 0;
+  }
+  out.collecting_peak = ReadPeakRssBytes();
+  std::error_code ec;
+  std::filesystem::remove_all(out_dir, ec);
+
+  FinishSinkCase("normalized", &out);
   return out;
 }
 
@@ -672,8 +757,10 @@ int RunPipelineBench() {
   const int hw = ThreadPool::DefaultThreadCount();
   const int multi = bench::EnvInt("DM_BENCH_THREADS", std::max(4, hw));
 
-  // Streaming-vs-collecting sink memory case first (fresh allocator).
+  // Streaming-vs-collecting sink memory cases first (fresh allocator),
+  // one per output layout.
   const SinkCase sink_case = RunStreamingSinkCase(multi, quick);
+  const SinkCase norm_case = RunNormalizedSinkCase(multi, quick);
 
   std::vector<std::string> texts;
   texts.reserve(static_cast<size_t>(datasets));
@@ -804,6 +891,16 @@ int RunPipelineBench() {
                "    \"collecting_peak_rss_bytes\": %zu,\n"
                "    \"rss_gated\": %s,\n"
                "    \"counts_match\": %s\n"
+               "  },\n"
+               "  \"normalized_sink\": {\n"
+               "    \"bytes\": %zu,\n"
+               "    \"records\": %zu,\n"
+               "    \"streaming_s\": %.6f,\n"
+               "    \"collecting_s\": %.6f,\n"
+               "    \"streaming_peak_rss_bytes\": %zu,\n"
+               "    \"collecting_peak_rss_bytes\": %zu,\n"
+               "    \"rss_gated\": %s,\n"
+               "    \"counts_match\": %s\n"
                "  }\n"
                "}\n",
                speedup, identical ? "true" : "false",
@@ -815,10 +912,18 @@ int RunPipelineBench() {
                sink_case.collecting_s, sink_case.streaming_peak,
                sink_case.collecting_peak,
                sink_case.rss_gated ? "true" : "false",
-               sink_case.counts_match ? "true" : "false");
+               sink_case.counts_match ? "true" : "false", norm_case.bytes,
+               norm_case.records, norm_case.streaming_s,
+               norm_case.collecting_s, norm_case.streaming_peak,
+               norm_case.collecting_peak,
+               norm_case.rss_gated ? "true" : "false",
+               norm_case.counts_match ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
-  return identical && mmap_identical && match_ok && sink_case.ok ? 0 : 1;
+  return identical && mmap_identical && match_ok && sink_case.ok &&
+                 norm_case.ok
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -158,8 +158,23 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
   std::vector<MatchEvent> events;
   size_t li = 0;
   const size_t n = data.line_count();
+  // The wave-flush invariant holds for the sequential scan too: OnWaveEnd
+  // fires every wave_lines lines (the single-thread analogue of the
+  // parallel path's stitched-wave boundary), so a buffering sink's state
+  // is bounded by one wave of output regardless of thread count. Flush
+  // boundaries never affect emitted bytes, only when they reach the OS.
+  size_t chunk_lines = lines_per_chunk_;
+  if (chunk_lines == 0) chunk_lines = std::max(kMinLinesPerChunk, n / 16);
+  const size_t wave_lines = chunk_lines * 2;
+  size_t next_wave = wave_lines;
   while (li < n) {
     li = EmitAt(data, li, sink, &stats.covered_chars, &scratch, &events);
+    if (li >= next_wave) {
+      if (sink != nullptr) sink->OnWaveEnd();
+      do {
+        next_wave += wave_lines;
+      } while (next_wave <= li);
+    }
   }
   if (sink != nullptr) sink->OnWaveEnd();
   return stats;

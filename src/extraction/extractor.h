@@ -50,8 +50,9 @@
 ///
 ///  * EventSink is the primitive consumer: it receives each record's flat
 ///    event stream in scan order (ExtractEvents). The columnar writers in
-///    extraction/sinks.h implement it to stream per-template CSV/NDJSON
-///    rows and a noise-line stream straight to disk, never materializing a
+///    extraction/sinks.h implement it to stream per-template denormalized
+///    CSV/NDJSON rows or the normalized multi-table CSV layout, plus a
+///    noise-line stream, straight to disk, never materializing a
 ///    ParsedValue, which is what keeps `datamaran_cli --out` O(wave) in
 ///    memory end to end on a mapped multi-GB file.
 ///  * RecordSink is the tree-shaped convenience: ExtractStreaming wraps it
@@ -60,6 +61,26 @@
 ///    both shapes.
 ///  * Extract collects everything into an ExtractionResult (a RecordSink
 ///    that buffers; O(file) memory, for callers that want the records).
+///
+/// Ordering and row-id rebase contract. Speculative chunks buffer raw
+/// events only — they never see output row numbering, because a chunk
+/// cannot know how many records (or normalized child rows) precede it
+/// until the stitch runs. All numbering therefore happens at flush time:
+/// OnRecord calls arrive strictly in sequential scan order, so a sink may
+/// assign global ids by advancing its own counters per record — the
+/// normalized writer rebases each record's record-relative row ids
+/// (relational.h NormalizedRowBuilder) against per-table counters that
+/// travel with this order-preserving stitch. This is what makes every
+/// derived id byte-identical across thread counts without the chunks ever
+/// coordinating.
+///
+/// Wave-flush invariants. OnWaveEnd fires (a) after each parallel wave is
+/// stitched and flushed, (b) periodically on the sequential path at the
+/// equivalent line cadence, and (c) once at end of scan — always between
+/// records, never inside one, and on the stitching (sequential) thread.
+/// A sink that flushes its buffers on every OnWaveEnd keeps its state
+/// bounded by one wave of output; flush timing never changes the bytes
+/// emitted.
 
 namespace datamaran {
 
@@ -96,9 +117,10 @@ class EventSink {
 
   virtual void OnNoiseLine(size_t /*line_index*/) {}
 
-  /// Called after each parallel wave is stitched (and once at end of scan):
-  /// the hook where buffering writers flush, bounding their state to one
-  /// wave of output.
+  /// Called after each parallel wave is stitched, at the same line cadence
+  /// on the sequential path, and once at end of scan — always between
+  /// records: the hook where buffering writers flush, bounding their state
+  /// to one wave of output. Flush timing never affects the emitted bytes.
   virtual void OnWaveEnd() {}
 };
 

@@ -147,6 +147,7 @@ struct NormalizedLayout {
     int table = 0;
     int column = 0;  // index into the table's field columns
   };
+  int array_count = 0;
   std::vector<FieldSlot> fields;      // by leaf index
   std::vector<int> fields_per_table;  // by table index
   std::vector<char> array_sep;        // by array index (table = index + 1)
@@ -176,6 +177,23 @@ void BuildLayout(const TemplateNode& node, int table, int* leaf, int* array,
       break;
     }
   }
+}
+
+/// The one source of truth for the normalized layout of a template —
+/// NormalizedSchemaFor, NormalizedRowBuilder, and NormalizedTables all
+/// derive from this, so the streaming-vs-collecting byte-parity contract
+/// cannot be broken by one of them drifting.
+NormalizedLayout ComputeNormalizedLayout(const StructureTemplate& st) {
+  TemplateIndex idx;
+  IndexTemplate(st.root(), &idx);
+  NormalizedLayout layout;
+  layout.array_count = idx.array_count;
+  layout.fields.resize(static_cast<size_t>(idx.leaf_count));
+  layout.fields_per_table.assign(static_cast<size_t>(idx.array_count) + 1, 0);
+  layout.array_sep.resize(static_cast<size_t>(idx.array_count));
+  int leaf = 0, array = 0;
+  BuildLayout(st.root(), 0, &leaf, &array, &layout);
+  return layout;
 }
 
 struct NormalizedBuilder {
@@ -279,6 +297,109 @@ const std::vector<std::string>& DenormalizedRowBuilder::FillFromEvents(
   return cells_;
 }
 
+NormalizedSchema NormalizedSchemaFor(const StructureTemplate& st,
+                                     const std::string& name) {
+  const NormalizedLayout layout = ComputeNormalizedLayout(st);
+  NormalizedSchema schema;
+  schema.tables.resize(static_cast<size_t>(layout.array_count) + 1);
+  schema.tables[0].name = name;
+  schema.tables[0].columns.push_back("id");
+  for (int i = 0; i < layout.fields_per_table[0]; ++i) {
+    schema.tables[0].columns.push_back(StrFormat("f%d", i));
+  }
+  for (int a = 1; a <= layout.array_count; ++a) {
+    NormalizedSchema::TableSchema& t = schema.tables[static_cast<size_t>(a)];
+    t.name = StrFormat("%s_arr%d", name.c_str(), a);
+    t.columns = {"id", "parent_id", "pos"};
+    for (int i = 0; i < layout.fields_per_table[static_cast<size_t>(a)]; ++i) {
+      t.columns.push_back(StrFormat("f%d", i));
+    }
+  }
+  return schema;
+}
+
+NormalizedRowBuilder::NormalizedRowBuilder(const StructureTemplate* st)
+    : st_(st) {
+  NormalizedLayout layout = ComputeNormalizedLayout(*st_);
+  fields_.reserve(layout.fields.size());
+  for (const NormalizedLayout::FieldSlot& slot : layout.fields) {
+    fields_.push_back(FieldSlot{slot.table, slot.column});
+  }
+  fields_per_table_ = std::move(layout.fields_per_table);
+  next_relative_id_.assign(fields_per_table_.size(), 0);
+}
+
+size_t NormalizedRowBuilder::AppendRow(int table, int parent_table,
+                                       size_t parent_id, size_t pos) {
+  if (used_rows_ == rows_.size()) rows_.emplace_back();
+  Row& row = rows_[used_rows_];
+  row.table = table;
+  row.id = next_relative_id_[static_cast<size_t>(table)]++;
+  row.parent_table = parent_table;
+  row.parent_id = parent_id;
+  row.pos = pos;
+  row.fields.resize(
+      static_cast<size_t>(fields_per_table_[static_cast<size_t>(table)]));
+  for (std::string& cell : row.fields) cell.clear();
+  return used_rows_++;
+}
+
+void NormalizedRowBuilder::Fill(const TemplateNode& node,
+                                std::string_view text,
+                                const MatchEvent* events, size_t num_events,
+                                size_t* cursor, int table, size_t row_index,
+                                int* leaf, int* array) {
+  switch (node.kind) {
+    case NodeKind::kField: {
+      const FieldSlot& slot = fields_[static_cast<size_t>((*leaf)++)];
+      DM_CHECK(*cursor < num_events);
+      const MatchEvent& ev = events[(*cursor)++];
+      rows_[row_index].fields[static_cast<size_t>(slot.column)].assign(
+          text.substr(ev.begin, ev.end - ev.begin));
+      break;
+    }
+    case NodeKind::kChar:
+      break;
+    case NodeKind::kStruct:
+      for (const auto& c : node.children) {
+        Fill(*c, text, events, num_events, cursor, table, row_index, leaf,
+             array);
+      }
+      break;
+    case NodeKind::kArray: {
+      const int child_table = ++(*array);
+      DM_CHECK(*cursor < num_events);
+      const MatchEvent& ev = events[(*cursor)++];
+      const size_t parent_relative_id = rows_[row_index].id;
+      const int saved_leaf = *leaf;
+      const int saved_array = *array;
+      for (size_t r = 0; r < ev.count; ++r) {
+        const size_t child_row =
+            AppendRow(child_table, table, parent_relative_id, r);
+        *leaf = saved_leaf;
+        *array = saved_array;
+        Fill(*node.children[0], text, events, num_events, cursor, child_table,
+             child_row, leaf, array);
+      }
+      break;
+    }
+  }
+}
+
+const std::vector<NormalizedRowBuilder::Row>&
+NormalizedRowBuilder::FillFromEvents(std::string_view text,
+                                     const MatchEvent* events,
+                                     size_t num_events) {
+  used_rows_ = 0;
+  std::fill(next_relative_id_.begin(), next_relative_id_.end(), 0);
+  const size_t root = AppendRow(0, -1, 0, 0);
+  size_t cursor = 0;
+  int leaf = 0, array = 0;
+  Fill(st_->root(), text, events, num_events, &cursor, 0, root, &leaf,
+       &array);
+  return rows_;
+}
+
 Table DenormalizedTable(const StructureTemplate& st,
                         const std::vector<ExtractedRecord>& records,
                         std::string_view text, int template_id,
@@ -301,31 +422,15 @@ Table DenormalizedTable(const StructureTemplate& st,
 std::vector<Table> NormalizedTables(
     const StructureTemplate& st, const std::vector<ExtractedRecord>& records,
     std::string_view text, int template_id, const std::string& name) {
-  TemplateIndex idx;
-  IndexTemplate(st.root(), &idx);
+  const NormalizedLayout layout = ComputeNormalizedLayout(st);
 
-  NormalizedLayout layout;
-  layout.fields.resize(static_cast<size_t>(idx.leaf_count));
-  layout.fields_per_table.assign(static_cast<size_t>(idx.array_count) + 1, 0);
-  layout.array_sep.resize(static_cast<size_t>(idx.array_count));
-  {
-    int leaf = 0, array = 0;
-    BuildLayout(st.root(), 0, &leaf, &array, &layout);
-  }
-
-  std::vector<Table> tables(static_cast<size_t>(idx.array_count) + 1);
-  tables[0].name = name;
-  tables[0].columns.push_back("id");
-  for (int i = 0; i < layout.fields_per_table[0]; ++i) {
-    tables[0].columns.push_back(StrFormat("f%d", i));
-  }
-  for (int a = 1; a <= idx.array_count; ++a) {
-    Table& t = tables[static_cast<size_t>(a)];
-    t.name = StrFormat("%s_arr%d", name.c_str(), a);
-    t.columns = {"id", "parent_id", "pos"};
-    for (int i = 0; i < layout.fields_per_table[static_cast<size_t>(a)]; ++i) {
-      t.columns.push_back(StrFormat("f%d", i));
-    }
+  // Names, key columns, and headers come from the shared schema so the
+  // collecting and streaming layouts can never drift apart.
+  NormalizedSchema schema = NormalizedSchemaFor(st, name);
+  std::vector<Table> tables(schema.tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    tables[i].name = std::move(schema.tables[i].name);
+    tables[i].columns = std::move(schema.tables[i].columns);
   }
 
   NormalizedBuilder builder{&layout, &tables, text};

@@ -19,10 +19,22 @@
 ///    key and keep their position, so join paths are preserved.
 ///
 /// This header is also the schema layer for the streaming columnar sinks
-/// (extraction/sinks.h): DenormalizedSchemaFor drives column headers, and
-/// DenormalizedRowBuilder unfolds one record's flat MatchEvent parse into
-/// the same cells FillDenormalized derives from the ParsedValue tree — the
-/// two paths are asserted row-identical by the extraction tests.
+/// (extraction/sinks.h): DenormalizedSchemaFor / NormalizedSchemaFor drive
+/// file names and column headers, and the row builders unfold one record's
+/// flat MatchEvent parse into the same cells the tree-path fills derive
+/// from the ParsedValue tree — the two paths are asserted row-identical by
+/// the extraction tests.
+///
+/// Row-id contract (normalized). Every normalized row carries a table-local
+/// integer id; child rows reference their parent through (parent table,
+/// parent id). The collecting path assigns ids globally while it appends
+/// rows. A streaming consumer cannot do that inside the speculative
+/// parallel scan — a chunk does not know how many rows precede it — so
+/// NormalizedRowBuilder emits *record-relative* ids (0-based per table
+/// within one record) and the caller rebases them by its running per-table
+/// totals when the record is flushed in stitched scan order. Because the
+/// stitch drives sinks strictly in sequential scan order, rebased ids are
+/// byte-identical to the collecting path's for every thread count.
 
 namespace datamaran {
 
@@ -87,6 +99,81 @@ Table DenormalizedTable(const StructureTemplate& st,
                         const std::vector<ExtractedRecord>& records,
                         std::string_view text, int template_id,
                         const std::string& name);
+
+/// Static layout of the normalized table tree for one template. Table 0 is
+/// the root (key column `id`); tables 1..A correspond to the template's
+/// array nodes in pre-order (key columns `id, parent_id, pos`); field
+/// columns f0..f{n-1} follow the key columns in both. Shared by the
+/// collecting path (NormalizedTables) and the streaming sink
+/// (NormalizedWriteSink) so names, key columns, and headers can never
+/// drift apart.
+struct NormalizedSchema {
+  struct TableSchema {
+    std::string name;                  // "<base>" or "<base>_arr<k>"
+    std::vector<std::string> columns;  // key columns then field columns
+  };
+  std::vector<TableSchema> tables;  // [0] is the root
+};
+NormalizedSchema NormalizedSchemaFor(const StructureTemplate& st,
+                                     const std::string& name);
+
+/// Unfolds one record's flat MatchEvent parse into normalized rows, without
+/// materializing a ParsedValue tree: one root row plus one row per array
+/// repetition, in the same per-table order the collecting path appends
+/// them. Ids are record-relative (see the row-id contract above); the
+/// caller turns them into global ids by adding its running per-table row
+/// totals, and advances those totals by this record's per-table row counts
+/// afterwards. Row and cell storage is reused across records, so the
+/// steady state allocates only when a record outgrows prior capacity.
+class NormalizedRowBuilder {
+ public:
+  struct Row {
+    int table = 0;          // index into NormalizedSchema::tables
+    size_t id = 0;          // record-relative id within `table`
+    int parent_table = -1;  // -1: root row (no parent/pos key columns)
+    size_t parent_id = 0;   // record-relative id within `parent_table`
+    size_t pos = 0;         // repetition index within the parent array
+    std::vector<std::string> fields;  // cells after the key columns
+  };
+
+  /// The template must outlive the builder.
+  explicit NormalizedRowBuilder(const StructureTemplate* st);
+
+  /// Fills and returns the rows for one record whose flat parse is
+  /// `events[0..num_events)` with spans indexing into `text`. Rows appear
+  /// in emission order: the root row first, child rows in template walk
+  /// order (which is exactly the collecting path's per-table append
+  /// order). The returned span is invalidated by the next call.
+  /// `row_count()` limits the valid prefix of the returned vector.
+  const std::vector<Row>& FillFromEvents(std::string_view text,
+                                         const MatchEvent* events,
+                                         size_t num_events);
+
+  /// Number of valid rows in the vector FillFromEvents returned (the
+  /// vector itself may be longer: rows are pooled across records).
+  size_t row_count() const { return used_rows_; }
+
+  /// Number of tables in this template's normalized layout (1 + arrays).
+  size_t table_count() const { return fields_per_table_.size(); }
+
+ private:
+  struct FieldSlot {
+    int table = 0;
+    int column = 0;  // index into the table's field columns
+  };
+
+  size_t AppendRow(int table, int parent_table, size_t parent_id, size_t pos);
+  void Fill(const TemplateNode& node, std::string_view text,
+            const MatchEvent* events, size_t num_events, size_t* cursor,
+            int table, size_t row_index, int* leaf, int* array);
+
+  const StructureTemplate* st_;
+  std::vector<FieldSlot> fields_;        // by leaf index
+  std::vector<int> fields_per_table_;    // by table index
+  std::vector<Row> rows_;                // pooled; used_rows_ are valid
+  std::vector<size_t> next_relative_id_;  // per-table, reset per record
+  size_t used_rows_ = 0;
+};
 
 /// Builds the normalized table tree for record type `template_id`. The
 /// first table is the root; subsequent tables correspond to array nodes in

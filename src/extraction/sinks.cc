@@ -47,77 +47,44 @@ void AppendJsonEscaped(std::string_view s, std::string* out) {
   }
 }
 
-std::string ColumnarWriteSink::FileName(size_t template_id,
-                                        OutputFormat format) {
-  return StrFormat("type%zu.%s", template_id,
-                   format == OutputFormat::kCsv ? "csv" : "ndjson");
+// ------------------------------------------------------------ shared base --
+
+std::string WriteSinkBase::NoiseFileName() { return "noise.txt"; }
+
+WriteSinkBase::WriteSinkBase(const DatasetView& data, size_t num_templates,
+                             size_t flush_threshold_bytes)
+    : data_(data), flush_threshold_(flush_threshold_bytes) {
+  stats_.records_per_template.assign(num_templates, 0);
 }
 
-std::string ColumnarWriteSink::NoiseFileName() { return "noise.txt"; }
+WriteSinkBase::~WriteSinkBase() { Finish(); }
 
-ColumnarWriteSink::ColumnarWriteSink(
-    const std::vector<StructureTemplate>* templates, const DatasetView& data,
-    const std::string& out_dir, OutputFormat format,
-    size_t flush_threshold_bytes)
-    : templates_(templates),
-      data_(data),
-      format_(format),
-      flush_threshold_(flush_threshold_bytes) {
-  stats_.records_per_template.assign(templates_->size(), 0);
-  // Build the per-template state unconditionally so the sink stays safe to
-  // feed (as a counting no-op) even when the directory or a file cannot be
-  // created — the error surfaces in Finish().
-  type_streams_.resize(templates_->size());
-  rows_.reserve(templates_->size());
-  size_t max_columns = 0;
-  for (const StructureTemplate& st : *templates_) {
-    rows_.emplace_back(&st);
-    max_columns = std::max(
-        max_columns, static_cast<size_t>(rows_.back().leaf_count()));
-  }
-  if (format_ == OutputFormat::kNdjson) {
-    // Prebuilt `"fN":"` key prefixes: the record hot path must not format
-    // or allocate per cell.
-    json_keys_.reserve(max_columns);
-    for (size_t c = 0; c < max_columns; ++c) {
-      json_keys_.push_back(StrFormat("\"f%zu\":\"", c));
-    }
-  }
+void WriteSinkBase::MakeOutDir(const std::string& out_dir) {
   Status made = MakeDirs(out_dir);
   if (!made.ok() && status_.ok()) status_ = std::move(made);
-  for (size_t t = 0; t < templates_->size(); ++t) {
-    const StructureTemplate& st = (*templates_)[t];
-    Open(&type_streams_[t], out_dir + "/" + FileName(t, format_));
-    if (format_ == OutputFormat::kCsv) {
-      // Header row, byte-identical to Table::ToCsv's first line.
-      const DenormalizedSchema schema = DenormalizedSchemaFor(st);
-      std::string& buf = type_streams_[t].buffer;
-      for (size_t c = 0; c < schema.columns.size(); ++c) {
-        if (c > 0) buf.push_back(',');
-        AppendCsvField(schema.columns[c], &buf);
-      }
-      buf.push_back('\n');
-    }
-  }
-  Open(&noise_stream_, out_dir + "/" + NoiseFileName());
 }
 
-ColumnarWriteSink::~ColumnarWriteSink() { Finish(); }
-
-void ColumnarWriteSink::Open(Stream* stream, const std::string& path) {
+WriteSinkBase::Stream* WriteSinkBase::AddStream(const std::string& path) {
+  streams_.emplace_back();
+  Stream* stream = &streams_.back();
   stream->path = path;
-  if (!status_.ok()) return;
+  if (!status_.ok()) return stream;
   stream->file = std::fopen(path.c_str(), "wb");
   if (stream->file == nullptr) {
     Fail("cannot open " + path + ": " + std::strerror(errno));
   }
+  return stream;
 }
 
-void ColumnarWriteSink::Fail(const std::string& message) {
+void WriteSinkBase::OpenNoiseStream(const std::string& out_dir) {
+  noise_stream_ = AddStream(out_dir + "/" + NoiseFileName());
+}
+
+void WriteSinkBase::Fail(const std::string& message) {
   if (status_.ok()) status_ = Status::IoError(message);
 }
 
-void ColumnarWriteSink::FlushStream(Stream* stream) {
+void WriteSinkBase::FlushStream(Stream* stream) {
   if (stream->buffer.empty()) return;
   if (status_.ok() && stream->file != nullptr) {
     const size_t written = std::fwrite(stream->buffer.data(), 1,
@@ -132,8 +99,85 @@ void ColumnarWriteSink::FlushStream(Stream* stream) {
   stream->buffer.clear();
 }
 
-void ColumnarWriteSink::MaybeFlush(Stream* stream) {
+void WriteSinkBase::MaybeFlush(Stream* stream) {
   if (stream->buffer.size() >= flush_threshold_) FlushStream(stream);
+}
+
+void WriteSinkBase::OnNoiseLine(size_t line_index) {
+  stats_.noise_lines++;
+  if (!status_.ok() || noise_stream_ == nullptr) return;
+  const std::string_view line = data_.line_with_newline(line_index);
+  noise_stream_->buffer.append(line.data(), line.size());
+  MaybeFlush(noise_stream_);
+}
+
+void WriteSinkBase::OnWaveEnd() {
+  for (Stream& stream : streams_) FlushStream(&stream);
+}
+
+Status WriteSinkBase::Finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  OnWaveEnd();
+  for (Stream& stream : streams_) {
+    if (stream.file != nullptr && std::fclose(stream.file) != 0) {
+      Fail(stream.path + ": close failed");
+    }
+    stream.file = nullptr;
+  }
+  return status_;
+}
+
+// ----------------------------------------------------- denormalized sink --
+
+std::string ColumnarWriteSink::FileName(size_t template_id,
+                                        OutputFormat format) {
+  return StrFormat("type%zu.%s", template_id,
+                   format == OutputFormat::kCsv ? "csv" : "ndjson");
+}
+
+ColumnarWriteSink::ColumnarWriteSink(
+    const std::vector<StructureTemplate>* templates, const DatasetView& data,
+    const std::string& out_dir, OutputFormat format,
+    size_t flush_threshold_bytes)
+    : WriteSinkBase(data, templates->size(), flush_threshold_bytes),
+      format_(format) {
+  // Build the per-template state unconditionally so the sink stays safe to
+  // feed (as a counting no-op) even when the directory or a file cannot be
+  // created — the error surfaces in Finish().
+  rows_.reserve(templates->size());
+  size_t max_columns = 0;
+  for (const StructureTemplate& st : *templates) {
+    rows_.emplace_back(&st);
+    max_columns = std::max(
+        max_columns, static_cast<size_t>(rows_.back().leaf_count()));
+  }
+  if (format_ == OutputFormat::kNdjson) {
+    // Prebuilt `"fN":"` key prefixes: the record hot path must not format
+    // or allocate per cell.
+    json_keys_.reserve(max_columns);
+    for (size_t c = 0; c < max_columns; ++c) {
+      json_keys_.push_back(StrFormat("\"f%zu\":\"", c));
+    }
+  }
+  MakeOutDir(out_dir);
+  type_streams_.reserve(templates->size());
+  for (size_t t = 0; t < templates->size(); ++t) {
+    const StructureTemplate& st = (*templates)[t];
+    Stream* stream = AddStream(out_dir + "/" + FileName(t, format_));
+    type_streams_.push_back(stream);
+    if (format_ == OutputFormat::kCsv) {
+      // Header row, byte-identical to Table::ToCsv's first line.
+      const DenormalizedSchema schema = DenormalizedSchemaFor(st);
+      std::string& buf = stream->buffer;
+      for (size_t c = 0; c < schema.columns.size(); ++c) {
+        if (c > 0) buf.push_back(',');
+        AppendCsvField(schema.columns[c], &buf);
+      }
+      buf.push_back('\n');
+    }
+  }
+  OpenNoiseStream(out_dir);
 }
 
 void ColumnarWriteSink::OnRecord(int template_id, size_t /*first_line*/,
@@ -143,11 +187,11 @@ void ColumnarWriteSink::OnRecord(int template_id, size_t /*first_line*/,
   const size_t t = static_cast<size_t>(template_id);
   stats_.records_per_template[t]++;
   stats_.total_records++;
-  if (!status_.ok()) return;
+  if (!status().ok()) return;
   const std::vector<std::string>& cells =
       rows_[t].FillFromEvents(text, events, num_events);
-  Stream& stream = type_streams_[t];
-  std::string& buf = stream.buffer;
+  Stream* stream = type_streams_[t];
+  std::string& buf = stream->buffer;
   if (format_ == OutputFormat::kCsv) {
     for (size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) buf.push_back(',');
@@ -164,37 +208,115 @@ void ColumnarWriteSink::OnRecord(int template_id, size_t /*first_line*/,
     }
     buf.append("}\n");
   }
-  MaybeFlush(&stream);
+  MaybeFlush(stream);
 }
 
-void ColumnarWriteSink::OnNoiseLine(size_t line_index) {
-  stats_.noise_lines++;
-  if (!status_.ok()) return;
-  const std::string_view line = data_.line_with_newline(line_index);
-  noise_stream_.buffer.append(line.data(), line.size());
-  MaybeFlush(&noise_stream_);
+// -------------------------------------------------------- normalized sink --
+
+namespace {
+
+/// Appends `v` in decimal — the same bytes std::to_string produces, and
+/// therefore the same bytes the collecting path's id cells hold — without
+/// a per-cell heap allocation.
+void AppendDecimal(size_t v, std::string* out) {
+  char tmp[20];
+  char* p = tmp + sizeof(tmp);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out->append(p, static_cast<size_t>(tmp + sizeof(tmp) - p));
 }
 
-void ColumnarWriteSink::OnWaveEnd() {
-  for (Stream& stream : type_streams_) FlushStream(&stream);
-  FlushStream(&noise_stream_);
+}  // namespace
+
+std::string NormalizedWriteSink::TableFileName(size_t template_id,
+                                               size_t table) {
+  // Must equal NormalizedSchemaFor(st, "type<t>").tables[table].name plus
+  // ".csv" — the collecting path derives its file names the same way.
+  return table == 0 ? StrFormat("type%zu.csv", template_id)
+                    : StrFormat("type%zu_arr%zu.csv", template_id, table);
 }
 
-Status ColumnarWriteSink::Finish() {
-  if (finished_) return status_;
-  finished_ = true;
-  OnWaveEnd();
-  for (Stream& stream : type_streams_) {
-    if (stream.file != nullptr && std::fclose(stream.file) != 0) {
-      Fail(stream.path + ": close failed");
+NormalizedWriteSink::NormalizedWriteSink(
+    const std::vector<StructureTemplate>* templates, const DatasetView& data,
+    const std::string& out_dir, size_t flush_threshold_bytes)
+    : WriteSinkBase(data, templates->size(), flush_threshold_bytes) {
+  // As in the denormalized sink, all per-template state is built even when
+  // the directory cannot be created, so a failed sink still counts.
+  state_.reserve(templates->size());
+  MakeOutDir(out_dir);
+  size_t max_tables = 0;
+  for (size_t t = 0; t < templates->size(); ++t) {
+    const StructureTemplate& st = (*templates)[t];
+    state_.emplace_back(&st);
+    PerTemplate& pt = state_.back();
+    const NormalizedSchema schema =
+        NormalizedSchemaFor(st, StrFormat("type%zu", t));
+    pt.next_id.assign(schema.tables.size(), 0);
+    pt.tables.reserve(schema.tables.size());
+    max_tables = std::max(max_tables, schema.tables.size());
+    for (size_t k = 0; k < schema.tables.size(); ++k) {
+      Stream* stream = AddStream(out_dir + "/" + TableFileName(t, k));
+      pt.tables.push_back(stream);
+      // Header row, byte-identical to Table::ToCsv's first line.
+      std::string& buf = stream->buffer;
+      for (size_t c = 0; c < schema.tables[k].columns.size(); ++c) {
+        if (c > 0) buf.push_back(',');
+        AppendCsvField(schema.tables[k].columns[c], &buf);
+      }
+      buf.push_back('\n');
     }
-    stream.file = nullptr;
   }
-  if (noise_stream_.file != nullptr && std::fclose(noise_stream_.file) != 0) {
-    Fail(noise_stream_.path + ": close failed");
+  record_rows_.assign(max_tables, 0);
+  OpenNoiseStream(out_dir);
+}
+
+void NormalizedWriteSink::OnRecord(int template_id, size_t /*first_line*/,
+                                   std::string_view text, size_t /*pos*/,
+                                   size_t /*end*/, const MatchEvent* events,
+                                   size_t num_events) {
+  const size_t t = static_cast<size_t>(template_id);
+  stats_.records_per_template[t]++;
+  stats_.total_records++;
+  if (!status().ok()) return;
+  PerTemplate& pt = state_[t];
+  const std::vector<NormalizedRowBuilder::Row>& rows =
+      pt.builder.FillFromEvents(text, events, num_events);
+  const size_t row_count = pt.builder.row_count();
+  // Rebase every record-relative id against the per-table counters, which
+  // are frozen for the duration of the record: a child row's parent_id
+  // must use the same base its parent row's id was written with.
+  for (size_t r = 0; r < row_count; ++r) {
+    const NormalizedRowBuilder::Row& row = rows[r];
+    const size_t table = static_cast<size_t>(row.table);
+    Stream* stream = pt.tables[table];
+    std::string& buf = stream->buffer;
+    AppendDecimal(pt.next_id[table] + row.id, &buf);
+    if (row.parent_table >= 0) {
+      const size_t parent = static_cast<size_t>(row.parent_table);
+      buf.push_back(',');
+      AppendDecimal(pt.next_id[parent] + row.parent_id, &buf);
+      buf.push_back(',');
+      AppendDecimal(row.pos, &buf);
+    }
+    for (const std::string& cell : row.fields) {
+      buf.push_back(',');
+      AppendCsvField(cell, &buf);
+    }
+    buf.push_back('\n');
+    record_rows_[table]++;
   }
-  noise_stream_.file = nullptr;
-  return status_;
+  // Advance the bases only after the whole record is written, then flush
+  // lazily (flush boundaries never affect content).
+  for (size_t r = 0; r < row_count; ++r) {
+    const size_t table = static_cast<size_t>(rows[r].table);
+    if (record_rows_[table] != 0) {
+      pt.next_id[table] += record_rows_[table];
+      record_rows_[table] = 0;
+    }
+  }
+  for (Stream* stream : pt.tables) MaybeFlush(stream);
 }
 
 }  // namespace datamaran

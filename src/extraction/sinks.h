@@ -2,6 +2,7 @@
 #define DATAMARAN_EXTRACTION_SINKS_H_
 
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,7 +18,7 @@
 /// in-memory record set. Combined with the wave-bounded parallel scan
 /// (Extractor::ExtractEvents) and an mmap-backed Dataset, `datamaran_cli
 /// --out` therefore runs a multi-GB extraction at O(wave) peak memory end
-/// to end.
+/// to end — in both the denormalized and the normalized layout.
 ///
 /// Determinism is a hard contract: records and noise lines arrive in scan
 /// order regardless of thread count, match engine, or dataset backing, and
@@ -25,12 +26,24 @@
 /// byte-identical across all of those configurations (enforced by the CLI
 /// golden tests and the wave-determinism tests).
 ///
-/// Layout: one file per record type in the denormalized layout of
-/// extraction/relational.h — `type<t>.csv` (RFC-4180 quoting, header row,
-/// byte-identical to Table::ToCsv of the tree path) or `type<t>.ndjson`
-/// (one JSON object per record, keys f0..fn-1) — plus `noise.txt` holding
-/// every unmatched line verbatim. All files are created up front so the
-/// output directory's shape depends only on the template set.
+/// Two layouts, both defined by extraction/relational.h:
+///
+///  * ColumnarWriteSink — denormalized: one file per record type,
+///    `type<t>.csv` (RFC-4180 quoting, header row, byte-identical to
+///    Table::ToCsv of the tree path) or `type<t>.ndjson` (one JSON object
+///    per record, keys f0..fn-1).
+///  * NormalizedWriteSink — normalized (CSV only): per record type, a root
+///    table `type<t>.csv` plus one child table `type<t>_arr<a>.csv` per
+///    array node, child rows carrying (id, parent_id, pos) foreign keys.
+///    Row ids are assigned by per-table counters that advance in stitched
+///    scan order: the row builder emits record-relative ids and the sink
+///    rebases them at flush time (the row-id contract in relational.h), so
+///    every file is byte-identical to the collecting path's
+///    Table::ToCsv output for the same table.
+///
+/// Both sinks also stream `noise.txt` holding every unmatched line
+/// verbatim. All files are created up front so the output directory's
+/// shape depends only on the template set.
 
 namespace datamaran {
 
@@ -59,31 +72,19 @@ struct SinkStats {
   size_t bytes_written = 0;  // payload bytes handed to the OS so far
 };
 
-/// Streams per-template columnar files from the flat event stream. One
-/// DenormalizedRowBuilder per template unfolds each record's events into
-/// cells (array repetitions joined with the array separator, identical to
-/// the tree path); rows append to a per-file buffer that flushes to disk at
-/// a size threshold and at every wave boundary, so buffered output is
-/// O(wave). I/O errors are sticky: the first failure is recorded, later
+/// Shared machinery of the file-writing EventSinks: a set of buffered FILE
+/// streams, the noise-line stream, sticky I/O error handling, and the
+/// wave-flush protocol. Rows append to a per-file buffer that flushes to
+/// disk at a size threshold and at every wave boundary, so buffered output
+/// is O(wave). I/O errors are sticky: the first failure is recorded, later
 /// writes become no-ops, and Finish() reports it.
-class ColumnarWriteSink : public EventSink {
+class WriteSinkBase : public EventSink {
  public:
-  /// Writes into `out_dir` (created if missing): one type<t>.<ext> per
-  /// template plus noise.txt. `data` must be the view being extracted (it
-  /// resolves noise-line text) and `templates` the extractor's template
-  /// vector; both must outlive the sink.
-  ColumnarWriteSink(const std::vector<StructureTemplate>* templates,
-                    const DatasetView& data, const std::string& out_dir,
-                    OutputFormat format = OutputFormat::kCsv,
-                    size_t flush_threshold_bytes = kDefaultFlushThreshold);
-  ~ColumnarWriteSink() override;
+  ~WriteSinkBase() override;
 
-  ColumnarWriteSink(const ColumnarWriteSink&) = delete;
-  ColumnarWriteSink& operator=(const ColumnarWriteSink&) = delete;
+  WriteSinkBase(const WriteSinkBase&) = delete;
+  WriteSinkBase& operator=(const WriteSinkBase&) = delete;
 
-  void OnRecord(int template_id, size_t first_line, std::string_view text,
-                size_t pos, size_t end, const MatchEvent* events,
-                size_t num_events) override;
   void OnNoiseLine(size_t line_index) override;
   void OnWaveEnd() override;
 
@@ -100,36 +101,124 @@ class ColumnarWriteSink : public EventSink {
   /// bailing early saves the whole extraction pass.
   const Status& status() const { return status_; }
 
-  /// File name of record type `t` under this format ("type3.csv").
-  static std::string FileName(size_t template_id, OutputFormat format);
   /// File name of the noise stream ("noise.txt").
   static std::string NoiseFileName();
 
   static constexpr size_t kDefaultFlushThreshold = 1 << 20;
 
- private:
+ protected:
   struct Stream {
     FILE* file = nullptr;
     std::string path;  // for error messages
     std::string buffer;
   };
 
-  void Open(Stream* stream, const std::string& path);
-  void FlushStream(Stream* stream);
+  /// `data` must be the view being extracted (it resolves noise-line
+  /// text) and must outlive the sink. Derived constructors call MakeOutDir
+  /// then AddStream per output file, and finally OpenNoiseStream.
+  WriteSinkBase(const DatasetView& data, size_t num_templates,
+                size_t flush_threshold_bytes);
+
+  /// Creates `out_dir` (and parents). Failure is sticky like any write.
+  void MakeOutDir(const std::string& out_dir);
+  /// Opens `path` for writing and returns the stream handle, stable for
+  /// the sink's lifetime. On failure the sink's status turns sticky-bad
+  /// and the stream's file stays null (writes become no-ops).
+  Stream* AddStream(const std::string& path);
   void MaybeFlush(Stream* stream);
   void Fail(const std::string& message);
+  void OpenNoiseStream(const std::string& out_dir);
 
-  const std::vector<StructureTemplate>* templates_;
   DatasetView data_;
-  OutputFormat format_;
-  size_t flush_threshold_;
-  std::vector<Stream> type_streams_;  // one per template
-  Stream noise_stream_;
-  std::vector<DenormalizedRowBuilder> rows_;  // one per template
-  std::vector<std::string> json_keys_;  // `"fN":"` prefixes (ndjson only)
+  Stream* noise_stream_ = nullptr;
   SinkStats stats_;
+
+ private:
+  void FlushStream(Stream* stream);
+
+  size_t flush_threshold_;
+  std::deque<Stream> streams_;  // deque: handles stay valid as we add
   Status status_ = Status::Ok();
   bool finished_ = false;
+};
+
+/// Streams per-template denormalized files from the flat event stream. One
+/// DenormalizedRowBuilder per template unfolds each record's events into
+/// cells (array repetitions joined with the array separator, identical to
+/// the tree path).
+class ColumnarWriteSink : public WriteSinkBase {
+ public:
+  /// Writes into `out_dir` (created if missing): one type<t>.<ext> per
+  /// template plus noise.txt. `templates` must be the extractor's template
+  /// vector; it and `data` must outlive the sink.
+  ColumnarWriteSink(const std::vector<StructureTemplate>* templates,
+                    const DatasetView& data, const std::string& out_dir,
+                    OutputFormat format = OutputFormat::kCsv,
+                    size_t flush_threshold_bytes = kDefaultFlushThreshold);
+
+  void OnRecord(int template_id, size_t first_line, std::string_view text,
+                size_t pos, size_t end, const MatchEvent* events,
+                size_t num_events) override;
+
+  /// File name of record type `t` under this format ("type3.csv").
+  static std::string FileName(size_t template_id, OutputFormat format);
+
+ private:
+  OutputFormat format_;
+  std::vector<Stream*> type_streams_;  // one per template
+  std::vector<DenormalizedRowBuilder> rows_;  // one per template
+  std::vector<std::string> json_keys_;  // `"fN":"` prefixes (ndjson only)
+};
+
+/// Streams the normalized (multi-table) layout from the flat event stream:
+/// per template, a root table file plus one child table file per array
+/// node (CSV only — the layout is relational by construction). Each
+/// record's rows come from an event-driven NormalizedRowBuilder with
+/// record-relative ids; this sink owns the per-table row-id counters and
+/// rebases the relative ids as the stitch flushes each record, advancing
+/// the counters by the record's per-table row counts afterwards. Because
+/// OnRecord arrives in stitched scan order, the counters — and therefore
+/// every id and parent_id cell — are byte-identical to the collecting
+/// path's NormalizedTables output for every thread count, match engine,
+/// and dataset backing.
+class NormalizedWriteSink : public WriteSinkBase {
+ public:
+  /// Writes into `out_dir` (created if missing): type<t>.csv and
+  /// type<t>_arr<a>.csv per template (per NormalizedSchemaFor) plus
+  /// noise.txt. `templates` must be the extractor's template vector; it
+  /// and `data` must outlive the sink.
+  NormalizedWriteSink(const std::vector<StructureTemplate>* templates,
+                      const DatasetView& data, const std::string& out_dir,
+                      size_t flush_threshold_bytes = kDefaultFlushThreshold);
+
+  void OnRecord(int template_id, size_t first_line, std::string_view text,
+                size_t pos, size_t end, const MatchEvent* events,
+                size_t num_events) override;
+
+  /// Rows written so far to table `table` of record type `template_id`
+  /// (table 0 is the root; 1..A the array child tables).
+  size_t rows_in_table(size_t template_id, size_t table) const {
+    return state_[template_id].next_id[table];
+  }
+  /// Number of tables in record type `template_id`'s normalized layout.
+  size_t table_count(size_t template_id) const {
+    return state_[template_id].next_id.size();
+  }
+
+  /// File name of table `table` of record type `t` ("type3.csv",
+  /// "type3_arr1.csv") — `NormalizedSchemaFor(st, "type<t>")` name + ext.
+  static std::string TableFileName(size_t template_id, size_t table);
+
+ private:
+  struct PerTemplate {
+    NormalizedRowBuilder builder;
+    std::vector<Stream*> tables;  // one stream per schema table
+    std::vector<size_t> next_id;  // running per-table row-id bases
+    explicit PerTemplate(const StructureTemplate* st) : builder(st) {}
+  };
+
+  std::vector<PerTemplate> state_;  // one per template
+  std::vector<size_t> record_rows_;  // per-table scratch, one record
 };
 
 }  // namespace datamaran

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Docs rot gate: every repo path referenced by the user-facing docs must
+# exist. Scans README.md and docs/ARCHITECTURE.md for path-like tokens
+# rooted at a repo directory (src/, tests/, bench/, tools/, docs/,
+# examples/, .github/) and fails naming each dangling reference. Run from
+# the repository root; CI runs it on every push.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/ARCHITECTURE.md; do
+  if [ ! -f "$doc" ]; then
+    echo "missing doc: $doc"
+    fail=1
+    continue
+  fi
+  while IFS= read -r path; do
+    if [ ! -e "$path" ]; then
+      echo "$doc references missing path: $path"
+      fail=1
+    fi
+  done < <(grep -oP '(?<![A-Za-z0-9_./:-])(\.github|src|tests|bench|tools|docs|examples)/[A-Za-z0-9_./-]+' "$doc" \
+             | sed 's/[.,;:]*$//' | sort -u)
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit "$fail"

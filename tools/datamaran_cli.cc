@@ -7,20 +7,21 @@
 //
 // Prints the discovered templates and a summary (including how the input
 // was backed: mmap'd bytes vs. bytes actually resident); with --out,
-// streams one columnar file per record type (type<t>.csv or
-// type<t>.ndjson per --format) plus noise.txt through the flat-event
-// writers in extraction/sinks.h — rows are written incrementally as the
-// scan stitches each wave, so peak memory stays O(wave) even for a
-// multi-GB mmap'd input. --normalized instead materializes the normalized
-// table tree (root + per-array child tables, foreign keys), which buffers
-// the extraction in memory.
+// streams relational files through the flat-event writers in
+// extraction/sinks.h — rows are written incrementally as the scan
+// stitches each wave, so peak memory stays O(wave) even for a multi-GB
+// mmap'd input. The default layout is denormalized (one type<t>.csv or
+// type<t>.ndjson per record type); --normalized streams the normalized
+// table tree instead (root type<t>.csv + per-array child tables
+// type<t>_arr<a>.csv with foreign keys, CSV only). Both layouts also
+// stream noise.txt with every unmatched line.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/datamaran.h"
-#include "extraction/relational.h"
 #include "extraction/sinks.h"
 #include "util/file_io.h"
 #include "util/strings.h"
@@ -50,9 +51,14 @@ void Usage() {
                "                --match-engine and --mmap setting\n"
                "  --format=FMT  --out file format: csv (default,\n"
                "                RFC-4180 quoting) or ndjson (one JSON\n"
-               "                object per record)\n"
-               "  --normalized  with --out: write the normalized table\n"
-               "                tree (CSV only; buffers records in memory)\n");
+               "                object per record). ndjson applies to the\n"
+               "                denormalized layout only and conflicts\n"
+               "                with --normalized\n"
+               "  --normalized  with --out: stream the normalized table\n"
+               "                tree (root type<t>.csv + per-array child\n"
+               "                tables type<t>_arr<a>.csv with foreign\n"
+               "                keys; CSV only, O(wave) memory like the\n"
+               "                default layout)\n");
 }
 
 }  // namespace
@@ -127,8 +133,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (normalized && format != OutputFormat::kCsv) {
-    // The normalized table tree is CSV-only; reject the contradiction
-    // instead of silently writing CSV.
+    // The normalized table tree is CSV-only; name the conflict and bail
+    // before any pipeline work or output-directory creation, instead of
+    // silently writing CSV.
+    std::fprintf(stderr,
+                 "error: --normalized writes the relational table tree and "
+                 "is CSV-only; it conflicts with --format=ndjson\n");
     Usage();
     return 2;
   }
@@ -196,50 +206,45 @@ int main(int argc, char** argv) {
   ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
   Extractor extractor(&result->templates, &pool, options.match_engine);
 
-  if (normalized) {
-    if (!MakeDirs(out_dir).ok()) {
-      std::fprintf(stderr, "error: cannot create %s\n", out_dir.c_str());
-      return 1;
-    }
-    ExtractionResult extraction = extractor.Extract(data);
-    for (size_t t = 0; t < result->templates.size(); ++t) {
-      auto tables = NormalizedTables(result->templates[t], extraction.records,
-                                     data.text(), static_cast<int>(t),
-                                     StrFormat("type%zu", t));
-      for (const Table& table : tables) {
-        std::string file = StrFormat("%s/%s.csv", out_dir.c_str(),
-                                     table.name.c_str());
-        if (!WriteStringToFile(file, table.ToCsv()).ok()) {
-          std::fprintf(stderr, "error: cannot write %s\n", file.c_str());
-          return 1;
-        }
-        std::printf("wrote %s (%zu rows)\n", file.c_str(), table.row_count());
-      }
-    }
-    return 0;
-  }
-
-  // Default: the streaming columnar path. The scan's flat events feed the
-  // writers directly; nothing is buffered beyond one wave of rows.
+  // Both layouts stream through the same WriteSinkBase machinery: the
+  // scan's flat events feed the writers directly and nothing is buffered
+  // beyond one wave of rows. Only the sink type and the per-file summary
+  // differ between layouts.
   DatasetView view(data);
-  ColumnarWriteSink sink(&result->templates, view, out_dir, format);
-  if (!sink.status().ok()) {  // unwritable out dir: fail before the scan
-    std::fprintf(stderr, "error: %s\n", sink.status().ToString().c_str());
+  std::unique_ptr<WriteSinkBase> sink;
+  if (normalized) {
+    sink = std::make_unique<NormalizedWriteSink>(&result->templates, view,
+                                                 out_dir);
+  } else {
+    sink = std::make_unique<ColumnarWriteSink>(&result->templates, view,
+                                               out_dir, format);
+  }
+  if (!sink->status().ok()) {  // unwritable out dir: fail before the scan
+    std::fprintf(stderr, "error: %s\n", sink->status().ToString().c_str());
     return 1;
   }
-  extractor.ExtractEvents(view, &sink);
-  Status finished = sink.Finish();
+  extractor.ExtractEvents(view, sink.get());
+  Status finished = sink->Finish();
   if (!finished.ok()) {
     std::fprintf(stderr, "error: %s\n", finished.ToString().c_str());
     return 1;
   }
   for (size_t t = 0; t < result->templates.size(); ++t) {
-    std::printf("wrote %s/%s (%zu rows)\n", out_dir.c_str(),
-                ColumnarWriteSink::FileName(t, format).c_str(),
-                sink.stats().records_per_template[t]);
+    if (normalized) {
+      const auto& norm = static_cast<const NormalizedWriteSink&>(*sink);
+      for (size_t k = 0; k < norm.table_count(t); ++k) {
+        std::printf("wrote %s/%s (%zu rows)\n", out_dir.c_str(),
+                    NormalizedWriteSink::TableFileName(t, k).c_str(),
+                    norm.rows_in_table(t, k));
+      }
+    } else {
+      std::printf("wrote %s/%s (%zu rows)\n", out_dir.c_str(),
+                  ColumnarWriteSink::FileName(t, format).c_str(),
+                  sink->stats().records_per_template[t]);
+    }
   }
   std::printf("wrote %s/%s (%zu lines); %zu bytes streamed\n",
-              out_dir.c_str(), ColumnarWriteSink::NoiseFileName().c_str(),
-              sink.stats().noise_lines, sink.stats().bytes_written);
+              out_dir.c_str(), WriteSinkBase::NoiseFileName().c_str(),
+              sink->stats().noise_lines, sink->stats().bytes_written);
   return 0;
 }

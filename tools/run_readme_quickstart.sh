@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the README quickstart verbatim so the documented commands can't
+# rot: extracts the fenced code block directly after the
+# `<!-- ci:quickstart -->` marker in README.md and executes it line for
+# line. Requires the tier-1 build to exist (./build/datamaran_cli). Run
+# from anywhere; CI runs it after the build step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmds="$(awk '
+  /<!-- ci:quickstart -->/ { found = 1; next }
+  found && /^```/ { if (inblock) exit; inblock = 1; next }
+  inblock { print }
+' README.md)"
+
+if [ -z "$cmds" ]; then
+  echo "no ci:quickstart block found in README.md" >&2
+  exit 1
+fi
+
+echo "running README quickstart:"
+echo "$cmds"
+bash -euo pipefail -c "$cmds"
+echo "README quickstart OK"
