@@ -25,7 +25,17 @@
 // collecting peak also fails the process. A fifth section runs the same
 // gate for the normalized layout: NormalizedWriteSink streaming root +
 // child-table CSVs vs collecting into NormalizedTables and rendering
-// ToCsv. Future PRs track the perf trajectory from that file.
+// ToCsv. A sixth section ("charset_engine") compares generation's
+// charset-trial tokenization under the scalar reference engine vs the
+// resolved SIMD engine (candidate-set parity gates the process). A seventh
+// section ("evaluation") runs the single-thread pipeline with MDL
+// bound-based pruning on vs off: byte-identical output and a
+// candidate-evaluation speedup (evaluation_s; the shared top-K
+// refinement is timed separately as refinement_s) of at least 1.3x gate
+// the process. Every
+// best-of-rounds section reports its round count plus best and median so
+// the JSON carries run-to-run variance, not a bare point estimate. Future
+// PRs track the perf trajectory from that file.
 
 #include <benchmark/benchmark.h>
 
@@ -238,8 +248,19 @@ struct PipelineRun {
   StepTimings timings;    // summed over all datasets
   size_t bytes = 0;       // total input bytes
   size_t residual_copy_bytes = 0;  // text materialized by residual rounds
+  size_t candidates_evaluated = 0;
+  size_t candidates_pruned = 0;
   uint64_t signature = kFnvOffset;  // fingerprint of templates + extraction
 };
+
+/// Median of a sample (0 when empty). Reported next to the best-of value so
+/// BENCH_micro.json carries run-to-run variance, not just a point estimate.
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
 
 /// Process peak resident set size in bytes (0 when unavailable).
 size_t PeakRssBytes() {
@@ -300,8 +321,10 @@ void HashSizeT(uint64_t* h, size_t v) {
 
 PipelineRun RunPipelineWorkload(
     const std::vector<std::string>& texts, int num_threads,
-    std::vector<std::vector<StructureTemplate>>* templates_out = nullptr) {
-  DatamaranOptions opts;
+    std::vector<std::vector<StructureTemplate>>* templates_out = nullptr,
+    const DatamaranOptions* base_options = nullptr) {
+  DatamaranOptions opts =
+      base_options != nullptr ? *base_options : DatamaranOptions();
   opts.num_threads = num_threads;
   Datamaran dm(opts);
   PipelineRun run;
@@ -310,9 +333,12 @@ PipelineRun RunPipelineWorkload(
     PipelineResult r = dm.ExtractText(text);
     if (templates_out != nullptr) templates_out->push_back(r.templates);
     run.residual_copy_bytes += r.stats.residual_copy_bytes;
+    run.candidates_evaluated += r.stats.candidates_evaluated;
+    run.candidates_pruned += r.stats.candidates_pruned;
     run.timings.generation_s += r.timings.generation_s;
     run.timings.pruning_s += r.timings.pruning_s;
     run.timings.evaluation_s += r.timings.evaluation_s;
+    run.timings.refinement_s += r.timings.refinement_s;
     run.timings.extraction_s += r.timings.extraction_s;
     run.timings.total_s += r.timings.total_s;
     // Fingerprint everything downstream consumers would see: the accepted
@@ -458,13 +484,15 @@ double TimeScanBlock(
   return s > 0 ? static_cast<double>(records) / s : 0;
 }
 
-/// Best-of-N records/second per engine, measured in alternating rounds:
-/// background load only ever slows a round down, so the fastest round is
-/// the cleanest throughput estimate, and alternation keeps cache/frequency
-/// drift from favoring whichever engine runs last.
+/// Per-round records/second for both engines, measured in alternating
+/// rounds: background load only ever slows a round down, so the fastest
+/// round is the cleanest throughput estimate, the median shows the spread,
+/// and alternation keeps cache/frequency drift from favoring whichever
+/// engine runs last.
 void MeasureEngines(
     const std::vector<std::unique_ptr<PreparedDataset>>& datasets,
-    double min_seconds, double* tree_rate, double* compiled_rate) {
+    double min_seconds, std::vector<double>* tree_rates,
+    std::vector<double>* compiled_rates) {
   constexpr int kRounds = 3;
   // Calibrate block size on the tree engine so each round carries
   // comparable, non-trivial work.
@@ -474,13 +502,11 @@ void MeasureEngines(
   const double per_block = min_seconds / kRounds;
   const int reps =
       once > 0 ? std::max(1, static_cast<int>(per_block / once)) : 1;
-  *tree_rate = 0;
-  *compiled_rate = 0;
   for (int round = 0; round < kRounds; ++round) {
-    *tree_rate = std::max(
-        *tree_rate, TimeScanBlock(datasets, /*use_compiled=*/false, reps));
-    *compiled_rate = std::max(
-        *compiled_rate, TimeScanBlock(datasets, /*use_compiled=*/true, reps));
+    tree_rates->push_back(
+        TimeScanBlock(datasets, /*use_compiled=*/false, reps));
+    compiled_rates->push_back(
+        TimeScanBlock(datasets, /*use_compiled=*/true, reps));
   }
 }
 
@@ -516,13 +542,17 @@ bool RunMatchEngineBench(FILE* f, const std::vector<std::string>& texts,
   }
 
   const double min_seconds = quick ? 0.3 : 1.0;
-  double tree_rate = 0, compiled_rate = 0;
-  MeasureEngines(datasets, min_seconds, &tree_rate, &compiled_rate);
+  std::vector<double> tree_rates, compiled_rates;
+  MeasureEngines(datasets, min_seconds, &tree_rates, &compiled_rates);
+  const double tree_rate =
+      *std::max_element(tree_rates.begin(), tree_rates.end());
+  const double compiled_rate =
+      *std::max_element(compiled_rates.begin(), compiled_rates.end());
   const double speedup = tree_rate > 0 ? compiled_rate / tree_rate : 0;
 
   std::printf("match engines: tree %.0f records/s, compiled %.0f records/s "
-              "(%.2fx), identical: %s\n",
-              tree_rate, compiled_rate, speedup,
+              "(%.2fx over %zu rounds), identical: %s\n",
+              tree_rate, compiled_rate, speedup, tree_rates.size(),
               identical ? "yes" : "NO — ENGINE PARITY BUG");
 
   std::fprintf(f,
@@ -530,13 +560,17 @@ bool RunMatchEngineBench(FILE* f, const std::vector<std::string>& texts,
                "  \"match_engine\": {\n"
                "    \"datasets\": %zu,\n"
                "    \"lines\": %zu,\n"
+               "    \"rounds\": %zu,\n"
                "    \"tree_records_per_s\": %.1f,\n"
+               "    \"tree_records_per_s_median\": %.1f,\n"
                "    \"compiled_records_per_s\": %.1f,\n"
+               "    \"compiled_records_per_s_median\": %.1f,\n"
                "    \"speedup\": %.3f,\n"
                "    \"identical_output\": %s\n"
                "  }",
-               datasets.size(), lines, tree_rate, compiled_rate, speedup,
-               identical ? "true" : "false");
+               datasets.size(), lines, tree_rates.size(), tree_rate,
+               Median(tree_rates), compiled_rate, Median(compiled_rates),
+               speedup, identical ? "true" : "false");
   // 1.5x is the target; below 1.2x counts as a >20% throughput regression.
   return identical && speedup >= 1.2;
 }
@@ -733,6 +767,185 @@ SinkCase RunNormalizedSinkCase(int threads, bool quick) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Charset-engine microbench: one generation charset trial (tokenize every
+// line against an RT-CharSet, reduce, hash candidate boundaries) under the
+// scalar reference engine vs the resolved vectorized engine (SWAR/SSE2/AVX2
+// by runtime CPU detection, via the hoisted special-position index). The
+// candidate sets must be identical field for field — a mismatch fails the
+// process; throughput is reported best-of-rounds with median and round
+// count.
+// ---------------------------------------------------------------------------
+
+bool RunCharsetEngineBench(FILE* f, bool quick) {
+  Dataset data(MakeSinkCorpus(13, quick));
+  DatamaranOptions scalar_opts;
+  scalar_opts.charset_engine = CharsetEngine::kScalar;
+  DatamaranOptions simd_opts;  // default kSimd: resolves by CPU detection
+  CandidateGenerator scalar_gen(&data, &scalar_opts);
+  CandidateGenerator simd_gen(&data, &simd_opts);
+  const CharSet cs = CharSet::Of(",");
+
+  // Parity first: both engines must accumulate identical candidate bins
+  // (this also builds the vectorized generator's special-position index,
+  // so the timed rounds below measure the steady state both engines reach
+  // across a real search's many trials).
+  std::vector<CandidateTemplate> scalar_cands, simd_cands;
+  scalar_gen.RunCharset(cs, &scalar_cands);
+  simd_gen.RunCharset(cs, &simd_cands);
+  bool identical = scalar_cands.size() == simd_cands.size();
+  for (size_t i = 0; identical && i < scalar_cands.size(); ++i) {
+    identical =
+        scalar_cands[i].canonical == simd_cands[i].canonical &&
+        scalar_cands[i].coverage == simd_cands[i].coverage &&
+        scalar_cands[i].non_field_coverage ==
+            simd_cands[i].non_field_coverage &&
+        scalar_cands[i].span == simd_cands[i].span &&
+        scalar_cands[i].count == simd_cands[i].count &&
+        scalar_cands[i].first_line == simd_cands[i].first_line &&
+        scalar_cands[i].field_count == simd_cands[i].field_count;
+  }
+
+  auto time_block = [&](CandidateGenerator* gen, int reps) {
+    std::vector<CandidateTemplate> out;
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      out.clear();
+      gen->RunCharset(cs, &out);
+    }
+    const double s = timer.Seconds();
+    return s > 0 ? static_cast<double>(data.size_bytes()) *
+                       static_cast<double>(reps) / (1024.0 * 1024.0) / s
+                 : 0;
+  };
+  // Calibrate block size on the scalar engine so each round carries
+  // comparable, non-trivial work; alternate engines across rounds.
+  Timer calibrate;
+  (void)time_block(&scalar_gen, 1);
+  const double once = calibrate.Seconds();
+  const double per_block = quick ? 0.2 : 0.5;
+  const int reps =
+      once > 0 ? std::max(1, static_cast<int>(per_block / once)) : 1;
+  const int kRounds = quick ? 3 : 5;
+  std::vector<double> scalar_rates, simd_rates;
+  for (int round = 0; round < kRounds; ++round) {
+    scalar_rates.push_back(time_block(&scalar_gen, reps));
+    simd_rates.push_back(time_block(&simd_gen, reps));
+  }
+  const double scalar_best =
+      *std::max_element(scalar_rates.begin(), scalar_rates.end());
+  const double simd_best =
+      *std::max_element(simd_rates.begin(), simd_rates.end());
+  const double speedup = scalar_best > 0 ? simd_best / scalar_best : 0;
+
+  const CharsetEngine resolved =
+      ResolveCharsetEngine(simd_opts.charset_engine);
+  const char* resolved_name = CharsetEngineName(resolved);
+  std::printf("charset engines: scalar %.1f MB/s, %s%s%s%s %.1f MB/s "
+              "(%.2fx over %d rounds), identical: %s\n",
+              scalar_best, resolved_name,
+              resolved == CharsetEngine::kSimd ? " (" : "",
+              resolved == CharsetEngine::kSimd ? CharsetSimdLevel() : "",
+              resolved == CharsetEngine::kSimd ? ")" : "", simd_best,
+              speedup, kRounds,
+              identical ? "yes" : "NO — CHARSET ENGINE PARITY BUG");
+
+  std::fprintf(f,
+               ",\n"
+               "  \"charset_engine\": {\n"
+               "    \"bytes\": %zu,\n"
+               "    \"resolved_engine\": \"%s\",\n"
+               "    \"simd_level\": \"%s\",\n"
+               "    \"rounds\": %d,\n"
+               "    \"scalar_mb_per_s\": %.3f,\n"
+               "    \"scalar_mb_per_s_median\": %.3f,\n"
+               "    \"vectorized_mb_per_s\": %.3f,\n"
+               "    \"vectorized_mb_per_s_median\": %.3f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical_candidates\": %s\n"
+               "  }",
+               data.size_bytes(), resolved_name, CharsetSimdLevel(), kRounds,
+               scalar_best, Median(scalar_rates), simd_best,
+               Median(simd_rates), speedup, identical ? "true" : "false");
+  return identical;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation fast-path bench: the single-thread pipeline with MDL
+// bound-based pruning (waved bounded scoring + canonical batching +
+// bounded refinement) vs brute force (every retained candidate scored to
+// completion). The outputs must be byte-identical — pruning is provably
+// exact — and the candidate-evaluation phase (evaluation_s, which times
+// candidate scoring only; the top-K refinement that both runs share is
+// reported separately as refinement_s) must be at least 1.3x faster, or
+// the process fails (the CI smoke gate).
+// ---------------------------------------------------------------------------
+
+bool RunEvaluationBench(FILE* f, const std::vector<std::string>& texts,
+                        bool quick) {
+  DatamaranOptions pruned_opts;  // default: enable_mdl_pruning = true
+  DatamaranOptions brute_opts;
+  brute_opts.enable_mdl_pruning = false;
+  const int kRounds = quick ? 2 : 3;
+  std::vector<double> pruned_eval, brute_eval, pruned_total, brute_total;
+  std::vector<double> pruned_refine, brute_refine;
+  PipelineRun pruned_run, brute_run;
+  bool identical = true;
+  for (int round = 0; round < kRounds; ++round) {
+    pruned_run = RunPipelineWorkload(texts, 1, nullptr, &pruned_opts);
+    brute_run = RunPipelineWorkload(texts, 1, nullptr, &brute_opts);
+    identical = identical && pruned_run.signature == brute_run.signature;
+    pruned_eval.push_back(pruned_run.timings.evaluation_s);
+    brute_eval.push_back(brute_run.timings.evaluation_s);
+    pruned_refine.push_back(pruned_run.timings.refinement_s);
+    brute_refine.push_back(brute_run.timings.refinement_s);
+    pruned_total.push_back(pruned_run.timings.total_s);
+    brute_total.push_back(brute_run.timings.total_s);
+  }
+  const double pruned_best =
+      *std::min_element(pruned_eval.begin(), pruned_eval.end());
+  const double brute_best =
+      *std::min_element(brute_eval.begin(), brute_eval.end());
+  const double speedup = pruned_best > 0 ? brute_best / pruned_best : 0;
+
+  std::printf("evaluation: pruned %.3fs vs brute %.3fs (%.2fx over %d "
+              "rounds); %zu scored + %zu pruned of %zu; identical: %s\n",
+              pruned_best, brute_best, speedup, kRounds,
+              pruned_run.candidates_evaluated, pruned_run.candidates_pruned,
+              brute_run.candidates_evaluated,
+              identical ? "yes" : "NO — PRUNING EXACTNESS BUG");
+
+  std::fprintf(f,
+               ",\n"
+               "  \"evaluation\": {\n"
+               "    \"rounds\": %d,\n"
+               "    \"pruned_evaluation_s\": %.6f,\n"
+               "    \"pruned_evaluation_s_median\": %.6f,\n"
+               "    \"brute_evaluation_s\": %.6f,\n"
+               "    \"brute_evaluation_s_median\": %.6f,\n"
+               "    \"pruned_refinement_s\": %.6f,\n"
+               "    \"brute_refinement_s\": %.6f,\n"
+               "    \"pruned_total_s\": %.6f,\n"
+               "    \"brute_total_s\": %.6f,\n"
+               "    \"candidates_evaluated\": %zu,\n"
+               "    \"candidates_pruned\": %zu,\n"
+               "    \"brute_candidates_evaluated\": %zu,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical_output\": %s\n"
+               "  }",
+               kRounds, pruned_best, Median(pruned_eval), brute_best,
+               Median(brute_eval),
+               *std::min_element(pruned_refine.begin(), pruned_refine.end()),
+               *std::min_element(brute_refine.begin(), brute_refine.end()),
+               *std::min_element(pruned_total.begin(), pruned_total.end()),
+               *std::min_element(brute_total.begin(), brute_total.end()),
+               pruned_run.candidates_evaluated, pruned_run.candidates_pruned,
+               brute_run.candidates_evaluated, speedup,
+               identical ? "true" : "false");
+  // 1.3x is the gate: below it the fast path is not paying for itself.
+  return identical && speedup >= 1.3;
+}
+
 void PrintRunJson(FILE* f, const char* key, const PipelineRun& run,
                   int threads) {
   std::fprintf(f,
@@ -741,13 +954,15 @@ void PrintRunJson(FILE* f, const char* key, const PipelineRun& run,
                "    \"generation_s\": %.6f,\n"
                "    \"pruning_s\": %.6f,\n"
                "    \"evaluation_s\": %.6f,\n"
+               "    \"refinement_s\": %.6f,\n"
                "    \"extraction_s\": %.6f,\n"
                "    \"total_s\": %.6f,\n"
                "    \"mb_per_s\": %.3f\n"
                "  }",
                key, threads, run.timings.generation_s, run.timings.pruning_s,
-               run.timings.evaluation_s, run.timings.extraction_s,
-               run.timings.total_s, MbPerSec(run.bytes, run.timings.total_s));
+               run.timings.evaluation_s, run.timings.refinement_s,
+               run.timings.extraction_s, run.timings.total_s,
+               MbPerSec(run.bytes, run.timings.total_s));
 }
 
 int RunPipelineBench() {
@@ -815,6 +1030,8 @@ int RunPipelineBench() {
   PrintRunJson(f, "multi_thread", parallel, multi);
   const bool match_ok =
       RunMatchEngineBench(f, texts, std::move(workload_templates), quick);
+  const bool charset_ok = RunCharsetEngineBench(f, quick);
+  const bool eval_ok = RunEvaluationBench(f, texts, quick);
   // --- Large-file extraction through both backings (the mmap path). ---
   const size_t big_bytes = quick ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
   Rng rng(5);
@@ -920,8 +1137,8 @@ int RunPipelineBench() {
                norm_case.counts_match ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
-  return identical && mmap_identical && match_ok && sink_case.ok &&
-                 norm_case.ok
+  return identical && mmap_identical && match_ok && charset_ok && eval_ok &&
+                 sink_case.ok && norm_case.ok
              ? 0
              : 1;
 }

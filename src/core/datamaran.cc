@@ -1,8 +1,12 @@
 #include "core/datamaran.h"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "generation/generator.h"
@@ -19,7 +23,7 @@ namespace datamaran {
 
 Datamaran::Datamaran(DatamaranOptions options)
     : options_(std::move(options)),
-      scorer_(options_.match_engine),
+      scorer_(options_.match_engine, options_.charset_engine),
       pool_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreadCount(options_.num_threads))) {
   if (options_.verbose) SetLogLevel(LogLevel::kInfo);
@@ -27,10 +31,11 @@ Datamaran::Datamaran(DatamaranOptions options)
 
 ResidualMask MaskMatchedLines(const DatasetView& view,
                               const StructureTemplate& st, ThreadPool* pool,
-                              MatchEngine engine) {
+                              MatchEngine engine,
+                              CharsetEngine charset_engine) {
   const size_t n = view.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
-  const RecordMatcher matcher(&st, engine);
+  const RecordMatcher matcher(&st, engine, charset_engine);
 
   // Phase 1 (parallel): the match attempt at each live line is a pure
   // function of (window text, template), so all n attempts fan out across
@@ -96,7 +101,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
   // identity is stable and cached scores stay exact (score_cache.h). The
   // caching decorator serves both the candidate-scoring loop below and the
   // Refiner's unfold variants.
-  ScoreCache cache(options_.match_engine);
+  ScoreCache cache(options_.match_engine, options_.charset_engine);
   const CachingScorer cached_scorer(&scorer_,
                                     options_.enable_score_cache ? &cache
                                                                 : nullptr);
@@ -129,57 +134,193 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
     struct Scored {
       StructureTemplate st;
       double score;
+      size_t rank;  // retained-candidate index: the deterministic tie-break
     };
-    // Each retained candidate scores independently (parse, validate,
-    // auto-unfold, MDL) — the evaluation step's hot loop. Parallel workers
-    // fill per-candidate slots; collecting them in candidate order makes
-    // the scored list identical to the sequential loop's.
+    const size_t refine_k =
+        static_cast<size_t>(std::max(1, options_.refine_top_k));
+    const bool prune = options_.enable_mdl_pruning;
+    // Candidates score in waves. Within a wave all work is parallel over
+    // read-only shared state, so the pruning decisions are a pure function
+    // of the candidate order — never of thread count or timing. After each
+    // wave the threshold tightens to the kth-smallest exact total seen so
+    // far (k = refine_top_k): a later candidate whose MDL lower bound
+    // exceeds it is provably outside the final refinement top-K, because
+    // the final kth-best total can only be smaller. The retained list
+    // arrives best-first from assimilation pruning, so the opening wave is
+    // sized to exactly k — the minimum that can establish a threshold —
+    // and waves double up to kScoreWave from there: every candidate past
+    // the first k gets a bounded scan, and most of the tail aborts within
+    // a few scanned lines. The schedule is a fixed function of the
+    // options, and wave partitioning never affects which candidates
+    // survive, so output is byte-identical to brute force
+    // (PruningExactnessTest).
+    constexpr size_t kScoreWave = 32;
+    struct Prepared {
+      StructureTemplate plain;
+      StructureTemplate unfolded;
+      bool has_unfolded = false;
+      bool valid = false;
+    };
     std::vector<std::optional<Scored>> slots(retained.size());
-    ForEachIndex(pool_.get(), retained.size(), [&](size_t i, int) {
-      const CandidateTemplate& cand = retained[i];
-      auto parsed = StructureTemplate::FromCanonical(cand.canonical);
-      if (!parsed.ok()) return;
-      StructureTemplate st = std::move(parsed.value());
-      if (!st.Validate().ok()) return;
-      // Score the candidate in its most-typed form: constant-count arrays
-      // are unfolded first, otherwise a template whose payoff only shows
-      // after unfolding (e.g. "(F;)*F" for a fixed-width table) would rank
-      // below the trivial template and never reach refinement.
-      if (st.array_count() > 0) {
-        StructureTemplate unfolded = AutoUnfoldConstantArrays(
-            residual, st, /*max_passes=*/4, options_.match_engine);
-        double unfolded_score = cached_scorer.Score(residual, unfolded);
-        double plain_score = cached_scorer.Score(residual, st);
-        if (unfolded_score < plain_score) {
-          slots[i] = Scored{std::move(unfolded), unfolded_score};
-        } else {
-          slots[i] = Scored{std::move(st), plain_score};
+    std::vector<Prepared> prepared(std::min(kScoreWave, retained.size()));
+    // Unique canonicals of the current wave -> bounded score (nullopt =
+    // proved above threshold). Deduping batches the plain/unfolded variants
+    // that share a canonical structure, so each distinct structure walks
+    // the sample once per wave regardless of how many candidates cite it.
+    std::vector<std::pair<const StructureTemplate*, std::optional<double>>>
+        unique_scores;
+    std::unordered_map<std::string_view, size_t> unique_index;
+    std::vector<std::array<size_t, 2>> variant_of;
+    // Canonicals that pruned keep the threshold they failed against; the
+    // threshold only tightens, so a re-request at an equal-or-tighter one
+    // is answered without rescanning.
+    std::unordered_map<std::string, double> pruned_at;
+    std::vector<double> top_heap;  // max-heap of the k smallest exact totals
+    double threshold = std::numeric_limits<double>::infinity();
+    size_t wave_cap = prune ? std::min(refine_k, kScoreWave) : kScoreWave;
+    size_t wave_start = 0;
+    while (wave_start < retained.size()) {
+      const size_t wave = std::min(wave_cap, retained.size() - wave_start);
+      prepared.resize(wave);
+      wave_cap = std::min(wave_cap * 2, kScoreWave);
+      // Phase A (parallel): parse, validate, auto-unfold.
+      ForEachIndex(pool_.get(), wave, [&](size_t k, int) {
+        Prepared& prep = prepared[k];
+        prep = Prepared{};
+        const CandidateTemplate& cand = retained[wave_start + k];
+        auto parsed = StructureTemplate::FromCanonical(cand.canonical);
+        if (!parsed.ok()) return;
+        prep.plain = std::move(parsed.value());
+        if (!prep.plain.Validate().ok()) return;
+        prep.valid = true;
+        // Score the candidate in its most-typed form: constant-count
+        // arrays are unfolded first, otherwise a template whose payoff
+        // only shows after unfolding (e.g. "(F;)*F" for a fixed-width
+        // table) would rank below the trivial template and never reach
+        // refinement.
+        if (prep.plain.array_count() > 0) {
+          prep.unfolded = AutoUnfoldConstantArrays(
+              residual, prep.plain, /*max_passes=*/4, options_.match_engine,
+              options_.charset_engine);
+          prep.has_unfolded =
+              prep.unfolded.canonical() != prep.plain.canonical();
         }
-      } else {
-        double score = cached_scorer.Score(residual, st);
-        slots[i] = Scored{std::move(st), score};
+      });
+      // Phase B (sequential): collect the wave's unique canonicals. The
+      // string_view keys alias `prepared`, which is stable until phase D.
+      unique_scores.clear();
+      unique_index.clear();
+      variant_of.assign(wave, {SIZE_MAX, SIZE_MAX});
+      auto add_unique = [&](const StructureTemplate* st) {
+        auto [it, fresh] =
+            unique_index.emplace(st->canonical(), unique_scores.size());
+        if (fresh) unique_scores.emplace_back(st, std::nullopt);
+        return it->second;
+      };
+      for (size_t k = 0; k < wave; ++k) {
+        if (!prepared[k].valid) continue;
+        variant_of[k][0] = add_unique(&prepared[k].plain);
+        if (prepared[k].has_unfolded) {
+          variant_of[k][1] = add_unique(&prepared[k].unfolded);
+        }
       }
-    });
+      // Phase C (parallel): one bounded evaluation per unique canonical.
+      ForEachIndex(pool_.get(), unique_scores.size(), [&](size_t u, int) {
+        const StructureTemplate* st = unique_scores[u].first;
+        if (!prune) {
+          unique_scores[u].second = cached_scorer.Score(residual, *st);
+          return;
+        }
+        auto memo = pruned_at.find(std::string(st->canonical()));
+        if (memo != pruned_at.end() && threshold <= memo->second) {
+          return;  // pruned before at a looser-or-equal threshold
+        }
+        unique_scores[u].second =
+            cached_scorer.ScoreBounded(residual, *st, threshold);
+      });
+      // Phase D (sequential, candidate order): variant choice and
+      // threshold/memo updates. A candidate survives only when its exact
+      // score is determined: both variants exact -> min (ties keep plain,
+      // like the brute-force `unfolded < plain` test); one exact at or
+      // under the threshold while the other pruned -> the exact one wins
+      // outright (the pruned variant's true total is strictly above the
+      // threshold); anything else is provably above the threshold, hence
+      // outside the top-K — drop it.
+      for (size_t k = 0; k < wave; ++k) {
+        if (!prepared[k].valid) continue;
+        Prepared& prep = prepared[k];
+        const std::optional<double>& plain_score =
+            unique_scores[variant_of[k][0]].second;
+        const std::optional<double> unfolded_score =
+            variant_of[k][1] != SIZE_MAX
+                ? unique_scores[variant_of[k][1]].second
+                : std::nullopt;
+        std::optional<Scored> pick;
+        const size_t rank = wave_start + k;
+        if (plain_score.has_value() && unfolded_score.has_value()) {
+          pick = *unfolded_score < *plain_score
+                     ? Scored{std::move(prep.unfolded), *unfolded_score, rank}
+                     : Scored{std::move(prep.plain), *plain_score, rank};
+        } else if (plain_score.has_value() && !prep.has_unfolded) {
+          pick = Scored{std::move(prep.plain), *plain_score, rank};
+        } else if (plain_score.has_value() && *plain_score <= threshold) {
+          pick = Scored{std::move(prep.plain), *plain_score, rank};
+        } else if (unfolded_score.has_value() &&
+                   *unfolded_score <= threshold) {
+          pick = Scored{std::move(prep.unfolded), *unfolded_score, rank};
+        }
+        if (!pick.has_value()) {
+          if (stats != nullptr) stats->candidates_pruned++;
+          continue;
+        }
+        if (stats != nullptr) stats->candidates_evaluated++;
+        const double score = pick->score;
+        slots[rank] = std::move(pick);
+        if (top_heap.size() < refine_k) {
+          top_heap.push_back(score);
+          std::push_heap(top_heap.begin(), top_heap.end());
+        } else if (score < top_heap.front()) {
+          std::pop_heap(top_heap.begin(), top_heap.end());
+          top_heap.back() = score;
+          std::push_heap(top_heap.begin(), top_heap.end());
+        }
+      }
+      for (const auto& [st, sc] : unique_scores) {
+        if (prune && !sc.has_value()) {
+          double& bound = pruned_at[std::string(st->canonical())];
+          bound = std::max(bound, threshold);
+        }
+      }
+      if (prune && top_heap.size() == refine_k) {
+        threshold = top_heap.front();
+      }
+      wave_start += wave;
+    }
     std::vector<Scored> scored;
     scored.reserve(retained.size());
     for (std::optional<Scored>& slot : slots) {
       if (!slot.has_value()) continue;
-      if (stats != nullptr) stats->candidates_evaluated++;
       scored.push_back(std::move(*slot));
     }
     if (scored.empty()) {
       if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
       break;
     }
+    // Total order (score, then retained rank): ties at the top-K boundary
+    // resolve identically whether or not later candidates were pruned.
     std::sort(scored.begin(), scored.end(),
               [](const Scored& a, const Scored& b) {
-                return a.score < b.score;
+                return a.score != b.score ? a.score < b.score
+                                          : a.rank < b.rank;
               });
+
+    if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
 
     // --- Refinement: refine the best few candidates, then pick the best
     // refined score. Unfolding changes relative order (it exposes
     // per-column types), so refining only the unrefined winner would let
     // overly generic templates that merge record types slip through.
+    Timer refine_timer;
     Refiner refiner(residual, &cached_scorer, &options_);
     size_t refine_count = std::min(
         scored.size(), static_cast<size_t>(std::max(1, options_.refine_top_k)));
@@ -198,9 +339,12 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
       }
     }
 
+    if (timings != nullptr) timings->refinement_s += refine_timer.Seconds();
+
     // Accept only if the structure beats describing the residual as noise.
+    Timer accept_timer;
     MdlBreakdown breakdown = scorer_.Evaluate(residual, refined.st);
-    if (timings != nullptr) timings->evaluation_s += eval_timer.Seconds();
+    if (timings != nullptr) timings->evaluation_s += accept_timer.Seconds();
     if (breakdown.total_bits >
         breakdown.noise_only_bits * (1 - options_.min_mdl_gain)) {
       DM_LOG(kInfo, "round %d: best template rejected (%.0f vs noise %.0f)",
@@ -228,7 +372,8 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
 
     // --- Residual for the next round: index-only mask-and-compact ---
     ResidualMask mask = MaskMatchedLines(residual, refined.st, pool_.get(),
-                                         options_.match_engine);
+                                         options_.match_engine,
+                                         options_.charset_engine);
     if (stats != nullptr) stats->residual_copy_bytes += mask.assembled_bytes;
     if (mask.removed_lines.empty()) break;  // nothing matched
     residual = std::move(mask.view);
@@ -255,7 +400,8 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
                                        &result.reports);
   Timer extract_timer;
   data.Advise(AccessHint::kSequential);
-  Extractor extractor(&result.templates, pool_.get(), options_.match_engine);
+  Extractor extractor(&result.templates, pool_.get(), options_.match_engine,
+                      options_.charset_engine);
   result.extraction = extractor.Extract(data);
   data.Advise(AccessHint::kNormal);
   result.timings.extraction_s = extract_timer.Seconds();

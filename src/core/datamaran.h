@@ -46,6 +46,10 @@ struct StepTimings {
   double generation_s = 0;
   double pruning_s = 0;
   double evaluation_s = 0;
+  /// Refinement of the top-K scored candidates (unfold loop + structure
+  /// shifting). Separate from evaluation_s so the candidate-scoring fast
+  /// path (bound-based pruning) is measurable in isolation.
+  double refinement_s = 0;
   double extraction_s = 0;
   double total_s = 0;
 };
@@ -64,6 +68,10 @@ struct PipelineStats {
   size_t charsets_tried = 0;
   size_t candidates_generated = 0;  // K: survivors of generation, all rounds
   size_t candidates_evaluated = 0;
+  /// Retained candidates skipped by the evaluation step's bound-based
+  /// pruning (their MDL lower bound proved them outside the refinement
+  /// top-K; see core/datamaran.cc). Always 0 with enable_mdl_pruning off.
+  size_t candidates_pruned = 0;
   size_t sample_bytes = 0;
   int rounds = 0;
   /// Cross-round score cache effectiveness (0/0 when the cache is off).
@@ -142,7 +150,9 @@ struct ResidualMask {
 ResidualMask MaskMatchedLines(const DatasetView& view,
                               const StructureTemplate& st,
                               ThreadPool* pool = nullptr,
-                              MatchEngine engine = MatchEngine::kCompiled);
+                              MatchEngine engine = MatchEngine::kCompiled,
+                              CharsetEngine charset_engine =
+                                  CharsetEngine::kSimd);
 
 }  // namespace datamaran
 

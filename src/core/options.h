@@ -7,6 +7,7 @@
 #include "core/dataset.h"
 #include "template/match_engine.h"
 #include "util/char_class.h"
+#include "util/charset_engine.h"
 
 /// Configuration for the Datamaran pipeline. Field names follow the paper's
 /// notation (Table 2): alpha = minimum coverage threshold, L = maximum
@@ -75,6 +76,23 @@ struct DatamaranOptions {
   /// recursive walker. Pipeline output is byte-identical between engines —
   /// the switch trades nothing but speed.
   MatchEngine match_engine = MatchEngine::kCompiled;
+
+  /// Byte-classification engine for the charset hot loops: generation's
+  /// per-line tokenization (RunCharset's special-position index) and the
+  /// compiled match engine's wide-stop-set field scans. kSimd resolves by
+  /// runtime CPU detection (AVX2 > SSE2) and degrades down the ladder
+  /// (kSwar, then kScalar) on hardware without vector support; kScalar is
+  /// the per-byte reference. Pipeline output is byte-identical across all
+  /// three — the switch trades nothing but speed (util/byte_class.h).
+  CharsetEngine charset_engine = CharsetEngine::kSimd;
+
+  /// Bound-based candidate pruning in the evaluation step: candidates whose
+  /// running MDL lower bound already exceeds the current top-K threshold
+  /// abort scoring early. Exact — the refined template and all pipeline
+  /// output are identical with pruning on or off (the pruned candidates are
+  /// provably outside the refinement top-K). Disable to measure the
+  /// brute-force cost.
+  bool enable_mdl_pruning = true;
 
   /// Maximum number of record types extracted from an interleaved dataset
   /// (the Generation-Pruning-Evaluation loop re-runs on the residual).

@@ -94,10 +94,11 @@ constexpr size_t kMinLinesPerChunk = 256;
 }  // namespace
 
 Extractor::Extractor(const std::vector<StructureTemplate>* templates,
-                     ThreadPool* pool, MatchEngine engine)
+                     ThreadPool* pool, MatchEngine engine,
+                     CharsetEngine charset_engine)
     : templates_(templates),
       pool_(pool),
-      matchers_(BuildMatchers(*templates, engine)),
+      matchers_(BuildMatchers(*templates, engine, charset_engine)),
       index_(matchers_) {
   for (const StructureTemplate& st : *templates_) {
     spans_.push_back(std::max(1, st.line_span()));

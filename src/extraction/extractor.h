@@ -157,7 +157,8 @@ class Extractor {
   /// more than one thread, the streaming scans shard across it.
   explicit Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool = nullptr,
-                     MatchEngine engine = MatchEngine::kCompiled);
+                     MatchEngine engine = MatchEngine::kCompiled,
+                     CharsetEngine charset_engine = CharsetEngine::kSimd);
 
   /// Streams each record's flat MatchEvent parse into `sink` in scan order;
   /// returns coverage statistics. This is the one scan implementation — the

@@ -137,6 +137,25 @@ CandidateGenerator::CandidateGenerator(DatasetView sample,
     if (static_cast<int>(search_chars_.size()) >= limit) break;
     search_chars_.push_back(c);
   }
+  for (char c : search_chars_) {
+    pool_charset_.Add(static_cast<unsigned char>(c));
+  }
+  pool_charset_.Add('\n');
+  charset_engine_ = ResolveCharsetEngine(options_->charset_engine);
+  pool_classifier_ = ByteClassifier(pool_charset_, charset_engine_);
+}
+
+void CandidateGenerator::BuildSpecialIndex(GenerationWorkspace* ws) const {
+  const size_t n = sample_.line_count();
+  ws->special_pos.clear();
+  ws->special_begin.resize(n + 1);
+  for (size_t k = 0; k < n; ++k) {
+    ws->special_begin[k] = ws->special_pos.size();
+    pool_classifier_.AppendMemberPositions(sample_.line_with_newline(k),
+                                           &ws->special_pos);
+  }
+  ws->special_begin[n] = ws->special_pos.size();
+  ws->special_index_built = true;
 }
 
 double CandidateGenerator::RunCharset(const CharSet& rt_charset,
@@ -166,14 +185,41 @@ double CandidateGenerator::RunCharset(const CharSet& rt_charset,
   line_has_field_.resize(n);
 
   // Per-line record templates, reduced and hashed once for this charset;
-  // the field-character count falls out of the same single scan.
+  // the field-character count falls out of the same single scan. With a
+  // vector charset engine, membership was classified once per workspace
+  // into the special-position index (every trial charset is a subset of
+  // the pool), so each trial walks only the special positions — emitting a
+  // member byte per position in the trial set and one 'F' per gap — which
+  // is exactly what the per-byte reference scan produces. Charsets outside
+  // the pool (only reachable via the public RunCharset) use the reference.
+  const bool indexed = charset_engine_ != CharsetEngine::kScalar &&
+                       charset.IsSubsetOf(pool_charset_);
+  if (indexed && !ws->special_index_built) BuildSpecialIndex(ws);
+
   std::string& raw_template = ws->raw_template;
   prefix_len_[0] = prefix_field_len_[0] = 0;
   for (size_t k = 0; k < n; ++k) {
     std::string_view line = sample_.line_with_newline(k);
     raw_template.clear();
-    const size_t field_chars =
-        AppendRecordTemplateCounting(line, charset, &raw_template);
+    size_t field_chars;
+    if (indexed) {
+      const size_t e = ws->special_begin[k + 1];
+      size_t cursor = 0;   // offset just past the last consumed member
+      size_t members = 0;  // trial-set members seen on this line
+      for (size_t s = ws->special_begin[k]; s < e; ++s) {
+        const uint32_t pos = ws->special_pos[s];
+        const char c = line[pos];
+        if (!charset.Contains(static_cast<unsigned char>(c))) continue;
+        if (pos > cursor) raw_template.push_back('F');
+        raw_template.push_back(c);
+        cursor = pos + 1;
+        ++members;
+      }
+      if (cursor < line.size()) raw_template.push_back('F');
+      field_chars = line.size() - members;
+    } else {
+      field_chars = AppendRecordTemplateCounting(line, charset, &raw_template);
+    }
     ReduceToCanonical(raw_template, &ws->reduce_ws, &line_canonical_[k]);
     line_hash_[k] = Fnv1a(line_canonical_[k]);
     prefix_len_[k + 1] = prefix_len_[k] + line.size();

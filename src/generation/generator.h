@@ -10,7 +10,9 @@
 #include "core/options.h"
 #include "generation/candidates.h"
 #include "template/record_template.h"
+#include "util/byte_class.h"
 #include "util/char_class.h"
+#include "util/charset_engine.h"
 
 /// The generation step (Section 4.1): find all structure templates with at
 /// least alpha% coverage by (1) enumerating RT-CharSet values, (2)
@@ -71,6 +73,16 @@ struct GenerationWorkspace {
   std::vector<size_t> prefix_len;         // raw chars, prefix sum
   std::vector<size_t> prefix_field_len;   // field chars, prefix sum
   std::vector<uint8_t> line_has_field;
+  /// The hoisted per-line class vector: for every line, the positions of
+  /// the bytes in the generator's special-character pool (line-relative,
+  /// ascending; line k owns special_pos[special_begin[k] ..
+  /// special_begin[k+1])). Every trial RT-CharSet is a subset of the pool,
+  /// so membership is classified once per workspace — with the configured
+  /// charset engine — and each trial only walks these positions instead of
+  /// re-scanning every byte of every line per charset.
+  std::vector<uint32_t> special_pos;
+  std::vector<size_t> special_begin;
+  bool special_index_built = false;
   /// (boundary pair, charset) candidates hashed, accumulated across calls.
   size_t records_hashed = 0;
 };
@@ -123,11 +135,20 @@ class CandidateGenerator {
   void MergeCandidates(std::vector<CandidateTemplate>* accumulated,
                        MergeIndex* index,
                        std::vector<CandidateTemplate>&& fresh) const;
+  /// Builds the workspace's special-position index (one classifier pass
+  /// over every live line of the sample).
+  void BuildSpecialIndex(GenerationWorkspace* ws) const;
 
   DatasetView sample_;
   const DatamaranOptions* options_;
   ThreadPool* pool_;
   std::vector<char> search_chars_;
+  /// search_chars_ plus '\n' — the superset every trial charset draws from.
+  CharSet pool_charset_;
+  /// Resolved charset engine; kScalar keeps the original per-byte path.
+  CharsetEngine charset_engine_ = CharsetEngine::kScalar;
+  /// Pool-charset classifier driving BuildSpecialIndex.
+  ByteClassifier pool_classifier_;
   size_t records_hashed_ = 0;
 
   // Scratch for the single-threaded public RunCharset overload.

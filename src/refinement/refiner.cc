@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -83,16 +84,30 @@ void CloneUnfolding(const TemplateNode& node, int target, size_t reps,
 
 std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
                                                 const StructureTemplate& st,
-                                                MatchEngine engine) {
+                                                MatchEngine engine,
+                                                CharsetEngine charset_engine,
+                                                bool constancy_only) {
   std::vector<ArrayCountStats> stats(
       static_cast<size_t>(CountArrays(st.root())));
   if (stats.empty()) return stats;
   std::unordered_map<const TemplateNode*, int> array_index;
   int next = 0;
   IndexArrays(st.root(), &next, &array_index);
-  const RecordMatcher matcher(&st, engine);
+  const RecordMatcher matcher(&st, engine, charset_engine);
   std::vector<MatchEvent> events;
   std::string scratch;
+  size_t nonconstant = 0;
+  size_t matched = 0;
+  // Constancy-only callers decide from a bounded probe: past this many
+  // matched records with a count that never varied, the count is taken as
+  // constant without walking the rest of the sample — and past this many
+  // parse *attempts*, the scan stops outright, so a template that matches
+  // almost nothing cannot spend a full sample walk discovering that. See
+  // the header contract for why this is a ranking heuristic, not a
+  // correctness risk.
+  constexpr size_t kConstancyProbe = 16;
+  constexpr size_t kConstancyTries = 128;
+  size_t tries = 0;
   size_t li = 0;
   const size_t n = sample.line_count();
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
@@ -103,9 +118,11 @@ std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
       ++li;
       continue;
     }
+    if (constancy_only && ++tries > kConstancyTries) break;
     const DatasetView::SpanText win = sample.ResolveSpan(li, span, &scratch);
     auto parsed = matcher.ParseFlat(win.text, win.pos, &events);
     if (parsed.has_value()) {
+      ++matched;
       // Every array instantiation — outer arrays once per record, nested
       // arrays once per enclosing repetition — emits one kArrayCount event,
       // exactly the visits the old ParsedValue walk made.
@@ -115,11 +132,20 @@ std::vector<ArrayCountStats> CollectArrayCounts(const DatasetView& sample,
             stats[static_cast<size_t>(array_index.at(ev.node))];
         if (s.occurrences == 0) {
           s.min_count = s.max_count = ev.count;
+        } else if (s.min_count == s.max_count &&
+                   ev.count != s.min_count) {
+          s.min_count = std::min(s.min_count, ev.count);
+          s.max_count = std::max(s.max_count, ev.count);
+          ++nonconstant;  // constant -> non-constant, a one-way transition
         } else {
           s.min_count = std::min(s.min_count, ev.count);
           s.max_count = std::max(s.max_count, ev.count);
         }
         s.occurrences++;
+      }
+      if (constancy_only &&
+          (nonconstant == stats.size() || matched >= kConstancyProbe)) {
+        break;
       }
       li += span;
     } else {
@@ -172,8 +198,9 @@ std::vector<StructureTemplate> LineRotations(const StructureTemplate& st) {
 }
 
 size_t FirstOccurrenceLine(const DatasetView& sample,
-                           const StructureTemplate& st, MatchEngine engine) {
-  const RecordMatcher matcher(&st, engine);
+                           const StructureTemplate& st, MatchEngine engine,
+                           CharsetEngine charset_engine) {
+  const RecordMatcher matcher(&st, engine, charset_engine);
   std::string scratch;
   const size_t span = static_cast<size_t>(std::max(1, st.line_span()));
   for (size_t li = 0; li < sample.line_count(); ++li) {
@@ -188,10 +215,12 @@ size_t FirstOccurrenceLine(const DatasetView& sample,
 
 StructureTemplate AutoUnfoldConstantArrays(const DatasetView& sample,
                                            const StructureTemplate& st,
-                                           int max_passes, MatchEngine engine) {
+                                           int max_passes, MatchEngine engine,
+                                           CharsetEngine charset_engine) {
   StructureTemplate current = st;
   for (int pass = 0; pass < max_passes; ++pass) {
-    auto counts = CollectArrayCounts(sample, current, engine);
+    auto counts = CollectArrayCounts(sample, current, engine, charset_engine,
+                                     /*constancy_only=*/true);
     bool changed = false;
     for (int a = 0; a < static_cast<int>(counts.size()); ++a) {
       const ArrayCountStats& s = counts[static_cast<size_t>(a)];
@@ -219,8 +248,9 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
   bool improved = true;
   while (improved) {
     improved = false;
-    auto counts =
-        CollectArrayCounts(sample_, current.st, options_->match_engine);
+    auto counts = CollectArrayCounts(sample_, current.st,
+                                     options_->match_engine,
+                                     options_->charset_engine);
     for (int a = 0; a < static_cast<int>(counts.size()) && !improved; ++a) {
       const ArrayCountStats& s = counts[static_cast<size_t>(a)];
       if (s.occurrences == 0) continue;
@@ -238,12 +268,18 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
       for (const auto& [reps, keep] : variants) {
         StructureTemplate variant = UnfoldArray(current.st, a, reps, keep);
         if (variant.empty() || !variant.Validate().ok()) continue;
-        double score = scorer_->Score(sample_, variant);
-        if (score < current.score) {
+        // Bounded scoring is exact here: acceptance needs a score strictly
+        // below current.score, and a pruned evaluation proves the variant's
+        // total is strictly above it — rejected either way.
+        std::optional<double> score =
+            options_->enable_mdl_pruning
+                ? scorer_->ScoreBounded(sample_, variant, current.score)
+                : std::optional<double>(scorer_->Score(sample_, variant));
+        if (score.has_value() && *score < current.score) {
           DM_LOG(kInfo, "refine: unfold a=%d reps=%zu keep=%d: %.0f -> %.0f",
-                 a, reps, keep ? 1 : 0, current.score, score);
+                 a, reps, keep ? 1 : 0, current.score, *score);
           current.st = std::move(variant);
-          current.score = score;
+          current.score = *score;
           improved = true;
           break;
         }
@@ -255,10 +291,12 @@ Refiner::Refined Refiner::Refine(const StructureTemplate& st) const {
   auto rotations = LineRotations(current.st);
   if (!rotations.empty()) {
     size_t best_line =
-        FirstOccurrenceLine(sample_, current.st, options_->match_engine);
+        FirstOccurrenceLine(sample_, current.st, options_->match_engine,
+                            options_->charset_engine);
     const StructureTemplate* best = nullptr;
     for (const StructureTemplate& rot : rotations) {
-      size_t line = FirstOccurrenceLine(sample_, rot, options_->match_engine);
+      size_t line = FirstOccurrenceLine(sample_, rot, options_->match_engine,
+                                        options_->charset_engine);
       if (line < best_line) {
         best_line = line;
         best = &rot;

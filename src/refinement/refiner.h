@@ -39,9 +39,23 @@ struct ArrayCountStats {
 /// parsing all matches of `st` in the live lines of `sample`. Counts come
 /// straight from the flat kArrayCount event stream — no ParsedValue tree is
 /// materialized.
+/// With `constancy_only` the scan stops as soon as every array has shown
+/// two distinct counts (non-constancy is sticky, so no further record can
+/// make any array constant again) — or once a bounded probe of matched
+/// records has gone by with a count never varying, which is taken as
+/// constant without walking the rest of the sample. The probe is a ranking
+/// heuristic, not a correctness risk: the only consumer
+/// (AutoUnfoldConstantArrays) picks which *extra* variant gets scored, the
+/// plain template is always scored alongside it, and every pipeline scores
+/// through the same decision — so a wrong guess can only add a
+/// poorly-scoring variant, never change what a score means. Callers that
+/// read exact `min_count`/`max_count` over the whole sample (the Refiner's
+/// partial unfolds) need the full scan.
 std::vector<ArrayCountStats> CollectArrayCounts(
     const DatasetView& sample, const StructureTemplate& st,
-    MatchEngine engine = MatchEngine::kCompiled);
+    MatchEngine engine = MatchEngine::kCompiled,
+    CharsetEngine charset_engine = CharsetEngine::kSimd,
+    bool constancy_only = false);
 
 /// Rewrites array node `array_index` (pre-order). If `keep_array` is false
 /// the array is fully expanded into `reps` copies (reps >= 1); otherwise
@@ -57,7 +71,8 @@ std::vector<StructureTemplate> LineRotations(const StructureTemplate& st);
 /// View-line index of the first match of `st` in `sample`, or SIZE_MAX.
 size_t FirstOccurrenceLine(const DatasetView& sample,
                            const StructureTemplate& st,
-                           MatchEngine engine = MatchEngine::kCompiled);
+                           MatchEngine engine = MatchEngine::kCompiled,
+                           CharsetEngine charset_engine = CharsetEngine::kSimd);
 
 /// Unfolds every array whose observed repetition count is constant across
 /// the sample (iterated up to `max_passes`). A constant-count array is
@@ -67,7 +82,8 @@ size_t FirstOccurrenceLine(const DatasetView& sample,
 /// array qualifies or the unfold fails validation.
 StructureTemplate AutoUnfoldConstantArrays(
     const DatasetView& sample, const StructureTemplate& st, int max_passes = 4,
-    MatchEngine engine = MatchEngine::kCompiled);
+    MatchEngine engine = MatchEngine::kCompiled,
+    CharsetEngine charset_engine = CharsetEngine::kSimd);
 
 class Refiner {
  public:

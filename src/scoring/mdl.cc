@@ -15,10 +15,19 @@ double MdlScorer::ScoreSet(
   return EvaluateSet(sample, templates).total_bits;
 }
 
+std::optional<double> MdlScorer::ScoreBounded(const DatasetView& sample,
+                                              const StructureTemplate& st,
+                                              double abort_above) const {
+  std::vector<const StructureTemplate*> ts = {&st};
+  MdlBreakdown b = EvaluateSet(sample, ts, nullptr, abort_above);
+  if (b.pruned) return std::nullopt;
+  return b.total_bits;
+}
+
 MdlBreakdown MdlScorer::EvaluateSet(
     const DatasetView& sample,
     const std::vector<const StructureTemplate*>& templates,
-    std::vector<uint32_t>* covered_lines) const {
+    std::vector<uint32_t>* covered_lines, double abort_above) const {
   MdlBreakdown out;
   if (covered_lines != nullptr) covered_lines->clear();
   // Noise is charged 8 bits per character including the line's '\n'
@@ -35,7 +44,7 @@ MdlBreakdown MdlScorer::EvaluateSet(
   collectors.reserve(templates.size());
   spans.reserve(templates.size());
   for (const StructureTemplate* st : templates) {
-    matchers.emplace_back(st, engine_);
+    matchers.emplace_back(st, engine_, charset_engine_);
     collectors.emplace_back(st);
     spans.push_back(static_cast<size_t>(std::max(1, st->line_span())));
   }
@@ -52,6 +61,13 @@ MdlBreakdown MdlScorer::EvaluateSet(
       templates.size() > 1
           ? Log2Ceil(static_cast<double>(templates.size()))
           : 0;
+
+  // Model bits are a fixed, scan-independent term; charging them up front
+  // makes the running partial below a valid lower bound from line one.
+  for (const StructureTemplate* st : templates) {
+    out.model_bits += 8.0 * static_cast<double>(st->canonical().size());
+  }
+  out.model_bits += 32;
 
   // The scan parses with the flat event API into one reused buffer: no
   // ParsedValue tree (a vector-of-children allocation per node per record)
@@ -81,6 +97,7 @@ MdlBreakdown MdlScorer::EvaluateSet(
     li += spans[t];
     return true;
   };
+  const bool bounded = abort_above < std::numeric_limits<double>::infinity();
   while (li < n) {
     // Lines always contain at least their '\n', so front() is safe; the
     // first byte keys both the index dispatch and the singleton filter.
@@ -103,15 +120,27 @@ MdlBreakdown MdlScorer::EvaluateSet(
       out.noise_lines += 1;
       ++li;
     }
+    if (bounded) {
+      // Every accumulated term is nonnegative and the remaining terms
+      // (unscanned lines, per-column field/array-count bits) only add, so
+      // the partial sum is a true lower bound on the final total: once it
+      // strictly exceeds abort_above, the exact total must too.
+      const double lower =
+          out.model_bits + out.noise_bits + out.record_bits +
+          static_cast<double>(out.records + out.noise_lines);
+      if (lower > abort_above) {
+        out.pruned = true;
+        out.total_bits = lower;
+        if (covered_lines != nullptr) covered_lines->clear();
+        return out;
+      }
+    }
   }
 
   for (size_t t = 0; t < templates.size(); ++t) {
-    out.model_bits += 8.0 * static_cast<double>(
-                          templates[t]->canonical().size());
     out.record_bits +=
         collectors[t].FieldBits() + collectors[t].ArrayCountBits();
   }
-  out.model_bits += 32;
   // The paper's "32 + m" term: one record/noise flag per block, where a
   // block is one record or one noise line (Definition 2.4). This makes a
   // template that explains k lines as one record cheaper than one that

@@ -2,12 +2,15 @@
 #define DATAMARAN_SCORING_MDL_H_
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "core/dataset.h"
 #include "scoring/field_stats.h"
 #include "template/match_engine.h"
 #include "template/template.h"
+#include "util/charset_engine.h"
 
 /// The regularity score F(T,S) (Problem 2). Datamaran treats the scorer as
 /// a black box — any function mimicking human judgment plugs in via the
@@ -52,6 +55,20 @@ class RegularityScorer {
     std::vector<const StructureTemplate*> ts = {&st};
     return ScoreSet(sample, ts);
   }
+
+  /// Bounded form of Score: returns the exact score, or std::nullopt when
+  /// the scorer proved score > abort_above without finishing the
+  /// evaluation (the MDL scan's running partial sum is a monotone lower
+  /// bound, so the proof is exact — see MdlScorer::EvaluateSet). A
+  /// returned value is always the exact score, even when it exceeds
+  /// abort_above; only nullopt carries the "provably worse" verdict. The
+  /// default implementation never aborts.
+  virtual std::optional<double> ScoreBounded(const DatasetView& sample,
+                                             const StructureTemplate& st,
+                                             double abort_above) const {
+    (void)abort_above;
+    return Score(sample, st);
+  }
 };
 
 /// Detailed evaluation output, used by the pipeline's accept/reject logic
@@ -69,6 +86,11 @@ struct MdlBreakdown {
   size_t record_lines = 0;
   /// Characters covered by matched records.
   size_t covered_chars = 0;
+  /// True when the evaluation aborted early because its running lower
+  /// bound exceeded the caller's abort_above; total_bits then holds that
+  /// lower bound (a proof that the true total is larger), not the exact
+  /// total, and the other tallies cover only the scanned prefix.
+  bool pruned = false;
 };
 
 /// Minimum-description-length scorer (Section 9.2). The scan matches
@@ -80,7 +102,9 @@ struct MdlBreakdown {
 class MdlScorer : public RegularityScorer {
  public:
   MdlScorer() = default;
-  explicit MdlScorer(MatchEngine engine) : engine_(engine) {}
+  explicit MdlScorer(MatchEngine engine,
+                     CharsetEngine charset_engine = CharsetEngine::kSimd)
+      : engine_(engine), charset_engine_(charset_engine) {}
 
   MatchEngine engine() const { return engine_; }
 
@@ -88,14 +112,27 @@ class MdlScorer : public RegularityScorer {
                   const std::vector<const StructureTemplate*>& templates)
       const override;
 
+  /// Exact bound-based early abort: every term of the MDL total is
+  /// nonnegative and the scan accumulates them monotonically, so the
+  /// running partial (model + flags-so-far + noise-so-far +
+  /// record-bits-so-far) is a true lower bound on the final total. The
+  /// scan aborts — returning nullopt — as soon as that bound strictly
+  /// exceeds abort_above.
+  std::optional<double> ScoreBounded(const DatasetView& sample,
+                                     const StructureTemplate& st,
+                                     double abort_above) const override;
+
   /// Full breakdown; ScoreSet returns .total_bits of this. When
   /// `covered_lines` is non-null it receives the *physical* (backing
   /// dataset) indices of every record-covered line, ascending — the
-  /// invalidation key for the cross-round score cache.
+  /// invalidation key for the cross-round score cache. A finite
+  /// `abort_above` arms the early abort (see ScoreBounded); on abort the
+  /// breakdown comes back with .pruned set and covered_lines cleared.
   MdlBreakdown EvaluateSet(
       const DatasetView& sample,
       const std::vector<const StructureTemplate*>& templates,
-      std::vector<uint32_t>* covered_lines = nullptr) const;
+      std::vector<uint32_t>* covered_lines = nullptr,
+      double abort_above = std::numeric_limits<double>::infinity()) const;
 
   MdlBreakdown Evaluate(const DatasetView& sample, const StructureTemplate& st,
                         std::vector<uint32_t>* covered_lines = nullptr) const {
@@ -105,6 +142,7 @@ class MdlScorer : public RegularityScorer {
 
  private:
   MatchEngine engine_ = MatchEngine::kCompiled;
+  CharsetEngine charset_engine_ = CharsetEngine::kSimd;
 };
 
 }  // namespace datamaran

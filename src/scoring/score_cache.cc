@@ -50,8 +50,9 @@ std::vector<uint32_t> SplicePositions(const std::vector<uint32_t>& removed,
 bool AnySpliceWindowMatches(const StructureTemplate& st, size_t span,
                             const std::vector<uint32_t>& splices,
                             const DatasetView& view, MatchEngine engine,
+                            CharsetEngine charset_engine,
                             std::string* scratch) {
-  const RecordMatcher matcher(&st, engine);
+  const RecordMatcher matcher(&st, engine, charset_engine);
   const size_t n = view.line_count();
   size_t next_unchecked = 0;  // dedupes overlapping ranges of close splices
   for (uint32_t v : splices) {
@@ -124,7 +125,7 @@ void ScoreCache::InvalidateRemovedLines(
           drop = true;
         } else {
           drop = AnySpliceWindowMatches(*e.st, span, *splices, new_view,
-                                        engine_, &scratch);
+                                        engine_, charset_engine_, &scratch);
         }
       }
     }
@@ -159,6 +160,30 @@ double CachingScorer::ScoreSet(
   }
   ScoreCache::Entry entry;
   MdlBreakdown b = base_->EvaluateSet(sample, templates, &entry.covered_lines);
+  entry.base_bits = b.model_bits + b.record_bits;
+  entry.records = b.records;
+  entry.record_lines = b.record_lines;
+  entry.covered_chars = b.covered_chars;
+  entry.line_span = std::max(1, st.line_span());
+  if (entry.line_span > 1) {
+    entry.st = std::make_shared<const StructureTemplate>(st);
+  }
+  cache_->Insert(st.canonical(), std::move(entry));
+  return b.total_bits;
+}
+
+std::optional<double> CachingScorer::ScoreBounded(const DatasetView& sample,
+                                                  const StructureTemplate& st,
+                                                  double abort_above) const {
+  if (cache_ == nullptr) return base_->ScoreBounded(sample, st, abort_above);
+  if (auto cached = cache_->Lookup(st.canonical(), sample)) {
+    return *cached;
+  }
+  std::vector<const StructureTemplate*> ts = {&st};
+  ScoreCache::Entry entry;
+  MdlBreakdown b =
+      base_->EvaluateSet(sample, ts, &entry.covered_lines, abort_above);
+  if (b.pruned) return std::nullopt;  // a bound, not a total: never cached
   entry.base_bits = b.model_bits + b.record_bits;
   entry.records = b.records;
   entry.record_lines = b.record_lines;

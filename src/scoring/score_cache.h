@@ -59,11 +59,12 @@ namespace datamaran {
 
 class ScoreCache {
  public:
-  /// `engine` drives the splice-window re-matching during invalidation
-  /// (results are engine-independent; the knob only keeps a single engine
-  /// active per pipeline).
-  explicit ScoreCache(MatchEngine engine = MatchEngine::kCompiled)
-      : engine_(engine) {}
+  /// `engine` / `charset_engine` drive the splice-window re-matching
+  /// during invalidation (results are engine-independent; the knobs only
+  /// keep a single engine pair active per pipeline).
+  explicit ScoreCache(MatchEngine engine = MatchEngine::kCompiled,
+                      CharsetEngine charset_engine = CharsetEngine::kSimd)
+      : engine_(engine), charset_engine_(charset_engine) {}
 
   struct Entry {
     /// model_bits + record_bits: the view-independent part of the total.
@@ -102,6 +103,7 @@ class ScoreCache {
  private:
   mutable std::mutex mu_;
   MatchEngine engine_ = MatchEngine::kCompiled;
+  CharsetEngine charset_engine_ = CharsetEngine::kSimd;
   std::unordered_map<std::string, Entry> entries_;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
@@ -120,6 +122,15 @@ class CachingScorer : public RegularityScorer {
   double ScoreSet(const DatasetView& sample,
                   const std::vector<const StructureTemplate*>& templates)
       const override;
+
+  /// Bounded single-template scoring: a cache hit returns the exact score
+  /// (even above abort_above — hits are free); a miss evaluates with the
+  /// early abort and only inserts *completed* evaluations — an aborted
+  /// scan proves a lower bound, not a total, so caching it would poison
+  /// later lookups.
+  std::optional<double> ScoreBounded(const DatasetView& sample,
+                                     const StructureTemplate& st,
+                                     double abort_above) const override;
 
  private:
   const MdlScorer* base_;

@@ -60,7 +60,9 @@ CharSet TemplateFirstBytes(const StructureTemplate& st) {
   return FirstBytesOfNode(st.root(), st.charset());
 }
 
-CompiledTemplate::CompiledTemplate(const StructureTemplate* st) : st_(st) {
+CompiledTemplate::CompiledTemplate(const StructureTemplate* st,
+                                   CharsetEngine charset_engine)
+    : st_(st) {
   const CharSet& charset = st_->charset();
   for (int c = 0; c < 256; ++c) {
     stop_[static_cast<size_t>(c)] =
@@ -82,6 +84,13 @@ CompiledTemplate::CompiledTemplate(const StructureTemplate* st) : st_(st) {
     for (size_t i = 0; i < members.size(); ++i) {
       swar_[i] = BroadcastByte(static_cast<uint8_t>(members[i]));
     }
+  } else if (members.size() >= 5 &&
+             ResolveCharsetEngine(charset_engine) == CharsetEngine::kSimd) {
+    // Wide stop sets previously fell back to the per-byte table; the
+    // classifier scans them 16/32 bytes at a time (first-stop position
+    // semantics are identical, so match results don't change).
+    scan_kind_ = ScanKind::kClass;
+    classifier_.emplace(charset, charset_engine);
   }
   first_bytes_ = TemplateFirstBytes(*st_);
   Compile(st_->root(), /*depth=*/0);
@@ -255,6 +264,15 @@ bool CompiledTemplate::Run(std::string_view text, size_t* pos,
       }
       while (q < size && !stop_[static_cast<uint8_t>(data[q])]) ++q;
       return q;
+    } else if constexpr (kScan == ScanKind::kClass) {
+      // Short tokens resolve in the table lead-in; longer ones hand off to
+      // the vectorized classifier (identical first-stop position).
+      const size_t lead = q + 4 < size ? q + 4 : size;
+      while (q < lead) {
+        if (stop_[static_cast<uint8_t>(data[q])]) return q;
+        ++q;
+      }
+      return classifier_->FindFirstMember(text, q);
     } else {
       while (q < size && !stop_[static_cast<uint8_t>(data[q])]) ++q;
       return q;
@@ -428,6 +446,9 @@ bool CompiledTemplate::Dispatch(std::string_view text, size_t* pos,
                                                 events);
     case ScanKind::kSwar4:
       return Run<kEmitEvents, ScanKind::kSwar4>(text, pos, field_chars,
+                                                events);
+    case ScanKind::kClass:
+      return Run<kEmitEvents, ScanKind::kClass>(text, pos, field_chars,
                                                 events);
     case ScanKind::kTable:
       break;

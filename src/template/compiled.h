@@ -12,7 +12,9 @@
 #include "template/match_engine.h"
 #include "template/matcher.h"
 #include "template/template.h"
+#include "util/byte_class.h"
 #include "util/char_class.h"
+#include "util/charset_engine.h"
 
 /// Compiled template matching: each StructureTemplate is lowered once into
 /// a flat bytecode program executed by a tight non-recursive loop, instead
@@ -31,8 +33,12 @@
 ///     word-at-a-time SWAR scan for two to four members that finds the
 ///     *position* of the first stop byte branchlessly (one 8-byte step
 ///     usually resolves a whole short field, with no per-byte loop and no
-///     data-dependent exit branch), and a precomputed 256-entry stop-byte
-///     table otherwise. A field followed by a fixed literal byte fuses into
+///     data-dependent exit branch), and — for five or more members — a
+///     vectorized ByteClassifier scan (16/32 bytes per step under
+///     CharsetEngine::kSimd, after a 4-byte table lead-in for short
+///     tokens) or the precomputed 256-entry stop-byte table (the scalar
+///     reference, also the fallback when the charset engine resolves below
+///     kSimd). A field followed by a fixed literal byte fuses into
 ///     one instruction (scan + compare, the dominant token pair);
 ///   - fused field arrays: an array whose element is a single field — the
 ///     dominant generated shape, e.g. "(F,)*F" — becomes one instruction
@@ -59,7 +65,13 @@ CharSet TemplateFirstBytes(const StructureTemplate& st);
 /// node attribution and structure_template().
 class CompiledTemplate {
  public:
-  explicit CompiledTemplate(const StructureTemplate* st);
+  /// `charset_engine` selects the field-scan strategy for wide stop sets
+  /// (five or more charset members): a resolved kSimd engages the
+  /// vectorized classifier scan, anything lower keeps the stop-byte table.
+  /// Match results are byte-identical for every engine.
+  explicit CompiledTemplate(
+      const StructureTemplate* st,
+      CharsetEngine charset_engine = CharsetEngine::kSimd);
 
   /// False when the template exceeds engine limits (array nesting deeper
   /// than kMaxArrayDepth); callers must then fall back to the tree walker.
@@ -107,6 +119,10 @@ class CompiledTemplate {
     kSwar2,
     kSwar3,
     kSwar4,
+    /// Vectorized classifier scan (util/byte_class.h) for stop sets of
+    /// five or more members under CharsetEngine::kSimd; a short table
+    /// lead-in keeps 1-3 character tokens off the vector setup.
+    kClass,
   };
 
   void Compile(const TemplateNode& node, int depth);
@@ -130,6 +146,7 @@ class CompiledTemplate {
   ScanKind scan_kind_ = ScanKind::kTable;
   uint8_t memchr_stop_ = 0;             ///< the stop byte (charset size 1)
   std::array<uint64_t, 4> swar_{};      ///< broadcast stop bytes
+  std::optional<ByteClassifier> classifier_;  ///< engaged for kClass
   std::string pending_literal_;         ///< compile-time scratch
   const TemplateNode* pending_field_ = nullptr;  ///< compile-time scratch
   CharSet first_bytes_;

@@ -60,10 +60,11 @@ ParsedValue BuildParsedValue(const StructureTemplate& st, size_t pos,
   return root;
 }
 
-RecordMatcher::RecordMatcher(const StructureTemplate* st, MatchEngine engine)
+RecordMatcher::RecordMatcher(const StructureTemplate* st, MatchEngine engine,
+                             CharsetEngine charset_engine)
     : tree_(st), first_bytes_(TemplateFirstBytes(*st)) {
   if (engine == MatchEngine::kCompiled) {
-    compiled_.emplace(st);
+    compiled_.emplace(st, charset_engine);
     if (!compiled_->ok()) compiled_.reset();
   }
 }
@@ -89,11 +90,12 @@ TemplateSetIndex::TemplateSetIndex(const std::vector<RecordMatcher>& matchers) {
 }
 
 std::vector<RecordMatcher> BuildMatchers(
-    const std::vector<StructureTemplate>& templates, MatchEngine engine) {
+    const std::vector<StructureTemplate>& templates, MatchEngine engine,
+    CharsetEngine charset_engine) {
   std::vector<RecordMatcher> matchers;
   matchers.reserve(templates.size());
   for (const StructureTemplate& st : templates) {
-    matchers.emplace_back(&st, engine);
+    matchers.emplace_back(&st, engine, charset_engine);
   }
   return matchers;
 }

@@ -46,7 +46,11 @@ inline ParsedValue BuildParsedValue(const StructureTemplate& st, size_t pos,
 /// template must outlive the matcher (same contract as TemplateMatcher).
 class RecordMatcher {
  public:
-  RecordMatcher(const StructureTemplate* st, MatchEngine engine);
+  /// `charset_engine` tunes the compiled engine's wide-stop-set field scans
+  /// (util/charset_engine.h); the tree walker ignores it. Results are
+  /// byte-identical for every combination.
+  RecordMatcher(const StructureTemplate* st, MatchEngine engine,
+                CharsetEngine charset_engine = CharsetEngine::kSimd);
 
   std::optional<MatchStats> TryMatch(std::string_view text, size_t pos) const {
     if (compiled_.has_value()) return compiled_->TryMatch(text, pos);
@@ -100,7 +104,8 @@ class TemplateSetIndex {
 /// Builds one RecordMatcher per template, in order. The templates vector
 /// must outlive the result (matchers hold pointers into it).
 std::vector<RecordMatcher> BuildMatchers(
-    const std::vector<StructureTemplate>& templates, MatchEngine engine);
+    const std::vector<StructureTemplate>& templates, MatchEngine engine,
+    CharsetEngine charset_engine = CharsetEngine::kSimd);
 
 }  // namespace datamaran
 

@@ -1,0 +1,41 @@
+#ifndef DATAMARAN_UTIL_CHARSET_ENGINE_H_
+#define DATAMARAN_UTIL_CHARSET_ENGINE_H_
+
+/// The byte-classification engine selector, in its own header so
+/// configuration surfaces (core/options.h) can name it without pulling in
+/// the classifier itself (util/byte_class.h) — the same split as
+/// template/match_engine.h.
+
+namespace datamaran {
+
+/// Which charset-membership engine the byte-classification hot loops use
+/// (generation's per-line tokenization, the compiled match engine's
+/// wide-stop-set field scans). Output is byte-identical across all three;
+/// kScalar is the per-byte reference kept for differential testing.
+enum class CharsetEngine {
+  /// Per-byte table lookups — the reference implementation.
+  kScalar,
+  /// 8-bytes-at-a-time std::uint64_t SWAR scans (little-endian only).
+  kSwar,
+  /// 16/32-bytes-at-a-time SSE2/AVX2 scans, chosen by runtime CPU
+  /// detection; falls back down the ladder (kSwar, then kScalar) when the
+  /// hardware lacks vector support.
+  kSimd,
+};
+
+/// Maps a requested engine to the one that can actually run here: kSimd
+/// needs an x86 CPU with at least SSE2 (else it degrades to kSwar), and
+/// kSwar needs a little-endian target (else kScalar). Idempotent.
+CharsetEngine ResolveCharsetEngine(CharsetEngine requested);
+
+/// "scalar", "swar", or "simd".
+const char* CharsetEngineName(CharsetEngine engine);
+
+/// The widest vector ISA the running CPU offers for classification:
+/// "avx2", "sse2", or "none". Reported in CLI/bench summaries so resolved
+/// behavior is visible without disassembly.
+const char* CharsetSimdLevel();
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_CHARSET_ENGINE_H_

@@ -3,6 +3,7 @@
 //
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
 //             [--threads=N] [--mmap=MODE] [--match-engine=ENGINE]
+//             [--charset-engine=ENGINE] [--no-mdl-pruning]
 //             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
 //
 // Prints the discovered templates and a summary (including how the input
@@ -33,7 +34,9 @@ void Usage() {
   std::fprintf(stderr,
                "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
                "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
-               "                 [--match-engine=ENGINE] [--out=DIR]\n"
+               "                 [--match-engine=ENGINE]\n"
+               "                 [--charset-engine=ENGINE]\n"
+               "                 [--no-mdl-pruning] [--out=DIR]\n"
                "                 [--format=FMT] [--normalized] [--verbose]\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
                "                1 = sequential; output is identical)\n"
@@ -44,6 +47,17 @@ void Usage() {
                "                as bytecode with first-byte dispatch) or\n"
                "                tree (reference walker). Output is\n"
                "                identical either way\n"
+               "  --charset-engine=ENGINE  byte-classification engine:\n"
+               "                simd (default; resolves to AVX2 or SSE2 by\n"
+               "                runtime CPU detection, degrading to swar\n"
+               "                off x86), swar (64-bit wordwise), or\n"
+               "                scalar (per-byte reference). Output is\n"
+               "                identical for every engine\n"
+               "  --no-mdl-pruning  score every retained candidate to\n"
+               "                completion instead of aborting provably\n"
+               "                non-top-K evaluations early. Output is\n"
+               "                identical; this only trades speed for a\n"
+               "                brute-force baseline\n"
                "  --out=DIR     stream per-record-type columnar files into\n"
                "                DIR (type<t>.csv/.ndjson + noise.txt),\n"
                "                written incrementally at O(wave) memory;\n"
@@ -109,6 +123,20 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
+    } else if (StartsWith(arg, "--charset-engine=")) {
+      std::string_view engine = arg.substr(17);
+      if (engine == "simd") {
+        options.charset_engine = CharsetEngine::kSimd;
+      } else if (engine == "swar") {
+        options.charset_engine = CharsetEngine::kSwar;
+      } else if (engine == "scalar") {
+        options.charset_engine = CharsetEngine::kScalar;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--no-mdl-pruning") {
+      options.enable_mdl_pruning = false;
     } else if (StartsWith(arg, "--format=")) {
       std::string_view fmt = arg.substr(9);
       if (fmt == "csv") {
@@ -168,12 +196,28 @@ int main(int argc, char** argv) {
   std::printf("  noise_lines=%zu  coverage=%.1f%%\n",
               result->extraction.noise_lines.size(),
               result->extraction.coverage() * 100);
-  std::printf("timings: gen=%.2fs prune=%.2fs eval=%.2fs extract=%.2fs\n",
-              result->timings.generation_s, result->timings.pruning_s,
-              result->timings.evaluation_s, result->timings.extraction_s);
+  std::printf(
+      "timings: gen=%.2fs prune=%.2fs eval=%.2fs refine=%.2fs extract=%.2fs\n",
+      result->timings.generation_s, result->timings.pruning_s,
+      result->timings.evaluation_s, result->timings.refinement_s,
+      result->timings.extraction_s);
   std::printf("match engine: %s\n",
               options.match_engine == MatchEngine::kCompiled ? "compiled"
                                                              : "tree");
+  // Report the engine actually running, not the one requested: kSimd
+  // resolves by runtime CPU detection and degrades down the ladder.
+  const CharsetEngine resolved_charset =
+      ResolveCharsetEngine(options.charset_engine);
+  if (resolved_charset == CharsetEngine::kSimd) {
+    std::printf("charset engine: %s (%s)\n",
+                CharsetEngineName(resolved_charset), CharsetSimdLevel());
+  } else {
+    std::printf("charset engine: %s\n", CharsetEngineName(resolved_charset));
+  }
+  std::printf("evaluation: %zu candidate(s) scored, %zu pruned by MDL "
+              "bound\n",
+              result->stats.candidates_evaluated,
+              result->stats.candidates_pruned);
   if (result->stats.input_mapped) {
     std::printf("input: %zu bytes mmap-backed, ~%zu resident after run\n",
                 result->stats.input_bytes,
@@ -204,7 +248,8 @@ int main(int argc, char** argv) {
   Dataset data = std::move(reopened.value());
   data.Advise(AccessHint::kSequential);
   ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
-  Extractor extractor(&result->templates, &pool, options.match_engine);
+  Extractor extractor(&result->templates, &pool, options.match_engine,
+                      options.charset_engine);
 
   // Both layouts stream through the same WriteSinkBase machinery: the
   // scan's flat events feed the writers directly and nothing is buffered
