@@ -27,6 +27,17 @@ Datamaran::Datamaran(DatamaranOptions options)
       pool_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreadCount(options_.num_threads))) {
   if (options_.verbose) SetLogLevel(LogLevel::kInfo);
+  if (!options_.catalog_in.empty()) {
+    auto loaded = TemplateCatalog::Load(options_.catalog_in);
+    if (loaded.ok()) {
+      catalog_ = std::move(loaded.value());
+      catalog_loaded_ = true;
+    } else {
+      // Sticky: ExtractFile surfaces this instead of running; the
+      // PipelineResult-returning entry points fall back to cold discovery.
+      catalog_status_ = loaded.status();
+    }
+  }
 }
 
 ResidualMask MaskMatchedLines(const DatasetView& view,
@@ -396,8 +407,80 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   // scan streams through it once. Both hints are best-effort no-ops for
   // owned backings and platforms without madvise.
   data.Advise(AccessHint::kRandom);
-  result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
-                                       &result.reports);
+
+  // Catalog fast path: fingerprint a sample against the loaded catalog
+  // first. A hit serves the stored templates — discovery is skipped
+  // entirely, and because the canonical forms round-trip exactly and the
+  // extractor is a pure function of (templates, input), the output is
+  // byte-identical to the fresh-discovery run that produced the entry.
+  const bool use_catalog =
+      catalog_loaded_ || !options_.catalog_out.empty();
+  if (use_catalog) {
+    Timer match_timer;
+    CatalogMatchOptions match_opts;
+    match_opts.min_match = options_.catalog_min_match;
+    match_opts.min_mdl_gain = options_.min_mdl_gain;
+    match_opts.max_sample_bytes = options_.max_sample_bytes;
+    match_opts.sample_chunks = options_.sample_chunks;
+    match_opts.match_engine = options_.match_engine;
+    match_opts.charset_engine = options_.charset_engine;
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (!catalog_.empty()) {
+      result.stats.catalog_checked = true;
+      const CatalogMatch match = MatchCatalog(catalog_, data, match_opts);
+      result.timings.catalog_match_s = match_timer.Seconds();
+      if (match.hit()) {
+        const CatalogEntry& entry =
+            catalog_.entry(static_cast<size_t>(match.entry));
+        result.templates = entry.templates;
+        result.stats.catalog_hit = true;
+        result.stats.catalog_entry = match.entry;
+        result.stats.catalog_match_rate = match.match_rate;
+        for (size_t t = 0; t < entry.templates.size(); ++t) {
+          TemplateReport report;
+          report.st = entry.templates[t];
+          report.mdl_bits = entry.meta[t].mdl_bits;
+          report.noise_only_bits = entry.meta[t].noise_only_bits;
+          report.sample_records = entry.meta[t].sample_records;
+          report.sample_coverage = entry.meta[t].sample_coverage;
+          result.reports.push_back(std::move(report));
+        }
+        DM_LOG(kInfo, "catalog hit: entry %d (%s), %.1f%% of sample lines",
+               match.entry, entry.name.c_str(), match.match_rate * 100);
+      }
+    }
+  }
+
+  if (!result.stats.catalog_hit) {
+    result.templates = DiscoverTemplates(data, &result.timings, &result.stats,
+                                         &result.reports);
+    // Fold the cold-discovered format back into the catalog so later files
+    // of the same format (this process or, via catalog_out, any later run)
+    // hit. AddEntry dedups by template-set signature.
+    if (use_catalog && !result.templates.empty()) {
+      CatalogEntry entry;
+      entry.templates = result.templates;
+      for (const TemplateReport& report : result.reports) {
+        CatalogTemplateMeta meta;
+        meta.mdl_bits = report.mdl_bits;
+        meta.noise_only_bits = report.noise_only_bits;
+        meta.sample_records = report.sample_records;
+        meta.sample_coverage = report.sample_coverage;
+        entry.meta.push_back(meta);
+      }
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      catalog_.AddEntry(std::move(entry));
+    }
+  }
+  if (!options_.catalog_out.empty()) {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    const Status saved = catalog_.Save(options_.catalog_out);
+    if (!saved.ok()) {
+      DM_LOG(kWarning, "catalog save to %s failed: %s",
+             options_.catalog_out.c_str(), saved.ToString().c_str());
+    }
+  }
+
   Timer extract_timer;
   data.Advise(AccessHint::kSequential);
   Extractor extractor(&result.templates, pool_.get(), options_.match_engine,
@@ -418,6 +501,9 @@ PipelineResult Datamaran::ExtractText(std::string text) const {
 }
 
 Result<PipelineResult> Datamaran::ExtractFile(const std::string& path) const {
+  // A requested catalog that failed to load is an input error, not a
+  // silent fall-back to cold discovery.
+  if (!catalog_status_.ok()) return catalog_status_;
   auto data = Dataset::FromFile(path, options_.mmap_mode,
                                 options_.mmap_threshold_bytes);
   if (!data.ok()) return data.status();

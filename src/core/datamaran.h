@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/options.h"
 #include "extraction/extractor.h"
 #include "scoring/mdl.h"
+#include "template/catalog.h"
 #include "template/template.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -43,6 +45,10 @@ class ScoreCache;
 
 /// Wall-clock seconds per pipeline step (Table 3's empirical counterpart).
 struct StepTimings {
+  /// Catalog fingerprinting (template/catalog.h MatchCatalog); 0 when no
+  /// catalog is loaded. On a catalog hit this replaces the generation /
+  /// pruning / evaluation / refinement steps, which then report 0.
+  double catalog_match_s = 0;
   double generation_s = 0;
   double pruning_s = 0;
   double evaluation_s = 0;
@@ -87,6 +93,14 @@ struct PipelineStats {
   size_t input_bytes = 0;
   bool input_mapped = false;
   size_t input_resident_bytes = 0;
+  /// Catalog fast path (options.catalog_in): whether the input was
+  /// fingerprinted against a loaded catalog, and whether that produced a
+  /// hit (discovery skipped; templates served from catalog_entry).
+  bool catalog_checked = false;
+  bool catalog_hit = false;
+  int catalog_entry = -1;
+  /// Fraction of sampled lines the accepted entry's records covered.
+  double catalog_match_rate = 0;
 };
 
 struct PipelineResult {
@@ -101,9 +115,19 @@ struct PipelineResult {
 
 class Datamaran {
  public:
+  /// When options.catalog_in is set the catalog is loaded here; a load
+  /// failure is sticky (catalog_status()) and surfaced by ExtractFile,
+  /// while the dataset entry points fall back to cold discovery.
   explicit Datamaran(DatamaranOptions options);
 
   const DatamaranOptions& options() const { return options_; }
+
+  /// Load status of options().catalog_in (OK when unset). The in-memory
+  /// catalog after any number of Extract* calls: loaded entries plus every
+  /// format this instance discovered cold while options().catalog_out is
+  /// set.
+  const Status& catalog_status() const { return catalog_status_; }
+  const TemplateCatalog& catalog() const { return catalog_; }
 
   /// Runs the full pipeline over the file at `path`, choosing the backing
   /// (mmap vs owned read) per options().mmap_mode.
@@ -131,6 +155,14 @@ class Datamaran {
   /// size-1 pool runs everything inline, reproducing the sequential
   /// reference behavior bit for bit.
   std::unique_ptr<ThreadPool> pool_;
+  /// Catalog fast-path state. ExtractDataset is const (the pipeline is a
+  /// pure function of options + input); folding a cold-discovered format
+  /// back into the catalog is a cache fill, so the catalog is mutable and
+  /// mutex-guarded for callers extracting from several threads.
+  mutable std::mutex catalog_mu_;
+  mutable TemplateCatalog catalog_;
+  Status catalog_status_;
+  bool catalog_loaded_ = false;
 };
 
 /// The index-only residual transition (replaces the old residual-string

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/dataset.h"
 #include "template/match_engine.h"
@@ -115,6 +116,23 @@ struct DatamaranOptions {
   /// is what separates a true record type's template from an overly
   /// generic one that merges several types (Section 9.4).
   int refine_top_k = 8;
+
+  /// Template catalog fast path (template/catalog.h). When `catalog_in`
+  /// names a catalog file, every pipeline run first fingerprints a sample
+  /// of the input against it (FIRST-byte prefilter, then MDL acceptance
+  /// per the discovery noise model); a hit skips discovery entirely and
+  /// extracts with the stored templates — byte-identical output to the
+  /// fresh-discovery run that produced the entry, at compiled-match speed.
+  /// A miss falls back to cold discovery unchanged. When `catalog_out` is
+  /// set, the catalog (including any format discovered cold by this run)
+  /// is written there after the run, so discovery cost amortizes across a
+  /// lake's files.
+  std::string catalog_in;
+  std::string catalog_out;
+
+  /// Minimum fraction of sampled lines a catalog entry must cover to count
+  /// as a hit (CatalogMatchOptions::min_match).
+  double catalog_min_match = 0.8;
 
   /// Emit INFO-level progress logging.
   bool verbose = false;

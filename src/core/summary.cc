@@ -1,0 +1,116 @@
+#include "core/summary.h"
+
+#include "extraction/sinks.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace datamaran {
+
+namespace {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  *out += '"';
+  AppendJsonEscaped(s, out);
+  *out += '"';
+}
+
+}  // namespace
+
+FileSummary SummarizeResult(const std::string& path, const PipelineResult& r,
+                            const DatamaranOptions& options) {
+  FileSummary s;
+  s.path = path;
+  s.input_bytes = r.stats.input_bytes;
+  s.input_mapped = r.stats.input_mapped;
+  for (const StructureTemplate& st : r.templates) {
+    s.templates.push_back(st.Display());
+  }
+  s.total_lines = r.extraction.total_lines;
+  s.records = r.extraction.matched_records;
+  s.noise_lines = r.extraction.noise_line_count;
+  s.match_rate = r.extraction.line_match_rate();
+  s.coverage = r.extraction.coverage();
+  if (!r.extraction.records.empty()) {
+    s.records_per_template.assign(r.templates.size(), 0);
+    for (const ExtractedRecord& rec : r.extraction.records) {
+      const size_t t = static_cast<size_t>(rec.template_id);
+      if (t < s.records_per_template.size()) s.records_per_template[t]++;
+    }
+  }
+  s.catalog_checked = r.stats.catalog_checked;
+  s.catalog_hit = r.stats.catalog_hit;
+  s.catalog_entry = r.stats.catalog_entry;
+  s.catalog_match_rate = r.stats.catalog_match_rate;
+  s.drifted = r.stats.catalog_hit &&
+              r.extraction.line_match_rate() < options.catalog_min_match;
+  s.match_engine =
+      options.match_engine == MatchEngine::kCompiled ? "compiled" : "tree";
+  s.charset_engine =
+      CharsetEngineName(ResolveCharsetEngine(options.charset_engine));
+  s.threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  s.timings = r.timings;
+  return s;
+}
+
+void AppendFileSummaryJson(const FileSummary& s, int indent,
+                           std::string* out) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string field = pad + "  ";
+  *out += pad + "{\n";
+  *out += field + "\"path\": ";
+  AppendJsonString(s.path, out);
+  *out += ",\n";
+  *out += field + StrFormat("\"input_bytes\": %zu,\n", s.input_bytes);
+  *out += field +
+          StrFormat("\"input_mapped\": %s,\n", s.input_mapped ? "true"
+                                                              : "false");
+  *out += field + "\"templates\": [";
+  for (size_t t = 0; t < s.templates.size(); ++t) {
+    if (t > 0) *out += ", ";
+    AppendJsonString(s.templates[t], out);
+  }
+  *out += "],\n";
+  *out += field + StrFormat("\"total_lines\": %zu,\n", s.total_lines);
+  *out += field + StrFormat("\"records\": %zu,\n", s.records);
+  *out += field + "\"records_per_template\": [";
+  for (size_t t = 0; t < s.records_per_template.size(); ++t) {
+    if (t > 0) *out += ", ";
+    *out += StrFormat("%zu", s.records_per_template[t]);
+  }
+  *out += "],\n";
+  *out += field + StrFormat("\"noise_lines\": %zu,\n", s.noise_lines);
+  *out += field + StrFormat("\"match_rate\": %.6f,\n", s.match_rate);
+  *out += field + StrFormat("\"coverage\": %.6f,\n", s.coverage);
+  *out += field +
+          StrFormat("\"catalog\": {\"checked\": %s, \"hit\": %s, "
+                    "\"entry\": %d, \"match_rate\": %.6f, \"drifted\": %s},\n",
+                    s.catalog_checked ? "true" : "false",
+                    s.catalog_hit ? "true" : "false", s.catalog_entry,
+                    s.catalog_match_rate, s.drifted ? "true" : "false");
+  *out += field + "\"match_engine\": ";
+  AppendJsonString(s.match_engine, out);
+  *out += ",\n";
+  *out += field + "\"charset_engine\": ";
+  AppendJsonString(s.charset_engine, out);
+  *out += ",\n";
+  *out += field + StrFormat("\"threads\": %d,\n", s.threads);
+  *out += field +
+          StrFormat("\"timings\": {\"catalog_match_s\": %.6f, "
+                    "\"generation_s\": %.6f, \"pruning_s\": %.6f, "
+                    "\"evaluation_s\": %.6f, \"refinement_s\": %.6f, "
+                    "\"extraction_s\": %.6f, \"total_s\": %.6f}\n",
+                    s.timings.catalog_match_s, s.timings.generation_s,
+                    s.timings.pruning_s, s.timings.evaluation_s,
+                    s.timings.refinement_s, s.timings.extraction_s,
+                    s.timings.total_s);
+  *out += pad + "}";
+}
+
+std::string FileSummaryToJson(const FileSummary& s) {
+  std::string out;
+  AppendFileSummaryJson(s, 0, &out);
+  out += '\n';
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,71 @@
+#ifndef DATAMARAN_CORE_SUMMARY_H_
+#define DATAMARAN_CORE_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/datamaran.h"
+#include "core/options.h"
+
+/// Machine-readable per-file run summary: the one struct behind both the
+/// CLI's --summary-json flag and the crawler's lake manifest, so any
+/// downstream consumer parses a single shape. Rendering is plain
+/// hand-rolled JSON (like BENCH_micro.json and the NDJSON sink) — no
+/// dependencies, deterministic key order.
+
+namespace datamaran {
+
+/// Everything a run knows about one input file. Timing fields are the only
+/// nondeterministic content; all counts are byte-exact across thread count,
+/// engine, and backing.
+struct FileSummary {
+  std::string path;
+  size_t input_bytes = 0;
+  bool input_mapped = false;
+
+  /// Structure: Display() forms of the templates used for extraction.
+  std::vector<std::string> templates;
+
+  /// Extraction counts (whole file).
+  size_t total_lines = 0;
+  size_t records = 0;
+  std::vector<size_t> records_per_template;
+  size_t noise_lines = 0;
+  double match_rate = 0;  ///< ExtractionResult::line_match_rate()
+  double coverage = 0;    ///< covered chars / total chars
+
+  /// Catalog fast path.
+  bool catalog_checked = false;
+  bool catalog_hit = false;
+  int catalog_entry = -1;
+  double catalog_match_rate = 0;  ///< sample match rate of the hit
+  /// Sample fingerprint matched a catalog entry but the whole file did
+  /// not clear the threshold — the file's tail drifted from its format.
+  bool drifted = false;
+
+  /// Resolved configuration.
+  std::string match_engine;
+  std::string charset_engine;
+  int threads = 0;
+
+  StepTimings timings;
+};
+
+/// Fills the counts/config/catalog fields of a FileSummary from a pipeline
+/// result (the records_per_template split requires collected records, so it
+/// is only filled when `r.extraction.records` is populated). `drifted` is
+/// derived from the catalog hit and options.catalog_min_match.
+FileSummary SummarizeResult(const std::string& path, const PipelineResult& r,
+                            const DatamaranOptions& options);
+
+/// Appends `s` as a JSON object, each line prefixed by `indent` spaces; no
+/// trailing newline. Keys are emitted in declaration order.
+void AppendFileSummaryJson(const FileSummary& s, int indent, std::string* out);
+
+/// Renders one summary as a standalone JSON document (trailing newline).
+std::string FileSummaryToJson(const FileSummary& s);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_CORE_SUMMARY_H_

@@ -134,16 +134,18 @@ int Extractor::MatchAt(const DatasetView& data, size_t li,
 }
 
 size_t Extractor::EmitAt(const DatasetView& data, size_t li, EventSink* sink,
-                         size_t* covered_chars, std::string* scratch,
+                         ExtractionResult* stats, std::string* scratch,
                          std::vector<MatchEvent>* events) const {
   DatasetView::SpanText win;
   size_t end = 0;
   const int t = MatchAt(data, li, scratch, events, &win, &end);
   if (t < 0) {
+    stats->noise_line_count += 1;
     if (sink != nullptr) sink->OnNoiseLine(li);
     return li + 1;
   }
-  *covered_chars += end - win.pos;
+  stats->covered_chars += end - win.pos;
+  stats->matched_records += 1;
   if (sink != nullptr) {
     sink->OnRecord(t, li, win.text, win.pos, end, events->data(),
                    events->size());
@@ -155,6 +157,7 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
                                               EventSink* sink) const {
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
+  stats.total_lines = data.line_count();
   std::string scratch;
   std::vector<MatchEvent> events;
   size_t li = 0;
@@ -169,7 +172,7 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
   const size_t wave_lines = chunk_lines * 2;
   size_t next_wave = wave_lines;
   while (li < n) {
-    li = EmitAt(data, li, sink, &stats.covered_chars, &scratch, &events);
+    li = EmitAt(data, li, sink, &stats, &scratch, &events);
     if (li >= next_wave) {
       if (sink != nullptr) sink->OnWaveEnd();
       do {
@@ -196,6 +199,7 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
 
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
+  stats.total_lines = n;
 
   // Waves bound the buffered state: at most `chunks_per_wave` chunks of
   // buffered events are alive at once, flushed to the sink in order before
@@ -268,6 +272,7 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
           for (auto j = it; j != cs.attempts.end(); ++j) {
             if (j->template_id >= 0) {
               stats.covered_chars += j->end - j->pos;
+              stats.matched_records += 1;
               if (sink != nullptr) {
                 const std::string_view wtext =
                     j->assembled_text.empty()
@@ -278,6 +283,7 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
                                j->event_count);
               }
             } else {
+              stats.noise_line_count += 1;
               if (sink != nullptr) sink->OnNoiseLine(j->line);
             }
           }
@@ -286,7 +292,7 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
           // A record from an earlier chunk spilled into this one and the
           // speculative stream never attempted `li`; re-match lines until
           // the streams realign (or the chunk is exhausted).
-          li = EmitAt(data, li, sink, &stats.covered_chars, &stitch_scratch,
+          li = EmitAt(data, li, sink, &stats, &stitch_scratch,
                       &stitch_events);
         }
       }
@@ -310,6 +316,9 @@ ExtractionResult Extractor::Extract(const DatasetView& data) const {
   ExtractionResult stats = ExtractStreaming(data, &sink);
   out.covered_chars = stats.covered_chars;
   out.total_chars = stats.total_chars;
+  out.total_lines = stats.total_lines;
+  out.matched_records = stats.matched_records;
+  out.noise_line_count = stats.noise_line_count;
   // Recompute line counts for the collected records.
   for (ExtractedRecord& rec : out.records) {
     rec.line_count = spans_.empty()

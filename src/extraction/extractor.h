@@ -141,12 +141,30 @@ struct ExtractionResult {
   std::vector<size_t> noise_lines;
   size_t covered_chars = 0;
   size_t total_chars = 0;
+  /// Line-level accounting, filled by every scan path — including the
+  /// streaming ones, whose records/noise_lines vectors stay empty. This is
+  /// what lets a caller that extracted with catalog templates tell a clean
+  /// hit from a drifted file (sample matched, tail did not) without
+  /// collecting records: line_match_rate() is the whole-file analogue of
+  /// the fingerprint's sample match rate.
+  size_t total_lines = 0;
+  size_t matched_records = 0;
+  size_t noise_line_count = 0;
 
   double coverage() const {
     return total_chars == 0
                ? 0
                : static_cast<double>(covered_chars) /
                      static_cast<double>(total_chars);
+  }
+
+  /// Fraction of input lines covered by matched records (an empty input
+  /// counts as fully matched).
+  double line_match_rate() const {
+    return total_lines == 0
+               ? 1.0
+               : static_cast<double>(total_lines - noise_line_count) /
+                     static_cast<double>(total_lines);
   }
 };
 
@@ -203,11 +221,11 @@ class Extractor {
               size_t* end) const;
 
   /// Applies MatchAt at line `li` and emits the outcome (one record or one
-  /// noise line) to `sink`; returns the next unconsumed line. Used by the
-  /// sequential path and by the stitcher to re-synchronize across
-  /// chunk-spill divergences.
+  /// noise line) to `sink`, updating `stats` counters; returns the next
+  /// unconsumed line. Used by the sequential path and by the stitcher to
+  /// re-synchronize across chunk-spill divergences.
   size_t EmitAt(const DatasetView& data, size_t li, EventSink* sink,
-                size_t* covered_chars, std::string* scratch,
+                ExtractionResult* stats, std::string* scratch,
                 std::vector<MatchEvent>* events) const;
 
   ExtractionResult ExtractSequential(const DatasetView& data,

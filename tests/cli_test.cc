@@ -30,10 +30,10 @@ std::string SourcePath(const std::string& rel) {
   return std::string(DM_SOURCE_DIR) + "/" + rel;
 }
 
-/// Runs the CLI; returns its exit code (-1 when it did not exit normally).
-int RunCli(const std::string& args) {
+/// Runs a binary; returns its exit code (-1 when it did not exit normally).
+int RunBinary(const char* binary, const std::string& args) {
   const std::string cmd =
-      std::string("\"") + DM_CLI_PATH + "\" " + args + " > /dev/null 2>&1";
+      std::string("\"") + binary + "\" " + args + " > /dev/null 2>&1";
   const int rc = std::system(cmd.c_str());
   if (rc == -1) return -1;
 #if defined(__unix__) || defined(__APPLE__)
@@ -42,6 +42,9 @@ int RunCli(const std::string& args) {
   return rc;
 #endif
 }
+
+int RunCli(const std::string& args) { return RunBinary(DM_CLI_PATH, args); }
+int RunCrawl(const std::string& args) { return RunBinary(DM_CRAWL_PATH, args); }
 
 /// Sorted relative file names under `dir` (empty when dir is missing).
 std::vector<std::string> ListFiles(const std::string& dir) {
@@ -176,6 +179,197 @@ TEST(CliGoldenTest, InterleavedNormalizedMatrix) {
 }
 TEST(CliGoldenTest, ArraysNormalizedMatrix) {
   RunGoldenNormalized("cli_arrays");
+}
+
+// ------------------------------------------------------- catalog fast path ---
+
+/// The headline catalog invariant: a warm (catalog-hit) run must produce
+/// byte-identical output to the cold discovery run that built the catalog,
+/// for every thread count, match engine, and dataset backing — the golden
+/// directory pins all of them at once. The cold run writes the catalog; the
+/// warm matrix reloads it with discovery skipped.
+TEST(CliCatalogTest, CatalogHitMatchesColdDiscoveryMatrix) {
+  const std::string input = SourcePath("tests/data/cli_interleaved.log");
+  const std::string catalog = ::testing::TempDir() + "dm_cli_catalog.txt";
+  const std::string cold_out = ::testing::TempDir() + "dm_cli_catalog_cold";
+  fs::remove(catalog);
+  fs::remove_all(cold_out);
+
+  ASSERT_EQ(RunCli(StrFormat("\"%s\" --catalog-out=\"%s\" --out=\"%s\"",
+                             input.c_str(), catalog.c_str(),
+                             cold_out.c_str())),
+            0);
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"), cold_out,
+                  "cold discovery with --catalog-out");
+  auto catalog_text = ReadFileToString(catalog);
+  ASSERT_TRUE(catalog_text.ok());
+  EXPECT_EQ(catalog_text.value().rfind("datamaran-catalog v1\n", 0), 0u)
+      << "catalog file must start with the version header";
+
+  int run = 0;
+  for (const Config& cfg : {Config{1, "tree", "always"},
+                            Config{1, "tree", "never"},
+                            Config{1, "compiled", "always"},
+                            Config{1, "compiled", "never"},
+                            Config{4, "tree", "always"},
+                            Config{4, "tree", "never"},
+                            Config{4, "compiled", "always"},
+                            Config{4, "compiled", "never"}}) {
+    const std::string out =
+        ::testing::TempDir() + StrFormat("dm_cli_catalog_warm_%d", run++);
+    fs::remove_all(out);
+    const std::string context =
+        StrFormat("catalog hit --threads=%d --match-engine=%s --mmap=%s",
+                  cfg.threads, cfg.engine, cfg.mmap);
+    const int rc = RunCli(StrFormat(
+        "\"%s\" --catalog-in=\"%s\" --threads=%d --match-engine=%s "
+        "--mmap=%s --out=\"%s\"",
+        input.c_str(), catalog.c_str(), cfg.threads, cfg.engine, cfg.mmap,
+        out.c_str()));
+    ASSERT_EQ(rc, 0) << context;
+    ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"), out,
+                    context);
+    fs::remove_all(out);
+  }
+  fs::remove_all(cold_out);
+  fs::remove(catalog);
+}
+
+TEST(CliCatalogTest, MissingCatalogFileFailsCleanly) {
+  const std::string input = SourcePath("tests/data/cli_basic.log");
+  const std::string out = ::testing::TempDir() + "dm_cli_catalog_missing";
+  fs::remove_all(out);
+  EXPECT_NE(RunCli(StrFormat(
+                "\"%s\" --catalog-in=/nonexistent/catalog.txt --out=\"%s\"",
+                input.c_str(), out.c_str())),
+            0);
+  EXPECT_FALSE(fs::exists(out))
+      << "a bad --catalog-in must fail before writing output";
+}
+
+TEST(CliCatalogTest, SummaryJsonReportsCatalogAndCounts) {
+  const std::string input = SourcePath("tests/data/cli_interleaved.log");
+  const std::string catalog = ::testing::TempDir() + "dm_cli_sum_catalog.txt";
+  const std::string cold_sum = ::testing::TempDir() + "dm_cli_sum_cold.json";
+  const std::string warm_sum = ::testing::TempDir() + "dm_cli_sum_warm.json";
+  fs::remove(catalog);
+
+  ASSERT_EQ(RunCli(StrFormat(
+                "\"%s\" --catalog-out=\"%s\" --summary-json=\"%s\"",
+                input.c_str(), catalog.c_str(), cold_sum.c_str())),
+            0);
+  auto cold = ReadFileToString(cold_sum);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_NE(cold.value().find("\"path\": "), std::string::npos);
+  EXPECT_NE(cold.value().find("\"total_lines\": 1400"), std::string::npos);
+  EXPECT_NE(cold.value().find("\"hit\": false"), std::string::npos);
+  EXPECT_NE(cold.value().find("\"refinement_s\": "), std::string::npos);
+
+  ASSERT_EQ(RunCli(StrFormat(
+                "\"%s\" --catalog-in=\"%s\" --summary-json=\"%s\"",
+                input.c_str(), catalog.c_str(), warm_sum.c_str())),
+            0);
+  auto warm = ReadFileToString(warm_sum);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm.value().find("\"checked\": true"), std::string::npos);
+  EXPECT_NE(warm.value().find("\"hit\": true"), std::string::npos);
+  EXPECT_NE(warm.value().find("\"entry\": 0"), std::string::npos);
+  EXPECT_NE(warm.value().find("\"drifted\": false"), std::string::npos);
+  EXPECT_NE(warm.value().find("\"catalog_match_s\": "), std::string::npos);
+
+  // Cold and warm agree on every extraction-derived count: same templates,
+  // same records, same noise — only the catalog/timing sections differ.
+  auto section = [](const std::string& text, const char* key) {
+    const size_t at = text.find(key);
+    EXPECT_NE(at, std::string::npos) << key;
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  for (const char* key :
+       {"\"templates\": ", "\"records\": ", "\"records_per_template\": ",
+        "\"noise_lines\": ", "\"match_rate\": ", "\"coverage\": "}) {
+    EXPECT_EQ(section(cold.value(), key), section(warm.value(), key));
+  }
+
+  fs::remove(catalog);
+  fs::remove(cold_sum);
+  fs::remove(warm_sum);
+}
+
+// ------------------------------------------------------------------- crawl ---
+
+/// End-to-end lake crawl: two copies of one format (nested a level deep) and
+/// a prose file. The crawler must cluster both copies behind one discovery,
+/// write per-file tables byte-identical to the single-file CLI goldens,
+/// classify the prose as unstructured, and emit a well-formed manifest; a
+/// second crawl warmed by the saved catalog must reproduce the same bytes
+/// with zero structured discoveries.
+TEST(CliCrawlTest, CrawlClustersExtractsAndWarmRunIsIdentical) {
+  const std::string lake = ::testing::TempDir() + "dm_crawl_lake";
+  const std::string out = ::testing::TempDir() + "dm_crawl_out";
+  const std::string out2 = ::testing::TempDir() + "dm_crawl_out2";
+  const std::string catalog = ::testing::TempDir() + "dm_crawl_catalog.txt";
+  const std::string manifest = ::testing::TempDir() + "dm_crawl_manifest.json";
+  for (const std::string& d : {lake, out, out2}) fs::remove_all(d);
+  fs::remove(catalog);
+
+  fs::create_directories(lake + "/sub");
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"), lake + "/a.log");
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"),
+                lake + "/sub/b.log");
+  ASSERT_TRUE(WriteStringToFile(lake + "/readme.txt",
+                                "notes about this directory\n"
+                                "nothing here is machine readable\n")
+                  .ok());
+
+  ASSERT_EQ(RunCrawl(StrFormat(
+                "\"%s\" --catalog-out=\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                lake.c_str(), catalog.c_str(), out.c_str(),
+                manifest.c_str())),
+            0);
+
+  // Both copies extract byte-identically to the single-file CLI golden.
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"),
+                  out + "/a.log.tables", "crawl a.log");
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"),
+                  out + "/sub/b.log.tables", "crawl sub/b.log");
+
+  auto m = ReadFileToString(manifest);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NE(m.value().find("\"file_count\": 3"), std::string::npos);
+  EXPECT_NE(m.value().find("\"format_count\": 1"), std::string::npos)
+      << "both copies must cluster into one catalog entry";
+  EXPECT_NE(m.value().find("\"unstructured_count\": 1"), std::string::npos);
+  EXPECT_NE(m.value().find("\"error_count\": 0"), std::string::npos);
+  EXPECT_NE(m.value().find("\"discoveries\": 2"), std::string::npos)
+      << "one structured discovery (a.log) plus the prose attempt";
+  EXPECT_NE(m.value().find("sub/b.log"), std::string::npos);
+
+  // Warm crawl: catalog-in, zero structured discoveries, identical bytes.
+  const std::string manifest2 =
+      ::testing::TempDir() + "dm_crawl_manifest2.json";
+  ASSERT_EQ(RunCrawl(StrFormat(
+                "\"%s\" --catalog-in=\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                lake.c_str(), catalog.c_str(), out2.c_str(),
+                manifest2.c_str())),
+            0);
+  auto m2 = ReadFileToString(manifest2);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NE(m2.value().find("\"discoveries\": 1"), std::string::npos)
+      << "warm crawl re-discovers only the unstructured prose";
+  ExpectDirsEqual(out + "/a.log.tables", out2 + "/a.log.tables",
+                  "warm crawl a.log");
+  ExpectDirsEqual(out + "/sub/b.log.tables", out2 + "/sub/b.log.tables",
+                  "warm crawl sub/b.log");
+
+  for (const std::string& d : {lake, out, out2}) fs::remove_all(d);
+  fs::remove(catalog);
+  fs::remove(manifest);
+  fs::remove(manifest2);
+}
+
+TEST(CliCrawlTest, BadFlagsExitWithUsage) {
+  EXPECT_EQ(RunCrawl(""), 2);
+  EXPECT_EQ(RunCrawl("--format=parquet /tmp"), 2);
 }
 
 TEST(CliGoldenTest, BadFlagsExitWithUsage) {

@@ -4,6 +4,8 @@
 //   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
 //             [--threads=N] [--mmap=MODE] [--match-engine=ENGINE]
 //             [--charset-engine=ENGINE] [--no-mdl-pruning]
+//             [--catalog-in=PATH] [--catalog-out=PATH]
+//             [--catalog-min-match=P] [--summary-json=PATH]
 //             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
 //
 // Prints the discovered templates and a summary (including how the input
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "core/datamaran.h"
+#include "core/summary.h"
 #include "extraction/sinks.h"
 #include "util/file_io.h"
 #include "util/strings.h"
@@ -36,7 +39,10 @@ void Usage() {
                "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
                "                 [--match-engine=ENGINE]\n"
                "                 [--charset-engine=ENGINE]\n"
-               "                 [--no-mdl-pruning] [--out=DIR]\n"
+               "                 [--no-mdl-pruning] [--catalog-in=PATH]\n"
+               "                 [--catalog-out=PATH]\n"
+               "                 [--catalog-min-match=P]\n"
+               "                 [--summary-json=PATH] [--out=DIR]\n"
                "                 [--format=FMT] [--normalized] [--verbose]\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
                "                1 = sequential; output is identical)\n"
@@ -58,6 +64,24 @@ void Usage() {
                "                non-top-K evaluations early. Output is\n"
                "                identical; this only trades speed for a\n"
                "                brute-force baseline\n"
+               "  --catalog-in=PATH  fingerprint the input against the\n"
+               "                template catalog at PATH first; on a hit,\n"
+               "                skip discovery and extract with the stored\n"
+               "                templates (byte-identical output to the\n"
+               "                fresh-discovery run that produced the\n"
+               "                entry), else fall back to cold discovery\n"
+               "  --catalog-out=PATH  write the catalog (loaded entries\n"
+               "                plus any format discovered cold by this\n"
+               "                run) to PATH, so discovery cost amortizes\n"
+               "                across files sharing a format\n"
+               "  --catalog-min-match=P  percent of sampled lines a\n"
+               "                catalog entry must cover to count as a hit\n"
+               "                (default 80)\n"
+               "  --summary-json=PATH  write the per-file run summary\n"
+               "                (records, noise lines, timings, resolved\n"
+               "                engines, catalog hit/miss) to PATH as JSON;\n"
+               "                the crawler's lake manifest embeds the same\n"
+               "                object per file\n"
                "  --out=DIR     stream per-record-type columnar files into\n"
                "                DIR (type<t>.csv/.ndjson + noise.txt),\n"
                "                written incrementally at O(wave) memory;\n"
@@ -82,6 +106,7 @@ int main(int argc, char** argv) {
 
   std::string path;
   std::string out_dir;
+  std::string summary_json;
   bool normalized = false;
   OutputFormat format = OutputFormat::kCsv;
   DatamaranOptions options;
@@ -137,6 +162,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-mdl-pruning") {
       options.enable_mdl_pruning = false;
+    } else if (StartsWith(arg, "--catalog-in=")) {
+      options.catalog_in = std::string(arg.substr(13));
+    } else if (StartsWith(arg, "--catalog-out=")) {
+      options.catalog_out = std::string(arg.substr(14));
+    } else if (StartsWith(arg, "--catalog-min-match=")) {
+      options.catalog_min_match = std::atof(arg.substr(20).data()) / 100.0;
+    } else if (StartsWith(arg, "--summary-json=")) {
+      summary_json = std::string(arg.substr(15));
     } else if (StartsWith(arg, "--format=")) {
       std::string_view fmt = arg.substr(9);
       if (fmt == "csv") {
@@ -201,6 +234,18 @@ int main(int argc, char** argv) {
       result->timings.generation_s, result->timings.pruning_s,
       result->timings.evaluation_s, result->timings.refinement_s,
       result->timings.extraction_s);
+  if (result->stats.catalog_checked) {
+    if (result->stats.catalog_hit) {
+      std::printf("catalog: hit entry %d (%.1f%% of sample; fingerprint "
+                  "%.3fs, discovery skipped)\n",
+                  result->stats.catalog_entry,
+                  result->stats.catalog_match_rate * 100,
+                  result->timings.catalog_match_s);
+    } else {
+      std::printf("catalog: miss (fingerprint %.3fs, cold discovery)\n",
+                  result->timings.catalog_match_s);
+    }
+  }
   std::printf("match engine: %s\n",
               options.match_engine == MatchEngine::kCompiled ? "compiled"
                                                              : "tree");
@@ -232,6 +277,16 @@ int main(int argc, char** argv) {
                 result->stats.score_cache_hits,
                 result->stats.score_cache_misses, result->stats.rounds,
                 result->stats.residual_copy_bytes);
+  }
+
+  if (!summary_json.empty()) {
+    const FileSummary summary = SummarizeResult(path, *result, options);
+    Status written =
+        WriteStringToFile(summary_json, FileSummaryToJson(summary));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
   }
 
   if (out_dir.empty() || result->templates.empty()) return 0;

@@ -1,0 +1,515 @@
+// Data-lake crawler: walk a directory tree, cluster files by structure
+// template catalog entry, discover formats on miss, and extract every
+// structured file to streamed relational tables.
+//
+//   datamaran_crawl <dir> [--catalog-in=PATH] [--catalog-out=PATH]
+//                   [--out=DIR] [--manifest=PATH] [--threads=N]
+//                   [--mmap=MODE] [--match-engine=ENGINE]
+//                   [--charset-engine=ENGINE] [--catalog-min-match=P]
+//                   [--alpha=P] [--span=L] [--retain=M] [--format=FMT]
+//                   [--verbose]
+//
+// The paper's data-lake setting has thousands of files sharing a few dozen
+// formats, so the crawl amortizes discovery: full discovery (generation +
+// MDL evaluation + refinement) runs once per *format*, and every other
+// file is served by the catalog fast path at compiled-match speed. Three
+// phases, each deterministic (files are processed in sorted relative-path
+// order; every per-file artifact is byte-identical for any --threads):
+//
+//   1. Fingerprint (parallel over files): sample each file and match it
+//      against the catalog (template/catalog.h MatchCatalog — FIRST-byte
+//      prefilter, then MDL acceptance).
+//   2. Discover-on-miss (sequential, sorted order): each missed file is
+//      re-fingerprinted against the catalog *as grown so far* — so the
+//      second and later files of a new format cluster without discovery —
+//      and only a genuine miss pays cold discovery; its accepted templates
+//      fold into the catalog as a new entry.
+//   3. Extract (parallel over files): each structured file streams its
+//      tables through the O(wave) columnar sinks into
+//      <out>/<relative-path>.tables/. Parallelism is per *file* here (the
+//      wave-bounded extractor runs sequentially within each file): the
+//      pool cannot nest, and with many files the outer level is the right
+//      grain — peak memory stays O(threads x wave).
+//
+// The crawl ends with a lake manifest (JSON): format -> file clusters with
+// per-file summaries (the same FileSummary object --summary-json emits),
+// plus drifted-file flags — files whose sample matched a catalog entry but
+// whose whole-file match rate fell below the threshold. With
+// --catalog-out, the grown catalog is saved for the next crawl.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/datamaran.h"
+#include "core/summary.h"
+#include "extraction/sinks.h"
+#include "template/catalog.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace datamaran;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: datamaran_crawl <dir> [--catalog-in=PATH] [--catalog-out=PATH]\n"
+      "                       [--out=DIR] [--manifest=PATH] [--threads=N]\n"
+      "                       [--mmap=MODE] [--match-engine=ENGINE]\n"
+      "                       [--charset-engine=ENGINE]\n"
+      "                       [--catalog-min-match=P] [--alpha=P] [--span=L]\n"
+      "                       [--retain=M] [--format=FMT] [--verbose]\n"
+      "  --catalog-in=PATH   start from this template catalog (default:\n"
+      "                      empty; every format is discovered cold once)\n"
+      "  --catalog-out=PATH  save the grown catalog after the crawl\n"
+      "  --out=DIR           stream each structured file's tables into\n"
+      "                      DIR/<relative-path>.tables/ (same layout and\n"
+      "                      bytes as datamaran --out on that file with the\n"
+      "                      same templates)\n"
+      "  --manifest=PATH     write the lake manifest JSON (formats -> files\n"
+      "                      -> tables -> row/noise counts) to PATH instead\n"
+      "                      of stdout\n"
+      "  --format=FMT        table format for --out: csv (default) or\n"
+      "                      ndjson\n"
+      "  --catalog-min-match=P  percent of sampled lines a catalog entry\n"
+      "                      must cover to count as a hit (default 80);\n"
+      "                      also the whole-file threshold below which a\n"
+      "                      hit file is flagged as drifted\n"
+      "  remaining flags as in datamaran (see datamaran --help)\n");
+}
+
+/// EventSink that only counts; used when the crawl runs without --out.
+class CountingSink : public EventSink {
+ public:
+  explicit CountingSink(size_t num_templates)
+      : records_per_template_(num_templates, 0) {}
+
+  void OnRecord(int template_id, size_t /*first_line*/,
+                std::string_view /*text*/, size_t /*pos*/, size_t /*end*/,
+                const MatchEvent* /*events*/, size_t /*num_events*/) override {
+    const size_t t = static_cast<size_t>(template_id);
+    if (t < records_per_template_.size()) records_per_template_[t]++;
+  }
+
+  const std::vector<size_t>& records_per_template() const {
+    return records_per_template_;
+  }
+
+ private:
+  std::vector<size_t> records_per_template_;
+};
+
+/// Per-file crawl state, indexed like `files` (sorted relative paths).
+struct CrawlFile {
+  std::string rel_path;
+  int entry = -1;         ///< catalog entry used for extraction; -1 = none
+  bool fingerprint_hit = false;  ///< phase-1/2 catalog hit (vs. cold/none)
+  double fingerprint_rate = 0;
+  FileSummary summary;
+  Status error;  ///< open/extract failure (crawl continues, exit code 1)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string out_dir;
+  std::string manifest_path;
+  OutputFormat format = OutputFormat::kCsv;
+  DatamaranOptions options;
+  std::string catalog_in;
+  std::string catalog_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (StartsWith(arg, "--catalog-in=")) {
+      catalog_in = std::string(arg.substr(13));
+    } else if (StartsWith(arg, "--catalog-out=")) {
+      catalog_out = std::string(arg.substr(14));
+    } else if (StartsWith(arg, "--out=")) {
+      out_dir = std::string(arg.substr(6));
+    } else if (StartsWith(arg, "--manifest=")) {
+      manifest_path = std::string(arg.substr(11));
+    } else if (StartsWith(arg, "--catalog-min-match=")) {
+      options.catalog_min_match = std::atof(arg.substr(20).data()) / 100.0;
+    } else if (StartsWith(arg, "--alpha=")) {
+      options.coverage_threshold = std::atof(arg.substr(8).data()) / 100.0;
+    } else if (StartsWith(arg, "--span=")) {
+      options.max_record_span = std::atoi(arg.substr(7).data());
+    } else if (StartsWith(arg, "--retain=")) {
+      options.num_retained = std::atoi(arg.substr(9).data());
+    } else if (StartsWith(arg, "--threads=")) {
+      options.num_threads = std::atoi(arg.substr(10).data());
+    } else if (StartsWith(arg, "--mmap=")) {
+      std::string_view mode = arg.substr(7);
+      if (mode == "auto") {
+        options.mmap_mode = MapMode::kAuto;
+      } else if (mode == "always") {
+        options.mmap_mode = MapMode::kAlways;
+      } else if (mode == "never") {
+        options.mmap_mode = MapMode::kNever;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--match-engine=")) {
+      std::string_view engine = arg.substr(15);
+      if (engine == "compiled") {
+        options.match_engine = MatchEngine::kCompiled;
+      } else if (engine == "tree") {
+        options.match_engine = MatchEngine::kTree;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--charset-engine=")) {
+      std::string_view engine = arg.substr(17);
+      if (engine == "simd") {
+        options.charset_engine = CharsetEngine::kSimd;
+      } else if (engine == "swar") {
+        options.charset_engine = CharsetEngine::kSwar;
+      } else if (engine == "scalar") {
+        options.charset_engine = CharsetEngine::kScalar;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--format=")) {
+      std::string_view fmt = arg.substr(9);
+      if (fmt == "csv") {
+        format = OutputFormat::kCsv;
+      } else if (fmt == "ndjson") {
+        format = OutputFormat::kNdjson;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (!StartsWith(arg, "--")) {
+      root = std::string(arg);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    Usage();
+    return 2;
+  }
+
+  // The crawler owns the catalog lifecycle; the per-file pipeline objects
+  // must not load/save it again.
+  TemplateCatalog catalog;
+  if (!catalog_in.empty()) {
+    auto loaded = TemplateCatalog::Load(catalog_in);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    catalog = std::move(loaded.value());
+  }
+
+  // Collect regular files, sorted by relative path: the processing order —
+  // and therefore entry numbering, manifest order, and all output — is a
+  // pure function of the tree's contents.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<CrawlFile> files;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    CrawlFile f;
+    f.rel_path = fs::relative(it->path(), root, ec).generic_string();
+    files.push_back(std::move(f));
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot walk %s: %s\n", root.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CrawlFile& a, const CrawlFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+
+  CatalogMatchOptions match_opts;
+  match_opts.min_match = options.catalog_min_match;
+  match_opts.min_mdl_gain = options.min_mdl_gain;
+  match_opts.max_sample_bytes = options.max_sample_bytes;
+  match_opts.sample_chunks = options.sample_chunks;
+  match_opts.match_engine = options.match_engine;
+  match_opts.charset_engine = options.charset_engine;
+  auto open_file = [&](const CrawlFile& f) {
+    return Dataset::FromFile(root + "/" + f.rel_path, options.mmap_mode,
+                             options.mmap_threshold_bytes);
+  };
+
+  Timer total_timer;
+  ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
+
+  // --- Phase 1: fingerprint every file against the incoming catalog.
+  // Pure per-file reads of a shared immutable catalog: safe to fan out.
+  Timer fingerprint_timer;
+  pool.ParallelFor(files.size(), [&](size_t k) {
+    CrawlFile& f = files[k];
+    Timer t;
+    auto data = open_file(f);
+    if (!data.ok()) {
+      f.error = data.status();
+      return;
+    }
+    const CatalogMatch m = MatchCatalog(catalog, data.value(), match_opts);
+    f.summary.timings.catalog_match_s = t.Seconds();
+    if (m.hit()) {
+      f.entry = m.entry;
+      f.fingerprint_hit = true;
+      f.fingerprint_rate = m.match_rate;
+    }
+  });
+  const double fingerprint_s = fingerprint_timer.Seconds();
+
+  // --- Phase 2: discover formats for the misses, in sorted order. Each
+  // miss first re-fingerprints against the catalog as grown by earlier
+  // misses (same-format files cluster behind one discovery); only a
+  // genuine miss pays cold discovery. Discovery itself parallelizes
+  // internally (the Datamaran instance has its own pool), so this loop
+  // being sequential costs little and keeps entry numbering deterministic.
+  Timer discovery_timer;
+  size_t discoveries = 0;
+  {
+    DatamaranOptions discover_opts = options;
+    discover_opts.catalog_in.clear();
+    discover_opts.catalog_out.clear();
+    Datamaran dm(discover_opts);
+    for (CrawlFile& f : files) {
+      if (f.entry >= 0 || !f.error.ok()) continue;
+      auto data = open_file(f);
+      if (!data.ok()) {
+        f.error = data.status();
+        continue;
+      }
+      if (!catalog.empty()) {
+        Timer t;
+        const CatalogMatch m = MatchCatalog(catalog, data.value(), match_opts);
+        f.summary.timings.catalog_match_s += t.Seconds();
+        if (m.hit()) {
+          f.entry = m.entry;
+          f.fingerprint_hit = true;
+          f.fingerprint_rate = m.match_rate;
+          continue;
+        }
+      }
+      StepTimings timings;
+      PipelineStats stats;
+      std::vector<TemplateReport> reports;
+      std::vector<StructureTemplate> templates =
+          dm.DiscoverTemplates(data.value(), &timings, &stats, &reports);
+      f.summary.timings.generation_s = timings.generation_s;
+      f.summary.timings.pruning_s = timings.pruning_s;
+      f.summary.timings.evaluation_s = timings.evaluation_s;
+      f.summary.timings.refinement_s = timings.refinement_s;
+      discoveries++;
+      if (templates.empty()) continue;  // unstructured: noise-only file
+      CatalogEntry entry;
+      entry.templates = std::move(templates);
+      for (const TemplateReport& report : reports) {
+        CatalogTemplateMeta meta;
+        meta.mdl_bits = report.mdl_bits;
+        meta.noise_only_bits = report.noise_only_bits;
+        meta.sample_records = report.sample_records;
+        meta.sample_coverage = report.sample_coverage;
+        entry.meta.push_back(meta);
+      }
+      f.entry = static_cast<int>(catalog.AddEntry(std::move(entry)));
+      f.fingerprint_rate = 1.0;  // its own discovery sample, by definition
+    }
+  }
+  const double discovery_s = discovery_timer.Seconds();
+
+  // --- Phase 3: extract every structured file. File-level parallelism
+  // over the wave-bounded sequential extractor (the pool cannot nest);
+  // the catalog is frozen now, so entry template vectors are stable.
+  Timer extract_timer;
+  const std::string resolved_charset =
+      CharsetEngineName(ResolveCharsetEngine(options.charset_engine));
+  pool.ParallelFor(files.size(), [&](size_t k) {
+    CrawlFile& f = files[k];
+    FileSummary& s = f.summary;
+    s.path = f.rel_path;
+    s.match_engine =
+        options.match_engine == MatchEngine::kCompiled ? "compiled" : "tree";
+    s.charset_engine = resolved_charset;
+    s.threads = 1;  // per-file scan is sequential; the crawl fans out files
+    s.catalog_checked = true;
+    s.catalog_hit = f.fingerprint_hit;
+    s.catalog_entry = f.entry;
+    s.catalog_match_rate = f.fingerprint_rate;
+    if (!f.error.ok()) return;
+    auto data = open_file(f);
+    if (!data.ok()) {
+      f.error = data.status();
+      return;
+    }
+    s.input_bytes = data->size_bytes();
+    s.input_mapped = data->is_mapped();
+    if (f.entry < 0) {
+      // Unstructured: every line is noise; nothing to extract.
+      s.total_lines = data->line_count();
+      s.noise_lines = s.total_lines;
+      s.match_rate = s.total_lines == 0 ? 1.0 : 0.0;
+      return;
+    }
+    const CatalogEntry& entry = catalog.entry(static_cast<size_t>(f.entry));
+    for (const StructureTemplate& st : entry.templates) {
+      s.templates.push_back(st.Display());
+    }
+    Timer t;
+    data->Advise(AccessHint::kSequential);
+    Extractor extractor(&entry.templates, /*pool=*/nullptr,
+                        options.match_engine, options.charset_engine);
+    DatasetView view(data.value());
+    ExtractionResult stats;
+    if (!out_dir.empty()) {
+      ColumnarWriteSink sink(&entry.templates, view,
+                             out_dir + "/" + f.rel_path + ".tables", format);
+      if (!sink.status().ok()) {
+        f.error = sink.status();
+        return;
+      }
+      stats = extractor.ExtractEvents(view, &sink);
+      Status finished = sink.Finish();
+      if (!finished.ok()) {
+        f.error = finished;
+        return;
+      }
+      s.records_per_template = sink.stats().records_per_template;
+    } else {
+      CountingSink sink(entry.templates.size());
+      stats = extractor.ExtractEvents(view, &sink);
+      s.records_per_template = sink.records_per_template();
+    }
+    s.timings.extraction_s = t.Seconds();
+    s.total_lines = stats.total_lines;
+    s.records = stats.matched_records;
+    s.noise_lines = stats.noise_line_count;
+    s.match_rate = stats.line_match_rate();
+    s.coverage = stats.coverage();
+    // Drift flag: the sample matched the catalog entry but the whole file
+    // does not clear the same threshold — the extractor's line accounting
+    // is what surfaces this instead of silently inflating noise.
+    s.drifted = f.fingerprint_hit && s.match_rate < options.catalog_min_match;
+    s.timings.total_s = s.timings.catalog_match_s + s.timings.generation_s +
+                        s.timings.pruning_s + s.timings.evaluation_s +
+                        s.timings.refinement_s + s.timings.extraction_s;
+  });
+  const double extract_s = extract_timer.Seconds();
+
+  if (!catalog_out.empty()) {
+    Status saved = catalog.Save(catalog_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // --- Lake manifest: formats -> files -> tables -> row/noise counts.
+  // Per-format aggregates join per-file summaries on catalog_entry.
+  struct FormatAgg {
+    size_t file_count = 0;
+    size_t records = 0;
+    size_t noise_lines = 0;
+  };
+  std::vector<FormatAgg> agg(catalog.size());
+  size_t unstructured = 0, drifted = 0, errors = 0, total_records = 0;
+  for (const CrawlFile& f : files) {
+    if (!f.error.ok()) {
+      errors++;
+      continue;
+    }
+    total_records += f.summary.records;
+    if (f.summary.drifted) drifted++;
+    if (f.entry < 0) {
+      unstructured++;
+      continue;
+    }
+    FormatAgg& a = agg[static_cast<size_t>(f.entry)];
+    a.file_count++;
+    a.records += f.summary.records;
+    a.noise_lines += f.summary.noise_lines;
+  }
+
+  std::string manifest;
+  manifest += "{\n";
+  manifest += "  \"root\": \"";
+  AppendJsonEscaped(root, &manifest);
+  manifest += "\",\n";
+  manifest += StrFormat("  \"file_count\": %zu,\n", files.size());
+  manifest += StrFormat("  \"format_count\": %zu,\n", catalog.size());
+  manifest += StrFormat("  \"unstructured_count\": %zu,\n", unstructured);
+  manifest += StrFormat("  \"drifted_count\": %zu,\n", drifted);
+  manifest += StrFormat("  \"error_count\": %zu,\n", errors);
+  manifest += StrFormat("  \"discoveries\": %zu,\n", discoveries);
+  manifest +=
+      StrFormat("  \"timings\": {\"fingerprint_s\": %.6f, "
+                "\"discovery_s\": %.6f, \"extraction_s\": %.6f, "
+                "\"total_s\": %.6f},\n",
+                fingerprint_s, discovery_s, extract_s, total_timer.Seconds());
+  manifest += "  \"formats\": [\n";
+  for (size_t e = 0; e < catalog.size(); ++e) {
+    const CatalogEntry& entry = catalog.entry(e);
+    manifest += StrFormat("    {\"name\": \"%s\", \"templates\": [",
+                          entry.name.c_str());
+    for (size_t t = 0; t < entry.templates.size(); ++t) {
+      if (t > 0) manifest += ", ";
+      manifest += '"';
+      AppendJsonEscaped(entry.templates[t].Display(), &manifest);
+      manifest += '"';
+    }
+    manifest += StrFormat("], \"file_count\": %zu, \"records\": %zu, "
+                          "\"noise_lines\": %zu}%s\n",
+                          agg[e].file_count, agg[e].records,
+                          agg[e].noise_lines,
+                          e + 1 < catalog.size() ? "," : "");
+  }
+  manifest += "  ],\n";
+  manifest += "  \"files\": [\n";
+  for (size_t k = 0; k < files.size(); ++k) {
+    AppendFileSummaryJson(files[k].summary, 4, &manifest);
+    manifest += k + 1 < files.size() ? ",\n" : "\n";
+  }
+  manifest += "  ]\n";
+  manifest += "}\n";
+  if (manifest_path.empty()) {
+    std::fputs(manifest.c_str(), stdout);
+  } else {
+    Status written = WriteStringToFile(manifest_path, manifest);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr,
+               "crawled %zu file(s): %zu format(s), %zu discover(ies), "
+               "%zu unstructured, %zu drifted, %zu error(s); "
+               "%zu record(s) in %.2fs "
+               "(fingerprint %.2fs, discovery %.2fs, extraction %.2fs)\n",
+               files.size(), catalog.size(), discoveries, unstructured,
+               drifted, errors, total_records, total_timer.Seconds(),
+               fingerprint_s, discovery_s, extract_s);
+  for (const CrawlFile& f : files) {
+    if (!f.error.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", f.rel_path.c_str(),
+                   f.error.ToString().c_str());
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}
