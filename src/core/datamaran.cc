@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/input.h"
 #include "generation/generator.h"
 #include "pruning/pruner.h"
 #include "refinement/refiner.h"
@@ -102,6 +103,7 @@ std::vector<StructureTemplate> Datamaran::DiscoverTemplates(
   SamplerOptions sampler_opts;
   sampler_opts.max_sample_bytes = options_.max_sample_bytes;
   sampler_opts.num_chunks = options_.sample_chunks;
+  sampler_opts.max_line_bytes = options_.max_line_bytes;
   DatasetView residual = SampleView(data, sampler_opts);
   if (stats != nullptr) stats->sample_bytes = residual.size_bytes();
 
@@ -422,6 +424,7 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
     match_opts.min_mdl_gain = options_.min_mdl_gain;
     match_opts.max_sample_bytes = options_.max_sample_bytes;
     match_opts.sample_chunks = options_.sample_chunks;
+    match_opts.max_line_bytes = options_.max_line_bytes;
     match_opts.match_engine = options_.match_engine;
     match_opts.charset_engine = options_.charset_engine;
     std::lock_guard<std::mutex> lock(catalog_mu_);
@@ -484,7 +487,7 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   Timer extract_timer;
   data.Advise(AccessHint::kSequential);
   Extractor extractor(&result.templates, pool_.get(), options_.match_engine,
-                      options_.charset_engine);
+                      options_.charset_engine, options_.max_line_bytes);
   result.extraction = extractor.Extract(data);
   data.Advise(AccessHint::kNormal);
   result.timings.extraction_s = extract_timer.Seconds();
@@ -504,8 +507,10 @@ Result<PipelineResult> Datamaran::ExtractFile(const std::string& path) const {
   // A requested catalog that failed to load is an input error, not a
   // silent fall-back to cold discovery.
   if (!catalog_status_.ok()) return catalog_status_;
-  auto data = Dataset::FromFile(path, options_.mmap_mode,
-                                options_.mmap_threshold_bytes);
+  // The resilient front-end (core/input.h): gzip sniff + inflate, CRLF
+  // normalization, descriptive error Status on corrupt/truncated input.
+  // Plain clean files keep the mmap fast path.
+  auto data = OpenInput(path, MakeInputOptions(options_));
   if (!data.ok()) return data.status();
   return ExtractDataset(data.value());
 }

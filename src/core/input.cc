@@ -1,0 +1,262 @@
+#include "core/input.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "util/gzip.h"
+#include "util/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DM_HAVE_GLOB 1
+#include <glob.h>
+#endif
+
+namespace datamaran {
+
+namespace {
+
+/// Re-wraps `s` with a leading context (usually the offending path) so
+/// multi-file errors name their file, preserving the status code.
+Status WithContext(const Status& s, const std::string& context) {
+  const std::string msg = context + ": " + s.message();
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kParseError:
+      return Status::ParseError(msg);
+    case StatusCode::kInternal:
+      return Status::Internal(msg);
+    case StatusCode::kIoError:
+    default:
+      return Status::IoError(msg);
+  }
+}
+
+/// First min(kCrlfProbeBytes, file size) bytes of the file; an unreadable
+/// file reports the same IoError ReadFileToString would.
+Result<std::string> ReadHead(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  std::string head;
+  head.resize(kCrlfProbeBytes);
+  const size_t got = std::fread(head.data(), 1, head.size(), f);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IoError("read failed: " + path);
+  head.resize(got);
+  return head;
+}
+
+/// Applies the CRLF policy to an owned buffer (kAuto probes the buffer's
+/// own head — for decompressed input the probe must see plain text).
+void ApplyCrlfPolicy(std::string* text, CrlfPolicy policy) {
+  if (policy == CrlfPolicy::kKeep) return;
+  if (policy == CrlfPolicy::kAuto &&
+      !DetectCrlf(std::string_view(*text).substr(
+          0, std::min(text->size(), kCrlfProbeBytes)))) {
+    return;
+  }
+  StripCrlfInPlace(text);
+}
+
+/// Loads one stitch member fully into memory: gzip members inflate, plain
+/// members read, and the CRLF policy applies per member.
+Result<std::string> LoadMemberBytes(const std::string& path,
+                                    const InputOptions& options) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  std::string text = std::move(bytes.value());
+  if (LooksGzip(text)) {
+    auto inflated = GunzipToString(text, options.max_inflate_bytes);
+    if (!inflated.ok()) return WithContext(inflated.status(), path);
+    text = std::move(inflated.value());
+  }
+  ApplyCrlfPolicy(&text, options.crlf);
+  return text;
+}
+
+}  // namespace
+
+bool DetectCrlf(std::string_view head) {
+  return head.find("\r\n") != std::string_view::npos;
+}
+
+size_t StripCrlfInPlace(std::string* text) {
+  size_t stripped = 0;
+  size_t w = 0;
+  const size_t n = text->size();
+  for (size_t r = 0; r < n; ++r) {
+    if ((*text)[r] == '\r' && r + 1 < n && (*text)[r + 1] == '\n') {
+      ++stripped;
+      continue;  // drop the '\r'; the '\n' copies on the next iteration
+    }
+    (*text)[w++] = (*text)[r];
+  }
+  text->resize(w);
+  return stripped;
+}
+
+RotationKey RotationKeyFor(std::string_view path) {
+  RotationKey key;
+  std::string_view rest = path;
+  if (rest.size() > 3 && rest.substr(rest.size() - 3) == ".gz") {
+    rest.remove_suffix(3);
+  }
+  // A short pure-numeric final component is a rotation generation; longer
+  // numeric tails (dates like data.2023) are part of the name.
+  const size_t dot = rest.rfind('.');
+  if (dot != std::string_view::npos && dot + 1 < rest.size()) {
+    const std::string_view digits = rest.substr(dot + 1);
+    const bool numeric =
+        digits.size() <= 3 &&
+        std::all_of(digits.begin(), digits.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) != 0;
+        });
+    // The basename must not be empty or itself the whole name (".1").
+    const size_t slash = rest.rfind('/');
+    const size_t name_begin = slash == std::string_view::npos ? 0 : slash + 1;
+    if (numeric && dot > name_begin) {
+      key.base = std::string(rest.substr(0, dot));
+      key.index = std::atoi(std::string(digits).c_str());
+      return key;
+    }
+  }
+  key.base = std::string(rest);
+  key.index = -1;
+  return key;
+}
+
+void SortByRotation(std::vector<std::string>* paths) {
+  std::stable_sort(
+      paths->begin(), paths->end(),
+      [](const std::string& a, const std::string& b) {
+        const RotationKey ka = RotationKeyFor(a);
+        const RotationKey kb = RotationKeyFor(b);
+        if (ka.base != kb.base) return ka.base < kb.base;
+        if (ka.index != kb.index) {
+          // Highest generation first (oldest data); the live file (-1)
+          // comes last.
+          if (ka.index == -1) return false;
+          if (kb.index == -1) return true;
+          return ka.index > kb.index;
+        }
+        return a < b;
+      });
+}
+
+Result<std::vector<std::string>> ExpandInputSpec(std::string_view spec) {
+  std::vector<std::string> paths;
+  for (std::string_view token : Split(spec, ',')) {
+    if (token.empty()) continue;
+    const std::string pattern(token);
+    const bool has_glob =
+        pattern.find_first_of("*?[") != std::string::npos;
+#if DM_HAVE_GLOB
+    if (has_glob) {
+      glob_t g{};
+      const int rc = ::glob(pattern.c_str(), 0, nullptr, &g);
+      if (rc == GLOB_NOMATCH) {
+        ::globfree(&g);
+        return Status::NotFound("no input matches pattern: " + pattern);
+      }
+      if (rc != 0) {
+        ::globfree(&g);
+        return Status::IoError("glob failed for pattern: " + pattern);
+      }
+      for (size_t i = 0; i < g.gl_pathc; ++i) {
+        paths.emplace_back(g.gl_pathv[i]);
+      }
+      ::globfree(&g);
+      continue;
+    }
+#else
+    if (has_glob) {
+      return Status::InvalidArgument(
+          "glob patterns are not supported on this platform: " + pattern);
+    }
+#endif
+    std::error_code ec;
+    if (!std::filesystem::exists(pattern, ec)) {
+      return Status::NotFound("no such input file: " + pattern);
+    }
+    paths.push_back(pattern);
+  }
+  if (paths.empty()) {
+    return Status::InvalidArgument("empty --inputs spec");
+  }
+  // A literal path repeated, or overlapping globs, must not double the data.
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  SortByRotation(&paths);
+  return paths;
+}
+
+Result<Dataset> DatasetFromBytes(std::string bytes,
+                                 const InputOptions& options) {
+  if (LooksGzip(bytes)) {
+    auto inflated = GunzipToString(bytes, options.max_inflate_bytes);
+    if (!inflated.ok()) return inflated.status();
+    bytes = std::move(inflated.value());
+  }
+  ApplyCrlfPolicy(&bytes, options.crlf);
+  return Dataset(std::move(bytes));
+}
+
+Result<Dataset> OpenInput(const std::string& path,
+                          const InputOptions& options) {
+  auto head = ReadHead(path);
+  if (!head.ok()) return head.status();
+
+  if (LooksGzip(head.value())) {
+    // Inflate from a lazy mapping of the compressed bytes into an owned
+    // backing. The mapping (not a whole-file read) keeps the peak at
+    // O(inflated) instead of O(compressed + inflated).
+    auto region = MmapFile(path);
+    if (!region.ok()) return region.status();
+    auto inflated =
+        GunzipToString(region.value().view(), options.max_inflate_bytes);
+    if (!inflated.ok()) return WithContext(inflated.status(), path);
+    std::string text = std::move(inflated.value());
+    ApplyCrlfPolicy(&text, options.crlf);
+    return Dataset(std::move(text));
+  }
+
+  const bool strip =
+      options.crlf == CrlfPolicy::kStrip ||
+      (options.crlf == CrlfPolicy::kAuto && DetectCrlf(head.value()));
+  if (strip) {
+    auto text = ReadFileToString(path);
+    if (!text.ok()) return text.status();
+    StripCrlfInPlace(&text.value());
+    return Dataset(std::move(text.value()));
+  }
+
+  // Clean plain file: the zero-copy mmap fast path is preserved.
+  return Dataset::FromFile(path, options.mmap_mode,
+                           options.mmap_threshold_bytes);
+}
+
+Result<Dataset> OpenInputs(const std::vector<std::string>& paths,
+                           const InputOptions& options) {
+  if (paths.empty()) return Status::InvalidArgument("no input files");
+  if (paths.size() == 1) return OpenInput(paths[0], options);
+  std::string combined;
+  for (const std::string& path : paths) {
+    auto member = LoadMemberBytes(path, options);
+    if (!member.ok()) return member.status();
+    combined += member.value();
+    // Newline-terminate each member so a truncated final line cannot merge
+    // with the first line of the next rotation generation.
+    if (!combined.empty() && combined.back() != '\n') combined += '\n';
+  }
+  return Dataset(std::move(combined));
+}
+
+}  // namespace datamaran

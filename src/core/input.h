@@ -1,0 +1,126 @@
+#ifndef DATAMARAN_CORE_INPUT_H_
+#define DATAMARAN_CORE_INPUT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+/// The resilient input front-end: everything between "a path (or several)
+/// on disk" and "a well-formed Dataset the pipeline can trust".
+///
+/// Real data lakes are hostile. Files arrive gzip'd (`app.log.2.gz`),
+/// rotated into numbered generations, CRLF-terminated, sprinkled with NUL
+/// bytes and invalid UTF-8, truncated mid-write, or occasionally containing
+/// a single multi-GB line. This layer contains those hazards before any
+/// pipeline stage runs:
+///
+///  * Compression: gzip files are sniffed by magic bytes and inflated
+///    (streaming, multi-member, with a decompression-bomb cap) into the
+///    Dataset's owned backing. Plain files keep the mmap fast path.
+///  * Rotation stitching: `app.log` + `app.log.1` + `app.log.2.gz` open as
+///    ONE logical dataset in chronological order (highest rotation index
+///    first — that is the oldest data), each member newline-terminated so
+///    records never merge across a file boundary.
+///  * CRLF normalization: "\r\n" line endings are rewritten to "\n"
+///    (policy-controlled; kAuto engages when a CRLF appears in the probe
+///    window at the head of the file), so templates and goldens are
+///    identical whether a producer ran on Windows or not.
+///  * Failure containment: every hazard — unreadable file, corrupt or
+///    truncated gzip stream, decompression bomb — surfaces as a
+///    descriptive error Status, never a crash. The CLI turns that into a
+///    non-zero exit; the crawler records it in the manifest's errors
+///    section and keeps crawling.
+///
+/// NUL bytes and invalid UTF-8 need no normalization: the dataset layer
+/// indexes lines by '\n' alone and every matcher/tokenizer operates on raw
+/// bytes (charset engines are NUL-member safe), so hostile bytes simply
+/// flow through into extracted fields. Oversized-line containment lives
+/// downstream (SamplerOptions/Extractor `max_line_bytes`), where a line
+/// over the cap degrades to noise instead of being indexed or matched.
+
+namespace datamaran {
+
+/// What to do about "\r\n" line endings.
+enum class CrlfPolicy {
+  /// Probe the first kCrlfProbeBytes of the (decompressed) input; if a
+  /// CRLF appears there, normalize the whole input. A file whose first
+  /// CRLF hides beyond the probe window is treated as kKeep — the
+  /// deterministic, documented trade for not touching every page of a
+  /// mapped multi-GB file.
+  kAuto,
+  /// Never normalize; '\r' stays in the line bytes.
+  kKeep,
+  /// Always scan and normalize the whole input (forces an owned backing).
+  kStrip,
+};
+
+/// Bytes CrlfPolicy::kAuto inspects at the head of the input.
+inline constexpr size_t kCrlfProbeBytes = 64 * 1024;
+
+struct InputOptions {
+  MapMode mmap_mode = MapMode::kAuto;
+  size_t mmap_threshold_bytes = Dataset::kDefaultMmapThreshold;
+  CrlfPolicy crlf = CrlfPolicy::kAuto;
+  /// Decompression-bomb guard: inflating past this many bytes is an error.
+  /// 0 = unlimited.
+  size_t max_inflate_bytes = 4ull * 1024 * 1024 * 1024;
+};
+
+/// True when `head` contains a "\r\n" (the kAuto trigger).
+bool DetectCrlf(std::string_view head);
+
+/// Rewrites every "\r\n" to "\n" in place; lone '\r' bytes (not followed by
+/// '\n') are data and are left alone. Returns the number of CRLFs stripped.
+size_t StripCrlfInPlace(std::string* text);
+
+/// Rotation identity of a path: `app.log.3.gz` -> base "app.log", index 3;
+/// `app.log.1` -> base "app.log", index 1; `app.log` (the live file) ->
+/// base "app.log", index -1. Only a short (1-3 digit) pure-numeric final
+/// component counts as a rotation index — `data.2023` keeps its own name.
+/// A trailing ".gz" is transparent to the identity.
+struct RotationKey {
+  std::string base;  ///< logical path, rotation suffix and .gz stripped
+  int index = -1;    ///< rotation generation; -1 = the live (newest) file
+};
+RotationKey RotationKeyFor(std::string_view path);
+
+/// Sorts `paths` into chronological read order: grouped by rotation base
+/// (bases in lexicographic order), and within a base highest index first —
+/// `app.log.2.gz`, `app.log.1`, `app.log` — because rotation renames
+/// upward, making the highest generation the oldest data.
+void SortByRotation(std::vector<std::string>* paths);
+
+/// Expands a comma-separated `--inputs` spec into concrete paths: each
+/// token is a literal path or a glob pattern (`logs/app.log*`). The result
+/// is rotation-sorted (SortByRotation). A token that names no existing
+/// file and matches nothing is a NotFound error — a silently-empty input
+/// set hides typos.
+Result<std::vector<std::string>> ExpandInputSpec(std::string_view spec);
+
+/// Builds a Dataset from in-memory bytes, applying the gzip sniff and the
+/// CRLF policy. The entry point the fuzz harness drives: any byte string
+/// must produce either a Dataset or a clean error Status.
+Result<Dataset> DatasetFromBytes(std::string bytes,
+                                 const InputOptions& options);
+
+/// Opens one file through the resilient front-end. Plain files below the
+/// hazards keep Dataset::FromFile's mmap fast path; gzip input and CRLF
+/// normalization produce an owned backing.
+Result<Dataset> OpenInput(const std::string& path,
+                          const InputOptions& options);
+
+/// Opens several files as one logical dataset, stitched in the order given
+/// (callers wanting chronological rotation order sort with SortByRotation
+/// first — ExpandInputSpec already does). Every member is decompressed and
+/// normalized like OpenInput and newline-terminated before concatenation.
+/// A single path defers to OpenInput, preserving its mmap fast path.
+Result<Dataset> OpenInputs(const std::vector<std::string>& paths,
+                           const InputOptions& options);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_CORE_INPUT_H_

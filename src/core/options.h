@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/dataset.h"
+#include "core/input.h"
 #include "template/match_engine.h"
 #include "util/char_class.h"
 #include "util/charset_engine.h"
@@ -64,6 +65,19 @@ struct DatamaranOptions {
   /// whole file in memory.
   MapMode mmap_mode = MapMode::kAuto;
   size_t mmap_threshold_bytes = Dataset::kDefaultMmapThreshold;
+
+  /// Input front-end hardening (core/input.h). `crlf` controls "\r\n"
+  /// normalization (kAuto probes the head of the input and strips when CRLF
+  /// is detected); `max_inflate_bytes` caps gzip decompression (bomb
+  /// guard; 0 = unlimited); `max_line_bytes` is the oversized-line guard —
+  /// a line longer than this is excluded from the discovery sample and
+  /// degraded to noise by the extraction scan instead of being indexed,
+  /// tokenized, or matched (0 = unlimited). All three are pure functions
+  /// of the input bytes, so output stays byte-identical across threads,
+  /// engines, and backings.
+  CrlfPolicy crlf = CrlfPolicy::kAuto;
+  size_t max_inflate_bytes = 4ull * 1024 * 1024 * 1024;
+  size_t max_line_bytes = 4 * 1024 * 1024;
 
   /// Reuse candidate MDL scores across residual rounds (exact — cached
   /// values are bit-identical to fresh evaluation; see
@@ -146,6 +160,16 @@ struct DatamaranOptions {
   /// this knob trades nothing but wall-clock time.
   int num_threads = 0;
 };
+
+/// The input-layer slice of the pipeline options, for OpenInput/OpenInputs.
+inline InputOptions MakeInputOptions(const DatamaranOptions& options) {
+  InputOptions in;
+  in.mmap_mode = options.mmap_mode;
+  in.mmap_threshold_bytes = options.mmap_threshold_bytes;
+  in.crlf = options.crlf;
+  in.max_inflate_bytes = options.max_inflate_bytes;
+  return in;
+}
 
 }  // namespace datamaran
 

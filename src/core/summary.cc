@@ -64,6 +64,9 @@ void AppendFileSummaryJson(const FileSummary& s, int indent,
   *out += field +
           StrFormat("\"input_mapped\": %s,\n", s.input_mapped ? "true"
                                                               : "false");
+  *out += field + "\"error\": ";
+  AppendJsonString(s.error, out);
+  *out += ",\n";
   *out += field + "\"templates\": [";
   for (size_t t = 0; t < s.templates.size(); ++t) {
     if (t > 0) *out += ", ";

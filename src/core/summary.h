@@ -24,6 +24,13 @@ struct FileSummary {
   size_t input_bytes = 0;
   bool input_mapped = false;
 
+  /// Failure containment: when the input layer or extraction failed, the
+  /// Status rendered as "CODE: message" (empty = the run succeeded). A
+  /// summary with a non-empty error carries only the fields known before
+  /// the failure; the crawler's manifest aggregates these into its errors
+  /// section instead of aborting the crawl.
+  std::string error;
+
   /// Structure: Display() forms of the templates used for extraction.
   std::vector<std::string> templates;
 

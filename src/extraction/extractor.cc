@@ -95,11 +95,12 @@ constexpr size_t kMinLinesPerChunk = 256;
 
 Extractor::Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool, MatchEngine engine,
-                     CharsetEngine charset_engine)
+                     CharsetEngine charset_engine, size_t max_line_bytes)
     : templates_(templates),
       pool_(pool),
       matchers_(BuildMatchers(*templates, engine, charset_engine)),
-      index_(matchers_) {
+      index_(matchers_),
+      max_line_bytes_(max_line_bytes) {
   for (const StructureTemplate& st : *templates_) {
     spans_.push_back(std::max(1, st.line_span()));
   }
@@ -113,10 +114,25 @@ int Extractor::MatchAt(const DatasetView& data, size_t li,
   // skipped templates could never have matched, so the first-match-in-
   // priority-order outcome is unchanged. The common single-template case
   // answers from the matcher's own FIRST set without touching the index.
+  // Oversized-line guard: a candidate window containing any line over the
+  // cap is refused before it is resolved, so a pathological multi-MB line
+  // is pure noise — never scanned by a matcher, never assembled into
+  // cross-gap scratch, and never swallowed mid-record by a multi-line
+  // template. The common case (cap unset, or span-1 templates) costs one
+  // length comparison.
+  const auto window_ok = [&](size_t span) {
+    if (max_line_bytes_ == 0) return true;
+    const size_t stop = std::min(li + span, data.line_count());
+    for (size_t i = li; i < stop; ++i) {
+      if (data.line(i).size() > max_line_bytes_) return false;
+    }
+    return true;
+  };
   const unsigned char first =
       static_cast<unsigned char>(data.line_with_newline(li).front());
   if (matchers_.size() == 1) {
     if (!matchers_[0].CanStartWith(first)) return -1;
+    if (!window_ok(static_cast<size_t>(spans_[0]))) return -1;
     *win = data.ResolveSpan(li, static_cast<size_t>(spans_[0]), scratch);
     auto stats = matchers_[0].ParseFlat(win->text, win->pos, events);
     if (!stats.has_value()) return -1;
@@ -124,6 +140,7 @@ int Extractor::MatchAt(const DatasetView& data, size_t li,
     return 0;
   }
   for (uint16_t t : index_.Candidates(first)) {
+    if (!window_ok(static_cast<size_t>(spans_[t]))) continue;
     *win = data.ResolveSpan(li, static_cast<size_t>(spans_[t]), scratch);
     auto stats = matchers_[t].ParseFlat(win->text, win->pos, events);
     if (!stats.has_value()) continue;

@@ -173,10 +173,16 @@ class Extractor {
   /// `templates` in priority order (the pipeline's discovery order). The
   /// templates must outlive the extractor. When `pool` is non-null and has
   /// more than one thread, the streaming scans shard across it.
+  /// `max_line_bytes` is the oversized-line guard: a match attempt at a
+  /// line whose content exceeds the cap is refused outright, so the line is
+  /// emitted as noise instead of being scanned or assembled into a record
+  /// window (0 = unlimited). The same cap excludes such lines from the
+  /// discovery sample (util/sampler.h), keeping the two phases consistent.
   explicit Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool = nullptr,
                      MatchEngine engine = MatchEngine::kCompiled,
-                     CharsetEngine charset_engine = CharsetEngine::kSimd);
+                     CharsetEngine charset_engine = CharsetEngine::kSimd,
+                     size_t max_line_bytes = 0);
 
   /// Streams each record's flat MatchEvent parse into `sink` in scan order;
   /// returns coverage statistics. This is the one scan implementation — the
@@ -237,6 +243,7 @@ class Extractor {
   TemplateSetIndex index_;
   std::vector<int> spans_;
   size_t lines_per_chunk_ = 0;
+  size_t max_line_bytes_ = 0;
 };
 
 }  // namespace datamaran

@@ -213,6 +213,17 @@ Result<TemplateCatalog> TemplateCatalog::Parse(std::string_view text) {
                                           "'entry <name> templates=N'",
                                           i + 1));
     }
+    // Names round-trip through "entry %s ..." lines: anything outside
+    // printable non-space ASCII (embedded NUL, control bytes, UTF-8) would
+    // serialize to a line this parser reads back differently. Reject at
+    // the boundary (fuzz-found).
+    for (char c : toks[1]) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u < 0x21 || u > 0x7E) {
+        return Status::ParseError(StrFormat(
+            "catalog line %zu: entry name must be printable ASCII", i + 1));
+      }
+    }
     CatalogEntry entry;
     entry.name = std::string(toks[1]);
     const auto count = ParseInt64(toks[2].substr(strlen("templates=")));
@@ -293,7 +304,9 @@ Result<TemplateCatalog> TemplateCatalog::Load(const std::string& path) {
 }
 
 Status TemplateCatalog::Save(const std::string& path) const {
-  return WriteStringToFile(path, Serialize());
+  // Atomic (temp + rename): a crashed or killed run can never leave a
+  // truncated catalog that a later --catalog-in load would reject.
+  return WriteFileAtomic(path, Serialize());
 }
 
 CatalogMatch MatchCatalog(const TemplateCatalog& catalog, const Dataset& data,
@@ -303,6 +316,7 @@ CatalogMatch MatchCatalog(const TemplateCatalog& catalog, const Dataset& data,
   SamplerOptions sampler_opts;
   sampler_opts.max_sample_bytes = options.max_sample_bytes;
   sampler_opts.num_chunks = options.sample_chunks;
+  sampler_opts.max_line_bytes = options.max_line_bytes;
   const DatasetView sample = SampleView(data, sampler_opts);
   const size_t n = sample.line_count();
   if (n == 0) return out;

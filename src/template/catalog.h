@@ -130,9 +130,12 @@ struct CatalogMatchOptions {
   /// model the discovery accept/reject step applies (options.h
   /// min_mdl_gain).
   double min_mdl_gain = 0.01;
-  /// Sampling policy (mirrors DatamaranOptions).
+  /// Sampling policy (mirrors DatamaranOptions), including the
+  /// oversized-line guard so the fingerprint sample excludes exactly the
+  /// lines discovery's sample would.
   size_t max_sample_bytes = 256 * 1024;
   int sample_chunks = 8;
+  size_t max_line_bytes = 0;
   MatchEngine match_engine = MatchEngine::kCompiled;
   CharsetEngine charset_engine = CharsetEngine::kSimd;
 };

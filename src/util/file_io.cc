@@ -52,6 +52,32 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
   return Status::Ok();
 }
 
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + tmp);
+  }
+  const size_t put = contents.empty()
+                         ? 0
+                         : std::fwrite(contents.data(), 1, contents.size(), f);
+  bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability before visibility: the rename must not land before the data.
+  if (flushed) flushed = ::fsync(::fileno(f)) == 0;
+#endif
+  const int rc = std::fclose(f);
+  if (put != contents.size() || !flushed || rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
 Status MakeDirs(const std::string& path) {
   std::error_code ec;
   std::filesystem::create_directories(path, ec);

@@ -24,6 +24,14 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `contents` to `path`, replacing any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling (`path` + ".tmp") which is renamed over `path` only after a
+/// complete, flushed write. A reader — or a crash/kill at any instant —
+/// therefore sees either the old file or the complete new one, never a
+/// truncated hybrid. This is the writer for artifacts later runs parse
+/// (template catalogs, summaries, manifests).
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
 /// Creates directory `path` (and parents) if it does not exist.
 Status MakeDirs(const std::string& path);
 

@@ -38,10 +38,24 @@ std::vector<SampleRange> SampleRanges(std::string_view text,
 }
 
 DatasetView SampleView(const Dataset& data, const SamplerOptions& options) {
+  // Oversized-line containment: a line beyond the cap never enters the
+  // sample (and with it generation's per-line token index); it can only
+  // ever be noise. The check is a pure function of the line length, so the
+  // sample is identical for every backing and thread count.
+  const size_t cap = options.max_line_bytes;
+  const auto line_ok = [&](size_t li) {
+    return cap == 0 || data.line(li).size() <= cap;
+  };
   std::vector<SampleRange> ranges = SampleRanges(data.text(), options);
   if (ranges.size() == 1 && ranges[0].begin == 0 &&
       ranges[0].end == data.size_bytes()) {
-    return DatasetView(data);
+    bool all_ok = true;
+    if (cap != 0) {
+      for (size_t li = 0; li < data.line_count() && all_ok; ++li) {
+        all_ok = line_ok(li);
+      }
+    }
+    if (all_ok) return DatasetView(data);
   }
   std::vector<uint32_t> live;
   for (const SampleRange& r : ranges) {
@@ -50,7 +64,7 @@ DatasetView SampleView(const Dataset& data, const SamplerOptions& options) {
     size_t li = data.LineOfOffset(r.begin);
     if (data.line_begin(li) < r.begin) ++li;
     for (; li < data.line_count() && data.line_begin(li) < r.end; ++li) {
-      live.push_back(static_cast<uint32_t>(li));
+      if (line_ok(li)) live.push_back(static_cast<uint32_t>(li));
     }
   }
   return DatasetView(data, std::move(live));

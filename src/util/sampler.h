@@ -23,6 +23,11 @@ struct SamplerOptions {
   size_t max_sample_bytes = 256 * 1024;
   /// Number of chunks spread evenly through the file.
   int num_chunks = 8;
+  /// Oversized-line guard: lines whose content (newline excluded) exceeds
+  /// this many bytes are excluded from the sample view, so generation never
+  /// tokenizes or indexes a pathological multi-MB line — it degrades to
+  /// noise (the extraction scan applies the same cap). 0 = unlimited.
+  size_t max_line_bytes = 0;
 };
 
 /// One line-aligned chunk: byte offsets [begin, end) into the sampled text.

@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "util/file_io.h"
 #include "util/strings.h"
 
@@ -171,6 +175,15 @@ TEST(CliGoldenTest, InterleavedNdjson) { RunGoldenNdjson("cli_interleaved"); }
 TEST(CliGoldenTest, MultilineNdjson) { RunGoldenNdjson("cli_multiline"); }
 TEST(CliGoldenTest, ArraysNdjson) { RunGoldenNdjson("cli_arrays"); }
 
+// Hostile-byte corpora run the same full determinism matrix: CRLF line
+// endings (auto-normalized), embedded NUL bytes and invalid UTF-8 flowing
+// byte-exact through extraction, and a CRLF file with no trailing newline.
+TEST(CliGoldenTest, CrlfCsvMatrix) { RunGoldenMatrix("cli_crlf"); }
+TEST(CliGoldenTest, HostileBytesCsvMatrix) { RunGoldenMatrix("cli_hostile"); }
+TEST(CliGoldenTest, CrlfNoTrailingNewlineCsvMatrix) {
+  RunGoldenMatrix("cli_crlf_noeol");
+}
+
 // cli_interleaved exercises multiple record types (root tables only);
 // cli_arrays discovers an array template, so its normalized golden also
 // pins the child-table layout (id, parent_id, pos columns).
@@ -179,6 +192,116 @@ TEST(CliGoldenTest, InterleavedNormalizedMatrix) {
 }
 TEST(CliGoldenTest, ArraysNormalizedMatrix) {
   RunGoldenNormalized("cli_arrays");
+}
+
+// ------------------------------------------------------ resilient inputs ---
+
+bool HaveGzipTool() { return std::system("command -v gzip > /dev/null") == 0; }
+
+/// Writes `text` to `path`.gz via the system gzip tool.
+void WriteGzipped(const std::string& path, const std::string& text) {
+  ASSERT_TRUE(WriteStringToFile(path, text).ok());
+  ASSERT_EQ(std::system(("gzip -nf \"" + path + "\"").c_str()), 0);
+}
+
+/// The rotation-stitching invariant, run across the full determinism
+/// matrix: a gzip'd rotated triple (app.log.2.gz oldest, app.log.1,
+/// app.log newest) opened via --inputs must produce output byte-identical
+/// to a plain pre-concatenated file of the same bytes in chronological
+/// order — for every thread count, match engine, and backing.
+TEST(CliInputsTest, RotatedGzipMatchesConcatenatedMatrix) {
+  if (!HaveGzipTool()) GTEST_SKIP() << "no gzip tool on PATH";
+  const std::string dir = ::testing::TempDir() + "dm_cli_rotated";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto whole = ReadFileToString(SourcePath("tests/data/cli_basic.log"));
+  ASSERT_TRUE(whole.ok());
+  const std::string& text = whole.value();
+  const size_t third = text.size() / 3;
+  const size_t cut1 = text.find('\n', third) + 1;
+  const size_t cut2 = text.find('\n', 2 * third) + 1;
+  WriteGzipped(dir + "/app.log.2", text.substr(0, cut1));
+  ASSERT_TRUE(
+      WriteStringToFile(dir + "/app.log.1", text.substr(cut1, cut2 - cut1))
+          .ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/app.log", text.substr(cut2)).ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/concat.log", text).ok());
+
+  int run = 0;
+  for (const Config& cfg : {Config{1, "tree", "always"},
+                            Config{1, "tree", "never"},
+                            Config{1, "compiled", "always"},
+                            Config{1, "compiled", "never"},
+                            Config{4, "tree", "always"},
+                            Config{4, "tree", "never"},
+                            Config{4, "compiled", "always"},
+                            Config{4, "compiled", "never"}}) {
+    const std::string stitched_out =
+        ::testing::TempDir() + StrFormat("dm_cli_rot_s_%d", run);
+    const std::string concat_out =
+        ::testing::TempDir() + StrFormat("dm_cli_rot_c_%d", run++);
+    fs::remove_all(stitched_out);
+    fs::remove_all(concat_out);
+    const std::string context =
+        StrFormat("rotated --threads=%d --match-engine=%s --mmap=%s",
+                  cfg.threads, cfg.engine, cfg.mmap);
+    ASSERT_EQ(RunCli(StrFormat(
+                  "--inputs=\"%s/app.log*\" --threads=%d --match-engine=%s "
+                  "--mmap=%s --out=\"%s\"",
+                  dir.c_str(), cfg.threads, cfg.engine, cfg.mmap,
+                  stitched_out.c_str())),
+              0)
+        << context;
+    ASSERT_EQ(RunCli(StrFormat(
+                  "\"%s/concat.log\" --threads=%d --match-engine=%s "
+                  "--mmap=%s --out=\"%s\"",
+                  dir.c_str(), cfg.threads, cfg.engine, cfg.mmap,
+                  concat_out.c_str())),
+              0)
+        << context;
+    ExpectDirsEqual(concat_out, stitched_out, context);
+    fs::remove_all(stitched_out);
+    fs::remove_all(concat_out);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CliInputsTest, CorruptGzipFailsWithErrorSummary) {
+  if (!HaveGzipTool()) GTEST_SKIP() << "no gzip tool on PATH";
+  const std::string dir = ::testing::TempDir() + "dm_cli_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  WriteGzipped(dir + "/full.log", "alpha,1\nbeta,2\ngamma,3\ndelta,4\n");
+  auto gz = ReadFileToString(dir + "/full.log.gz");
+  ASSERT_TRUE(gz.ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/cut.log.gz",
+                                std::string_view(gz.value())
+                                    .substr(0, gz.value().size() / 2))
+                  .ok());
+
+  const std::string summary = dir + "/summary.json";
+  const std::string out = dir + "/out";
+  EXPECT_EQ(RunCli(StrFormat("\"%s/cut.log.gz\" --summary-json=\"%s\" "
+                             "--out=\"%s\"",
+                             dir.c_str(), summary.c_str(), out.c_str())),
+            1)
+      << "a truncated gzip stream must exit 1, not crash";
+  // Sticky Status propagation: the summary JSON carries the error text.
+  auto sum = ReadFileToString(summary);
+  ASSERT_TRUE(sum.ok()) << "--summary-json must be written even on failure";
+  EXPECT_NE(sum.value().find("\"error\": \"IO_ERROR"), std::string::npos);
+  EXPECT_NE(sum.value().find("truncated"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliInputsTest, MissingInputsSpecFailsCleanly) {
+  EXPECT_EQ(RunCli("--inputs=/nonexistent/nope*"), 1);
+  // --inputs and a positional path are mutually exclusive.
+  EXPECT_EQ(RunCli(StrFormat("\"%s\" --inputs=\"%s\"",
+                             SourcePath("tests/data/cli_basic.log").c_str(),
+                             SourcePath("tests/data/cli_basic.log").c_str())),
+            2);
 }
 
 // ------------------------------------------------------- catalog fast path ---
@@ -365,6 +488,132 @@ TEST(CliCrawlTest, CrawlClustersExtractsAndWarmRunIsIdentical) {
   fs::remove(catalog);
   fs::remove(manifest);
   fs::remove(manifest2);
+}
+
+/// Failure containment: a lake with one good file, one truncated gzip, and
+/// one unreadable file must still extract the good file, record the bad
+/// ones in the manifest's errors section (with their Status text), and
+/// exit 1 — never abort the crawl.
+TEST(CliCrawlTest, CrawlContainsPerFileFailures) {
+  if (!HaveGzipTool()) GTEST_SKIP() << "no gzip tool on PATH";
+  const std::string lake = ::testing::TempDir() + "dm_crawl_fail_lake";
+  const std::string out = ::testing::TempDir() + "dm_crawl_fail_out";
+  const std::string manifest =
+      ::testing::TempDir() + "dm_crawl_fail_manifest.json";
+  fs::remove_all(lake);
+  fs::remove_all(out);
+  fs::create_directories(lake);
+
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"),
+                lake + "/good.log");
+  WriteGzipped(lake + "/full", "a,1\nb,2\nc,3\nd,4\n");
+  auto gz = ReadFileToString(lake + "/full.gz");
+  ASSERT_TRUE(gz.ok());
+  ASSERT_TRUE(WriteStringToFile(lake + "/cut.log.gz",
+                                std::string_view(gz.value())
+                                    .substr(0, gz.value().size() / 2))
+                  .ok());
+  fs::remove(lake + "/full.gz");
+  // An unreadable file only errors for non-root users; root reads anything,
+  // so the truncated gzip above carries this test in root environments.
+  bool expect_denied = false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::geteuid() != 0) {
+    ASSERT_TRUE(WriteStringToFile(lake + "/locked.log", "x,1\n").ok());
+    fs::permissions(lake + "/locked.log", fs::perms::none);
+    expect_denied = true;
+  }
+#endif
+
+  EXPECT_EQ(RunCrawl(StrFormat("\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                               lake.c_str(), out.c_str(), manifest.c_str())),
+            1)
+      << "per-file failures exit 1 (and must not abort the crawl)";
+
+  // The good file still extracted, byte-identical to the CLI golden.
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"),
+                  out + "/good.log.tables", "crawl good.log despite errors");
+
+  auto m = ReadFileToString(manifest);
+  ASSERT_TRUE(m.ok());
+  const size_t want_errors = expect_denied ? 2u : 1u;
+  EXPECT_NE(
+      m.value().find(StrFormat("\"error_count\": %zu", want_errors)),
+      std::string::npos)
+      << m.value();
+  EXPECT_NE(m.value().find("\"errors\": [\n"), std::string::npos);
+  EXPECT_NE(m.value().find("cut.log.gz"), std::string::npos);
+  EXPECT_NE(m.value().find("truncated"), std::string::npos)
+      << "the gzip Status text must reach the manifest";
+  if (expect_denied) {
+    EXPECT_NE(m.value().find("locked.log"), std::string::npos);
+    fs::permissions(lake + "/locked.log", fs::perms::owner_all);
+  }
+
+  fs::remove_all(lake);
+  fs::remove_all(out);
+  fs::remove(manifest);
+}
+
+/// Rotation stitching inside the crawl: a rotated gzip'd triple appears in
+/// the manifest as ONE logical file whose tables equal a crawl over the
+/// pre-concatenated bytes; --no-stitch-rotated restores per-file entries.
+TEST(CliCrawlTest, CrawlStitchesRotatedSiblings) {
+  if (!HaveGzipTool()) GTEST_SKIP() << "no gzip tool on PATH";
+  const std::string lake = ::testing::TempDir() + "dm_crawl_rot_lake";
+  const std::string plain = ::testing::TempDir() + "dm_crawl_rot_plain";
+  const std::string out = ::testing::TempDir() + "dm_crawl_rot_out";
+  const std::string out2 = ::testing::TempDir() + "dm_crawl_rot_out2";
+  for (const std::string& d : {lake, plain, out, out2}) fs::remove_all(d);
+  fs::create_directories(lake);
+  fs::create_directories(plain);
+
+  auto whole = ReadFileToString(SourcePath("tests/data/cli_basic.log"));
+  ASSERT_TRUE(whole.ok());
+  const std::string& text = whole.value();
+  const size_t cut = text.find('\n', text.size() / 2) + 1;
+  WriteGzipped(lake + "/app.log.1", text.substr(0, cut));
+  ASSERT_TRUE(WriteStringToFile(lake + "/app.log", text.substr(cut)).ok());
+  ASSERT_TRUE(WriteStringToFile(plain + "/app.log", text).ok());
+
+  const std::string manifest =
+      ::testing::TempDir() + "dm_crawl_rot_manifest.json";
+  ASSERT_EQ(RunCrawl(StrFormat("\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                               lake.c_str(), out.c_str(), manifest.c_str())),
+            0);
+  auto m = ReadFileToString(manifest);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NE(m.value().find("\"file_count\": 1"), std::string::npos)
+      << "the rotated pair must crawl as one logical file: " << m.value();
+
+  const std::string manifest2 =
+      ::testing::TempDir() + "dm_crawl_rot_manifest2.json";
+  ASSERT_EQ(
+      RunCrawl(StrFormat("\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                         plain.c_str(), out2.c_str(), manifest2.c_str())),
+      0);
+  ExpectDirsEqual(out2 + "/app.log.tables", out + "/app.log.tables",
+                  "stitched rotated crawl vs pre-concatenated crawl");
+
+  const std::string out3 = ::testing::TempDir() + "dm_crawl_rot_out3";
+  const std::string manifest3 =
+      ::testing::TempDir() + "dm_crawl_rot_manifest3.json";
+  fs::remove_all(out3);
+  ASSERT_EQ(RunCrawl(StrFormat(
+                "\"%s\" --no-stitch-rotated --out=\"%s\" --manifest=\"%s\"",
+                lake.c_str(), out3.c_str(), manifest3.c_str())),
+            0);
+  auto m3 = ReadFileToString(manifest3);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_NE(m3.value().find("\"file_count\": 2"), std::string::npos)
+      << "--no-stitch-rotated keeps per-file entries: " << m3.value();
+
+  for (const std::string& d : {lake, plain, out, out2, out3}) {
+    fs::remove_all(d);
+  }
+  fs::remove(manifest);
+  fs::remove(manifest2);
+  fs::remove(manifest3);
 }
 
 TEST(CliCrawlTest, BadFlagsExitWithUsage) {

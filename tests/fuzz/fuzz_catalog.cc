@@ -1,0 +1,39 @@
+// Fuzz target: template-catalog parsing. The catalog is the one artifact
+// datamaran re-reads across runs (--catalog-in, crawler warm starts), so
+// its parser must turn ANY byte sequence — truncated saves, version skew,
+// editor mangling — into either a valid catalog or a clean error Status.
+// For inputs that do parse, Serialize/Parse must be a fixed point: a
+// catalog that survives one roundtrip reproduces itself exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "template/catalog.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace datamaran;
+  if (size > (64u << 10)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = TemplateCatalog::Parse(text);
+  if (!parsed.ok()) return 0;
+  const std::string serialized = parsed.value().Serialize();
+  auto reparsed = TemplateCatalog::Parse(serialized);
+  const bool bad =
+      !reparsed.ok() || reparsed.value().Serialize() != serialized;
+  if (bad) {
+    // The standalone driver (unlike libFuzzer) does not save crashing
+    // inputs; dump this one before trapping so it can be minimized and
+    // committed to the corpus. (This is how nul_in_entry_name.bin in the
+    // seed corpus was found.)
+    FILE* f = fopen("/tmp/fuzz_catalog_fail.bin", "wb");
+    fwrite(data, 1, size, f);
+    fclose(f);
+    FILE* g = fopen("/tmp/fuzz_catalog_serialized.txt", "wb");
+    fwrite(serialized.data(), 1, serialized.size(), g);
+    fclose(g);
+    __builtin_trap();
+  }
+  return 0;
+}

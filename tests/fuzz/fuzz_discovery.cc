@@ -1,0 +1,46 @@
+// Fuzz target: the resilient input front-end plus structure discovery.
+// Every input first goes through the gzip decoder (garbage must come back
+// as a clean error Status, never a crash or leak) and then through
+// DatasetFromBytes (CRLF normalization, NUL-safe line indexing) into the
+// full generation -> pruning -> MDL evaluation -> refinement pipeline with
+// tightly bounded options, so one execution stays in fuzzing time budgets.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/datamaran.h"
+#include "core/input.h"
+#include "util/gzip.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace datamaran;
+  constexpr size_t kMaxInput = 64u << 10;
+  if (size > kMaxInput) size = kMaxInput;
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // The inflate path sees every input: most are corrupt streams (error
+  // Status), gzip-looking prefixes reach the real decoder, and the output
+  // cap keeps crafted bombs bounded.
+  (void)GunzipToString(bytes, /*max_output_bytes=*/1u << 20);
+
+  InputOptions in;
+  in.crlf = (size % 2 == 0) ? CrlfPolicy::kAuto : CrlfPolicy::kStrip;
+  auto ds = DatasetFromBytes(std::move(bytes), in);
+  if (!ds.ok()) return 0;
+
+  DatamaranOptions opts;
+  opts.num_threads = 1;
+  opts.max_sample_bytes = 4096;
+  opts.sample_chunks = 2;
+  opts.num_retained = 4;
+  opts.max_record_span = 3;
+  opts.max_line_bytes = 512;
+  Datamaran dm(opts);
+  StepTimings timings;
+  PipelineStats stats;
+  std::vector<TemplateReport> reports;
+  (void)dm.DiscoverTemplates(ds.value(), &timings, &stats, &reports);
+  return 0;
+}

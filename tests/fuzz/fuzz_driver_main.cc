@@ -1,0 +1,167 @@
+// Standalone driver for the LLVMFuzzerTestOneInput targets in this
+// directory. libFuzzer itself requires clang (-fsanitize=fuzzer); this
+// driver gives GCC+sanitizer builds the same entry point with the same
+// target function, so the harness sources stay libFuzzer-compatible:
+//
+//   fuzz_<target> <corpus-file-or-dir>... [-budget_s=N] [-max_len=N]
+//
+// Every corpus file is replayed once (crash/leak on any seed fails the
+// run). With -budget_s=N the driver then runs a deterministic mutation
+// loop over the seeds for ~N seconds: a fixed-seed xorshift PRNG drives
+// byte flips, truncations, duplications, splices, and insertions, so two
+// runs of the same binary over the same corpus execute the same inputs.
+// No coverage feedback — this is the CI smoke tier, not a campaign; point
+// a real libFuzzer/clang build at the same targets for that.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+bool ReadAll(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t got =
+      size > 0 ? std::fread(out->data(), 1, out->size(), f) : 0;
+  std::fclose(f);
+  return got == out->size();
+}
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+/// One deterministic mutation of `buf` (which starts as a copy of a seed).
+void Mutate(std::string* buf, const std::vector<std::string>& seeds,
+            size_t max_len, uint64_t* rng) {
+  if (buf->empty()) buf->push_back('\n');
+  switch (XorShift(rng) % 6) {
+    case 0: {  // flip one bit
+      const size_t i = XorShift(rng) % buf->size();
+      (*buf)[i] = static_cast<char>((*buf)[i] ^ (1u << (XorShift(rng) % 8)));
+      break;
+    }
+    case 1: {  // overwrite one byte with anything (NUL and 0xFF included)
+      (*buf)[XorShift(rng) % buf->size()] =
+          static_cast<char>(XorShift(rng) & 0xFF);
+      break;
+    }
+    case 2: {  // truncate
+      buf->resize(XorShift(rng) % buf->size());
+      break;
+    }
+    case 3: {  // duplicate a span onto the end
+      const size_t start = XorShift(rng) % buf->size();
+      const size_t len = XorShift(rng) % (buf->size() - start) + 1;
+      buf->append(*buf, start, len);
+      break;
+    }
+    case 4: {  // splice a prefix of another seed onto a prefix of this one
+      const std::string& other = seeds[XorShift(rng) % seeds.size()];
+      const size_t keep = XorShift(rng) % (buf->size() + 1);
+      buf->resize(keep);
+      if (!other.empty()) {
+        buf->append(other, 0, XorShift(rng) % other.size() + 1);
+      }
+      break;
+    }
+    default: {  // insert a short run of random bytes
+      const size_t at = XorShift(rng) % (buf->size() + 1);
+      std::string run(XorShift(rng) % 8 + 1, '\0');
+      for (char& c : run) c = static_cast<char>(XorShift(rng) & 0xFF);
+      buf->insert(at, run);
+      break;
+    }
+  }
+  if (buf->size() > max_len) buf->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double budget_s = 0;
+  size_t max_len = 1u << 16;
+  std::vector<std::string> seeds;
+  namespace fs = std::filesystem;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-budget_s=", 0) == 0) {
+      budget_s = std::atof(arg.c_str() + 10);
+      continue;
+    }
+    if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<size_t>(std::atoll(arg.c_str() + 9));
+      continue;
+    }
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<std::string> found;
+      for (fs::recursive_directory_iterator it(arg, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec)) found.push_back(it->path().string());
+      }
+      std::sort(found.begin(), found.end());  // deterministic replay order
+      for (std::string& p : found) {
+        std::string bytes;
+        if (ReadAll(p, &bytes)) seeds.push_back(std::move(bytes));
+      }
+    } else {
+      std::string bytes;
+      if (!ReadAll(arg, &bytes)) {
+        std::fprintf(stderr, "fuzz driver: cannot read %s\n", arg.c_str());
+        return 2;
+      }
+      seeds.push_back(std::move(bytes));
+    }
+  }
+  if (seeds.empty()) seeds.push_back("\n");
+
+  for (const std::string& seed : seeds) RunOne(seed);
+
+  size_t mutated = 0;
+  if (budget_s > 0) {
+    uint64_t rng = 0x9e3779b97f4a7c15ull;  // fixed seed: deterministic runs
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(budget_s);
+    std::string buf;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Restart from a seed every 16 inputs so mutations don't drift into
+      // pure-noise space and stop exercising the parsers.
+      if (mutated % 16 == 0) buf = seeds[XorShift(&rng) % seeds.size()];
+      Mutate(&buf, seeds, max_len, &rng);
+      RunOne(buf);
+      mutated++;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: %zu seed(s) replayed, %zu mutated input(s)\n",
+               seeds.size(), mutated);
+  return 0;
+}

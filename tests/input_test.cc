@@ -1,0 +1,305 @@
+// Tests for the resilient input front-end (core/input.h + util/gzip.h):
+// gzip round trips and failure Statuses, CRLF normalization policies,
+// rotation ordering and spec expansion, multi-file stitching parity, the
+// oversized-line guard, and atomic artifact writes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/datamaran.h"
+#include "core/input.h"
+#include "template/catalog.h"
+#include "util/file_io.h"
+#include "util/gzip.h"
+#include "util/strings.h"
+
+namespace datamaran {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the gtest temp root.
+std::string MakeCaseDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/dm_input_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void WriteOrDie(const std::string& path, std::string_view bytes) {
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok()) << path;
+}
+
+// ------------------------------------------------------------------ gzip ---
+
+TEST(Gzip, RoundTrip) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  const std::string text = "alpha,1\nbeta,2\ngamma,3\n";
+  auto gz = GzipCompress(text);
+  ASSERT_TRUE(gz.ok());
+  EXPECT_TRUE(LooksGzip(gz.value()));
+  auto back = GunzipToString(gz.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), text);
+}
+
+TEST(Gzip, MultiMemberConcatenation) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  // Rotated logs are frequently `cat a.gz b.gz > all.gz`; each member must
+  // inflate and the outputs concatenate.
+  auto a = GzipCompress("first member\n");
+  auto b = GzipCompress("second member\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto back = GunzipToString(a.value() + b.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "first member\nsecond member\n");
+}
+
+TEST(Gzip, TruncatedStreamIsCleanError) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  auto gz = GzipCompress(std::string(4096, 'x'));
+  ASSERT_TRUE(gz.ok());
+  const std::string cut = gz.value().substr(0, gz.value().size() / 2);
+  auto back = GunzipToString(cut);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIoError);
+  EXPECT_NE(back.status().ToString().find("truncated"), std::string::npos);
+}
+
+TEST(Gzip, CorruptStreamIsCleanError) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  auto gz = GzipCompress("some perfectly ordinary log line\n");
+  ASSERT_TRUE(gz.ok());
+  std::string mangled = gz.value();
+  // Flip bytes in the deflate body (past the 10-byte member header).
+  for (size_t i = 12; i < mangled.size(); i += 3) mangled[i] ^= 0x5a;
+  auto back = GunzipToString(mangled);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIoError);
+}
+
+TEST(Gzip, BombCapIsCleanError) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  auto gz = GzipCompress(std::string(1 << 20, 'a'));  // 1 MiB of 'a'
+  ASSERT_TRUE(gz.ok());
+  auto back = GunzipToString(gz.value(), /*max_output_bytes=*/1024);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().ToString().find("exceeds cap"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ CRLF ---
+
+TEST(Crlf, DetectAndStrip) {
+  EXPECT_TRUE(DetectCrlf("a,b\r\nc,d\r\n"));
+  EXPECT_FALSE(DetectCrlf("a,b\nc,d\n"));
+  EXPECT_FALSE(DetectCrlf("lone\rcarriage\n"));
+
+  std::string text = "a,b\r\nc\rd\r\n";
+  EXPECT_EQ(StripCrlfInPlace(&text), 2u);
+  EXPECT_EQ(text, "a,b\nc\rd\n");  // the lone \r is data, untouched
+}
+
+TEST(Crlf, PolicyMatrix) {
+  const std::string crlf_text = "x,1\r\ny,2\r\n";
+  InputOptions keep;
+  keep.crlf = CrlfPolicy::kKeep;
+  auto kept = DatasetFromBytes(crlf_text, keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->line(0), "x,1\r");  // bytes preserved
+
+  for (CrlfPolicy p : {CrlfPolicy::kAuto, CrlfPolicy::kStrip}) {
+    InputOptions in;
+    in.crlf = p;
+    auto ds = DatasetFromBytes(crlf_text, in);
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->line(0), "x,1");
+    EXPECT_EQ(ds->line(1), "y,2");
+  }
+}
+
+TEST(Crlf, NulBytesFlowThrough) {
+  std::string hostile = "a";
+  hostile.push_back('\0');
+  hostile += "b,1\nc,2\n";
+  auto ds = DatasetFromBytes(hostile, InputOptions{});
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->line_count(), 2u);
+  std::string want = "a";
+  want.push_back('\0');
+  want += "b,1";
+  EXPECT_EQ(ds->line(0), want);
+}
+
+// -------------------------------------------------------------- rotation ---
+
+TEST(Rotation, KeyFor) {
+  EXPECT_EQ(RotationKeyFor("app.log").base, "app.log");
+  EXPECT_EQ(RotationKeyFor("app.log").index, -1);
+  EXPECT_EQ(RotationKeyFor("app.log.1").base, "app.log");
+  EXPECT_EQ(RotationKeyFor("app.log.1").index, 1);
+  EXPECT_EQ(RotationKeyFor("app.log.12.gz").base, "app.log");
+  EXPECT_EQ(RotationKeyFor("app.log.12.gz").index, 12);
+  EXPECT_EQ(RotationKeyFor("app.log.gz").base, "app.log");
+  EXPECT_EQ(RotationKeyFor("app.log.gz").index, -1);
+  // A 4-digit suffix is a year, not a rotation generation.
+  EXPECT_EQ(RotationKeyFor("data.2023").base, "data.2023");
+  EXPECT_EQ(RotationKeyFor("data.2023").index, -1);
+}
+
+TEST(Rotation, SortOldestFirst) {
+  std::vector<std::string> paths = {"app.log", "app.log.10.gz", "app.log.2",
+                                    "app.log.1", "b.log"};
+  SortByRotation(&paths);
+  const std::vector<std::string> want = {"app.log.10.gz", "app.log.2",
+                                         "app.log.1", "app.log", "b.log"};
+  EXPECT_EQ(paths, want);
+}
+
+TEST(Rotation, ExpandInputSpec) {
+  const std::string dir = MakeCaseDir("spec");
+  WriteOrDie(dir + "/app.log", "live\n");
+  WriteOrDie(dir + "/app.log.1", "older\n");
+  WriteOrDie(dir + "/app.log.2", "oldest\n");
+  WriteOrDie(dir + "/other.txt", "x\n");
+
+  auto paths = ExpandInputSpec(dir + "/app.log*");
+  ASSERT_TRUE(paths.ok());
+  const std::vector<std::string> want = {dir + "/app.log.2", dir + "/app.log.1",
+                                         dir + "/app.log"};
+  EXPECT_EQ(paths.value(), want);
+
+  auto missing = ExpandInputSpec(dir + "/nope*");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------- stitching ---
+
+TEST(OpenInputs, StitchedEqualsConcatenated) {
+  const std::string dir = MakeCaseDir("stitch");
+  const std::string oldest = "1,100\n2,200\n";
+  const std::string older = "3,300\n4,400";  // missing trailing newline
+  const std::string live = "5,500\n";
+
+  WriteOrDie(dir + "/s.log", live);
+  WriteOrDie(dir + "/s.log.1", older);
+  if (GzipSupported()) {
+    auto gz = GzipCompress(oldest);
+    ASSERT_TRUE(gz.ok());
+    WriteOrDie(dir + "/s.log.2.gz", gz.value());
+  } else {
+    WriteOrDie(dir + "/s.log.2", oldest);
+  }
+
+  auto paths = ExpandInputSpec(dir + "/s.log*");
+  ASSERT_TRUE(paths.ok());
+  auto ds = OpenInputs(paths.value(), InputOptions{});
+  ASSERT_TRUE(ds.ok());
+  // Member boundaries must not merge records: s.log.1 has no trailing
+  // newline, yet "5,500" stays its own line.
+  EXPECT_EQ(ds->text(), "1,100\n2,200\n3,300\n4,400\n5,500\n");
+}
+
+TEST(OpenInput, GzipFileAndErrors) {
+  const std::string dir = MakeCaseDir("open");
+  WriteOrDie(dir + "/plain.log", "p,1\n");
+  auto plain = OpenInput(dir + "/plain.log", InputOptions{});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->text(), "p,1\n");
+
+  auto missing = OpenInput(dir + "/absent.log", InputOptions{});
+  ASSERT_FALSE(missing.ok());
+
+  if (!GzipSupported()) return;
+  auto gz = GzipCompress("g,1\ng,2\n");
+  ASSERT_TRUE(gz.ok());
+  WriteOrDie(dir + "/ok.log.gz", gz.value());
+  auto inflated = OpenInput(dir + "/ok.log.gz", InputOptions{});
+  ASSERT_TRUE(inflated.ok());
+  EXPECT_EQ(inflated->text(), "g,1\ng,2\n");
+  EXPECT_FALSE(inflated->is_mapped());  // owned backing after inflate
+
+  // Truncated member: error Status names the file.
+  WriteOrDie(dir + "/cut.log.gz", gz.value().substr(0, gz.value().size() - 4));
+  auto cut = OpenInput(dir + "/cut.log.gz", InputOptions{});
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kIoError);
+  EXPECT_NE(cut.status().ToString().find("cut.log.gz"), std::string::npos);
+}
+
+// -------------------------------------------------------- oversized lines ---
+
+TEST(OversizedLines, DegradeToNoise) {
+  // A structured corpus with one multi-KB line wedged in: with the guard
+  // on, that line must be excluded from discovery AND counted as noise by
+  // extraction, not matched or OOM'd on.
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += StrFormat("%d,%d\n", 100 + i, 1000 + i);
+  }
+  text += std::string(8192, '7') + "," + std::string(8192, '8') + "\n";
+  for (int i = 0; i < 200; ++i) {
+    text += StrFormat("%d,%d\n", 300 + i, 5000 + i);
+  }
+
+  DatamaranOptions opts;
+  opts.num_threads = 1;
+  opts.max_line_bytes = 1024;
+  Datamaran dm(opts);
+  PipelineResult res = dm.ExtractText(text);
+  EXPECT_EQ(res.extraction.total_lines, 401u);
+  EXPECT_EQ(res.extraction.matched_records, 400u);
+  EXPECT_EQ(res.extraction.noise_line_count, 1u);
+}
+
+// ---------------------------------------------------------- atomic writes ---
+
+TEST(AtomicWrite, WritesAndReplaces) {
+  const std::string dir = MakeCaseDir("atomic");
+  const std::string path = dir + "/artifact.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first\n").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second\n").ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "second\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // no droppings on success
+}
+
+TEST(AtomicWrite, TruncatedCatalogIsCleanError) {
+  // Simulates the failure WriteFileAtomic prevents: a catalog cut
+  // mid-write. Load must return a ParseError Status, not crash or accept.
+  const std::string dir = MakeCaseDir("catalog");
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += StrFormat("%d,%d\n", i, i * 7);
+  DatamaranOptions opts;
+  opts.num_threads = 1;
+  Datamaran dm(opts);
+  auto data = DatasetFromBytes(text, InputOptions{});
+  ASSERT_TRUE(data.ok());
+  std::vector<StructureTemplate> templates =
+      dm.DiscoverTemplates(data.value(), nullptr, nullptr, nullptr);
+  ASSERT_FALSE(templates.empty());
+  TemplateCatalog catalog;
+  CatalogEntry entry;
+  entry.templates = std::move(templates);
+  catalog.AddEntry(std::move(entry));
+
+  const std::string path = dir + "/catalog.txt";
+  ASSERT_TRUE(catalog.Save(path).ok());
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+
+  const std::string cut_path = dir + "/catalog_cut.txt";
+  WriteOrDie(cut_path, std::string_view(full.value())
+                           .substr(0, full.value().size() * 2 / 3));
+  auto loaded = TemplateCatalog::Load(cut_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace datamaran

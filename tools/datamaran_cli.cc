@@ -1,12 +1,23 @@
 // Command-line front end: extract structure from a log file and emit
 // relational tables.
 //
-//   datamaran <file> [--greedy] [--alpha=P] [--span=L] [--retain=M]
-//             [--threads=N] [--mmap=MODE] [--match-engine=ENGINE]
-//             [--charset-engine=ENGINE] [--no-mdl-pruning]
+//   datamaran <file> [--inputs=SPEC] [--greedy] [--alpha=P] [--span=L]
+//             [--retain=M] [--threads=N] [--mmap=MODE]
+//             [--match-engine=ENGINE] [--charset-engine=ENGINE]
+//             [--crlf=POLICY] [--max-line-bytes=N]
+//             [--max-inflate-bytes=N] [--no-mdl-pruning]
 //             [--catalog-in=PATH] [--catalog-out=PATH]
 //             [--catalog-min-match=P] [--summary-json=PATH]
 //             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
+//
+// Input goes through the resilient front-end (core/input.h): gzip'd files
+// are sniffed and inflated, CRLF line endings normalized per --crlf, and
+// --inputs stitches several files (comma-separated paths and/or glob
+// patterns, e.g. --inputs='logs/app.log*') into one logical dataset in
+// rotation-chronological order — app.log.2.gz, app.log.1, app.log.
+// Corrupt or truncated input exits non-zero with a descriptive error,
+// never a crash; with --summary-json the error is also recorded in the
+// summary's "error" field.
 //
 // Prints the discovered templates and a summary (including how the input
 // was backed: mmap'd bytes vs. bytes actually resident); with --out,
@@ -25,6 +36,7 @@
 #include <string>
 
 #include "core/datamaran.h"
+#include "core/input.h"
 #include "core/summary.h"
 #include "extraction/sinks.h"
 #include "util/file_io.h"
@@ -35,15 +47,34 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: datamaran <file> [--greedy] [--alpha=P] [--span=L]\n"
+               "usage: datamaran <file> [--inputs=SPEC] [--greedy]\n"
+               "                 [--alpha=P] [--span=L]\n"
                "                 [--retain=M] [--threads=N] [--mmap=MODE]\n"
                "                 [--match-engine=ENGINE]\n"
                "                 [--charset-engine=ENGINE]\n"
+               "                 [--crlf=POLICY] [--max-line-bytes=N]\n"
+               "                 [--max-inflate-bytes=N]\n"
                "                 [--no-mdl-pruning] [--catalog-in=PATH]\n"
                "                 [--catalog-out=PATH]\n"
                "                 [--catalog-min-match=P]\n"
                "                 [--summary-json=PATH] [--out=DIR]\n"
                "                 [--format=FMT] [--normalized] [--verbose]\n"
+               "  --inputs=SPEC comma-separated paths and/or glob patterns\n"
+               "                stitched into one logical dataset in\n"
+               "                rotation-chronological order (app.log.2.gz,\n"
+               "                app.log.1, app.log); each member may be\n"
+               "                gzip'd. Replaces the positional <file>\n"
+               "  --crlf=POLICY line-ending handling: auto (default;\n"
+               "                normalize \\r\\n to \\n when CRLF appears\n"
+               "                in the first 64KiB), strip (always\n"
+               "                normalize), keep (never)\n"
+               "  --max-line-bytes=N  oversized-line guard: lines longer\n"
+               "                than N bytes are excluded from discovery\n"
+               "                and degraded to noise instead of being\n"
+               "                matched (default 4MiB; 0 = unlimited)\n"
+               "  --max-inflate-bytes=N  gzip decompression-bomb cap\n"
+               "                (default 4GiB; 0 = unlimited); exceeding\n"
+               "                it is a clean error, not an OOM\n"
                "  --threads=N   worker threads (0 = all hardware threads,\n"
                "                1 = sequential; output is identical)\n"
                "  --mmap=MODE   input backing: auto (default; mmap files\n"
@@ -105,6 +136,7 @@ int main(int argc, char** argv) {
   using namespace datamaran;
 
   std::string path;
+  std::string inputs_spec;
   std::string out_dir;
   std::string summary_json;
   bool normalized = false;
@@ -112,7 +144,27 @@ int main(int argc, char** argv) {
   DatamaranOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (arg == "--greedy") {
+    if (StartsWith(arg, "--inputs=")) {
+      inputs_spec = std::string(arg.substr(9));
+    } else if (StartsWith(arg, "--crlf=")) {
+      std::string_view policy = arg.substr(7);
+      if (policy == "auto") {
+        options.crlf = CrlfPolicy::kAuto;
+      } else if (policy == "keep") {
+        options.crlf = CrlfPolicy::kKeep;
+      } else if (policy == "strip") {
+        options.crlf = CrlfPolicy::kStrip;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--max-line-bytes=")) {
+      options.max_line_bytes =
+          static_cast<size_t>(std::atoll(arg.substr(17).data()));
+    } else if (StartsWith(arg, "--max-inflate-bytes=")) {
+      options.max_inflate_bytes =
+          static_cast<size_t>(std::atoll(arg.substr(20).data()));
+    } else if (arg == "--greedy") {
       options.search = CharsetSearch::kGreedy;
     } else if (arg == "--verbose") {
       options.verbose = true;
@@ -189,7 +241,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty()) {
+  if (path.empty() == inputs_spec.empty()) {
+    // Exactly one of the positional <file> and --inputs selects the data.
     Usage();
     return 2;
   }
@@ -204,12 +257,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Datamaran dm(options);
-  auto result = dm.ExtractFile(path);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+  // Every input failure funnels through here: descriptive message, and —
+  // when a summary was requested — a summary document whose "error" field
+  // carries the same Status, so automated callers never have to scrape
+  // stderr. The exit code stays 1 (input/runtime error), distinct from 2
+  // (bad flags).
+  const std::string display_path = path.empty() ? inputs_spec : path;
+  auto fail = [&](const Status& st) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    if (!summary_json.empty()) {
+      FileSummary s;
+      s.path = display_path;
+      s.error = st.ToString();
+      (void)WriteFileAtomic(summary_json, FileSummaryToJson(s));
+    }
     return 1;
+  };
+
+  std::vector<std::string> input_paths;
+  if (!inputs_spec.empty()) {
+    auto expanded = ExpandInputSpec(inputs_spec);
+    if (!expanded.ok()) return fail(expanded.status());
+    input_paths = std::move(expanded.value());
+  } else {
+    input_paths.push_back(path);
   }
+
+  Datamaran dm(options);
+  if (!dm.catalog_status().ok()) return fail(dm.catalog_status());
+  // One open through the resilient front-end serves both the pipeline and
+  // the --out extraction pass (the dataset is immutable).
+  auto opened = OpenInputs(input_paths, MakeInputOptions(options));
+  if (!opened.ok()) return fail(opened.status());
+  Dataset data = std::move(opened.value());
+  PipelineResult pipeline = dm.ExtractDataset(data);
+  PipelineResult* result = &pipeline;
 
   std::printf("%zu structure template(s):\n", result->templates.size());
   for (size_t t = 0; t < result->templates.size(); ++t) {
@@ -280,9 +362,10 @@ int main(int argc, char** argv) {
   }
 
   if (!summary_json.empty()) {
-    const FileSummary summary = SummarizeResult(path, *result, options);
+    const FileSummary summary = SummarizeResult(display_path, *result,
+                                                options);
     Status written =
-        WriteStringToFile(summary_json, FileSummaryToJson(summary));
+        WriteFileAtomic(summary_json, FileSummaryToJson(summary));
     if (!written.ok()) {
       std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
       return 1;
@@ -291,20 +374,10 @@ int main(int argc, char** argv) {
 
   if (out_dir.empty() || result->templates.empty()) return 0;
 
-  // Re-open the input to materialize the output (spans index into it),
-  // honoring the same backing policy as the pipeline run.
-  auto reopened = Dataset::FromFile(path, options.mmap_mode,
-                                    options.mmap_threshold_bytes);
-  if (!reopened.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 reopened.status().ToString().c_str());
-    return 1;
-  }
-  Dataset data = std::move(reopened.value());
   data.Advise(AccessHint::kSequential);
   ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
   Extractor extractor(&result->templates, &pool, options.match_engine,
-                      options.charset_engine);
+                      options.charset_engine, options.max_line_bytes);
 
   // Both layouts stream through the same WriteSinkBase machinery: the
   // scan's flat events feed the writers directly and nothing is buffered

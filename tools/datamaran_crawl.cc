@@ -6,8 +6,20 @@
 //                   [--out=DIR] [--manifest=PATH] [--threads=N]
 //                   [--mmap=MODE] [--match-engine=ENGINE]
 //                   [--charset-engine=ENGINE] [--catalog-min-match=P]
+//                   [--crlf=POLICY] [--max-line-bytes=N]
+//                   [--max-inflate-bytes=N] [--no-stitch-rotated]
 //                   [--alpha=P] [--span=L] [--retain=M] [--format=FMT]
 //                   [--verbose]
+//
+// Every file opens through the resilient input front-end (core/input.h):
+// gzip'd files inflate transparently, CRLF line endings normalize per
+// --crlf, and rotation siblings (app.log, app.log.1, app.log.2.gz) are
+// stitched into ONE logical dataset in chronological order — one manifest
+// entry, one fingerprint, one extraction — unless --no-stitch-rotated.
+// Failure containment is per file: an unreadable or corrupt member never
+// aborts the crawl; its Status lands in the manifest's "errors" section
+// (and the per-file summary's "error" field), the crawl continues, and the
+// process exits 1 so automation still notices.
 //
 // The paper's data-lake setting has thousands of files sharing a few dozen
 // formats, so the crawl amortizes discovery: full discovery (generation +
@@ -40,11 +52,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/datamaran.h"
+#include "core/input.h"
 #include "core/summary.h"
 #include "extraction/sinks.h"
 #include "template/catalog.h"
@@ -64,7 +78,9 @@ void Usage() {
       "                       [--out=DIR] [--manifest=PATH] [--threads=N]\n"
       "                       [--mmap=MODE] [--match-engine=ENGINE]\n"
       "                       [--charset-engine=ENGINE]\n"
-      "                       [--catalog-min-match=P] [--alpha=P] [--span=L]\n"
+      "                       [--catalog-min-match=P] [--crlf=POLICY]\n"
+      "                       [--max-line-bytes=N] [--max-inflate-bytes=N]\n"
+      "                       [--no-stitch-rotated] [--alpha=P] [--span=L]\n"
       "                       [--retain=M] [--format=FMT] [--verbose]\n"
       "  --catalog-in=PATH   start from this template catalog (default:\n"
       "                      empty; every format is discovered cold once)\n"
@@ -82,6 +98,13 @@ void Usage() {
       "                      must cover to count as a hit (default 80);\n"
       "                      also the whole-file threshold below which a\n"
       "                      hit file is flagged as drifted\n"
+      "  --crlf=POLICY       line-ending handling: auto (default), strip,\n"
+      "                      keep (see datamaran --help)\n"
+      "  --max-line-bytes=N  oversized-line guard (default 4MiB; 0 = off)\n"
+      "  --max-inflate-bytes=N  gzip decompression-bomb cap (default 4GiB)\n"
+      "  --no-stitch-rotated process rotation siblings (app.log.1,\n"
+      "                      app.log.2.gz) as separate files instead of\n"
+      "                      one stitched chronological dataset\n"
       "  remaining flags as in datamaran (see datamaran --help)\n");
 }
 
@@ -107,8 +130,12 @@ class CountingSink : public EventSink {
 };
 
 /// Per-file crawl state, indexed like `files` (sorted relative paths).
+/// One CrawlFile may be a rotation group: `members` lists the physical
+/// relative paths stitched into this logical file, in chronological order
+/// (a plain file is a group of one, itself).
 struct CrawlFile {
-  std::string rel_path;
+  std::string rel_path;  ///< logical name (rotation base for groups)
+  std::vector<std::string> members;  ///< physical files, oldest first
   int entry = -1;         ///< catalog entry used for extraction; -1 = none
   bool fingerprint_hit = false;  ///< phase-1/2 catalog hit (vs. cold/none)
   double fingerprint_rate = 0;
@@ -126,10 +153,31 @@ int main(int argc, char** argv) {
   DatamaranOptions options;
   std::string catalog_in;
   std::string catalog_out;
+  bool stitch_rotated = true;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--no-stitch-rotated") {
+      stitch_rotated = false;
+    } else if (StartsWith(arg, "--crlf=")) {
+      std::string_view policy = arg.substr(7);
+      if (policy == "auto") {
+        options.crlf = CrlfPolicy::kAuto;
+      } else if (policy == "keep") {
+        options.crlf = CrlfPolicy::kKeep;
+      } else if (policy == "strip") {
+        options.crlf = CrlfPolicy::kStrip;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--max-line-bytes=")) {
+      options.max_line_bytes =
+          static_cast<size_t>(std::atoll(arg.substr(17).data()));
+    } else if (StartsWith(arg, "--max-inflate-bytes=")) {
+      options.max_inflate_bytes =
+          static_cast<size_t>(std::atoll(arg.substr(20).data()));
     } else if (StartsWith(arg, "--catalog-in=")) {
       catalog_in = std::string(arg.substr(13));
     } else if (StartsWith(arg, "--catalog-out=")) {
@@ -240,6 +288,38 @@ int main(int argc, char** argv) {
               return a.rel_path < b.rel_path;
             });
 
+  // Rotation stitching: logrotate siblings (app.log, app.log.1,
+  // app.log.2.gz) collapse into ONE logical crawl file whose members are
+  // read oldest-first (highest rotation index first, live file last). A
+  // group only forms when two or more paths share a rotation base — a lone
+  // app.log.7 keeps its own name rather than being silently renamed.
+  if (stitch_rotated) {
+    std::map<std::string, std::vector<std::string>> by_base;
+    for (const CrawlFile& f : files) {
+      by_base[RotationKeyFor(f.rel_path).base].push_back(f.rel_path);
+    }
+    std::vector<CrawlFile> grouped;
+    grouped.reserve(by_base.size());
+    for (auto& [base, members] : by_base) {
+      CrawlFile f;
+      if (members.size() >= 2) {
+        SortByRotation(&members);
+        f.rel_path = base;
+      } else {
+        f.rel_path = members[0];
+      }
+      f.members = std::move(members);
+      grouped.push_back(std::move(f));
+    }
+    std::sort(grouped.begin(), grouped.end(),
+              [](const CrawlFile& a, const CrawlFile& b) {
+                return a.rel_path < b.rel_path;
+              });
+    files = std::move(grouped);
+  } else {
+    for (CrawlFile& f : files) f.members = {f.rel_path};
+  }
+
   CatalogMatchOptions match_opts;
   match_opts.min_match = options.catalog_min_match;
   match_opts.min_mdl_gain = options.min_mdl_gain;
@@ -247,9 +327,13 @@ int main(int argc, char** argv) {
   match_opts.sample_chunks = options.sample_chunks;
   match_opts.match_engine = options.match_engine;
   match_opts.charset_engine = options.charset_engine;
+  match_opts.max_line_bytes = options.max_line_bytes;
+  const InputOptions input_opts = MakeInputOptions(options);
   auto open_file = [&](const CrawlFile& f) {
-    return Dataset::FromFile(root + "/" + f.rel_path, options.mmap_mode,
-                             options.mmap_threshold_bytes);
+    std::vector<std::string> paths;
+    paths.reserve(f.members.size());
+    for (const std::string& m : f.members) paths.push_back(root + "/" + m);
+    return OpenInputs(paths, input_opts);
   };
 
   Timer total_timer;
@@ -374,7 +458,8 @@ int main(int argc, char** argv) {
     Timer t;
     data->Advise(AccessHint::kSequential);
     Extractor extractor(&entry.templates, /*pool=*/nullptr,
-                        options.match_engine, options.charset_engine);
+                        options.match_engine, options.charset_engine,
+                        options.max_line_bytes);
     DatasetView view(data.value());
     ExtractionResult stats;
     if (!out_dir.empty()) {
@@ -429,8 +514,9 @@ int main(int argc, char** argv) {
   };
   std::vector<FormatAgg> agg(catalog.size());
   size_t unstructured = 0, drifted = 0, errors = 0, total_records = 0;
-  for (const CrawlFile& f : files) {
+  for (CrawlFile& f : files) {
     if (!f.error.ok()) {
+      f.summary.error = f.error.ToString();
       errors++;
       continue;
     }
@@ -456,6 +542,24 @@ int main(int argc, char** argv) {
   manifest += StrFormat("  \"unstructured_count\": %zu,\n", unstructured);
   manifest += StrFormat("  \"drifted_count\": %zu,\n", drifted);
   manifest += StrFormat("  \"error_count\": %zu,\n", errors);
+  // Failure containment ledger: every file the crawl had to skip, with the
+  // Status that explains why. Always present (empty array on a clean run)
+  // so manifest consumers can key on it unconditionally.
+  manifest += "  \"errors\": [";
+  {
+    bool first = true;
+    for (const CrawlFile& f : files) {
+      if (f.error.ok()) continue;
+      manifest += first ? "\n" : ",\n";
+      first = false;
+      manifest += "    {\"path\": \"";
+      AppendJsonEscaped(f.rel_path, &manifest);
+      manifest += "\", \"error\": \"";
+      AppendJsonEscaped(f.error.ToString(), &manifest);
+      manifest += "\"}";
+    }
+    manifest += first ? "],\n" : "\n  ],\n";
+  }
   manifest += StrFormat("  \"discoveries\": %zu,\n", discoveries);
   manifest +=
       StrFormat("  \"timings\": {\"fingerprint_s\": %.6f, "
@@ -490,7 +594,7 @@ int main(int argc, char** argv) {
   if (manifest_path.empty()) {
     std::fputs(manifest.c_str(), stdout);
   } else {
-    Status written = WriteStringToFile(manifest_path, manifest);
+    Status written = WriteFileAtomic(manifest_path, manifest);
     if (!written.ok()) {
       std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
       return 1;
