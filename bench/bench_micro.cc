@@ -63,6 +63,7 @@
 #include "template/catalog.h"
 #include "util/file_io.h"
 #include "core/dataset.h"
+#include "core/input.h"
 #include "core/options.h"
 #include "datagen/github_corpus.h"
 #include "generation/generator.h"
@@ -1161,6 +1162,161 @@ bool RunCatalogBench(FILE* f, bool quick) {
   return all_hit && parity && speedup >= 5.0;
 }
 
+// ---------------------------------------------------------------------------
+// Precompiled-program load microbench: a warm catalog load hands the
+// extractor persisted SerializeProgram blobs, and FromSerialized
+// (parse + checksum + structural validation) replaces Compile (AST
+// lowering + peephole fusion). Both are microsecond-scale and share the
+// dominant cost (scan-table derivation), so the gate is a cost-class
+// guard, not a speedup claim: every blob must load, and deserialize +
+// validate must stay within 1.5x of a fresh compile — catching a
+// validation pass turning quadratic on larger programs, the failure mode
+// that would make catalogs with programs slower to serve than without.
+// ---------------------------------------------------------------------------
+bool RunProgramLoadBench(FILE* f, bool quick) {
+  // Shapes mirroring the committed catalog fixture plus array-heavy forms.
+  const char* kCanonicals[] = {
+      "F=F;F=F;\n", "F /F/F F\n", "F:(F,)*F;\n", "(F,)*F\n",
+      "F F F (F;)*F\n",
+  };
+  std::vector<StructureTemplate> templates;
+  for (const char* canonical : kCanonicals) {
+    auto st = StructureTemplate::FromCanonical(canonical);
+    if (st.ok()) templates.push_back(std::move(st.value()));
+  }
+  std::vector<std::string> blobs;
+  for (const StructureTemplate& st : templates) {
+    const CompiledTemplate ct(&st);
+    blobs.push_back(ct.ok() ? ct.SerializeProgram() : std::string());
+  }
+
+  const int rounds = quick ? 100 : 300;
+  const int reps = 50;  // batch per timing so Timer resolution cannot dominate
+  double compile_best = 1e30, load_best = 1e30;
+  size_t compiled_ok = 0, loaded_ok = 0;
+  for (int r = 0; r < rounds; ++r) {
+    Timer compile_timer;
+    for (int k = 0; k < reps; ++k) {
+      for (const StructureTemplate& st : templates) {
+        compiled_ok += CompiledTemplate(&st).ok() ? 1 : 0;
+      }
+    }
+    compile_best = std::min(compile_best, compile_timer.Seconds());
+    Timer load_timer;
+    for (int k = 0; k < reps; ++k) {
+      for (size_t i = 0; i < templates.size(); ++i) {
+        loaded_ok +=
+            CompiledTemplate::FromSerialized(&templates[i], blobs[i])
+                    .has_value()
+                ? 1
+                : 0;
+      }
+    }
+    load_best = std::min(load_best, load_timer.Seconds());
+  }
+  const size_t per_round =
+      static_cast<size_t>(reps) * templates.size();
+  const size_t total = static_cast<size_t>(rounds) * per_round;
+  const bool all_ok = compiled_ok == total && loaded_ok == total;
+  const double relative = load_best > 0 ? compile_best / load_best : 0;
+  const double compile_us =
+      compile_best * 1e6 / static_cast<double>(per_round);
+  const double load_us = load_best * 1e6 / static_cast<double>(per_round);
+  std::printf("program load: compile %.2fus vs deserialize %.2fus per "
+              "template (best of %d rounds, %.2fx); all loaded: %s\n",
+              compile_us, load_us, rounds, relative, all_ok ? "yes" : "NO");
+
+  std::fprintf(f,
+               ",\n"
+               "  \"program_load\": {\n"
+               "    \"templates\": %zu,\n"
+               "    \"rounds\": %d,\n"
+               "    \"compile_us_per_template\": %.3f,\n"
+               "    \"deserialize_us_per_template\": %.3f,\n"
+               "    \"compile_over_deserialize\": %.3f,\n"
+               "    \"all_loaded\": %s\n"
+               "  }",
+               templates.size(), rounds, compile_us, load_us, relative,
+               all_ok ? "true" : "false");
+  return all_ok && load_best <= compile_best * 1.5;
+}
+
+// ---------------------------------------------------------------------------
+// Rotated-stitch memory case: OpenInputs pre-sizes the combined buffer from
+// the on-disk member sizes and adopts the first member's buffer wholesale,
+// so stitching N members peaks near combined + one member — not 2x combined
+// from geometric reallocation growth plus a copied first member. The case
+// writes a newline-aligned rotated set, stitches it, and gates the phase's
+// RSS delta against the stitched size.
+// ---------------------------------------------------------------------------
+struct StitchedPeakCase {
+  size_t bytes = 0;
+  size_t members = 0;
+  double stitch_s = 0;
+  size_t peak_delta = 0;
+  bool rss_gated = false;
+  bool bytes_match = false;
+  bool ok = false;
+};
+
+StitchedPeakCase RunStitchedPeakCase(bool quick) {
+  StitchedPeakCase out;
+  const std::string text = MakeSinkCorpus(13, quick);
+  constexpr size_t kMembers = 4;
+  std::vector<std::string> paths;
+  size_t begin = 0;
+  for (size_t m = 0; m < kMembers; ++m) {
+    size_t end = m + 1 < kMembers
+                     ? text.find('\n', (m + 1) * (text.size() / kMembers)) + 1
+                     : text.size();
+    const std::string path =
+        "bench_micro_stitch_" + std::to_string(m) + ".tmp";
+    if (!WriteStringToFile(path, std::string_view(text).substr(
+                                     begin, end - begin))
+             .ok()) {
+      return out;
+    }
+    paths.push_back(path);
+    begin = end;
+  }
+  out.bytes = text.size();
+  out.members = kMembers;
+
+  const bool reset_ok = ResetPeakRss();
+  const size_t baseline = ReadPeakRssBytes();
+  {
+    Timer timer;
+    auto stitched = OpenInputs(paths, InputOptions{});
+    out.stitch_s = timer.Seconds();
+    // Members end on line boundaries, so the stitch adds no terminators
+    // and the combined dataset is byte-for-byte the original corpus.
+    out.bytes_match =
+        stitched.ok() && stitched.value().size_bytes() == text.size();
+    const size_t peak = ReadPeakRssBytes();
+    out.peak_delta = peak > baseline ? peak - baseline : 0;
+  }
+  out.rss_gated = reset_ok;
+  for (const std::string& path : paths) std::remove(path.c_str());
+
+  const double ratio =
+      out.bytes > 0
+          ? static_cast<double>(out.peak_delta) / static_cast<double>(out.bytes)
+          : 0;
+  // Expected ~1.3x (combined buffer + one member in flight); geometric
+  // growth without the reserve lands at 2x+. 8 MB of slack absorbs
+  // allocator noise at the quick corpus size.
+  const bool under_budget =
+      out.peak_delta <= out.bytes + out.bytes / 2 + (8u << 20);
+  std::printf("stitched open (%zu members, %zu MB): %.3fs, peak delta "
+              "%zu MB (%.2fx)%s, bytes %s\n",
+              out.members, out.bytes >> 20, out.stitch_s,
+              out.peak_delta >> 20, ratio,
+              out.rss_gated ? "" : " [peak not isolated; gate skipped]",
+              out.bytes_match ? "match" : "MISMATCH — STITCH BUG");
+  out.ok = out.bytes_match && (!out.rss_gated || under_budget);
+  return out;
+}
+
 void PrintRunJson(FILE* f, const char* key, const PipelineRun& run,
                   int threads) {
   std::fprintf(f,
@@ -1189,6 +1345,12 @@ int RunPipelineBench() {
 
   // Streaming-vs-collecting sink memory cases first (fresh allocator),
   // one per output layout.
+  // The stitch case measures an RSS *delta*, which freed-then-reused
+  // allocator pages would hide — it must run before anything grows the
+  // arena. The sink cases compare two absolute peaks measured the same
+  // way, so the stitch case's modest retained arena cancels out of their
+  // ratio.
+  const StitchedPeakCase stitch_case = RunStitchedPeakCase(quick);
   const SinkCase sink_case = RunStreamingSinkCase(multi, quick);
   const SinkCase norm_case = RunNormalizedSinkCase(multi, quick);
 
@@ -1248,6 +1410,7 @@ int RunPipelineBench() {
   const bool charset_ok = RunCharsetEngineBench(f, quick);
   const bool eval_ok = RunEvaluationBench(f, texts, quick);
   const bool catalog_ok = RunCatalogBench(f, quick);
+  const bool program_load_ok = RunProgramLoadBench(f, quick);
   // --- Large-file extraction through both backings (the mmap path). ---
   const size_t big_bytes = quick ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
   Rng rng(5);
@@ -1334,6 +1497,14 @@ int RunPipelineBench() {
                "    \"collecting_peak_rss_bytes\": %zu,\n"
                "    \"rss_gated\": %s,\n"
                "    \"counts_match\": %s\n"
+               "  },\n"
+               "  \"stitched_peak\": {\n"
+               "    \"bytes\": %zu,\n"
+               "    \"members\": %zu,\n"
+               "    \"stitch_s\": %.6f,\n"
+               "    \"peak_delta_bytes\": %zu,\n"
+               "    \"rss_gated\": %s,\n"
+               "    \"bytes_match\": %s\n"
                "  }\n"
                "}\n",
                speedup, identical ? "true" : "false",
@@ -1350,11 +1521,16 @@ int RunPipelineBench() {
                norm_case.collecting_s, norm_case.streaming_peak,
                norm_case.collecting_peak,
                norm_case.rss_gated ? "true" : "false",
-               norm_case.counts_match ? "true" : "false");
+               norm_case.counts_match ? "true" : "false", stitch_case.bytes,
+               stitch_case.members, stitch_case.stitch_s,
+               stitch_case.peak_delta,
+               stitch_case.rss_gated ? "true" : "false",
+               stitch_case.bytes_match ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
   return identical && mmap_identical && match_ok && charset_ok && eval_ok &&
-                 catalog_ok && sink_case.ok && norm_case.ok
+                 catalog_ok && program_load_ok && sink_case.ok &&
+                 norm_case.ok && stitch_case.ok
              ? 0
              : 1;
 }

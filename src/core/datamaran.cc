@@ -417,6 +417,7 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   // byte-identical to the fresh-discovery run that produced the entry.
   const bool use_catalog =
       catalog_loaded_ || !options_.catalog_out.empty();
+  std::vector<std::string> entry_programs;
   if (use_catalog) {
     Timer match_timer;
     CatalogMatchOptions match_opts;
@@ -436,6 +437,7 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
         const CatalogEntry& entry =
             catalog_.entry(static_cast<size_t>(match.entry));
         result.templates = entry.templates;
+        entry_programs = entry.programs;
         result.stats.catalog_hit = true;
         result.stats.catalog_entry = match.entry;
         result.stats.catalog_match_rate = match.match_rate;
@@ -477,7 +479,8 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   }
   if (!options_.catalog_out.empty()) {
     std::lock_guard<std::mutex> lock(catalog_mu_);
-    const Status saved = catalog_.Save(options_.catalog_out);
+    const Status saved = catalog_.Save(options_.catalog_out,
+                                       CatalogSaveOptions{options_.catalog_merge});
     if (!saved.ok()) {
       DM_LOG(kWarning, "catalog save to %s failed: %s",
              options_.catalog_out.c_str(), saved.ToString().c_str());
@@ -487,7 +490,8 @@ PipelineResult Datamaran::ExtractDataset(const Dataset& data) const {
   Timer extract_timer;
   data.Advise(AccessHint::kSequential);
   Extractor extractor(&result.templates, pool_.get(), options_.match_engine,
-                      options_.charset_engine, options_.max_line_bytes);
+                      options_.charset_engine, options_.max_line_bytes,
+                      entry_programs.empty() ? nullptr : &entry_programs);
   result.extraction = extractor.Extract(data);
   data.Advise(AccessHint::kNormal);
   result.timings.extraction_s = extract_timer.Seconds();

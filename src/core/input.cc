@@ -247,11 +247,29 @@ Result<Dataset> OpenInputs(const std::vector<std::string>& paths,
                            const InputOptions& options) {
   if (paths.empty()) return Status::InvalidArgument("no input files");
   if (paths.size() == 1) return OpenInput(paths[0], options);
+  // Pre-size the stitch buffer from the on-disk member sizes (+1 newline
+  // terminator each) so appending never reallocates mid-stitch: peak
+  // memory stays at one member plus the combined buffer, not 2x combined.
+  // Gzip members inflate larger than their file size — the reserve is then
+  // only a hint and growth proceeds as usual, never incorrectly.
+  size_t reserve_hint = 0;
+  for (const std::string& path : paths) {
+    auto size = FileSizeBytes(path);
+    if (size.ok()) reserve_hint += size.value() + 1;
+  }
   std::string combined;
+  bool first = true;
   for (const std::string& path : paths) {
     auto member = LoadMemberBytes(path, options);
     if (!member.ok()) return member.status();
-    combined += member.value();
+    if (first) {
+      // Adopt the first member's buffer wholesale instead of copying it.
+      combined = std::move(member.value());
+      if (combined.capacity() < reserve_hint) combined.reserve(reserve_hint);
+      first = false;
+    } else {
+      combined += member.value();
+    }
     // Newline-terminate each member so a truncated final line cannot merge
     // with the first line of the next rotation generation.
     if (!combined.empty() && combined.back() != '\n') combined += '\n';

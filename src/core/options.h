@@ -148,6 +148,12 @@ struct DatamaranOptions {
   /// as a hit (CatalogMatchOptions::min_match).
   double catalog_min_match = 0.8;
 
+  /// Merge-on-save for `catalog_out` (CatalogSaveOptions::merge): re-load
+  /// the on-disk catalog under the advisory lock and write the union, so
+  /// concurrent runs sharing one catalog never lose entries. false (the
+  /// --catalog-no-merge escape hatch) overwrites with this run's catalog.
+  bool catalog_merge = true;
+
   /// Emit INFO-level progress logging.
   bool verbose = false;
 

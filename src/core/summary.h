@@ -2,11 +2,13 @@
 #define DATAMARAN_CORE_SUMMARY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/datamaran.h"
 #include "core/options.h"
+#include "util/json.h"
 
 /// Machine-readable per-file run summary: the one struct behind both the
 /// CLI's --summary-json flag and the crawler's lake manifest, so any
@@ -23,6 +25,15 @@ struct FileSummary {
   std::string path;
   size_t input_bytes = 0;
   bool input_mapped = false;
+  /// Change-detection identity of the source file(s) behind this summary,
+  /// filled by the crawler: total on-disk size and the newest member's
+  /// mtime in nanoseconds. `--incremental` re-crawls compare these against
+  /// the previous manifest and skip files whose pair is unchanged.
+  size_t source_size = 0;
+  int64_t source_mtime_ns = 0;
+  /// True when an incremental re-crawl restored this summary from the
+  /// previous manifest instead of re-extracting the file.
+  bool skipped = false;
 
   /// Failure containment: when the input layer or extraction failed, the
   /// Status rendered as "CODE: message" (empty = the run succeeded). A
@@ -60,9 +71,10 @@ struct FileSummary {
 };
 
 /// Fills the counts/config/catalog fields of a FileSummary from a pipeline
-/// result (the records_per_template split requires collected records, so it
-/// is only filled when `r.extraction.records` is populated). `drifted` is
-/// derived from the catalog hit and options.catalog_min_match.
+/// result. The records_per_template split comes from the extractor's own
+/// per-template accounting, so it is populated on streaming-sink runs
+/// exactly as on collecting ones. `drifted` is derived from the catalog
+/// hit and options.catalog_min_match.
 FileSummary SummarizeResult(const std::string& path, const PipelineResult& r,
                             const DatamaranOptions& options);
 
@@ -72,6 +84,14 @@ void AppendFileSummaryJson(const FileSummary& s, int indent, std::string* out);
 
 /// Renders one summary as a standalone JSON document (trailing newline).
 std::string FileSummaryToJson(const FileSummary& s);
+
+/// Inverse of AppendFileSummaryJson: rebuilds a FileSummary from its parsed
+/// JSON object (the incremental re-crawl restores unchanged files' summaries
+/// from the previous manifest this way). Every field the writer emits is
+/// required and type-checked; unknown keys are ignored. Counters round-trip
+/// exactly and %.6f doubles re-render byte-identically, so restore +
+/// AppendFileSummaryJson reproduces the original object.
+Result<FileSummary> FileSummaryFromJson(const JsonValue& v);
 
 }  // namespace datamaran
 

@@ -95,10 +95,11 @@ constexpr size_t kMinLinesPerChunk = 256;
 
 Extractor::Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool, MatchEngine engine,
-                     CharsetEngine charset_engine, size_t max_line_bytes)
+                     CharsetEngine charset_engine, size_t max_line_bytes,
+                     const std::vector<std::string>* programs)
     : templates_(templates),
       pool_(pool),
-      matchers_(BuildMatchers(*templates, engine, charset_engine)),
+      matchers_(BuildMatchers(*templates, engine, charset_engine, programs)),
       index_(matchers_),
       max_line_bytes_(max_line_bytes) {
   for (const StructureTemplate& st : *templates_) {
@@ -163,6 +164,7 @@ size_t Extractor::EmitAt(const DatasetView& data, size_t li, EventSink* sink,
   }
   stats->covered_chars += end - win.pos;
   stats->matched_records += 1;
+  stats->records_per_template[static_cast<size_t>(t)] += 1;
   if (sink != nullptr) {
     sink->OnRecord(t, li, win.text, win.pos, end, events->data(),
                    events->size());
@@ -175,6 +177,7 @@ ExtractionResult Extractor::ExtractSequential(const DatasetView& data,
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
   stats.total_lines = data.line_count();
+  stats.records_per_template.assign(matchers_.size(), 0);
   std::string scratch;
   std::vector<MatchEvent> events;
   size_t li = 0;
@@ -217,6 +220,7 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
   ExtractionResult stats;
   stats.total_chars = data.size_bytes();
   stats.total_lines = n;
+  stats.records_per_template.assign(matchers_.size(), 0);
 
   // Waves bound the buffered state: at most `chunks_per_wave` chunks of
   // buffered events are alive at once, flushed to the sink in order before
@@ -290,6 +294,8 @@ ExtractionResult Extractor::ExtractEvents(const DatasetView& data,
             if (j->template_id >= 0) {
               stats.covered_chars += j->end - j->pos;
               stats.matched_records += 1;
+              stats.records_per_template[static_cast<size_t>(
+                  j->template_id)] += 1;
               if (sink != nullptr) {
                 const std::string_view wtext =
                     j->assembled_text.empty()
@@ -336,6 +342,7 @@ ExtractionResult Extractor::Extract(const DatasetView& data) const {
   out.total_lines = stats.total_lines;
   out.matched_records = stats.matched_records;
   out.noise_line_count = stats.noise_line_count;
+  out.records_per_template = std::move(stats.records_per_template);
   // Recompute line counts for the collected records.
   for (ExtractedRecord& rec : out.records) {
     rec.line_count = spans_.empty()

@@ -150,6 +150,11 @@ struct ExtractionResult {
   size_t total_lines = 0;
   size_t matched_records = 0;
   size_t noise_line_count = 0;
+  /// Records emitted per template (indexed by template id, sized to the
+  /// template count by every scan path). Like the other counters this is
+  /// filled on streaming runs too — it is the per-template accounting the
+  /// summary layer reports, independent of whether records were collected.
+  std::vector<size_t> records_per_template;
 
   double coverage() const {
     return total_chars == 0
@@ -178,11 +183,16 @@ class Extractor {
   /// emitted as noise instead of being scanned or assembled into a record
   /// window (0 = unlimited). The same cap excludes such lines from the
   /// discovery sample (util/sampler.h), keeping the two phases consistent.
+  /// `programs`, when non-null, is the parallel vector of persisted
+  /// compiled-program blobs from a catalog entry (dispatch.h
+  /// BuildMatchers): valid blobs skip template compilation, invalid ones
+  /// compile fresh, output identical either way.
   explicit Extractor(const std::vector<StructureTemplate>* templates,
                      ThreadPool* pool = nullptr,
                      MatchEngine engine = MatchEngine::kCompiled,
                      CharsetEngine charset_engine = CharsetEngine::kSimd,
-                     size_t max_line_bytes = 0);
+                     size_t max_line_bytes = 0,
+                     const std::vector<std::string>* programs = nullptr);
 
   /// Streams each record's flat MatchEvent parse into `sink` in scan order;
   /// returns coverage statistics. This is the one scan implementation — the

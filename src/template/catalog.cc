@@ -4,7 +4,9 @@
 #include <array>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
+#include <system_error>
 #include <utility>
 
 #include "scoring/mdl.h"
@@ -150,11 +152,34 @@ size_t TemplateCatalog::AddEntry(CatalogEntry entry) {
   const std::string sig = entry.Signature();
   auto it = by_signature_.find(sig);
   if (it != by_signature_.end()) return it->second;
-  if (entry.name.empty()) entry.name = "fmt" + std::to_string(entries_.size());
+  // Distinct signatures must keep distinct names (a merge of two
+  // independently grown catalogs collides on "fmt0"): the incoming entry
+  // yields and takes a fresh generated name.
+  if (entry.name.empty() || used_names_.count(entry.name) != 0) {
+    size_t k = entries_.size();
+    do {
+      entry.name = "fmt" + std::to_string(k++);
+    } while (used_names_.count(entry.name) != 0);
+  }
   entry.meta.resize(entry.templates.size());
+  entry.programs.resize(entry.templates.size());
+  used_names_.insert(entry.name);
   by_signature_.emplace(sig, entries_.size());
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
+}
+
+void TemplateCatalog::PopulatePrograms() {
+  for (CatalogEntry& e : entries_) {
+    e.programs.resize(e.templates.size());
+    for (size_t t = 0; t < e.templates.size(); ++t) {
+      if (!e.programs[t].empty()) continue;
+      // Serialized programs are engine-independent (the per-engine scan
+      // strategy is re-derived on load), so any engine compiles the blob.
+      const CompiledTemplate ct(&e.templates[t]);
+      if (ct.ok()) e.programs[t] = ct.SerializeProgram();
+    }
+  }
 }
 
 int TemplateCatalog::FindSignature(
@@ -181,6 +206,18 @@ std::string TemplateCatalog::Serialize() const {
       out += " first=" + FirstSetToken(TemplateFirstBytes(st));
       out += " scan=" + ScanStrategyHint(st);
       out += '\n';
+      if (t < e.programs.size() && !e.programs[t].empty()) {
+        out += "program ";
+        out += CatalogEscape(e.programs[t]);
+        out += '\n';
+      }
+    }
+    for (const auto& [key, value] : e.extensions) {
+      out += "kv ";
+      out += CatalogEscape(key);
+      out += ' ';
+      out += CatalogEscape(value);
+      out += '\n';
     }
     out += "end\n";
   }
@@ -194,11 +231,16 @@ Result<TemplateCatalog> TemplateCatalog::Parse(std::string_view text) {
     return Status::ParseError("catalog: missing datamaran-catalog header");
   }
   const auto version = ParseInt64(lines[0].substr(kHeader.size()));
-  if (!version.has_value() || *version != kFormatVersion) {
+  if (!version.has_value() || *version < kMinFormatVersion ||
+      *version > kFormatVersion) {
     return Status::ParseError(
-        StrFormat("catalog: unsupported version '%s' (expected v%d)",
-                  std::string(lines[0]).c_str(), kFormatVersion));
+        StrFormat("catalog: unsupported version '%s' (expected v%d..v%d)",
+                  std::string(lines[0]).c_str(), kMinFormatVersion,
+                  kFormatVersion));
   }
+  // v1 files migrate in memory: same entry/template grammar, no program or
+  // kv lines. The next Save rewrites them at the current version.
+  const bool v2 = *version >= 2;
   TemplateCatalog cat;
   size_t i = 1;
   while (i < lines.size()) {
@@ -232,16 +274,49 @@ Result<TemplateCatalog> TemplateCatalog::Parse(std::string_view text) {
           StrFormat("catalog line %zu: bad template count", i + 1));
     }
     ++i;
-    for (int64_t t = 0; t < *count; ++t, ++i) {
+    while (true) {
       if (i >= lines.size()) {
         return Status::ParseError("catalog: truncated entry");
       }
+      if (lines[i] == "end") break;
       toks = Split(lines[i], ' ');
+      if (v2 && !toks.empty() && toks[0] == "program") {
+        if (toks.size() != 2 ||
+            entry.programs.size() == entry.templates.size()) {
+          return Status::ParseError(StrFormat(
+              "catalog line %zu: program line must follow its template",
+              i + 1));
+        }
+        auto blob = CatalogUnescape(toks[1]);
+        if (!blob.ok()) return blob.status();
+        entry.programs.resize(entry.templates.size());
+        entry.programs.back() = std::move(blob.value());
+        ++i;
+        continue;
+      }
+      if (v2 && !toks.empty() && toks[0] == "kv") {
+        if (toks.size() != 3) {
+          return Status::ParseError(StrFormat(
+              "catalog line %zu: expected 'kv <key> <value>'", i + 1));
+        }
+        auto key = CatalogUnescape(toks[1]);
+        if (!key.ok()) return key.status();
+        auto value = CatalogUnescape(toks[2]);
+        if (!value.ok()) return value.status();
+        entry.extensions.emplace_back(std::move(key.value()),
+                                      std::move(value.value()));
+        ++i;
+        continue;
+      }
       if (toks.size() < 2 || toks[0] != "template") {
         return Status::ParseError(
             StrFormat("catalog line %zu: expected 'template <canonical> "
                       "key=value...'",
                       i + 1));
+      }
+      if (static_cast<int64_t>(entry.templates.size()) == *count) {
+        return Status::ParseError(StrFormat(
+            "catalog line %zu: more templates than declared", i + 1));
       }
       auto canonical = CatalogUnescape(toks[1]);
       if (!canonical.ok()) return canonical.status();
@@ -287,11 +362,15 @@ Result<TemplateCatalog> TemplateCatalog::Parse(std::string_view text) {
       }
       entry.templates.push_back(std::move(st.value()));
       entry.meta.push_back(meta);
+      ++i;
     }
-    if (i >= lines.size() || lines[i] != "end") {
-      return Status::ParseError("catalog: entry not terminated by 'end'");
+    if (static_cast<int64_t>(entry.templates.size()) != *count) {
+      return Status::ParseError(
+          StrFormat("catalog line %zu: entry has %zu templates, declared %lld",
+                    i + 1, entry.templates.size(),
+                    static_cast<long long>(*count)));
     }
-    ++i;
+    ++i;  // consume "end"
     cat.AddEntry(std::move(entry));
   }
   return cat;
@@ -303,10 +382,37 @@ Result<TemplateCatalog> TemplateCatalog::Load(const std::string& path) {
   return Parse(text.value());
 }
 
-Status TemplateCatalog::Save(const std::string& path) const {
-  // Atomic (temp + rename): a crashed or killed run can never leave a
-  // truncated catalog that a later --catalog-in load would reject.
-  return WriteFileAtomic(path, Serialize());
+Status TemplateCatalog::Save(const std::string& path,
+                             const CatalogSaveOptions& options) const {
+  // The advisory lock serializes the whole read-merge-write cycle across
+  // processes; the write itself stays atomic (temp + rename), so a crashed
+  // or killed run can never leave a truncated catalog that a later
+  // --catalog-in load would reject, and readers that skip the lock still
+  // see a complete snapshot.
+  auto lock = FileLock::Acquire(path);
+  if (!lock.ok()) return lock.status();
+  TemplateCatalog merged = *this;
+  if (options.merge) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      auto disk = Load(path);
+      if (!disk.ok()) {
+        // Never clobber a file we cannot parse under merge semantics — it
+        // may be another writer's data (or not a catalog at all).
+        return Status::ParseError("catalog merge: existing file " + path +
+                                  " failed to load (" +
+                                  disk.status().message() +
+                                  "); pass no-merge to overwrite");
+      }
+      for (CatalogEntry& e : disk.value().entries_) {
+        merged.AddEntry(std::move(e));
+      }
+    }
+  }
+  // Persisted catalogs always carry compiled programs: entries discovered
+  // this run compile once here, reloaded entries keep their blobs.
+  merged.PopulatePrograms();
+  return WriteFileAtomic(path, merged.Serialize());
 }
 
 CatalogMatch MatchCatalog(const TemplateCatalog& catalog, const Dataset& data,

@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
@@ -29,12 +31,23 @@
 ///
 /// On-disk format (versioned, line-based text):
 ///
-///   datamaran-catalog v1
+///   datamaran-catalog v2
 ///   entry fmt0 templates=2
 ///   template (F,)*F\n mdl=1234.5 noise=5678.9 records=42 coverage=0.97
 ///       first=... scan=swar2            (one line; wrapped here for width)
+///   program <escaped-bytecode-blob>     (optional, attaches to the
+///       preceding template: CompiledTemplate::SerializeProgram output,
+///       fingerprint-guarded — stale or corrupt blobs recompile)
 ///   template F\sF\n ...
+///   kv <key> <value>                    (per-entry extension area: opaque
+///       key/value pairs, preserved byte-exact across load/save)
 ///   end
+///
+/// v1 (no program/kv lines) is still accepted by Parse and migrated in
+/// memory; Serialize always writes the current version. Tools exchanging
+/// catalogs across builds therefore upgrade files in place on their next
+/// save, and unknown per-entry state from future minor revisions rides
+/// through the kv area.
 ///
 /// Canonical forms and FIRST sets are arbitrary bytes (templates always
 /// contain '\n'; separators may be NUL or non-UTF8), so every byte-valued
@@ -78,6 +91,16 @@ struct CatalogEntry {
   std::string name;  ///< e.g. "fmt0"; unique within the catalog
   std::vector<StructureTemplate> templates;
   std::vector<CatalogTemplateMeta> meta;  ///< parallel to `templates`
+  /// Serialized compiled programs (CompiledTemplate::SerializeProgram),
+  /// parallel to `templates`; an empty element means "compile fresh".
+  /// Purely an optimization: a blob that fails its fingerprint, checksum,
+  /// or validation is ignored and the canonical form recompiled, so
+  /// extraction output never depends on this field.
+  std::vector<std::string> programs;
+  /// v2 extension area: opaque key/value pairs (arbitrary bytes) preserved
+  /// byte-exact across load/save. Forward-compatibility hook for minor
+  /// revisions that don't warrant a version bump.
+  std::vector<std::pair<std::string, std::string>> extensions;
 
   /// Identity of the template *set* (order-sensitive, length-prefixed
   /// canonicals): two entries with equal signatures extract identically.
@@ -89,9 +112,21 @@ struct CatalogEntry {
 /// (classifier/table scan). Stored in the catalog for inspection.
 std::string ScanStrategyHint(const StructureTemplate& st);
 
+/// How TemplateCatalog::Save treats an existing file at the target path.
+struct CatalogSaveOptions {
+  /// Merge-on-save (the default): re-load the on-disk catalog under the
+  /// advisory file lock, fold its entries into this catalog's by signature,
+  /// and write the union — N parallel crawlers sharing one --catalog-out
+  /// never lose each other's entries. false clobbers the file with exactly
+  /// this catalog (the --catalog-no-merge escape hatch).
+  bool merge = true;
+};
+
 class TemplateCatalog {
  public:
-  static constexpr int kFormatVersion = 1;
+  static constexpr int kFormatVersion = 2;
+  /// Oldest version Parse still accepts (migrated in memory on load).
+  static constexpr int kMinFormatVersion = 1;
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -101,26 +136,45 @@ class TemplateCatalog {
   /// Adds `entry` and returns its index — or, when an entry with the same
   /// template-set signature already exists, returns that entry's index
   /// without adding (folding a rediscovered format is idempotent). An empty
-  /// name is assigned "fmt<index>".
+  /// name — or one already taken by a different entry, as happens when two
+  /// independently grown catalogs merge — is assigned a fresh "fmt<k>".
   size_t AddEntry(CatalogEntry entry);
 
   /// Index of the entry whose signature matches `templates`, or -1.
   int FindSignature(const std::vector<StructureTemplate>& templates) const;
 
+  /// Fills in the serialized compiled program for every template that does
+  /// not have one yet (entries past engine limits keep an empty slot).
+  /// Save runs this on the written snapshot, so persisted catalogs always
+  /// carry programs and warm loads skip compilation.
+  void PopulatePrograms();
+
   /// The versioned text form (see file comment).
   std::string Serialize() const;
 
-  /// Exact inverse of Serialize: every template is parsed back via
-  /// FromCanonical and revalidated; any malformed line, unknown version, or
-  /// invalid template fails the whole parse.
+  /// Inverse of Serialize, also accepting the previous format version
+  /// (migrated in memory; the next Save rewrites the file as v%d). Every
+  /// template is parsed back via FromCanonical and revalidated; any
+  /// malformed line, unknown version, or invalid template fails the whole
+  /// parse. Program blobs are carried opaquely — they are verified by
+  /// CompiledTemplate::FromSerialized at use.
   static Result<TemplateCatalog> Parse(std::string_view text);
 
   static Result<TemplateCatalog> Load(const std::string& path);
-  Status Save(const std::string& path) const;
+
+  /// Persists the catalog atomically, serialized against concurrent savers
+  /// by an advisory lock on `path` + ".lock" (util/file_io FileLock). With
+  /// options.merge (default), the on-disk catalog is re-loaded under the
+  /// lock and its entries folded in by signature before writing, so
+  /// concurrent writers union rather than overwrite; a merge against an
+  /// unparseable existing file fails rather than destroy it.
+  Status Save(const std::string& path,
+              const CatalogSaveOptions& options = {}) const;
 
  private:
   std::vector<CatalogEntry> entries_;
   std::unordered_map<std::string, size_t> by_signature_;
+  std::unordered_set<std::string> used_names_;
 };
 
 struct CatalogMatchOptions {

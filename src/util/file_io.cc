@@ -1,5 +1,7 @@
 #include "util/file_io.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
@@ -7,7 +9,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DM_HAVE_MMAP 1
+#define DM_HAVE_FLOCK 1
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -53,7 +57,11 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tmp = path + "." + std::to_string(::getpid()) + ".tmp";
+#else
   const std::string tmp = path + ".tmp";
+#endif
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open for write: " + tmp);
@@ -76,6 +84,56 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
     return Status::IoError("rename failed: " + tmp + " -> " + path);
   }
   return Status::Ok();
+}
+
+FileLock::~FileLock() { Release(); }
+
+FileLock::FileLock(FileLock&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+
+void FileLock::Release() {
+#if DM_HAVE_FLOCK
+  if (fd_ >= 0) {
+    // Close drops the flock; an explicit LOCK_UN first keeps the release
+    // ordered before any later reopen of the same sidecar in this process.
+    (void)::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+#endif
+  fd_ = -1;
+}
+
+Result<FileLock> FileLock::Acquire(const std::string& path) {
+  FileLock lock;
+#if DM_HAVE_FLOCK
+  const std::string sidecar = path + ".lock";
+  int fd = ::open(sidecar.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+  if (fd < 0) {
+    return Status::IoError("cannot open lock file: " + sidecar);
+  }
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return Status::IoError("flock failed: " + sidecar);
+  }
+  lock.fd_ = fd;
+#else
+  (void)path;
+#endif
+  return lock;
 }
 
 Status MakeDirs(const std::string& path) {
@@ -132,6 +190,16 @@ Result<size_t> FileSizeBytes(const std::string& path) {
   const auto size = std::filesystem::file_size(path, ec);
   if (ec) return Status::IoError("cannot stat: " + path + ": " + ec.message());
   return static_cast<size_t>(size);
+}
+
+Result<int64_t> FileMtimeNs(const std::string& path) {
+  std::error_code ec;
+  const auto t = std::filesystem::last_write_time(path, ec);
+  if (ec) return Status::IoError("cannot stat: " + path + ": " + ec.message());
+  return static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
 }
 
 size_t MappedRegion::ResidentBytes() const {

@@ -25,12 +25,46 @@ Result<std::string> ReadFileToString(const std::string& path);
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 /// Writes `contents` to `path` atomically: the bytes go to a temporary
-/// sibling (`path` + ".tmp") which is renamed over `path` only after a
-/// complete, flushed write. A reader — or a crash/kill at any instant —
+/// sibling (`path` + ".<pid>.tmp") which is renamed over `path` only after
+/// a complete, flushed write. A reader — or a crash/kill at any instant —
 /// therefore sees either the old file or the complete new one, never a
-/// truncated hybrid. This is the writer for artifacts later runs parse
-/// (template catalogs, summaries, manifests).
+/// truncated hybrid. The tmp name is per-process, so concurrent writers
+/// cannot truncate each other's in-flight bytes (last rename wins). This
+/// is the writer for artifacts later runs parse (template catalogs,
+/// summaries, manifests).
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Advisory whole-file lock (RAII). Acquire() blocks until the lock for
+/// `path` is held, taking `flock(LOCK_EX)` on a sidecar `path` + ".lock"
+/// file — a sidecar rather than the target itself because atomic writers
+/// replace the target inode on rename, which would silently orphan a lock
+/// taken on the old inode. The lock is advisory: it serializes cooperating
+/// Datamaran processes (catalog read-merge-write cycles) and is released
+/// on destruction or process death. On platforms without flock, Acquire
+/// succeeds and the lock is a no-op (single-writer behavior unchanged).
+class FileLock {
+ public:
+  FileLock() = default;
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+
+  /// Blocks until the advisory lock guarding `path` is held.
+  static Result<FileLock> Acquire(const std::string& path);
+
+  /// True when this object holds a live lock (always false on platforms
+  /// without flock, where locking degrades to a no-op).
+  bool held() const { return fd_ >= 0; }
+
+  /// Releases the lock early (idempotent; the destructor also releases).
+  void Release();
+
+ private:
+  int fd_ = -1;
+};
 
 /// Creates directory `path` (and parents) if it does not exist.
 Status MakeDirs(const std::string& path);
@@ -97,6 +131,12 @@ class MappedRegion {
 
 /// Size of the file at `path` in bytes, without opening or mapping it.
 Result<size_t> FileSizeBytes(const std::string& path);
+
+/// Last-modification time of the file at `path` in nanoseconds since the
+/// filesystem clock's epoch. The absolute epoch is platform-defined; the
+/// value is only meaningful for equality comparison against an earlier
+/// observation on the same machine (incremental re-crawl change detection).
+Result<int64_t> FileMtimeNs(const std::string& path);
 
 /// Maps the file at `path` read-only. Falls back to ReadFileToString when
 /// mapping is unavailable (empty file, platform without mmap, mmap error),

@@ -1,0 +1,262 @@
+#include "util/json.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace datamaran {
+
+namespace {
+
+/// Deep-enough for every document Datamaran writes (manifests nest 4
+/// levels); bounds recursion on hostile input.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  bool AtEnd() const { return p >= end; }
+
+  void SkipWs() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(reinterpret_cast<uintptr_t>(p)));
+  }
+
+  bool Consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (end - p < 4) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = p[i];
+      uint32_t d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad \\u escape");
+      }
+      v = (v << 4) | d;
+    }
+    p += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(*p++);
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        // Our writers pass bytes >= 0x20 through verbatim (including
+        // non-UTF8), so the reader does too: decoded bytes == input bytes.
+        if (c < 0x20) return Error("raw control byte in string");
+        out->push_back(static_cast<char>(c));
+        continue;
+      }
+      if (AtEnd()) return Error("dangling escape");
+      const char e = *p++;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          DM_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp < 0x100) {
+            // AppendJsonEscaped only emits \u00XX for control bytes; the
+            // single-byte decode is its exact inverse.
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (AtEnd() || *p < '0' || *p > '9') return Error("bad number");
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      if (AtEnd() || *p < '0' || *p > '9') return Error("bad fraction");
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (AtEnd() || *p < '0' || *p > '9') return Error("bad exponent");
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->raw_number.assign(start, static_cast<size_t>(p - start));
+    out->number = std::strtod(out->raw_number.c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (AtEnd()) return Error("unexpected end of input");
+    const char c = *p;
+    if (c == '{') {
+      ++p;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      while (true) {
+        SkipWs();
+        std::string key;
+        DM_RETURN_IF_ERROR(ParseString(&key));
+        SkipWs();
+        if (!Consume(':')) return Error("expected ':'");
+        JsonValue value;
+        DM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::Ok();
+        return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++p;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      while (true) {
+        JsonValue value;
+        DM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->items.push_back(std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::Ok();
+        return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      if (end - p >= 4 && std::string_view(p, 4) == "true") {
+        p += 4;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Status::Ok();
+      }
+      return Error("bad literal");
+    }
+    if (c == 'f') {
+      if (end - p >= 5 && std::string_view(p, 5) == "false") {
+        p += 5;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Status::Ok();
+      }
+      return Error("bad literal");
+    }
+    if (c == 'n') {
+      if (end - p >= 4 && std::string_view(p, 4) == "null") {
+        p += 4;
+        out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
+      }
+      return Error("bad literal");
+    }
+    return ParseNumber(out);
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<int64_t> JsonValue::AsInt64() const {
+  if (kind != Kind::kNumber) return std::nullopt;
+  return ParseInt64(raw_number);
+}
+
+std::optional<uint64_t> JsonValue::AsUint64() const {
+  if (kind != Kind::kNumber || raw_number.empty() ||
+      raw_number[0] == '-') {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (char c : raw_number) {
+    if (c < '0' || c > '9') return std::nullopt;  // fraction/exponent form
+    const uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+std::optional<double> JsonValue::AsDouble() const {
+  if (kind != Kind::kNumber) return std::nullopt;
+  return number;
+}
+
+std::optional<bool> JsonValue::AsBool() const {
+  if (kind != Kind::kBool) return std::nullopt;
+  return boolean;
+}
+
+const std::string* JsonValue::AsString() const {
+  return kind == Kind::kString ? &str : nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  JsonValue out;
+  DM_RETURN_IF_ERROR(parser.ParseValue(&out, 0));
+  parser.SkipWs();
+  if (!parser.AtEnd()) {
+    return Status::ParseError("json: trailing bytes after document");
+  }
+  return out;
+}
+
+}  // namespace datamaran

@@ -1,0 +1,60 @@
+#ifndef DATAMARAN_UTIL_JSON_H_
+#define DATAMARAN_UTIL_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+/// Minimal strict JSON reader, the inverse of this repo's hand-rolled JSON
+/// writers (core/summary.cc, the crawl manifest, extraction/sinks.h
+/// AppendJsonEscaped). Datamaran re-reads only documents it wrote itself —
+/// the incremental re-crawl loads the previous run's manifest — but the
+/// parser is a complete, bounds-checked JSON value parser (objects, arrays,
+/// strings with full escape handling, numbers, bool, null) so a truncated
+/// or hand-edited manifest degrades to a clean error, never undefined
+/// behavior. Numbers keep their raw token alongside the double, so size_t
+/// counters round-trip exactly through AsUint64.
+
+namespace datamaran {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string raw_number;  ///< exact source token (integer round-trips)
+  std::string str;         ///< decoded bytes (escapes resolved)
+  std::vector<JsonValue> items;  ///< kArray elements in order
+  /// kObject members in document order (duplicate keys kept; Find returns
+  /// the first).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// First member with `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed accessors: engaged only when the kind matches (and, for the
+  /// integer forms, when the raw token is exactly an integer in range).
+  std::optional<int64_t> AsInt64() const;
+  std::optional<uint64_t> AsUint64() const;
+  std::optional<double> AsDouble() const;
+  std::optional<bool> AsBool() const;
+  const std::string* AsString() const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, anything
+/// else is an error). Nesting is capped at a fixed depth so hostile input
+/// cannot exhaust the stack.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace datamaran
+
+#endif  // DATAMARAN_UTIL_JSON_H_

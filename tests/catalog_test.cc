@@ -20,8 +20,10 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <filesystem>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/dataset.h"
@@ -30,6 +32,7 @@
 #include "template/compiled.h"
 #include "template/matcher.h"
 #include "template/template.h"
+#include "util/file_io.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -476,6 +479,328 @@ TEST(MatchCatalogTest, EmptyCatalogNeverHits) {
 }
 
 // -------------------------------------------------------- drift accounting ---
+
+// --------------------------------------------- v2: programs, kv, migration ---
+
+/// One-template catalog entry around `canonical`; meta left default.
+CatalogEntry EntryFor(const std::string& canonical) {
+  CatalogEntry entry;
+  auto st = StructureTemplate::FromCanonical(canonical);
+  EXPECT_TRUE(st.ok()) << canonical;
+  entry.templates.push_back(std::move(st.value()));
+  entry.meta.emplace_back();
+  return entry;
+}
+
+TEST(CatalogV2Test, SerializeEmitsV2HeaderAndProgramLines) {
+  TemplateCatalog catalog;
+  catalog.AddEntry(EntryFor("F=F;F=F;\n"));
+  catalog.PopulatePrograms();
+  const std::string text = catalog.Serialize();
+  EXPECT_EQ(text.rfind("datamaran-catalog v2\n", 0), 0u);
+  EXPECT_NE(text.find("\nprogram "), std::string::npos)
+      << "PopulatePrograms must serialize the compiled bytecode:\n" << text;
+}
+
+TEST(CatalogV2Test, KvExtensionsAndProgramsRoundTrip) {
+  TemplateCatalog catalog;
+  CatalogEntry entry = EntryFor("F,F\n");
+  entry.extensions.emplace_back("origin", "unit test");
+  entry.extensions.emplace_back("weird\nkey", "value with \\ and spaces");
+  catalog.AddEntry(std::move(entry));
+  catalog.PopulatePrograms();
+  ASSERT_FALSE(catalog.entry(0).programs[0].empty());
+
+  auto reloaded = TemplateCatalog::Parse(catalog.Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().message();
+  const CatalogEntry& got = reloaded.value().entry(0);
+  EXPECT_EQ(got.extensions, catalog.entry(0).extensions);
+  ASSERT_EQ(got.programs.size(), 1u);
+  EXPECT_EQ(got.programs[0], catalog.entry(0).programs[0])
+      << "the program blob must survive escape/unescape byte-exactly";
+  // Canonical serialization: a second round trip is byte-identical.
+  EXPECT_EQ(reloaded.value().Serialize(), catalog.Serialize());
+}
+
+std::string FixturePath() {
+  return std::string(DM_SOURCE_DIR) + "/tests/data/catalog_v1.txt";
+}
+
+/// The committed v1 fixture gates the migration path forever: v1 files
+/// (no programs, no kv) must load, migrate in memory, and re-save as v2
+/// with identical template canonicals and freshly compiled programs.
+TEST(CatalogV2Test, V1FixtureLoadsMigratesAndSavesAsV2) {
+  auto v1 = TemplateCatalog::Load(FixturePath());
+  ASSERT_TRUE(v1.ok()) << v1.status().message();
+  ASSERT_EQ(v1.value().size(), 2u);
+  ASSERT_EQ(v1.value().entry(0).templates.size(), 2u);
+  ASSERT_EQ(v1.value().entry(1).templates.size(), 1u);
+  EXPECT_EQ(v1.value().entry(0).templates[0].canonical(), "F=F;F=F;\n");
+  EXPECT_EQ(v1.value().entry(1).templates[0].canonical(), "F:(F,)*F;\n");
+  // Migrated in memory: the entry shape is v2 (program/extension slots
+  // exist, empty), and Serialize writes the current version.
+  ASSERT_EQ(v1.value().entry(0).programs.size(), 2u);
+  EXPECT_TRUE(v1.value().entry(0).programs[0].empty());
+  EXPECT_TRUE(v1.value().entry(0).extensions.empty());
+
+  const std::string path =
+      ::testing::TempDir() + "dm_catalog_migrated_v2.txt";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(v1.value().Save(path).ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value().rfind("datamaran-catalog v2\n", 0), 0u);
+  EXPECT_NE(text.value().find("\nprogram "), std::string::npos)
+      << "Save must populate precompiled programs for migrated entries";
+
+  auto v2 = TemplateCatalog::Load(path);
+  ASSERT_TRUE(v2.ok()) << v2.status().message();
+  ASSERT_EQ(v2.value().size(), v1.value().size());
+  for (size_t e = 0; e < v2.value().size(); ++e) {
+    const CatalogEntry& want = v1.value().entry(e);
+    const CatalogEntry& got = v2.value().entry(e);
+    EXPECT_EQ(got.name, want.name);
+    ASSERT_EQ(got.templates.size(), want.templates.size());
+    for (size_t t = 0; t < want.templates.size(); ++t) {
+      EXPECT_EQ(got.templates[t].canonical(), want.templates[t].canonical());
+      EXPECT_FALSE(got.programs[t].empty());
+    }
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+}
+
+// -------------------------------------------------- program serialization ---
+
+TEST(CompiledProgramTest, SerializeDeserializeParity) {
+  Rng rng(20260808);
+  int checked = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    auto st = RandomTemplate(&rng);
+    ASSERT_TRUE(st.ok());
+    if (!st.value().Validate().ok()) continue;
+    const CompiledTemplate fresh(&st.value());
+    if (!fresh.ok()) continue;
+    const std::string blob = fresh.SerializeProgram();
+    ASSERT_FALSE(blob.empty());
+    auto loaded = CompiledTemplate::FromSerialized(&st.value(), blob);
+    ASSERT_TRUE(loaded.has_value()) << st.value().Display();
+    ASSERT_TRUE(loaded->ok());
+    checked++;
+
+    for (int probe = 0; probe < 20; ++probe) {
+      std::string text;
+      GenerateInstance(st.value().root(), &rng, &text);
+      if (rng.Bernoulli(0.5)) text = Mutate(std::move(text), &rng);
+      const std::string context =
+          st.value().Display() + " instance " + std::to_string(probe);
+      auto want = fresh.TryMatch(text, 0);
+      auto got = loaded->TryMatch(text, 0);
+      ASSERT_EQ(want.has_value(), got.has_value()) << context;
+      if (want.has_value()) {
+        EXPECT_EQ(want->end, got->end) << context;
+        EXPECT_EQ(want->field_chars, got->field_chars) << context;
+        std::vector<MatchEvent> want_events, got_events;
+        auto pf_want = fresh.ParseFlat(text, 0, &want_events);
+        auto pf_got = loaded->ParseFlat(text, 0, &got_events);
+        ASSERT_TRUE(pf_want.has_value() && pf_got.has_value()) << context;
+        ExpectEventParity(want_events, got_events, context);
+      }
+    }
+  }
+  EXPECT_GT(checked, 50) << "generator mostly produced invalid templates";
+}
+
+TEST(CompiledProgramTest, EverySingleByteFlipIsRejected) {
+  auto st = StructureTemplate::FromCanonical("F=F;(F,)*F|F\n");
+  ASSERT_TRUE(st.ok()) << st.status().message();
+  const CompiledTemplate fresh(&st.value());
+  ASSERT_TRUE(fresh.ok());
+  const std::string blob = fresh.SerializeProgram();
+  ASSERT_FALSE(blob.empty());
+  // The fingerprint and FNV-1a checksum cover the entire blob, so any
+  // single corrupted byte must fail closed — never load a wrong program.
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] = static_cast<char>(bad[i] ^ 0x41);
+    EXPECT_FALSE(
+        CompiledTemplate::FromSerialized(&st.value(), bad).has_value())
+        << "flip at byte " << i << " loaded anyway";
+  }
+}
+
+TEST(CompiledProgramTest, TruncatedAndPaddedBlobsAreRejected) {
+  auto st = StructureTemplate::FromCanonical("F,F;F\n");
+  ASSERT_TRUE(st.ok());
+  const CompiledTemplate fresh(&st.value());
+  ASSERT_TRUE(fresh.ok());
+  const std::string blob = fresh.SerializeProgram();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(CompiledTemplate::FromSerialized(
+                     &st.value(), std::string_view(blob).substr(0, len))
+                     .has_value())
+        << "prefix of length " << len;
+  }
+  EXPECT_FALSE(
+      CompiledTemplate::FromSerialized(&st.value(), blob + '\0').has_value())
+      << "trailing bytes must be rejected";
+  EXPECT_TRUE(CompiledTemplate::FromSerialized(&st.value(), blob).has_value());
+}
+
+TEST(CompiledProgramTest, CorruptProgramFallsBackToIdenticalExtraction) {
+  Rng rng(5);
+  const Dataset data(KvLines(200, &rng) + ProseLines(50));
+  const DatasetView view(data);
+  std::vector<StructureTemplate> templates;
+  auto st = StructureTemplate::FromCanonical("F=F;F=F;\n");
+  ASSERT_TRUE(st.ok());
+  templates.push_back(std::move(st.value()));
+
+  const CompiledTemplate fresh(&templates[0]);
+  ASSERT_TRUE(fresh.ok());
+  std::vector<std::string> good{fresh.SerializeProgram()};
+  std::vector<std::string> corrupt{good[0]};
+  corrupt[0][corrupt[0].size() / 2] ^= 0x7f;
+  std::vector<std::string> garbage{"not a program blob"};
+
+  const Extractor baseline(&templates);
+  const ExtractionResult want = baseline.Extract(view);
+  ASSERT_EQ(want.matched_records, 200u);
+  for (const std::vector<std::string>* programs :
+       {&good, &corrupt, &garbage}) {
+    const Extractor extractor(&templates, nullptr, MatchEngine::kCompiled,
+                              CharsetEngine::kSimd, 0, programs);
+    const ExtractionResult got = extractor.Extract(view);
+    EXPECT_EQ(got.matched_records, want.matched_records);
+    EXPECT_EQ(got.noise_line_count, want.noise_line_count);
+    ASSERT_EQ(got.records.size(), want.records.size());
+    for (size_t r = 0; r < want.records.size(); ++r) {
+      EXPECT_EQ(got.records[r].template_id, want.records[r].template_id) << r;
+      EXPECT_EQ(got.records[r].begin, want.records[r].begin) << r;
+      EXPECT_EQ(got.records[r].end, want.records[r].end) << r;
+    }
+    EXPECT_EQ(got.records_per_template, want.records_per_template);
+  }
+}
+
+// ----------------------------------------------------- locked merging saves ---
+
+TEST(FileLockTest, AcquireHoldReleaseReacquire) {
+  const std::string path = ::testing::TempDir() + "dm_locktest.txt";
+  auto lock = FileLock::Acquire(path);
+  ASSERT_TRUE(lock.ok()) << lock.status().message();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(lock.value().held());
+#endif
+  lock.value().Release();
+  EXPECT_FALSE(lock.value().held());
+  auto again = FileLock::Acquire(path);
+  ASSERT_TRUE(again.ok());
+  std::filesystem::remove(path + ".lock");
+}
+
+TEST(CatalogSaveTest, InterleavedSavesMergeBothWriters) {
+  const std::string path = ::testing::TempDir() + "dm_catalog_merge.txt";
+  std::filesystem::remove(path);
+
+  // Two independent catalogs (two crawler processes, neither aware of the
+  // other) save to the same path; the second save must fold the first
+  // writer's on-disk entry in instead of clobbering it.
+  TemplateCatalog a;
+  a.AddEntry(EntryFor("F=F;F=F;\n"));
+  TemplateCatalog b;
+  b.AddEntry(EntryFor("F|F|F\n"));
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Save(path).ok());
+
+  auto merged = TemplateCatalog::Load(path);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(merged.value().size(), 2u);
+  auto st_a = StructureTemplate::FromCanonical("F=F;F=F;\n");
+  auto st_b = StructureTemplate::FromCanonical("F|F|F\n");
+  ASSERT_TRUE(st_a.ok() && st_b.ok());
+  EXPECT_GE(merged.value().FindSignature({st_a.value()}), 0);
+  EXPECT_GE(merged.value().FindSignature({st_b.value()}), 0);
+  // Merged names stay unique even though both writers named theirs fmt0.
+  EXPECT_NE(merged.value().entry(0).name, merged.value().entry(1).name);
+
+  // Saving an identical catalog twice merges by signature, not by name:
+  // no duplicate entries accumulate.
+  ASSERT_TRUE(b.Save(path).ok());
+  auto again = TemplateCatalog::Load(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().size(), 2u);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+}
+
+TEST(CatalogSaveTest, NoMergeOverwrites) {
+  const std::string path = ::testing::TempDir() + "dm_catalog_nomerge.txt";
+  std::filesystem::remove(path);
+  TemplateCatalog a;
+  a.AddEntry(EntryFor("F=F;F=F;\n"));
+  TemplateCatalog b;
+  b.AddEntry(EntryFor("F|F|F\n"));
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Save(path, CatalogSaveOptions{/*merge=*/false}).ok());
+  auto loaded = TemplateCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  auto st_b = StructureTemplate::FromCanonical("F|F|F\n");
+  ASSERT_TRUE(st_b.ok());
+  EXPECT_EQ(loaded.value().FindSignature({st_b.value()}), 0);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+}
+
+TEST(CatalogSaveTest, RefusesToMergeOverCorruptExistingFile) {
+  const std::string path = ::testing::TempDir() + "dm_catalog_corrupt.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "important non-catalog data\n").ok());
+  TemplateCatalog c;
+  c.AddEntry(EntryFor("F,F\n"));
+  // Merge-on-save must never destroy a file it cannot parse; the explicit
+  // no-merge escape hatch is the only way to overwrite it.
+  EXPECT_FALSE(c.Save(path).ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "important non-catalog data\n");
+  EXPECT_TRUE(c.Save(path, CatalogSaveOptions{/*merge=*/false}).ok());
+  EXPECT_TRUE(TemplateCatalog::Load(path).ok());
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+}
+
+TEST(CatalogSaveTest, ConcurrentThreadedWritersLoseNoEntries) {
+  const std::string path = ::testing::TempDir() + "dm_catalog_race.txt";
+  std::filesystem::remove(path);
+  const std::vector<std::string> canonicals = {
+      "F=F;F=F;\n", "F|F|F\n", "F,F,F\n", "F;F\n",
+      "F:F:F\n",    "F#F\n",   "F@F@F\n", "F-F-F\n",
+  };
+  std::vector<std::thread> writers;
+  writers.reserve(canonicals.size());
+  for (const std::string& canonical : canonicals) {
+    writers.emplace_back([&path, canonical] {
+      TemplateCatalog c;
+      c.AddEntry(EntryFor(canonical));
+      ASSERT_TRUE(c.Save(path).ok());
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  auto merged = TemplateCatalog::Load(path);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(merged.value().size(), canonicals.size());
+  for (const std::string& canonical : canonicals) {
+    auto st = StructureTemplate::FromCanonical(canonical);
+    ASSERT_TRUE(st.ok());
+    EXPECT_GE(merged.value().FindSignature({st.value()}), 0)
+        << canonical << " lost in the merge";
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+}
 
 TEST(ExtractorLineAccountingTest, CountsMatchedAndNoiseLinesExactly) {
   Rng rng(4);

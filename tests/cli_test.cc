@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -326,8 +328,10 @@ TEST(CliCatalogTest, CatalogHitMatchesColdDiscoveryMatrix) {
                   "cold discovery with --catalog-out");
   auto catalog_text = ReadFileToString(catalog);
   ASSERT_TRUE(catalog_text.ok());
-  EXPECT_EQ(catalog_text.value().rfind("datamaran-catalog v1\n", 0), 0u)
-      << "catalog file must start with the version header";
+  EXPECT_EQ(catalog_text.value().rfind("datamaran-catalog v2\n", 0), 0u)
+      << "catalog file must start with the current version header";
+  EXPECT_NE(catalog_text.value().find("\nprogram "), std::string::npos)
+      << "saved catalogs carry precompiled programs";
 
   int run = 0;
   for (const Config& cfg : {Config{1, "tree", "always"},
@@ -625,6 +629,304 @@ TEST(CliGoldenTest, BadFlagsExitWithUsage) {
   EXPECT_EQ(RunCli("--format=parquet input.log"), 2);
   EXPECT_EQ(RunCli("--mmap=sometimes input.log"), 2);
   EXPECT_EQ(RunCli(""), 2);
+}
+
+/// Runs a binary capturing stderr to a temp file; returns (exit code,
+/// stderr text). Strict flag parsing must name the offending flag there.
+std::pair<int, std::string> RunForStderr(const char* binary,
+                                         const std::string& args,
+                                         const std::string& tag) {
+  const std::string err = ::testing::TempDir() + "dm_stderr_" + tag + ".txt";
+  const std::string cmd = std::string("\"") + binary + "\" " + args +
+                          " > /dev/null 2> \"" + err + "\"";
+  int rc = std::system(cmd.c_str());
+#if defined(__unix__) || defined(__APPLE__)
+  rc = (rc != -1 && WIFEXITED(rc)) ? WEXITSTATUS(rc) : -1;
+#endif
+  auto text = ReadFileToString(err);
+  fs::remove(err);
+  return {rc, text.ok() ? text.value() : std::string()};
+}
+
+TEST(CliFlagTest, BadNumericFlagValuesExitTwoNamingTheFlag) {
+  const std::string input = SourcePath("tests/data/cli_basic.log");
+  // One captured case per parser family; the flag name must reach stderr.
+  const auto [rc_int, err_int] =
+      RunForStderr(DM_CLI_PATH, "\"" + input + "\" --threads=abc", "int");
+  EXPECT_EQ(rc_int, 2);
+  EXPECT_NE(err_int.find("--threads"), std::string::npos) << err_int;
+  EXPECT_NE(err_int.find("abc"), std::string::npos) << err_int;
+
+  const auto [rc_dbl, err_dbl] =
+      RunForStderr(DM_CLI_PATH, "\"" + input + "\" --alpha=ten", "dbl");
+  EXPECT_EQ(rc_dbl, 2);
+  EXPECT_NE(err_dbl.find("--alpha"), std::string::npos) << err_dbl;
+
+  const auto [rc_size, err_size] = RunForStderr(
+      DM_CLI_PATH, "\"" + input + "\" --max-line-bytes=-1", "size");
+  EXPECT_EQ(rc_size, 2);
+  EXPECT_NE(err_size.find("--max-line-bytes"), std::string::npos) << err_size;
+
+  // Same parsers wired into the crawler.
+  const auto [rc_crawl, err_crawl] =
+      RunForStderr(DM_CRAWL_PATH, "/tmp --threads=4x", "crawl");
+  EXPECT_EQ(rc_crawl, 2);
+  EXPECT_NE(err_crawl.find("--threads"), std::string::npos) << err_crawl;
+  EXPECT_EQ(RunCrawl("/tmp --catalog-min-match=high"), 2);
+  EXPECT_EQ(RunCli("\"" + input + "\" --span=1.5.2"), 2);
+  EXPECT_EQ(RunCli("\"" + input + "\" --retain="), 2);
+}
+
+// ------------------------------------------------- catalog v1 compatibility ---
+
+/// The committed v1 catalog (written by a pre-v2 build against
+/// cli_interleaved.log) must keep serving the fast path: a warm run hits
+/// it, extracts byte-identically to the golden, and a save through
+/// --catalog-out upgrades the file to v2 with programs attached.
+TEST(CliCatalogTest, V1CatalogFixtureServesGoldenAndUpgrades) {
+  const std::string input = SourcePath("tests/data/cli_interleaved.log");
+  const std::string fixture = SourcePath("tests/data/catalog_v1.txt");
+  const std::string upgraded = ::testing::TempDir() + "dm_cli_catalog_v2up.txt";
+  const std::string out = ::testing::TempDir() + "dm_cli_catalog_v1_out";
+  fs::remove(upgraded);
+  fs::remove_all(out);
+
+  ASSERT_EQ(RunCli(StrFormat(
+                "\"%s\" --catalog-in=\"%s\" --catalog-out=\"%s\" --out=\"%s\"",
+                input.c_str(), fixture.c_str(), upgraded.c_str(),
+                out.c_str())),
+            0);
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"), out,
+                  "warm run against the v1 fixture");
+
+  auto up = ReadFileToString(upgraded);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up.value().rfind("datamaran-catalog v2\n", 0), 0u)
+      << "a save migrates v1 files to the current version";
+  EXPECT_NE(up.value().find("\nprogram "), std::string::npos);
+
+  // The upgraded file is itself a working catalog.
+  const std::string out2 = ::testing::TempDir() + "dm_cli_catalog_v1_out2";
+  fs::remove_all(out2);
+  ASSERT_EQ(RunCli(StrFormat("\"%s\" --catalog-in=\"%s\" --out=\"%s\"",
+                             input.c_str(), upgraded.c_str(), out2.c_str())),
+            0);
+  ExpectDirsEqual(SourcePath("tests/golden/cli_interleaved_csv"), out2,
+                  "warm run against the upgraded catalog");
+
+  fs::remove(upgraded);
+  fs::remove(upgraded + ".lock");
+  fs::remove_all(out);
+  fs::remove_all(out2);
+}
+
+// ------------------------------------------------------- incremental crawl ---
+
+/// Drops manifest lines that legitimately differ between a cold crawl and
+/// an incremental re-crawl of unchanged data: timings, the skipped markers
+/// and counters, and the discovery count (a warm run discovers nothing).
+std::string StripVolatileManifestLines(const std::string& text) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size() - 1;
+    const std::string_view line(text.data() + pos, eol - pos + 1);
+    const bool volatile_line =
+        line.find("\"timings\"") != std::string_view::npos ||
+        line.find("\"skipped\"") != std::string_view::npos ||
+        line.find("\"skipped_count\"") != std::string_view::npos ||
+        line.find("\"extracted_count\"") != std::string_view::npos ||
+        line.find("\"discoveries\"") != std::string_view::npos;
+    if (!volatile_line) out.append(line);
+    pos = eol + 1;
+  }
+  return out;
+}
+
+TEST(CliCrawlTest, IncrementalRecrawlSkipsUnchangedAndInvalidatesTouched) {
+  const std::string lake = ::testing::TempDir() + "dm_crawl_inc_lake";
+  const std::string out = ::testing::TempDir() + "dm_crawl_inc_out";
+  const std::string out2 = ::testing::TempDir() + "dm_crawl_inc_out2";
+  const std::string out3 = ::testing::TempDir() + "dm_crawl_inc_out3";
+  const std::string catalog = ::testing::TempDir() + "dm_crawl_inc_cat.txt";
+  const std::string manifest = ::testing::TempDir() + "dm_crawl_inc_m.json";
+  for (const std::string& d : {lake, out, out2, out3}) fs::remove_all(d);
+  fs::remove(catalog);
+  fs::remove(manifest);
+
+  fs::create_directories(lake + "/sub");
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"), lake + "/a.log");
+  fs::copy_file(SourcePath("tests/data/cli_basic.log"), lake + "/sub/b.log");
+  ASSERT_TRUE(
+      WriteStringToFile(lake + "/readme.txt", "plain prose notes here\n")
+          .ok());
+
+  // Cold crawl writes the manifest and catalog the warm runs reuse.
+  ASSERT_EQ(RunCrawl(StrFormat(
+                "\"%s\" --catalog-out=\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                lake.c_str(), catalog.c_str(), out.c_str(), manifest.c_str())),
+            0);
+  auto cold = ReadFileToString(manifest);
+  ASSERT_TRUE(cold.ok());
+  // extracted_count tallies structured files only; the prose file is
+  // classified unstructured, not extracted.
+  EXPECT_NE(cold.value().find("\"extracted_count\": 2"), std::string::npos)
+      << cold.value();
+  EXPECT_NE(cold.value().find("\"skipped_count\": 0"), std::string::npos);
+
+  // Warm incremental run: nothing changed, so every file restores from the
+  // previous manifest — zero extractions — and the manifest is identical
+  // modulo the declared-volatile lines.
+  ASSERT_EQ(
+      RunCrawl(StrFormat("\"%s\" --incremental --catalog-in=\"%s\" "
+                         "--out=\"%s\" --manifest=\"%s\"",
+                         lake.c_str(), catalog.c_str(), out2.c_str(),
+                         manifest.c_str())),
+      0);
+  auto warm = ReadFileToString(manifest);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm.value().find("\"extracted_count\": 0"), std::string::npos)
+      << warm.value();
+  EXPECT_NE(warm.value().find("\"skipped_count\": 3"), std::string::npos);
+  EXPECT_EQ(StripVolatileManifestLines(cold.value()),
+            StripVolatileManifestLines(warm.value()))
+      << "an unchanged lake must re-crawl to the same manifest";
+
+  // Touch one file (content grows by one record): only it re-extracts.
+  auto basic = ReadFileToString(lake + "/sub/b.log");
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(lake + "/sub/b.log", basic.value() + "zeta,26\n")
+          .ok());
+  ASSERT_EQ(
+      RunCrawl(StrFormat("\"%s\" --incremental --catalog-in=\"%s\" "
+                         "--out=\"%s\" --manifest=\"%s\"",
+                         lake.c_str(), catalog.c_str(), out3.c_str(),
+                         manifest.c_str())),
+      0);
+  auto touched = ReadFileToString(manifest);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_NE(touched.value().find("\"extracted_count\": 1"), std::string::npos)
+      << touched.value();
+  EXPECT_NE(touched.value().find("\"skipped_count\": 2"), std::string::npos);
+  // The re-extracted file's tables were written; restored files' were not.
+  EXPECT_TRUE(fs::exists(out3 + "/sub/b.log.tables"));
+  EXPECT_FALSE(fs::exists(out3 + "/a.log.tables"));
+
+  for (const std::string& d : {lake, out, out2, out3}) fs::remove_all(d);
+  fs::remove(catalog);
+  fs::remove(catalog + ".lock");
+  fs::remove(manifest);
+}
+
+TEST(CliCrawlTest, IncrementalWithoutManifestExitsWithUsage) {
+  EXPECT_EQ(RunCrawl("/tmp --incremental"), 2);
+}
+
+// -------------------------------------------------- concurrent catalog use ---
+
+/// Two crawler processes over different lakes share one --catalog-out; the
+/// locked merge-on-save must leave both discovered formats in the file no
+/// matter how the saves interleave.
+TEST(CliCrawlTest, ConcurrentCrawlersShareCatalogWithoutLoss) {
+  const std::string lake_a = ::testing::TempDir() + "dm_crawl_conc_a";
+  const std::string lake_b = ::testing::TempDir() + "dm_crawl_conc_b";
+  const std::string out_a = ::testing::TempDir() + "dm_crawl_conc_outa";
+  const std::string out_b = ::testing::TempDir() + "dm_crawl_conc_outb";
+  const std::string catalog = ::testing::TempDir() + "dm_crawl_conc_cat.txt";
+  for (const std::string& d : {lake_a, lake_b, out_a, out_b}) {
+    fs::remove_all(d);
+  }
+  fs::remove(catalog);
+  fs::create_directories(lake_a);
+  fs::create_directories(lake_b);
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"),
+                lake_a + "/a.log");
+  fs::copy_file(SourcePath("tests/data/cli_basic.log"), lake_b + "/b.log");
+
+  const std::string cmd = StrFormat(
+      "\"%s\" \"%s\" --catalog-out=\"%s\" --out=\"%s\" >/dev/null 2>&1 & "
+      "\"%s\" \"%s\" --catalog-out=\"%s\" --out=\"%s\" >/dev/null 2>&1 & "
+      "wait",
+      DM_CRAWL_PATH, lake_a.c_str(), catalog.c_str(), out_a.c_str(),
+      DM_CRAWL_PATH, lake_b.c_str(), catalog.c_str(), out_b.c_str());
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  auto text = ReadFileToString(catalog);
+  ASSERT_TRUE(text.ok()) << "both crawlers exited without writing a catalog";
+  size_t entries = 0;
+  for (size_t at = text.value().find("\nentry "); at != std::string::npos;
+       at = text.value().find("\nentry ", at + 1)) {
+    entries++;
+  }
+  EXPECT_EQ(entries, 2u)
+      << "concurrent saves lost a format:\n" << text.value();
+
+  for (const std::string& d : {lake_a, lake_b, out_a, out_b}) {
+    fs::remove_all(d);
+  }
+  fs::remove(catalog);
+  fs::remove(catalog + ".lock");
+}
+
+// ------------------------------------------- streaming vs collecting parity ---
+
+/// The crawler streams events (never materializing records); the CLI's
+/// --summary-json path collects them. Both must report identical
+/// per-template accounting for the same input — the counts come from the
+/// extractor's own bookkeeping, not from the collected vector.
+TEST(CliCrawlTest, StreamingCrawlCountsMatchCollectingCliSummary) {
+  const std::string lake = ::testing::TempDir() + "dm_crawl_parity_lake";
+  const std::string out = ::testing::TempDir() + "dm_crawl_parity_out";
+  const std::string manifest =
+      ::testing::TempDir() + "dm_crawl_parity_m.json";
+  const std::string summary = ::testing::TempDir() + "dm_crawl_parity_s.json";
+  fs::remove_all(lake);
+  fs::remove_all(out);
+  fs::create_directories(lake);
+  fs::copy_file(SourcePath("tests/data/cli_interleaved.log"),
+                lake + "/a.log");
+
+  ASSERT_EQ(RunCrawl(StrFormat("\"%s\" --out=\"%s\" --manifest=\"%s\"",
+                               lake.c_str(), out.c_str(), manifest.c_str())),
+            0);
+  ASSERT_EQ(
+      RunCli(StrFormat("\"%s\" --summary-json=\"%s\"",
+                       SourcePath("tests/data/cli_interleaved.log").c_str(),
+                       summary.c_str())),
+      0);
+  auto m = ReadFileToString(manifest);
+  auto s = ReadFileToString(summary);
+  ASSERT_TRUE(m.ok() && s.ok());
+  // Compare within the per-file section only: the manifest's formats
+  // section reuses some of the same keys on aggregate lines.
+  const size_t files_at = m.value().find("\"files\": [");
+  ASSERT_NE(files_at, std::string::npos);
+  const std::string file_section = m.value().substr(files_at);
+
+  // Extract `"key": value` with surrounding indentation stripped; the two
+  // documents indent differently but must agree on the values.
+  const auto value_of = [](const std::string& text, const char* key) {
+    const size_t at = text.find(key);
+    EXPECT_NE(at, std::string::npos) << key;
+    if (at == std::string::npos) return std::string();
+    const size_t eol = text.find('\n', at);
+    std::string v = text.substr(at, eol - at);
+    while (!v.empty() && (v.back() == ',' || v.back() == ' ')) v.pop_back();
+    return v;
+  };
+  for (const char* key :
+       {"\"records\": ", "\"records_per_template\": ", "\"total_lines\": ",
+        "\"noise_lines\": ", "\"templates\": ", "\"match_rate\": ",
+        "\"coverage\": "}) {
+    EXPECT_EQ(value_of(file_section, key), value_of(s.value(), key)) << key;
+  }
+
+  fs::remove_all(lake);
+  fs::remove_all(out);
+  fs::remove(manifest);
+  fs::remove(summary);
 }
 
 TEST(CliGoldenTest, NormalizedNdjsonConflictExitsBeforeOutput) {

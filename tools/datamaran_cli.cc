@@ -7,7 +7,8 @@
 //             [--crlf=POLICY] [--max-line-bytes=N]
 //             [--max-inflate-bytes=N] [--no-mdl-pruning]
 //             [--catalog-in=PATH] [--catalog-out=PATH]
-//             [--catalog-min-match=P] [--summary-json=PATH]
+//             [--catalog-no-merge] [--catalog-min-match=P]
+//             [--summary-json=PATH]
 //             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
 //
 // Input goes through the resilient front-end (core/input.h): gzip'd files
@@ -39,6 +40,7 @@
 #include "core/input.h"
 #include "core/summary.h"
 #include "extraction/sinks.h"
+#include "flag_parse.h"
 #include "util/file_io.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -55,7 +57,7 @@ void Usage() {
                "                 [--crlf=POLICY] [--max-line-bytes=N]\n"
                "                 [--max-inflate-bytes=N]\n"
                "                 [--no-mdl-pruning] [--catalog-in=PATH]\n"
-               "                 [--catalog-out=PATH]\n"
+               "                 [--catalog-out=PATH] [--catalog-no-merge]\n"
                "                 [--catalog-min-match=P]\n"
                "                 [--summary-json=PATH] [--out=DIR]\n"
                "                 [--format=FMT] [--normalized] [--verbose]\n"
@@ -104,7 +106,12 @@ void Usage() {
                "  --catalog-out=PATH  write the catalog (loaded entries\n"
                "                plus any format discovered cold by this\n"
                "                run) to PATH, so discovery cost amortizes\n"
-               "                across files sharing a format\n"
+               "                across files sharing a format. The save\n"
+               "                merges with the catalog already at PATH\n"
+               "                under an advisory lock, so concurrent runs\n"
+               "                sharing one catalog never lose entries\n"
+               "  --catalog-no-merge  overwrite --catalog-out instead of\n"
+               "                merging with the file on disk\n"
                "  --catalog-min-match=P  percent of sampled lines a\n"
                "                catalog entry must cover to count as a hit\n"
                "                (default 80)\n"
@@ -160,10 +167,10 @@ int main(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--max-line-bytes=")) {
       options.max_line_bytes =
-          static_cast<size_t>(std::atoll(arg.substr(17).data()));
+          datamaran_tools::FlagSize("--max-line-bytes", arg.substr(17));
     } else if (StartsWith(arg, "--max-inflate-bytes=")) {
       options.max_inflate_bytes =
-          static_cast<size_t>(std::atoll(arg.substr(20).data()));
+          datamaran_tools::FlagSize("--max-inflate-bytes", arg.substr(20));
     } else if (arg == "--greedy") {
       options.search = CharsetSearch::kGreedy;
     } else if (arg == "--verbose") {
@@ -171,13 +178,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--normalized") {
       normalized = true;
     } else if (StartsWith(arg, "--alpha=")) {
-      options.coverage_threshold = std::atof(arg.substr(8).data()) / 100.0;
+      options.coverage_threshold =
+          datamaran_tools::FlagDouble("--alpha", arg.substr(8)) / 100.0;
     } else if (StartsWith(arg, "--span=")) {
-      options.max_record_span = std::atoi(arg.substr(7).data());
+      options.max_record_span =
+          datamaran_tools::FlagInt("--span", arg.substr(7));
     } else if (StartsWith(arg, "--retain=")) {
-      options.num_retained = std::atoi(arg.substr(9).data());
+      options.num_retained =
+          datamaran_tools::FlagInt("--retain", arg.substr(9));
     } else if (StartsWith(arg, "--threads=")) {
-      options.num_threads = std::atoi(arg.substr(10).data());
+      options.num_threads =
+          datamaran_tools::FlagInt("--threads", arg.substr(10));
     } else if (StartsWith(arg, "--mmap=")) {
       std::string_view mode = arg.substr(7);
       if (mode == "auto") {
@@ -218,8 +229,12 @@ int main(int argc, char** argv) {
       options.catalog_in = std::string(arg.substr(13));
     } else if (StartsWith(arg, "--catalog-out=")) {
       options.catalog_out = std::string(arg.substr(14));
+    } else if (arg == "--catalog-no-merge") {
+      options.catalog_merge = false;
     } else if (StartsWith(arg, "--catalog-min-match=")) {
-      options.catalog_min_match = std::atof(arg.substr(20).data()) / 100.0;
+      options.catalog_min_match =
+          datamaran_tools::FlagDouble("--catalog-min-match", arg.substr(20)) /
+          100.0;
     } else if (StartsWith(arg, "--summary-json=")) {
       summary_json = std::string(arg.substr(15));
     } else if (StartsWith(arg, "--format=")) {

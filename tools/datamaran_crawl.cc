@@ -3,6 +3,7 @@
 // structured file to streamed relational tables.
 //
 //   datamaran_crawl <dir> [--catalog-in=PATH] [--catalog-out=PATH]
+//                   [--catalog-no-merge] [--incremental]
 //                   [--out=DIR] [--manifest=PATH] [--threads=N]
 //                   [--mmap=MODE] [--match-engine=ENGINE]
 //                   [--charset-engine=ENGINE] [--catalog-min-match=P]
@@ -47,7 +48,20 @@
 // per-file summaries (the same FileSummary object --summary-json emits),
 // plus drifted-file flags — files whose sample matched a catalog entry but
 // whose whole-file match rate fell below the threshold. With
-// --catalog-out, the grown catalog is saved for the next crawl.
+// --catalog-out, the grown catalog is saved for the next crawl; the save
+// merges with whatever is on disk under an advisory lock, so concurrent
+// crawls sharing one catalog never lose entries (--catalog-no-merge
+// overwrites instead).
+//
+// --incremental turns repeat crawls of a mostly-unchanged lake into no-ops:
+// the previous manifest at --manifest is read back, and every logical file
+// whose on-disk identity (total member size, newest member mtime) is
+// unchanged has its summary restored verbatim from that manifest —
+// fingerprinting, discovery, and extraction are all skipped, and existing
+// --out tables are left as the previous run wrote them. A changed, new, or
+// previously-failed file re-runs the full three phases. Pass the previous
+// run's --catalog-out as --catalog-in so restored catalog-entry indices
+// keep naming the same formats.
 
 #include <algorithm>
 #include <cstdio>
@@ -61,8 +75,10 @@
 #include "core/input.h"
 #include "core/summary.h"
 #include "extraction/sinks.h"
+#include "flag_parse.h"
 #include "template/catalog.h"
 #include "util/file_io.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -75,6 +91,7 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: datamaran_crawl <dir> [--catalog-in=PATH] [--catalog-out=PATH]\n"
+      "                       [--catalog-no-merge] [--incremental]\n"
       "                       [--out=DIR] [--manifest=PATH] [--threads=N]\n"
       "                       [--mmap=MODE] [--match-engine=ENGINE]\n"
       "                       [--charset-engine=ENGINE]\n"
@@ -84,7 +101,14 @@ void Usage() {
       "                       [--retain=M] [--format=FMT] [--verbose]\n"
       "  --catalog-in=PATH   start from this template catalog (default:\n"
       "                      empty; every format is discovered cold once)\n"
-      "  --catalog-out=PATH  save the grown catalog after the crawl\n"
+      "  --catalog-out=PATH  save the grown catalog after the crawl,\n"
+      "                      merging with the file on disk under an\n"
+      "                      advisory lock (safe for concurrent crawls)\n"
+      "  --catalog-no-merge  overwrite --catalog-out with this crawl's\n"
+      "                      catalog instead of merging\n"
+      "  --incremental       restore summaries of files unchanged since the\n"
+      "                      previous manifest (by size + mtime) instead of\n"
+      "                      re-extracting them; requires --manifest\n"
       "  --out=DIR           stream each structured file's tables into\n"
       "                      DIR/<relative-path>.tables/ (same layout and\n"
       "                      bytes as datamaran --out on that file with the\n"
@@ -108,25 +132,15 @@ void Usage() {
       "  remaining flags as in datamaran (see datamaran --help)\n");
 }
 
-/// EventSink that only counts; used when the crawl runs without --out.
-class CountingSink : public EventSink {
+/// EventSink that discards records; used when the crawl runs without --out.
+/// All counting (including the per-template split) comes from the
+/// extractor's own ExtractionResult accounting.
+class NullSink : public EventSink {
  public:
-  explicit CountingSink(size_t num_templates)
-      : records_per_template_(num_templates, 0) {}
-
-  void OnRecord(int template_id, size_t /*first_line*/,
+  void OnRecord(int /*template_id*/, size_t /*first_line*/,
                 std::string_view /*text*/, size_t /*pos*/, size_t /*end*/,
-                const MatchEvent* /*events*/, size_t /*num_events*/) override {
-    const size_t t = static_cast<size_t>(template_id);
-    if (t < records_per_template_.size()) records_per_template_[t]++;
-  }
-
-  const std::vector<size_t>& records_per_template() const {
-    return records_per_template_;
-  }
-
- private:
-  std::vector<size_t> records_per_template_;
+                const MatchEvent* /*events*/,
+                size_t /*num_events*/) override {}
 };
 
 /// Per-file crawl state, indexed like `files` (sorted relative paths).
@@ -139,7 +153,10 @@ struct CrawlFile {
   int entry = -1;         ///< catalog entry used for extraction; -1 = none
   bool fingerprint_hit = false;  ///< phase-1/2 catalog hit (vs. cold/none)
   double fingerprint_rate = 0;
-  FileSummary summary;
+  /// Every member stat'd cleanly, so summary.source_size/source_mtime_ns
+  /// hold this group's change-detection identity (incremental re-crawl).
+  bool stat_ok = false;
+  FileSummary summary;  ///< summary.skipped = restored, phases 1-3 skipped
   Status error;  ///< open/extract failure (crawl continues, exit code 1)
 };
 
@@ -154,12 +171,17 @@ int main(int argc, char** argv) {
   std::string catalog_in;
   std::string catalog_out;
   bool stitch_rotated = true;
+  bool incremental = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--no-stitch-rotated") {
       stitch_rotated = false;
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--catalog-no-merge") {
+      options.catalog_merge = false;
     } else if (StartsWith(arg, "--crlf=")) {
       std::string_view policy = arg.substr(7);
       if (policy == "auto") {
@@ -174,10 +196,10 @@ int main(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--max-line-bytes=")) {
       options.max_line_bytes =
-          static_cast<size_t>(std::atoll(arg.substr(17).data()));
+          datamaran_tools::FlagSize("--max-line-bytes", arg.substr(17));
     } else if (StartsWith(arg, "--max-inflate-bytes=")) {
       options.max_inflate_bytes =
-          static_cast<size_t>(std::atoll(arg.substr(20).data()));
+          datamaran_tools::FlagSize("--max-inflate-bytes", arg.substr(20));
     } else if (StartsWith(arg, "--catalog-in=")) {
       catalog_in = std::string(arg.substr(13));
     } else if (StartsWith(arg, "--catalog-out=")) {
@@ -187,15 +209,21 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--manifest=")) {
       manifest_path = std::string(arg.substr(11));
     } else if (StartsWith(arg, "--catalog-min-match=")) {
-      options.catalog_min_match = std::atof(arg.substr(20).data()) / 100.0;
+      options.catalog_min_match =
+          datamaran_tools::FlagDouble("--catalog-min-match", arg.substr(20)) /
+          100.0;
     } else if (StartsWith(arg, "--alpha=")) {
-      options.coverage_threshold = std::atof(arg.substr(8).data()) / 100.0;
+      options.coverage_threshold =
+          datamaran_tools::FlagDouble("--alpha", arg.substr(8)) / 100.0;
     } else if (StartsWith(arg, "--span=")) {
-      options.max_record_span = std::atoi(arg.substr(7).data());
+      options.max_record_span =
+          datamaran_tools::FlagInt("--span", arg.substr(7));
     } else if (StartsWith(arg, "--retain=")) {
-      options.num_retained = std::atoi(arg.substr(9).data());
+      options.num_retained =
+          datamaran_tools::FlagInt("--retain", arg.substr(9));
     } else if (StartsWith(arg, "--threads=")) {
-      options.num_threads = std::atoi(arg.substr(10).data());
+      options.num_threads =
+          datamaran_tools::FlagInt("--threads", arg.substr(10));
     } else if (StartsWith(arg, "--mmap=")) {
       std::string_view mode = arg.substr(7);
       if (mode == "auto") {
@@ -249,6 +277,12 @@ int main(int argc, char** argv) {
   }
   if (root.empty()) {
     Usage();
+    return 2;
+  }
+  if (incremental && manifest_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --incremental requires --manifest=PATH (the "
+                 "previous run's manifest is the skip list)\n");
     return 2;
   }
 
@@ -320,6 +354,92 @@ int main(int argc, char** argv) {
     for (CrawlFile& f : files) f.members = {f.rel_path};
   }
 
+  // Change-detection identity per logical file: total on-disk member size
+  // plus the newest member's mtime. Recorded in every manifest (cold runs
+  // included) so the *next* --incremental crawl has a baseline to compare.
+  for (CrawlFile& f : files) {
+    size_t total_size = 0;
+    int64_t newest_mtime = 0;
+    bool ok = true;
+    for (const std::string& m : f.members) {
+      const std::string path = root + "/" + m;
+      auto size = FileSizeBytes(path);
+      auto mtime = FileMtimeNs(path);
+      if (!size.ok() || !mtime.ok()) {
+        ok = false;
+        break;
+      }
+      total_size += size.value();
+      newest_mtime = std::max(newest_mtime, mtime.value());
+    }
+    if (ok) {
+      f.stat_ok = true;
+      f.summary.source_size = total_size;
+      f.summary.source_mtime_ns = newest_mtime;
+    }
+  }
+
+  // --incremental: restore unchanged files' summaries from the previous
+  // manifest and skip all three phases for them. A missing or unreadable
+  // previous manifest degrades to a full crawl (the first incremental run
+  // is always cold); a changed, new, or previously-failed file re-runs.
+  size_t restored_count = 0;
+  if (incremental) {
+    auto prev_text = ReadFileToString(manifest_path);
+    if (prev_text.ok()) {
+      auto prev = ParseJson(prev_text.value());
+      if (!prev.ok()) {
+        std::fprintf(stderr,
+                     "warning: --incremental: previous manifest %s does not "
+                     "parse (%s); running a full crawl\n",
+                     manifest_path.c_str(),
+                     prev.status().ToString().c_str());
+      } else {
+        const JsonValue* prev_files = prev.value().Find("files");
+        std::map<std::string_view, const JsonValue*> by_path;
+        if (prev_files != nullptr && prev_files->is_array()) {
+          for (const JsonValue& pf : prev_files->items) {
+            const JsonValue* path = pf.Find("path");
+            const std::string* p =
+                path != nullptr ? path->AsString() : nullptr;
+            if (p != nullptr) by_path.emplace(*p, &pf);
+          }
+        }
+        for (CrawlFile& f : files) {
+          if (!f.stat_ok) continue;
+          const auto it = by_path.find(f.rel_path);
+          if (it == by_path.end()) continue;
+          auto restored = FileSummaryFromJson(*it->second);
+          if (!restored.ok()) continue;
+          FileSummary& prev_summary = restored.value();
+          // Skip only when the previous run succeeded on this file AND the
+          // bytes behind it are provably the same AND its catalog entry
+          // still exists in the loaded catalog (so the manifest's format
+          // section keeps naming the same formats).
+          if (!prev_summary.error.empty()) continue;
+          if (prev_summary.source_size != f.summary.source_size ||
+              prev_summary.source_mtime_ns != f.summary.source_mtime_ns) {
+            continue;
+          }
+          if (prev_summary.catalog_entry >= static_cast<int>(catalog.size())) {
+            continue;
+          }
+          f.summary = std::move(prev_summary);
+          f.summary.skipped = true;
+          f.summary.timings = StepTimings{};  // no work done this run
+          f.entry = f.summary.catalog_entry;
+          f.fingerprint_hit = f.summary.catalog_hit;
+          f.fingerprint_rate = f.summary.catalog_match_rate;
+          restored_count++;
+        }
+      }
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "incremental: %zu of %zu file(s) unchanged\n",
+                   restored_count, files.size());
+    }
+  }
+
   CatalogMatchOptions match_opts;
   match_opts.min_match = options.catalog_min_match;
   match_opts.min_mdl_gain = options.min_mdl_gain;
@@ -344,6 +464,7 @@ int main(int argc, char** argv) {
   Timer fingerprint_timer;
   pool.ParallelFor(files.size(), [&](size_t k) {
     CrawlFile& f = files[k];
+    if (f.summary.skipped) return;  // restored from the previous manifest
     Timer t;
     auto data = open_file(f);
     if (!data.ok()) {
@@ -374,7 +495,7 @@ int main(int argc, char** argv) {
     discover_opts.catalog_out.clear();
     Datamaran dm(discover_opts);
     for (CrawlFile& f : files) {
-      if (f.entry >= 0 || !f.error.ok()) continue;
+      if (f.summary.skipped || f.entry >= 0 || !f.error.ok()) continue;
       auto data = open_file(f);
       if (!data.ok()) {
         f.error = data.status();
@@ -427,6 +548,7 @@ int main(int argc, char** argv) {
   pool.ParallelFor(files.size(), [&](size_t k) {
     CrawlFile& f = files[k];
     FileSummary& s = f.summary;
+    if (s.skipped) return;  // summary restored verbatim; tables kept as-is
     s.path = f.rel_path;
     s.match_engine =
         options.match_engine == MatchEngine::kCompiled ? "compiled" : "tree";
@@ -457,9 +579,12 @@ int main(int argc, char** argv) {
     }
     Timer t;
     data->Advise(AccessHint::kSequential);
+    // Warm path: entries loaded from a v2 catalog carry precompiled
+    // programs, so the matchers deserialize instead of recompiling.
     Extractor extractor(&entry.templates, /*pool=*/nullptr,
                         options.match_engine, options.charset_engine,
-                        options.max_line_bytes);
+                        options.max_line_bytes,
+                        entry.programs.empty() ? nullptr : &entry.programs);
     DatasetView view(data.value());
     ExtractionResult stats;
     if (!out_dir.empty()) {
@@ -475,12 +600,11 @@ int main(int argc, char** argv) {
         f.error = finished;
         return;
       }
-      s.records_per_template = sink.stats().records_per_template;
     } else {
-      CountingSink sink(entry.templates.size());
+      NullSink sink;
       stats = extractor.ExtractEvents(view, &sink);
-      s.records_per_template = sink.records_per_template();
     }
+    s.records_per_template = std::move(stats.records_per_template);
     s.timings.extraction_s = t.Seconds();
     s.total_lines = stats.total_lines;
     s.records = stats.matched_records;
@@ -498,7 +622,8 @@ int main(int argc, char** argv) {
   const double extract_s = extract_timer.Seconds();
 
   if (!catalog_out.empty()) {
-    Status saved = catalog.Save(catalog_out);
+    Status saved =
+        catalog.Save(catalog_out, CatalogSaveOptions{options.catalog_merge});
     if (!saved.ok()) {
       std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
       return 1;
@@ -514,6 +639,7 @@ int main(int argc, char** argv) {
   };
   std::vector<FormatAgg> agg(catalog.size());
   size_t unstructured = 0, drifted = 0, errors = 0, total_records = 0;
+  size_t extracted = 0;
   for (CrawlFile& f : files) {
     if (!f.error.ok()) {
       f.summary.error = f.error.ToString();
@@ -526,6 +652,7 @@ int main(int argc, char** argv) {
       unstructured++;
       continue;
     }
+    if (!f.summary.skipped) extracted++;
     FormatAgg& a = agg[static_cast<size_t>(f.entry)];
     a.file_count++;
     a.records += f.summary.records;
@@ -542,6 +669,11 @@ int main(int argc, char** argv) {
   manifest += StrFormat("  \"unstructured_count\": %zu,\n", unstructured);
   manifest += StrFormat("  \"drifted_count\": %zu,\n", drifted);
   manifest += StrFormat("  \"error_count\": %zu,\n", errors);
+  // Incremental accounting: structured files actually extracted this run
+  // vs. files whose summaries were restored from the previous manifest. A
+  // warm --incremental re-crawl of an unchanged lake has extracted_count 0.
+  manifest += StrFormat("  \"extracted_count\": %zu,\n", extracted);
+  manifest += StrFormat("  \"skipped_count\": %zu,\n", restored_count);
   // Failure containment ledger: every file the crawl had to skip, with the
   // Status that explains why. Always present (empty array on a clean run)
   // so manifest consumers can key on it unconditionally.
@@ -603,12 +735,12 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "crawled %zu file(s): %zu format(s), %zu discover(ies), "
-               "%zu unstructured, %zu drifted, %zu error(s); "
+               "%zu unstructured, %zu drifted, %zu skipped, %zu error(s); "
                "%zu record(s) in %.2fs "
                "(fingerprint %.2fs, discovery %.2fs, extraction %.2fs)\n",
                files.size(), catalog.size(), discoveries, unstructured,
-               drifted, errors, total_records, total_timer.Seconds(),
-               fingerprint_s, discovery_s, extract_s);
+               drifted, restored_count, errors, total_records,
+               total_timer.Seconds(), fingerprint_s, discovery_s, extract_s);
   for (const CrawlFile& f : files) {
     if (!f.error.ok()) {
       std::fprintf(stderr, "error: %s: %s\n", f.rel_path.c_str(),

@@ -1,0 +1,59 @@
+#ifndef DATAMARAN_TOOLS_FLAG_PARSE_H_
+#define DATAMARAN_TOOLS_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "util/strings.h"
+
+/// Strict numeric parsing for command-line flags, shared by the datamaran
+/// CLI and the lake crawler. std::atoi/std::atof silently evaluate garbage
+/// to 0 — "--threads=all" would quietly mean "use every core" and
+/// "--alpha=ten" would zero the coverage threshold. These helpers accept
+/// exactly the numeric grammar or exit 2 (the usage-error exit code)
+/// naming the offending flag and value.
+
+namespace datamaran_tools {
+
+[[noreturn]] inline void BadFlagValue(std::string_view flag,
+                                      std::string_view value,
+                                      const char* expected) {
+  std::fprintf(stderr,
+               "error: invalid value for %.*s: \"%.*s\" (expected %s)\n",
+               static_cast<int>(flag.size()), flag.data(),
+               static_cast<int>(value.size()), value.data(), expected);
+  std::exit(2);
+}
+
+/// Whole-string signed integer in int range.
+inline int FlagInt(std::string_view flag, std::string_view value) {
+  const auto v = datamaran::ParseInt64(value);
+  if (!v.has_value() || *v < std::numeric_limits<int>::min() ||
+      *v > std::numeric_limits<int>::max()) {
+    BadFlagValue(flag, value, "an integer");
+  }
+  return static_cast<int>(*v);
+}
+
+/// Whole-string non-negative integer (byte counts, caps).
+inline size_t FlagSize(std::string_view flag, std::string_view value) {
+  const auto v = datamaran::ParseInt64(value);
+  if (!v.has_value() || *v < 0) {
+    BadFlagValue(flag, value, "a non-negative integer");
+  }
+  return static_cast<size_t>(*v);
+}
+
+/// Whole-string decimal number ("80", "0.5", "-1.25"; no exponents).
+inline double FlagDouble(std::string_view flag, std::string_view value) {
+  const auto v = datamaran::ParseDecimal(value, nullptr);
+  if (!v.has_value()) BadFlagValue(flag, value, "a decimal number");
+  return *v;
+}
+
+}  // namespace datamaran_tools
+
+#endif  // DATAMARAN_TOOLS_FLAG_PARSE_H_
