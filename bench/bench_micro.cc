@@ -58,6 +58,7 @@
 
 #include "bench_common.h"
 #include "core/datamaran.h"
+#include "core/stream.h"
 #include "extraction/extractor.h"
 #include "extraction/sinks.h"
 #include "template/catalog.h"
@@ -1242,6 +1243,161 @@ bool RunProgramLoadBench(FILE* f, bool quick) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming section ("streaming"): the --follow memory and recovery
+// contract as a gate. A deterministic drifting stream (format A, an
+// alternating transition band, then format B) is fed to a StreamingSession
+// in 64 KiB chunks at two lengths, 1x and 4x. Two gates: (1) peak RSS is
+// independent of stream length — peak(4x) must stay within 1.5x of
+// peak(1x) + 8 MB slack, catching any path that starts buffering history;
+// (2) drift recovery — after the evolution the B-phase tail must match at
+// >= 90%, catching a monitor or splice regression that leaves the evolved
+// format as noise. Peaks are isolated with ResetPeakRss like the sink
+// cases; when the watermark reset is unavailable the RSS gate is skipped
+// (reported as rss_gated=false), the recovery gate always runs.
+// ---------------------------------------------------------------------------
+
+/// Counting sink for streaming runs: records, noise, and noise in the
+/// tail region [tail_from, end) of the stream.
+class StreamCountSink : public EventSink {
+ public:
+  void OnRecord(int /*template_id*/, size_t /*first_line*/,
+                std::string_view /*text*/, size_t /*pos*/, size_t /*end*/,
+                const MatchEvent* /*events*/,
+                size_t /*num_events*/) override {
+    ++records;
+  }
+  void OnNoiseText(size_t line_index,
+                   std::string_view /*line_with_newline*/) override {
+    ++noise;
+    if (line_index >= tail_from) ++tail_noise;
+  }
+  size_t records = 0, noise = 0, tail_noise = 0;
+  size_t tail_from = 0;
+};
+
+/// Deterministic drifting stream: ~45% format A ("n,n,n"), 10%
+/// alternating A/B, then format B ("n|n|n|n"); counter-driven, no RNG.
+/// Returns the bytes and the total line count via `lines`.
+std::string DriftingStream(size_t total_bytes, size_t* lines) {
+  std::string bytes;
+  bytes.reserve(total_bytes + 64);
+  size_t i = 0;
+  *lines = 0;
+  char buf[64];
+  while (bytes.size() < total_bytes) {
+    const size_t b = bytes.size();
+    const bool fmt_a = b < total_bytes * 9 / 20
+                           ? true
+                           : (b < total_bytes * 11 / 20 ? i % 2 == 0 : false);
+    int n;
+    if (fmt_a) {
+      n = std::snprintf(buf, sizeof(buf), "%zu,%zu,%zu\n", i, i * 7 % 1000,
+                        i % 97);
+    } else {
+      n = std::snprintf(buf, sizeof(buf), "%zu|%zu|%zu|%zu\n", i, i % 89,
+                        i * 3 % 1000, i % 7);
+    }
+    bytes.append(buf, static_cast<size_t>(n));
+    ++i;
+    ++*lines;
+  }
+  return bytes;
+}
+
+struct StreamingCase {
+  size_t bytes = 0;
+  size_t lines = 0;
+  size_t records = 0;
+  size_t noise = 0;
+  size_t evolutions = 0;
+  size_t peak_rss = 0;     // bytes, isolated when rss_gated
+  double seconds = 0;
+  double tail_match_rate = 0;
+  bool finished = false;
+};
+
+StreamingCase RunStreamingCase(size_t total_bytes) {
+  StreamingCase out;
+  size_t lines = 0;
+  const std::string bytes = DriftingStream(total_bytes, &lines);
+  out.bytes = bytes.size();
+  out.lines = lines;
+
+  DatamaranOptions options;
+  options.num_threads = 1;
+  StreamOptions stream_options;
+  StreamCountSink sink;
+  // Tail = the stable B region, past the transition band and the drift
+  // trigger: the last third of the stream.
+  sink.tail_from = lines - lines / 3;
+
+  Timer timer;
+  StreamingSession session(options, stream_options, &sink);
+  const std::string_view view(bytes);
+  for (size_t off = 0; off < view.size(); off += 64 * 1024) {
+    session.FeedBytes(view.substr(off, 64 * 1024));
+  }
+  out.finished = session.Finish().ok();
+  out.seconds = timer.Seconds();
+  out.records = sink.records;
+  out.noise = sink.noise;
+  out.evolutions = session.stats().evolutions;
+  const size_t tail_lines = lines / 3;
+  out.tail_match_rate =
+      tail_lines > 0
+          ? 1.0 - static_cast<double>(sink.tail_noise) / tail_lines
+          : 0.0;
+  return out;
+}
+
+bool RunStreamingBench(FILE* f, bool quick) {
+  const size_t short_bytes = quick ? 1 * 1024 * 1024 : 4 * 1024 * 1024;
+  const bool reset_short = ResetPeakRss();
+  StreamingCase small = RunStreamingCase(short_bytes);
+  small.peak_rss = ReadPeakRssBytes();
+  const bool reset_long = ResetPeakRss();
+  StreamingCase large = RunStreamingCase(short_bytes * 4);
+  large.peak_rss = ReadPeakRssBytes();
+  const bool rss_gated = reset_short && reset_long;
+
+  const size_t budget =
+      static_cast<size_t>(small.peak_rss * 1.5) + (8u << 20);
+  const bool rss_ok = !rss_gated || large.peak_rss <= budget;
+  const bool recovery_ok = large.finished && small.finished &&
+                           large.evolutions >= 1 &&
+                           large.tail_match_rate >= 0.9 &&
+                           small.tail_match_rate >= 0.9;
+  std::printf(
+      "streaming: %zu MB %.3fs (%.2f MB/s) peak %zu KB; 4x stream peak "
+      "%zu KB (budget %zu KB)%s; evolutions=%zu tail match %.1f%%: %s\n",
+      small.bytes >> 20, small.seconds, MbPerSec(small.bytes, small.seconds),
+      small.peak_rss >> 10, large.peak_rss >> 10, budget >> 10,
+      rss_gated ? "" : " [peaks not isolated; RSS gate skipped]",
+      large.evolutions, large.tail_match_rate * 100,
+      rss_ok && recovery_ok ? "ok" : "NO — STREAMING GATE FAILED");
+
+  std::fprintf(f,
+               ",\n"
+               "  \"streaming\": {\n"
+               "    \"short_bytes\": %zu,\n"
+               "    \"long_bytes\": %zu,\n"
+               "    \"short_s\": %.6f,\n"
+               "    \"long_s\": %.6f,\n"
+               "    \"mb_per_s\": %.3f,\n"
+               "    \"short_peak_rss_bytes\": %zu,\n"
+               "    \"long_peak_rss_bytes\": %zu,\n"
+               "    \"rss_gated\": %s,\n"
+               "    \"evolutions\": %zu,\n"
+               "    \"tail_match_rate\": %.4f\n"
+               "  }",
+               small.bytes, large.bytes, small.seconds, large.seconds,
+               MbPerSec(large.bytes, large.seconds), small.peak_rss,
+               large.peak_rss, rss_gated ? "true" : "false", large.evolutions,
+               large.tail_match_rate);
+  return rss_ok && recovery_ok;
+}
+
+// ---------------------------------------------------------------------------
 // Rotated-stitch memory case: OpenInputs pre-sizes the combined buffer from
 // the on-disk member sizes and adopts the first member's buffer wholesale,
 // so stitching N members peaks near combined + one member — not 2x combined
@@ -1411,6 +1567,7 @@ int RunPipelineBench() {
   const bool eval_ok = RunEvaluationBench(f, texts, quick);
   const bool catalog_ok = RunCatalogBench(f, quick);
   const bool program_load_ok = RunProgramLoadBench(f, quick);
+  const bool streaming_ok = RunStreamingBench(f, quick);
   // --- Large-file extraction through both backings (the mmap path). ---
   const size_t big_bytes = quick ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
   Rng rng(5);
@@ -1529,8 +1686,8 @@ int RunPipelineBench() {
   std::fclose(f);
   std::printf("wrote %s\n\n", out_path);
   return identical && mmap_identical && match_ok && charset_ok && eval_ok &&
-                 catalog_ok && program_load_ok && sink_case.ok &&
-                 norm_case.ok && stitch_case.ok
+                 catalog_ok && program_load_ok && streaming_ok &&
+                 sink_case.ok && norm_case.ok && stitch_case.ok
              ? 0
              : 1;
 }

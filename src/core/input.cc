@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
@@ -11,7 +13,10 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DM_HAVE_GLOB 1
+#include <fcntl.h>
 #include <glob.h>
+#include <sys/stat.h>
+#include <unistd.h>
 #endif
 
 namespace datamaran {
@@ -276,5 +281,219 @@ Result<Dataset> OpenInputs(const std::vector<std::string>& paths,
   }
   return Dataset(std::move(combined));
 }
+
+// ------------------------------------------------------------ StreamFramer
+
+StreamFramer::StreamFramer(CrlfPolicy crlf, size_t max_line_bytes)
+    : crlf_(crlf),
+      max_line_bytes_(max_line_bytes),
+      crlf_decided_(crlf != CrlfPolicy::kAuto),
+      crlf_strip_(crlf == CrlfPolicy::kStrip) {}
+
+void StreamFramer::EmitLine(std::string_view content_with_newline,
+                            bool carry_oversized, const LineFn& on_line) {
+  // kAuto resolves the first time a line terminates: a CRLF terminator
+  // whose '\n' sits inside the probe window means "strip everywhere"
+  // (exactly DetectCrlf's condition — every "\r\n" in the text is a line
+  // terminator, so the head probe can only ever see one at a boundary).
+  // The first terminator at or past the window locks in "keep", mirroring
+  // the batch probe's deterministic give-up: later terminators sit even
+  // further out, so no future "\r\n" can be fully inside the window.
+  // Lines emitted before the decision need no rewrite either way: they
+  // did not end in CRLF. bytes_in_ is advanced by the caller through this
+  // line's '\n', so the '\n' absolute offset is bytes_in_ - 1, and
+  // "inside the probe window" (both bytes of "\r\n" within the first
+  // kCrlfProbeBytes) is bytes_in_ <= kCrlfProbeBytes.
+  const bool ends_crlf = content_with_newline.size() >= 2 &&
+                         content_with_newline[content_with_newline.size() -
+                                              2] == '\r';
+  if (!crlf_decided_) {
+    if (ends_crlf && bytes_in_ <= kCrlfProbeBytes) {
+      crlf_strip_ = true;
+      crlf_decided_ = true;
+    } else if (bytes_in_ > kCrlfProbeBytes) {
+      crlf_strip_ = false;
+      crlf_decided_ = true;
+    }
+  }
+  std::string_view out = content_with_newline;
+  if (crlf_strip_ && ends_crlf) {
+    // Strip the '\r' of the CRLF terminator (lone '\r' bytes elsewhere in
+    // the line are data, exactly like StripCrlfInPlace).
+    scratch_.assign(out.data(), out.size() - 2);
+    scratch_.push_back('\n');
+    out = scratch_;
+    ++crlf_stripped_;
+  }
+  ++lines_out_;
+  if (carry_oversized) ++oversized_lines_;
+  on_line(out, carry_oversized);
+}
+
+void StreamFramer::Feed(std::string_view bytes, const LineFn& on_line) {
+  while (!bytes.empty()) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(bytes.data(), '\n', bytes.size()));
+    if (nl == nullptr) {
+      // No terminator in this chunk: everything joins the carry, subject
+      // to the oversized cap (overflow is dropped, never buffered).
+      bytes_in_ += bytes.size();
+      size_t take = bytes.size();
+      if (max_line_bytes_ != 0 && carry_.size() + take > max_line_bytes_) {
+        take = max_line_bytes_ > carry_.size()
+                   ? max_line_bytes_ - carry_.size()
+                   : 0;
+        carry_oversized_ = true;
+      }
+      carry_.append(bytes.data(), take);
+      return;
+    }
+    const size_t head = static_cast<size_t>(nl - bytes.data()) + 1;
+    bytes_in_ += head;
+    if (carry_.empty() && !carry_oversized_) {
+      if (max_line_bytes_ != 0 && head > max_line_bytes_) {
+        // The cap applies here too — framing must be a pure function of
+        // the byte stream, so a line delivered whole truncates exactly
+        // like one accumulated through the carry.
+        carry_.assign(bytes.data(), max_line_bytes_);
+        carry_.push_back('\n');
+        EmitLine(carry_, true, on_line);
+        carry_.clear();
+      } else {
+        // Whole line inside this chunk: emit a direct view, no copy.
+        EmitLine(bytes.substr(0, head), false, on_line);
+      }
+    } else {
+      if (max_line_bytes_ != 0 && carry_.size() + head > max_line_bytes_) {
+        // Keep the terminator but drop the overflowing tail bytes: the
+        // truncated content is exactly max_line_bytes_ long, so callers
+        // configuring the cap one past their downstream oversized guard
+        // get a guaranteed over-cap (hence noise) line.
+        const size_t take = max_line_bytes_ > carry_.size()
+                                ? max_line_bytes_ - carry_.size()
+                                : 0;
+        carry_oversized_ = true;
+        carry_.append(bytes.data(), take);
+      } else {
+        carry_.append(bytes.data(), head - 1);
+      }
+      carry_.push_back('\n');
+      EmitLine(carry_, carry_oversized_, on_line);
+      carry_.clear();
+      carry_oversized_ = false;
+    }
+    bytes.remove_prefix(head);
+  }
+}
+
+void StreamFramer::Finish(const LineFn& on_line) {
+  if (carry_.empty() && !carry_oversized_) return;
+  // Mirror Dataset's missing-final-newline append. Batch appends the
+  // missing '\n' AFTER CRLF normalization, so a trailing lone '\r' keeps
+  // its '\r' there — bypass EmitLine's CRLF handling (the synthetic
+  // terminator never forms a strippable CRLF and never drives the kAuto
+  // decision, which batch derives from the raw head alone).
+  carry_.push_back('\n');
+  ++lines_out_;
+  if (carry_oversized_) ++oversized_lines_;
+  on_line(carry_, carry_oversized_);
+  carry_.clear();
+  carry_oversized_ = false;
+}
+
+// ------------------------------------------------------------ FollowReader
+
+FollowReader::FollowReader(std::string path)
+    : path_(std::move(path)), stdin_(path_ == "-") {}
+
+FollowReader::~FollowReader() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0 && !stdin_) ::close(fd_);
+#endif
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Status FollowReader::Reopen() {
+  if (fd_ >= 0 && !stdin_) ::close(fd_);
+  fd_ = -1;
+  offset_ = 0;
+  if (stdin_) {
+    fd_ = 0;
+    return Status::Ok();
+  }
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Result<FollowReader::ReadResult> FollowReader::Read(std::string* out,
+                                                    size_t max_bytes) {
+  ReadResult result;
+  if (fd_ < 0) {
+    Status opened = Reopen();
+    if (!opened.ok()) return opened;
+  }
+  char buf[64 * 1024];
+  while (result.bytes < max_bytes) {
+    const size_t want =
+        std::min(sizeof(buf), max_bytes - result.bytes);
+    const ssize_t n = ::read(fd_, buf, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("read " + path_ + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;  // drained for now
+    out->append(buf, static_cast<size_t>(n));
+    offset_ += static_cast<uint64_t>(n);
+    result.bytes += static_cast<size_t>(n);
+  }
+  if (result.bytes == static_cast<size_t>(max_bytes) && max_bytes > 0) {
+    return result;  // budget filled; caller decides whether to continue
+  }
+  result.eof = true;
+  if (stdin_) return result;
+  // At EOF on a live file, check for the two rotation hazards. A stat
+  // failure here (the path momentarily gone mid-rotation) is not an
+  // error — the next poll finds the new file.
+  struct stat by_path;
+  struct stat by_fd;
+  if (::stat(path_.c_str(), &by_path) != 0 || ::fstat(fd_, &by_fd) != 0) {
+    return result;
+  }
+  if (by_path.st_ino != by_fd.st_ino || by_path.st_dev != by_fd.st_dev) {
+    // Rotated: the old file is fully drained (we are at its EOF), so the
+    // new inode starts clean at offset 0.
+    Status opened = Reopen();
+    if (!opened.ok()) return opened;
+    result.rotated = true;
+    result.eof = false;  // the new file may have content right now
+  } else if (static_cast<uint64_t>(by_fd.st_size) < offset_) {
+    // Truncated in place (copytruncate rotation): restart from the top.
+    if (::lseek(fd_, 0, SEEK_SET) < 0) {
+      return Status::IoError("lseek " + path_ + ": " + std::strerror(errno));
+    }
+    offset_ = 0;
+    result.truncated = true;
+    result.eof = false;
+  }
+  return result;
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Status FollowReader::Reopen() {
+  return Status::Internal("--follow requires a POSIX platform");
+}
+
+Result<FollowReader::ReadResult> FollowReader::Read(std::string*, size_t) {
+  return Status::Internal("--follow requires a POSIX platform");
+}
+
+#endif
 
 }  // namespace datamaran

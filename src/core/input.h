@@ -2,6 +2,8 @@
 #define DATAMARAN_CORE_INPUT_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -112,6 +114,112 @@ Result<Dataset> DatasetFromBytes(std::string bytes,
 /// normalization produce an owned backing.
 Result<Dataset> OpenInput(const std::string& path,
                           const InputOptions& options);
+
+/// Incremental line framer: the streaming (--follow) counterpart of the
+/// batch front-end above. Bytes arrive in arbitrary chunks — split
+/// mid-line, mid-UTF-8 sequence, or between the '\r' and '\n' of a CRLF
+/// pair — and complete lines come out. Framing is a pure function of the
+/// concatenated byte stream: the emitted line sequence is identical for
+/// every chunk-delivery schedule, which is what the chunk-boundary
+/// determinism gate in tests/stream_test.cc pins down.
+///
+/// CRLF policy matches the batch path exactly for every input: a "\r\n"
+/// can only ever sit at a line boundary (the '\n' *is* the boundary), so
+/// batch StripCrlfInPlace is equivalent to per-line strip-trailing-"\r",
+/// and the kAuto probe ("a CRLF appears within the first kCrlfProbeBytes")
+/// is equivalent to "a line terminated by CRLF completes with its '\n'
+/// inside the probe window". Both are implemented in those per-line terms
+/// here, so a finite corpus framed incrementally yields byte-identical
+/// lines to OpenInput on the same bytes.
+///
+/// Oversized-line containment: with max_line_bytes set, a line whose
+/// content grows past the cap stops accumulating — overflow bytes are
+/// dropped until the terminator — and is delivered with oversized=true so
+/// the caller can degrade it to noise without ever buffering an unbounded
+/// carry. (Batch mode keeps the full line bytes and degrades it to noise
+/// downstream; the truncation is the streaming-only trade for O(window)
+/// memory on a hostile unterminated stream.)
+class StreamFramer {
+ public:
+  /// `line` includes its trailing '\n' (the final unterminated carry is
+  /// newline-terminated on Finish, mirroring Dataset's missing-final-
+  /// newline append); the view is valid only during the callback.
+  using LineFn = std::function<void(std::string_view line, bool oversized)>;
+
+  explicit StreamFramer(CrlfPolicy crlf = CrlfPolicy::kAuto,
+                        size_t max_line_bytes = 0);
+
+  /// Feeds one chunk; emits every line it completes.
+  void Feed(std::string_view bytes, const LineFn& on_line);
+
+  /// End of stream: emits the non-empty partial-line carry as a final
+  /// newline-terminated line. Feed must not be called afterwards.
+  void Finish(const LineFn& on_line);
+
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t lines_out() const { return lines_out_; }
+  uint64_t crlf_stripped() const { return crlf_stripped_; }
+  uint64_t oversized_lines() const { return oversized_lines_; }
+  size_t carry_bytes() const { return carry_.size(); }
+
+ private:
+  void EmitLine(std::string_view content_with_newline, bool carry_oversized,
+                const LineFn& on_line);
+
+  CrlfPolicy crlf_;
+  size_t max_line_bytes_;
+  std::string carry_;        ///< partial line awaiting its '\n'
+  bool carry_oversized_ = false;
+  std::string scratch_;      ///< CRLF-stripped emission buffer
+  /// kAuto state: undecided until the probe window resolves it.
+  bool crlf_decided_;
+  bool crlf_strip_;
+  uint64_t bytes_in_ = 0;
+  uint64_t lines_out_ = 0;
+  uint64_t crlf_stripped_ = 0;
+  uint64_t oversized_lines_ = 0;
+};
+
+/// Non-blocking byte source for `--follow`: reads whatever `path` has
+/// appended since the last call, detecting the two live-log hazards —
+/// rotation (the name now points at a different inode: finish draining the
+/// old file, then reopen at offset 0) and truncation (the file shrank
+/// below our offset: a copytruncate-style rotation, reread from 0). The
+/// caller owns the poll/sleep loop; Read never sleeps. Path "-" reads
+/// stdin (no rotation or truncation there — EOF is final).
+class FollowReader {
+ public:
+  explicit FollowReader(std::string path);
+  ~FollowReader();
+
+  FollowReader(const FollowReader&) = delete;
+  FollowReader& operator=(const FollowReader&) = delete;
+
+  struct ReadResult {
+    size_t bytes = 0;      ///< appended to *out this call
+    bool eof = false;      ///< no more data right now (poll again later)
+    bool rotated = false;  ///< reopened a new inode at this path
+    bool truncated = false;///< file shrank; restarted from offset 0
+  };
+
+  /// Appends at most `max_bytes` of new content to *out. `eof` means the
+  /// source is drained *for now* — for a live file the caller sleeps and
+  /// calls again; for stdin it is final. Errors (vanished file between
+  /// polls is NOT an error — it reads as eof until the new file appears)
+  /// are returned as a Status.
+  Result<ReadResult> Read(std::string* out, size_t max_bytes);
+
+  bool is_stdin() const { return stdin_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status Reopen();
+
+  std::string path_;
+  bool stdin_ = false;
+  int fd_ = -1;
+  uint64_t offset_ = 0;  ///< bytes consumed from the current fd
+};
 
 /// Opens several files as one logical dataset, stitched in the order given
 /// (callers wanting chronological rotation order sort with SortByRotation

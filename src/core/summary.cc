@@ -92,6 +92,17 @@ void AppendFileSummaryJson(const FileSummary& s, int indent,
                     s.catalog_checked ? "true" : "false",
                     s.catalog_hit ? "true" : "false", s.catalog_entry,
                     s.catalog_match_rate, s.drifted ? "true" : "false");
+  if (s.streaming) {
+    // Batch summaries omit this object entirely; its presence is what
+    // round-trips `streaming` through FileSummaryFromJson.
+    *out += field +
+            StrFormat("\"stream\": {\"epochs\": %zu, \"evolutions\": %zu, "
+                      "\"discovery_runs\": %zu, \"checkpoints\": %zu, "
+                      "\"oversized_lines\": %zu},\n",
+                      s.stream_epochs, s.stream_evolutions,
+                      s.stream_discovery_runs, s.stream_checkpoints,
+                      s.stream_oversized_lines);
+  }
   *out += field + "\"match_engine\": ";
   AppendJsonString(s.match_engine, out);
   *out += ",\n";
@@ -216,6 +227,21 @@ Result<FileSummary> FileSummaryFromJson(const JsonValue& v) {
       return MissingKey("catalog.match_rate");
     }
     if (!boolean(c, "drifted", &s.drifted)) return MissingKey("catalog.drifted");
+  }
+  {
+    // Optional-with-default: only streaming runs write this object.
+    const JsonValue* st = v.Find("stream");
+    if (st != nullptr) {
+      if (!st->is_object()) return MissingKey("stream");
+      s.streaming = true;
+      if (!u64(st, "epochs", &s.stream_epochs) ||
+          !u64(st, "evolutions", &s.stream_evolutions) ||
+          !u64(st, "discovery_runs", &s.stream_discovery_runs) ||
+          !u64(st, "checkpoints", &s.stream_checkpoints) ||
+          !u64(st, "oversized_lines", &s.stream_oversized_lines)) {
+        return MissingKey("stream");
+      }
+    }
   }
   if (!str("match_engine", &s.match_engine)) return MissingKey("match_engine");
   if (!str("charset_engine", &s.charset_engine)) {

@@ -62,6 +62,18 @@ struct FileSummary {
   /// not clear the threshold — the file's tail drifted from its format.
   bool drifted = false;
 
+  /// Streaming (--follow) runs only: `streaming` marks the summary as
+  /// produced by a live StreamingSession, and the stream_* counters mirror
+  /// StreamStats. Batch summaries omit the whole "stream" JSON object and
+  /// the parser defaults every field here, so pre-streaming manifests keep
+  /// parsing unchanged.
+  bool streaming = false;
+  size_t stream_epochs = 0;       ///< 1 after warm-up, +1 per evolution
+  size_t stream_evolutions = 0;   ///< drift evolutions that added templates
+  size_t stream_discovery_runs = 0;
+  size_t stream_checkpoints = 0;  ///< successful catalog saves
+  size_t stream_oversized_lines = 0;
+
   /// Resolved configuration.
   std::string match_engine;
   std::string charset_engine;

@@ -117,6 +117,24 @@ class EventSink {
 
   virtual void OnNoiseLine(size_t /*line_index*/) {}
 
+  /// Streaming noise hook: like OnNoiseLine, but carries the line text
+  /// (trailing '\n' included) because a streaming caller has no
+  /// whole-stream DatasetView for the index to resolve against; the view
+  /// is only valid during the callback, and `line_index` is the global
+  /// stream line number. The batch scan never calls this; the default
+  /// forwards to OnNoiseLine so index-only sinks need no change.
+  virtual void OnNoiseText(size_t line_index,
+                           std::string_view /*line_with_newline*/) {
+    OnNoiseLine(line_index);
+  }
+
+  /// Streaming evolution hook: drift re-discovery appended new templates
+  /// to the live set (existing template ids are never renumbered). The
+  /// pointers stay valid for the sink's lifetime; a file-writing sink
+  /// opens the new types' tables here, mid-stream. Default: ignore.
+  virtual void OnTemplatesAdded(
+      const std::vector<const StructureTemplate*>& /*added*/) {}
+
   /// Called after each parallel wave is stitched, at the same line cadence
   /// on the sequential path, and once at end of scan — always between
   /// records: the hook where buffering writers flush, bounding their state

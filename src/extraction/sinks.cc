@@ -51,15 +51,14 @@ void AppendJsonEscaped(std::string_view s, std::string* out) {
 
 std::string WriteSinkBase::NoiseFileName() { return "noise.txt"; }
 
-WriteSinkBase::WriteSinkBase(const DatasetView& data, size_t num_templates,
+WriteSinkBase::WriteSinkBase(const DatasetView& data,
                              size_t flush_threshold_bytes)
-    : data_(data), flush_threshold_(flush_threshold_bytes) {
-  stats_.records_per_template.assign(num_templates, 0);
-}
+    : data_(data), flush_threshold_(flush_threshold_bytes) {}
 
 WriteSinkBase::~WriteSinkBase() { Finish(); }
 
 void WriteSinkBase::MakeOutDir(const std::string& out_dir) {
+  out_dir_ = out_dir;
   Status made = MakeDirs(out_dir);
   if (!made.ok() && status_.ok()) status_ = std::move(made);
 }
@@ -111,6 +110,22 @@ void WriteSinkBase::OnNoiseLine(size_t line_index) {
   MaybeFlush(noise_stream_);
 }
 
+void WriteSinkBase::OnNoiseText(size_t /*line_index*/,
+                                std::string_view line_with_newline) {
+  // Same bytes OnNoiseLine would write, but from the carried text — the
+  // streaming path, where data_ is not the stream.
+  stats_.noise_lines++;
+  if (!status_.ok() || noise_stream_ == nullptr) return;
+  noise_stream_->buffer.append(line_with_newline.data(),
+                               line_with_newline.size());
+  MaybeFlush(noise_stream_);
+}
+
+void WriteSinkBase::OnTemplatesAdded(
+    const std::vector<const StructureTemplate*>& added) {
+  for (const StructureTemplate* st : added) AddTemplate(st);
+}
+
 void WriteSinkBase::OnWaveEnd() {
   for (Stream& stream : streams_) FlushStream(&stream);
 }
@@ -140,44 +155,41 @@ ColumnarWriteSink::ColumnarWriteSink(
     const std::vector<StructureTemplate>* templates, const DatasetView& data,
     const std::string& out_dir, OutputFormat format,
     size_t flush_threshold_bytes)
-    : WriteSinkBase(data, templates->size(), flush_threshold_bytes),
-      format_(format) {
-  // Build the per-template state unconditionally so the sink stays safe to
-  // feed (as a counting no-op) even when the directory or a file cannot be
-  // created — the error surfaces in Finish().
+    : WriteSinkBase(data, flush_threshold_bytes), format_(format) {
+  // AddTemplate builds the per-template state unconditionally, so the sink
+  // stays safe to feed (as a counting no-op) even when the directory or a
+  // file cannot be created — the error surfaces in Finish().
+  MakeOutDir(out_dir);
   rows_.reserve(templates->size());
-  size_t max_columns = 0;
-  for (const StructureTemplate& st : *templates) {
-    rows_.emplace_back(&st);
-    max_columns = std::max(
-        max_columns, static_cast<size_t>(rows_.back().leaf_count()));
-  }
+  type_streams_.reserve(templates->size());
+  for (const StructureTemplate& st : *templates) AddTemplate(&st);
+  OpenNoiseStream(out_dir);
+}
+
+void ColumnarWriteSink::AddTemplate(const StructureTemplate* st) {
+  const size_t t = rows_.size();
+  rows_.emplace_back(st);
+  RegisterTemplate();
   if (format_ == OutputFormat::kNdjson) {
     // Prebuilt `"fN":"` key prefixes: the record hot path must not format
     // or allocate per cell.
-    json_keys_.reserve(max_columns);
-    for (size_t c = 0; c < max_columns; ++c) {
+    const size_t columns = static_cast<size_t>(rows_.back().leaf_count());
+    for (size_t c = json_keys_.size(); c < columns; ++c) {
       json_keys_.push_back(StrFormat("\"f%zu\":\"", c));
     }
   }
-  MakeOutDir(out_dir);
-  type_streams_.reserve(templates->size());
-  for (size_t t = 0; t < templates->size(); ++t) {
-    const StructureTemplate& st = (*templates)[t];
-    Stream* stream = AddStream(out_dir + "/" + FileName(t, format_));
-    type_streams_.push_back(stream);
-    if (format_ == OutputFormat::kCsv) {
-      // Header row, byte-identical to Table::ToCsv's first line.
-      const DenormalizedSchema schema = DenormalizedSchemaFor(st);
-      std::string& buf = stream->buffer;
-      for (size_t c = 0; c < schema.columns.size(); ++c) {
-        if (c > 0) buf.push_back(',');
-        AppendCsvField(schema.columns[c], &buf);
-      }
-      buf.push_back('\n');
+  Stream* stream = AddStream(out_dir() + "/" + FileName(t, format_));
+  type_streams_.push_back(stream);
+  if (format_ == OutputFormat::kCsv) {
+    // Header row, byte-identical to Table::ToCsv's first line.
+    const DenormalizedSchema schema = DenormalizedSchemaFor(*st);
+    std::string& buf = stream->buffer;
+    for (size_t c = 0; c < schema.columns.size(); ++c) {
+      if (c > 0) buf.push_back(',');
+      AppendCsvField(schema.columns[c], &buf);
     }
+    buf.push_back('\n');
   }
-  OpenNoiseStream(out_dir);
 }
 
 void ColumnarWriteSink::OnRecord(int template_id, size_t /*first_line*/,
@@ -241,35 +253,39 @@ std::string NormalizedWriteSink::TableFileName(size_t template_id,
 NormalizedWriteSink::NormalizedWriteSink(
     const std::vector<StructureTemplate>* templates, const DatasetView& data,
     const std::string& out_dir, size_t flush_threshold_bytes)
-    : WriteSinkBase(data, templates->size(), flush_threshold_bytes) {
-  // As in the denormalized sink, all per-template state is built even when
-  // the directory cannot be created, so a failed sink still counts.
+    : WriteSinkBase(data, flush_threshold_bytes) {
+  // As in the denormalized sink, AddTemplate builds all per-template state
+  // even when the directory cannot be created, so a failed sink still
+  // counts.
   state_.reserve(templates->size());
   MakeOutDir(out_dir);
-  size_t max_tables = 0;
-  for (size_t t = 0; t < templates->size(); ++t) {
-    const StructureTemplate& st = (*templates)[t];
-    state_.emplace_back(&st);
-    PerTemplate& pt = state_.back();
-    const NormalizedSchema schema =
-        NormalizedSchemaFor(st, StrFormat("type%zu", t));
-    pt.next_id.assign(schema.tables.size(), 0);
-    pt.tables.reserve(schema.tables.size());
-    max_tables = std::max(max_tables, schema.tables.size());
-    for (size_t k = 0; k < schema.tables.size(); ++k) {
-      Stream* stream = AddStream(out_dir + "/" + TableFileName(t, k));
-      pt.tables.push_back(stream);
-      // Header row, byte-identical to Table::ToCsv's first line.
-      std::string& buf = stream->buffer;
-      for (size_t c = 0; c < schema.tables[k].columns.size(); ++c) {
-        if (c > 0) buf.push_back(',');
-        AppendCsvField(schema.tables[k].columns[c], &buf);
-      }
-      buf.push_back('\n');
-    }
-  }
-  record_rows_.assign(max_tables, 0);
+  for (const StructureTemplate& st : *templates) AddTemplate(&st);
   OpenNoiseStream(out_dir);
+}
+
+void NormalizedWriteSink::AddTemplate(const StructureTemplate* st) {
+  const size_t t = state_.size();
+  state_.emplace_back(st);
+  RegisterTemplate();
+  PerTemplate& pt = state_.back();
+  const NormalizedSchema schema =
+      NormalizedSchemaFor(*st, StrFormat("type%zu", t));
+  pt.next_id.assign(schema.tables.size(), 0);
+  pt.tables.reserve(schema.tables.size());
+  if (record_rows_.size() < schema.tables.size()) {
+    record_rows_.resize(schema.tables.size(), 0);
+  }
+  for (size_t k = 0; k < schema.tables.size(); ++k) {
+    Stream* stream = AddStream(out_dir() + "/" + TableFileName(t, k));
+    pt.tables.push_back(stream);
+    // Header row, byte-identical to Table::ToCsv's first line.
+    std::string& buf = stream->buffer;
+    for (size_t c = 0; c < schema.tables[k].columns.size(); ++c) {
+      if (c > 0) buf.push_back(',');
+      AppendCsvField(schema.tables[k].columns[c], &buf);
+    }
+    buf.push_back('\n');
+  }
 }
 
 void NormalizedWriteSink::OnRecord(int template_id, size_t /*first_line*/,

@@ -86,7 +86,23 @@ class WriteSinkBase : public EventSink {
   WriteSinkBase& operator=(const WriteSinkBase&) = delete;
 
   void OnNoiseLine(size_t line_index) override;
+  /// Streaming noise path: writes the carried text directly (the batch
+  /// path resolves the index against `data_` instead; same bytes).
+  void OnNoiseText(size_t line_index,
+                   std::string_view line_with_newline) override;
+  /// Streaming evolution path: opens the new record types' output files
+  /// mid-stream via AddTemplate. Template ids continue from the current
+  /// count, matching the extractor's numbering.
+  void OnTemplatesAdded(
+      const std::vector<const StructureTemplate*>& added) override;
   void OnWaveEnd() override;
+
+  /// Appends one record type: opens its output file(s) under the
+  /// constructor's out_dir, writes headers, and extends the per-template
+  /// state — the unit both the constructors (looping over the initial
+  /// template set) and OnTemplatesAdded (splicing mid-stream) build on.
+  /// `st` must outlive the sink.
+  virtual void AddTemplate(const StructureTemplate* st) = 0;
 
   /// Flushes and closes every file; returns the first error encountered
   /// (construction, write, or close). Idempotent. The destructor calls it,
@@ -114,10 +130,17 @@ class WriteSinkBase : public EventSink {
   };
 
   /// `data` must be the view being extracted (it resolves noise-line
-  /// text) and must outlive the sink. Derived constructors call MakeOutDir
-  /// then AddStream per output file, and finally OpenNoiseStream.
-  WriteSinkBase(const DatasetView& data, size_t num_templates,
-                size_t flush_threshold_bytes);
+  /// text; streaming callers that only ever deliver noise via OnNoiseText
+  /// may pass a view of an empty Dataset) and must outlive the sink.
+  /// Derived constructors call MakeOutDir then AddTemplate per initial
+  /// template, and finally OpenNoiseStream.
+  WriteSinkBase(const DatasetView& data, size_t flush_threshold_bytes);
+
+  /// Grows the per-template record counter; every AddTemplate override
+  /// calls this once.
+  void RegisterTemplate() { stats_.records_per_template.push_back(0); }
+
+  const std::string& out_dir() const { return out_dir_; }
 
   /// Creates `out_dir` (and parents). Failure is sticky like any write.
   void MakeOutDir(const std::string& out_dir);
@@ -137,6 +160,7 @@ class WriteSinkBase : public EventSink {
   void FlushStream(Stream* stream);
 
   size_t flush_threshold_;
+  std::string out_dir_;  ///< remembered by MakeOutDir for AddTemplate
   std::deque<Stream> streams_;  // deque: handles stay valid as we add
   Status status_ = Status::Ok();
   bool finished_ = false;
@@ -159,6 +183,8 @@ class ColumnarWriteSink : public WriteSinkBase {
   void OnRecord(int template_id, size_t first_line, std::string_view text,
                 size_t pos, size_t end, const MatchEvent* events,
                 size_t num_events) override;
+
+  void AddTemplate(const StructureTemplate* st) override;
 
   /// File name of record type `t` under this format ("type3.csv").
   static std::string FileName(size_t template_id, OutputFormat format);
@@ -194,6 +220,8 @@ class NormalizedWriteSink : public WriteSinkBase {
   void OnRecord(int template_id, size_t first_line, std::string_view text,
                 size_t pos, size_t end, const MatchEvent* events,
                 size_t num_events) override;
+
+  void AddTemplate(const StructureTemplate* st) override;
 
   /// Rows written so far to table `table` of record type `template_id`
   /// (table 0 is the root; 1..A the array child tables).

@@ -412,7 +412,16 @@ Status TemplateCatalog::Save(const std::string& path,
   // Persisted catalogs always carry compiled programs: entries discovered
   // this run compile once here, reloaded entries keep their blobs.
   merged.PopulatePrograms();
-  return WriteFileAtomic(path, merged.Serialize());
+  Status written = WriteFileAtomic(path, merged.Serialize());
+  if (written.ok()) {
+    // A successful save is done with the sidecar: clean it up (still under
+    // the lock — Acquire's inode re-check makes this race-safe) so crawl
+    // and output directories hold only real artifacts, not stray ".lock"
+    // files. Best-effort: waiters already blocked on this inode still
+    // serialize, and the next saver recreates the sidecar.
+    lock.value().UnlinkSidecar();
+  }
+  return written;
 }
 
 CatalogMatch MatchCatalog(const TemplateCatalog& catalog, const Dataset& data,

@@ -90,15 +90,29 @@ FileLock::~FileLock() { Release(); }
 
 FileLock::FileLock(FileLock&& other) noexcept {
   fd_ = other.fd_;
+  sidecar_ = std::move(other.sidecar_);
   other.fd_ = -1;
+  other.sidecar_.clear();
 }
 
 FileLock& FileLock::operator=(FileLock&& other) noexcept {
   if (this == &other) return *this;
   Release();
   fd_ = other.fd_;
+  sidecar_ = std::move(other.sidecar_);
   other.fd_ = -1;
+  other.sidecar_.clear();
   return *this;
+}
+
+void FileLock::UnlinkSidecar() {
+#if DM_HAVE_FLOCK
+  // Only while held: unlinking an inode someone else holds the lock on
+  // would be their call to make, not ours.
+  if (fd_ >= 0 && !sidecar_.empty()) {
+    (void)::unlink(sidecar_.c_str());
+  }
+#endif
 }
 
 void FileLock::Release() {
@@ -111,25 +125,45 @@ void FileLock::Release() {
   }
 #endif
   fd_ = -1;
+  sidecar_.clear();
 }
 
 Result<FileLock> FileLock::Acquire(const std::string& path) {
   FileLock lock;
 #if DM_HAVE_FLOCK
   const std::string sidecar = path + ".lock";
-  int fd = ::open(sidecar.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
-  if (fd < 0) {
-    return Status::IoError("cannot open lock file: " + sidecar);
+  for (;;) {
+    int fd = ::open(sidecar.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (fd < 0) {
+      return Status::IoError("cannot open lock file: " + sidecar);
+    }
+    int rc;
+    do {
+      rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd);
+      return Status::IoError("flock failed: " + sidecar);
+    }
+    // A previous holder may have unlinked the sidecar (UnlinkSidecar)
+    // between our open and our flock, leaving us exclusive on an orphaned
+    // inode while a fresh acquirer locks a recreated one. Re-check that
+    // the name still resolves to the inode we locked; if not, drop it and
+    // race again on the live sidecar. Our held fd pins the old inode, so
+    // its identity cannot be recycled under the comparison.
+    struct stat by_path;
+    struct stat by_fd;
+    if (::stat(sidecar.c_str(), &by_path) != 0 ||
+        ::fstat(fd, &by_fd) != 0 ||
+        by_path.st_ino != by_fd.st_ino || by_path.st_dev != by_fd.st_dev) {
+      (void)::flock(fd, LOCK_UN);
+      ::close(fd);
+      continue;
+    }
+    lock.fd_ = fd;
+    lock.sidecar_ = sidecar;
+    break;
   }
-  int rc;
-  do {
-    rc = ::flock(fd, LOCK_EX);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    ::close(fd);
-    return Status::IoError("flock failed: " + sidecar);
-  }
-  lock.fd_ = fd;
 #else
   (void)path;
 #endif

@@ -42,6 +42,15 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents);
 /// Datamaran processes (catalog read-merge-write cycles) and is released
 /// on destruction or process death. On platforms without flock, Acquire
 /// succeeds and the lock is a no-op (single-writer behavior unchanged).
+///
+/// Sidecar lifetime: a holder that finishes its critical section may call
+/// UnlinkSidecar() (still holding the lock) so output directories are not
+/// littered with stray `.lock` files. Acquire is race-safe against that
+/// unlink: after the flock lands it re-stats the sidecar path, and when
+/// the name is gone or points at a different inode — a previous holder
+/// unlinked it between our open and our flock — it drops the orphaned
+/// inode and retries, so two late acquirers can never both "hold" locks
+/// on distinct unlinked inodes.
 class FileLock {
  public:
   FileLock() = default;
@@ -59,11 +68,19 @@ class FileLock {
   /// without flock, where locking degrades to a no-op).
   bool held() const { return fd_ >= 0; }
 
+  /// Best-effort removal of the sidecar file, for a holder done with its
+  /// critical section. Must be called while the lock is held (no-op
+  /// otherwise): waiters blocked in flock on this inode keep their fd and
+  /// still serialize against each other, and fresh acquirers re-create
+  /// the sidecar. Never fails the caller — littering is cosmetic.
+  void UnlinkSidecar();
+
   /// Releases the lock early (idempotent; the destructor also releases).
   void Release();
 
  private:
   int fd_ = -1;
+  std::string sidecar_;  ///< path of the lock file (empty when not held)
 };
 
 /// Creates directory `path` (and parents) if it does not exist.

@@ -802,6 +802,44 @@ TEST(CatalogSaveTest, ConcurrentThreadedWritersLoseNoEntries) {
   std::filesystem::remove(path + ".lock");
 }
 
+// A successful save must clean up its advisory-lock sidecar (best-effort
+// unlink while still holding the lock), so long-lived output directories
+// do not accumulate stray `.lock` files — while a *failed* save keeps
+// serializing correctly and concurrent writers after cleanup still merge.
+TEST(CatalogSaveTest, SaveCleansUpLockSidecar) {
+  const std::string path = ::testing::TempDir() + "dm_catalog_unlock.txt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+
+  TemplateCatalog a;
+  a.AddEntry(EntryFor("F=F;F=F;\n"));
+  ASSERT_TRUE(a.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".lock"))
+      << "successful save left its sidecar behind";
+
+  // A second writer re-creates and re-cleans the sidecar; entries merge.
+  TemplateCatalog b;
+  b.AddEntry(EntryFor("F|F|F\n"));
+  ASSERT_TRUE(b.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".lock"));
+  auto merged = TemplateCatalog::Load(path);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().size(), 2u);
+
+  // The sidecar-unlink race guard: acquiring after an unlink must land on
+  // the live sidecar inode, and UnlinkSidecar while held removes it again.
+  auto lock = FileLock::Acquire(path);
+  ASSERT_TRUE(lock.ok());
+#if defined(__unix__) || defined(__APPLE__)
+  ASSERT_TRUE(lock.value().held());
+  EXPECT_TRUE(std::filesystem::exists(path + ".lock"));
+  lock.value().UnlinkSidecar();
+  EXPECT_FALSE(std::filesystem::exists(path + ".lock"));
+#endif
+  lock.value().Release();
+  std::filesystem::remove(path);
+}
+
 TEST(ExtractorLineAccountingTest, CountsMatchedAndNoiseLinesExactly) {
   Rng rng(4);
   const Dataset data(KvLines(120, &rng) + ProseLines(180));

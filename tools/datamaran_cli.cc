@@ -10,6 +10,20 @@
 //             [--catalog-no-merge] [--catalog-min-match=P]
 //             [--summary-json=PATH]
 //             [--out=DIR] [--format=FMT] [--normalized] [--verbose]
+//   datamaran --follow=PATH [--follow-max-bytes=N] [--follow-poll-ms=N]
+//             [--stream-window-lines=N] [--stream-window-bytes=N]
+//             [--drift-window=N] [--drift-threshold=P] [--no-evolve]
+//             [--out=DIR] [--catalog-out=PATH] [--summary-json=PATH] ...
+//
+// --follow switches to online streaming mode (core/stream.h): PATH is a
+// live log file tailed through rotation and truncation, or "-" for stdin.
+// Initial discovery runs over a sliding sample window of recent lines;
+// matched records stream through the same columnar sinks incrementally,
+// and a drift monitor re-runs discovery over recent noise when the rolling
+// noise rate crosses the threshold, splicing any novel templates into the
+// live set mid-stream. Peak memory is O(window), independent of stream
+// length. --catalog-out checkpoints the live template set (locked merge)
+// after every evolution and at end of stream.
 //
 // Input goes through the resilient front-end (core/input.h): gzip'd files
 // are sniffed and inflated, CRLF line endings normalized per --crlf, and
@@ -35,9 +49,15 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/datamaran.h"
 #include "core/input.h"
+#include "core/stream.h"
 #include "core/summary.h"
 #include "extraction/sinks.h"
 #include "flag_parse.h"
@@ -61,6 +81,12 @@ void Usage() {
                "                 [--catalog-min-match=P]\n"
                "                 [--summary-json=PATH] [--out=DIR]\n"
                "                 [--format=FMT] [--normalized] [--verbose]\n"
+               "       datamaran --follow=PATH [--follow-max-bytes=N]\n"
+               "                 [--follow-poll-ms=N]\n"
+               "                 [--stream-window-lines=N]\n"
+               "                 [--stream-window-bytes=N]\n"
+               "                 [--drift-window=N] [--drift-threshold=P]\n"
+               "                 [--no-evolve] ...\n"
                "  --inputs=SPEC comma-separated paths and/or glob patterns\n"
                "                stitched into one logical dataset in\n"
                "                rotation-chronological order (app.log.2.gz,\n"
@@ -134,8 +160,50 @@ void Usage() {
                "                tree (root type<t>.csv + per-array child\n"
                "                tables type<t>_arr<a>.csv with foreign\n"
                "                keys; CSV only, O(wave) memory like the\n"
-               "                default layout)\n");
+               "                default layout)\n"
+               "  --follow=PATH streaming mode: tail PATH (a live log,\n"
+               "                followed through rotation/truncation) or\n"
+               "                stdin (\"-\"); discover structure over a\n"
+               "                sliding window of recent lines, stream\n"
+               "                records through the --out sinks as they\n"
+               "                are decided, and evolve the template set\n"
+               "                on format drift. O(window) peak memory.\n"
+               "                Replaces the positional <file>; conflicts\n"
+               "                with --inputs, --mmap=always, --catalog-in\n"
+               "  --follow-max-bytes=N  stop following after N input bytes\n"
+               "                (0 = follow until stdin EOF / forever on a\n"
+               "                file); bounds CI and smoke runs\n"
+               "  --follow-poll-ms=N  sleep between polls of a drained\n"
+               "                live file (default 50; stdin never polls)\n"
+               "  --stream-window-lines=N  lines per discovery window and\n"
+               "                steady-state segment (default 4096)\n"
+               "  --stream-window-bytes=N  byte cap on the same window\n"
+               "                (default 256KiB)\n"
+               "  --drift-window=N  decided lines in the rolling noise-\n"
+               "                rate window (default 256)\n"
+               "  --drift-threshold=P  percent noise over the drift\n"
+               "                window that triggers re-discovery over\n"
+               "                recent noise (default 50)\n"
+               "  --no-evolve   monitor drift but never evolve the\n"
+               "                template set\n");
 }
+
+/// Fallback EventSink for `--follow` without `--out`: counts per-template
+/// records (for the summary) and drops everything else. Decisions still
+/// drive the session's own counters and drift monitor.
+class CountingSink : public datamaran::EventSink {
+ public:
+  void OnRecord(int template_id, size_t /*first_line*/,
+                std::string_view /*text*/, size_t /*pos*/, size_t /*end*/,
+                const datamaran::MatchEvent* /*events*/,
+                size_t /*num_events*/) override {
+    const size_t t = static_cast<size_t>(template_id);
+    if (t >= per_template.size()) per_template.resize(t + 1, 0);
+    per_template[t]++;
+  }
+
+  std::vector<size_t> per_template;
+};
 
 }  // namespace
 
@@ -146,6 +214,11 @@ int main(int argc, char** argv) {
   std::string inputs_spec;
   std::string out_dir;
   std::string summary_json;
+  std::string follow_path;
+  std::string stream_only_flag;  // first --follow-family flag seen
+  size_t follow_max_bytes = 0;
+  int follow_poll_ms = 50;
+  StreamOptions stream_options;
   bool normalized = false;
   OutputFormat format = OutputFormat::kCsv;
   DatamaranOptions options;
@@ -153,6 +226,40 @@ int main(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (StartsWith(arg, "--inputs=")) {
       inputs_spec = std::string(arg.substr(9));
+    } else if (StartsWith(arg, "--follow=")) {
+      follow_path = std::string(arg.substr(9));
+      if (follow_path.empty()) {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--follow-max-bytes=")) {
+      stream_only_flag = "--follow-max-bytes";
+      follow_max_bytes =
+          datamaran_tools::FlagSize("--follow-max-bytes", arg.substr(19));
+    } else if (StartsWith(arg, "--follow-poll-ms=")) {
+      stream_only_flag = "--follow-poll-ms";
+      follow_poll_ms =
+          datamaran_tools::FlagInt("--follow-poll-ms", arg.substr(17));
+    } else if (StartsWith(arg, "--stream-window-lines=")) {
+      stream_only_flag = "--stream-window-lines";
+      stream_options.window_lines =
+          datamaran_tools::FlagSize("--stream-window-lines", arg.substr(22));
+    } else if (StartsWith(arg, "--stream-window-bytes=")) {
+      stream_only_flag = "--stream-window-bytes";
+      stream_options.window_bytes =
+          datamaran_tools::FlagSize("--stream-window-bytes", arg.substr(22));
+    } else if (StartsWith(arg, "--drift-window=")) {
+      stream_only_flag = "--drift-window";
+      stream_options.drift_window_lines =
+          datamaran_tools::FlagSize("--drift-window", arg.substr(15));
+    } else if (StartsWith(arg, "--drift-threshold=")) {
+      stream_only_flag = "--drift-threshold";
+      stream_options.drift_threshold =
+          datamaran_tools::FlagDouble("--drift-threshold", arg.substr(18)) /
+          100.0;
+    } else if (arg == "--no-evolve") {
+      stream_only_flag = "--no-evolve";
+      stream_options.evolve = false;
     } else if (StartsWith(arg, "--crlf=")) {
       std::string_view policy = arg.substr(7);
       if (policy == "auto") {
@@ -256,10 +363,46 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty() == inputs_spec.empty()) {
-    // Exactly one of the positional <file> and --inputs selects the data.
-    Usage();
-    return 2;
+  // Mode selection and conflicts — every rejection here is a named error,
+  // exit 2, before any pipeline work or output-directory creation.
+  if (!follow_path.empty()) {
+    if (!path.empty() || !inputs_spec.empty()) {
+      std::fprintf(stderr,
+                   "error: --follow reads one live source and replaces the "
+                   "positional <file>; it conflicts with --inputs and a "
+                   "positional path\n");
+      Usage();
+      return 2;
+    }
+    if (options.mmap_mode == MapMode::kAlways) {
+      std::fprintf(stderr,
+                   "error: --follow streams an unbounded source and never "
+                   "memory-maps it; it conflicts with --mmap=always\n");
+      Usage();
+      return 2;
+    }
+    if (!options.catalog_in.empty()) {
+      std::fprintf(stderr,
+                   "error: --follow discovers structure from the live "
+                   "stream and checkpoints via --catalog-out; it conflicts "
+                   "with --catalog-in\n");
+      Usage();
+      return 2;
+    }
+  } else {
+    if (!stream_only_flag.empty()) {
+      std::fprintf(stderr,
+                   "error: %s applies to streaming mode only and requires "
+                   "--follow\n",
+                   stream_only_flag.c_str());
+      Usage();
+      return 2;
+    }
+    if (path.empty() == inputs_spec.empty()) {
+      // Exactly one of the positional <file> and --inputs selects the data.
+      Usage();
+      return 2;
+    }
   }
   if (normalized && format != OutputFormat::kCsv) {
     // The normalized table tree is CSV-only; name the conflict and bail
@@ -277,7 +420,9 @@ int main(int argc, char** argv) {
   // carries the same Status, so automated callers never have to scrape
   // stderr. The exit code stays 1 (input/runtime error), distinct from 2
   // (bad flags).
-  const std::string display_path = path.empty() ? inputs_spec : path;
+  const std::string display_path = !follow_path.empty()
+                                       ? follow_path
+                                       : (path.empty() ? inputs_spec : path);
   auto fail = [&](const Status& st) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     if (!summary_json.empty()) {
@@ -288,6 +433,144 @@ int main(int argc, char** argv) {
     }
     return 1;
   };
+
+  if (!follow_path.empty()) {
+    stream_options.checkpoint_path = options.catalog_out;
+    stream_options.checkpoint_merge = options.catalog_merge;
+
+    // The write sinks resolve noise text through OnNoiseText in streaming
+    // mode; the DatasetView they hold only needs to outlive them.
+    Dataset empty_data{std::string()};
+    DatasetView empty_view(empty_data);
+    std::vector<StructureTemplate> no_templates;
+    CountingSink counting;
+    std::unique_ptr<WriteSinkBase> write_sink;
+    EventSink* sink = &counting;
+    if (!out_dir.empty()) {
+      if (normalized) {
+        write_sink = std::make_unique<NormalizedWriteSink>(
+            &no_templates, empty_view, out_dir);
+      } else {
+        write_sink = std::make_unique<ColumnarWriteSink>(
+            &no_templates, empty_view, out_dir, format);
+      }
+      if (!write_sink->status().ok()) return fail(write_sink->status());
+      sink = write_sink.get();
+    }
+
+    StreamingSession session(options, stream_options, sink);
+    FollowReader reader(follow_path);
+    std::string buf;
+    uint64_t fed = 0;
+    for (;;) {
+      buf.clear();
+      size_t want = 64 * 1024;
+      if (follow_max_bytes > 0) {
+        const uint64_t left = follow_max_bytes - fed;
+        if (left < want) want = static_cast<size_t>(left);
+      }
+      auto read = reader.Read(&buf, want);
+      if (!read.ok()) return fail(read.status());
+      if (!buf.empty()) {
+        fed += buf.size();
+        session.FeedBytes(buf);
+      }
+      if (follow_max_bytes > 0 && fed >= follow_max_bytes) break;
+      if (read.value().eof) {
+        if (reader.is_stdin()) break;  // stdin EOF is final
+#if defined(__unix__) || defined(__APPLE__)
+        if (follow_poll_ms > 0) {
+          ::usleep(static_cast<unsigned>(follow_poll_ms) * 1000u);
+        }
+#endif
+      }
+    }
+    Status ended = session.Finish();
+
+    const StreamStats& stats = session.stats();
+    std::printf("streamed %llu bytes, %llu lines (%llu decided)\n",
+                static_cast<unsigned long long>(stats.bytes_in),
+                static_cast<unsigned long long>(stats.lines_in),
+                static_cast<unsigned long long>(stats.lines_decided));
+    std::printf("%zu structure template(s):\n", session.templates().size());
+    size_t t = 0;
+    for (const StructureTemplate& st : session.templates()) {
+      std::printf("  [%zu] span=%d fields=%d  %s\n", t++, st.line_span(),
+                  st.field_count(), st.Display().c_str());
+    }
+    std::printf("records=%llu noise_lines=%llu oversized=%llu\n",
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.noise_lines),
+                static_cast<unsigned long long>(stats.oversized_lines));
+    std::printf("drift: epochs=%llu evolutions=%llu (attempts=%llu), "
+                "discovery_runs=%llu, noise_rate=%.2f\n",
+                static_cast<unsigned long long>(stats.epochs),
+                static_cast<unsigned long long>(stats.evolutions),
+                static_cast<unsigned long long>(stats.evolution_attempts),
+                static_cast<unsigned long long>(stats.discovery_runs),
+                stats.last_noise_rate);
+    if (!stream_options.checkpoint_path.empty()) {
+      std::printf("checkpoints: %llu to %s\n",
+                  static_cast<unsigned long long>(stats.checkpoints),
+                  stream_options.checkpoint_path.c_str());
+    }
+
+    int exit_code = 0;
+    if (!ended.ok()) {
+      std::fprintf(stderr, "error: %s\n", ended.ToString().c_str());
+      exit_code = 1;
+    }
+    if (write_sink != nullptr) {
+      Status finished = write_sink->Finish();
+      if (!finished.ok()) {
+        std::fprintf(stderr, "error: %s\n", finished.ToString().c_str());
+        exit_code = 1;
+      }
+      std::printf("wrote %s/%s (%zu lines); %zu bytes streamed\n",
+                  out_dir.c_str(), WriteSinkBase::NoiseFileName().c_str(),
+                  write_sink->stats().noise_lines,
+                  write_sink->stats().bytes_written);
+    }
+
+    if (!summary_json.empty()) {
+      FileSummary s;
+      s.path = display_path;
+      s.input_bytes = static_cast<size_t>(stats.bytes_in);
+      if (!ended.ok()) s.error = ended.ToString();
+      for (const StructureTemplate& st : session.templates()) {
+        s.templates.push_back(st.Display());
+      }
+      s.total_lines = static_cast<size_t>(stats.lines_in);
+      s.records = static_cast<size_t>(stats.records);
+      s.records_per_template = write_sink != nullptr
+                                   ? write_sink->stats().records_per_template
+                                   : counting.per_template;
+      s.noise_lines = static_cast<size_t>(stats.noise_lines);
+      s.match_rate =
+          stats.lines_decided == 0
+              ? 1.0
+              : static_cast<double>(stats.lines_decided - stats.noise_lines) /
+                    static_cast<double>(stats.lines_decided);
+      s.streaming = true;
+      s.stream_epochs = static_cast<size_t>(stats.epochs);
+      s.stream_evolutions = static_cast<size_t>(stats.evolutions);
+      s.stream_discovery_runs = static_cast<size_t>(stats.discovery_runs);
+      s.stream_checkpoints = static_cast<size_t>(stats.checkpoints);
+      s.stream_oversized_lines = static_cast<size_t>(stats.oversized_lines);
+      s.match_engine =
+          options.match_engine == MatchEngine::kCompiled ? "compiled"
+                                                         : "tree";
+      s.charset_engine =
+          CharsetEngineName(ResolveCharsetEngine(options.charset_engine));
+      s.threads = ThreadPool::ResolveThreadCount(options.num_threads);
+      Status written = WriteFileAtomic(summary_json, FileSummaryToJson(s));
+      if (!written.ok()) {
+        std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
 
   std::vector<std::string> input_paths;
   if (!inputs_spec.empty()) {

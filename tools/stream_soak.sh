@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Stream soak: pipe a large synthetic drifting stream (default 200 MB)
+# through `datamaran_cli --follow=-` and gate peak RSS. The generator is
+# deterministic (counter-based, no RNG): ~45% of the bytes are format A
+# ("n,n,n"), a 10% alternating A/B transition band, then format B
+# ("n|n|n|n") to the end — so the run must survive a drift-triggered
+# template evolution mid-stream. The gate is the streaming-memory
+# contract: peak RSS stays O(window), independent of stream length, far
+# below the bytes streamed. Fails on a nonzero CLI exit, a missing
+# evolution, or peak RSS above the budget.
+#
+#   tools/stream_soak.sh [total_bytes] [rss_budget_kb]
+#
+# Requires the tier-1 build (./build/datamaran_cli) and python3 (used
+# only to read the child's peak RSS via getrusage — GNU time is not
+# installed everywhere).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOTAL_BYTES="${1:-200000000}"
+RSS_BUDGET_KB="${2:-65536}"   # 64 MiB — measured peak is ~11 MB, flat in stream length
+
+if [ ! -x build/datamaran_cli ]; then
+  echo "stream_soak: build/datamaran_cli not found (run the tier-1 build first)" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+generate() {
+  awk -v total="$TOTAL_BYTES" 'BEGIN {
+    b = 0; i = 0;
+    a_end = total * 0.45; mix_end = total * 0.55;
+    while (b < total) {
+      if (b < a_end)        fmt = 0;
+      else if (b < mix_end) fmt = i % 2;
+      else                  fmt = 1;
+      if (fmt == 0) line = i "," (i * 7 % 1000) "," (i % 97);
+      else          line = i "|" (i % 89) "|" (i * 3 % 1000) "|" (i % 7);
+      print line;
+      b += length(line) + 1; i++;
+    }
+  }'
+}
+
+echo "stream_soak: streaming ${TOTAL_BYTES} bytes through --follow=- ..."
+# python3 wrapper: exec the CLI with our stdin, then report the child's
+# peak RSS (getrusage RUSAGE_CHILDREN ru_maxrss, in kB on Linux).
+set +e
+generate | python3 -c '
+import resource, subprocess, sys
+status = subprocess.call(sys.argv[1:])
+peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"peak_rss_kb={peak_kb}", file=sys.stderr)
+sys.exit(status)
+' ./build/datamaran_cli --follow=- \
+  --summary-json="$workdir/summary.json" \
+  > "$workdir/stdout.txt" 2> "$workdir/rss.txt"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+  echo "stream_soak: CLI exited $status" >&2
+  cat "$workdir/rss.txt" >&2
+  exit 1
+fi
+cat "$workdir/stdout.txt"
+
+peak_kb="$(sed -n 's/^peak_rss_kb=//p' "$workdir/rss.txt")"
+if [ -z "$peak_kb" ]; then
+  echo "stream_soak: could not read peak RSS" >&2
+  cat "$workdir/rss.txt" >&2
+  exit 1
+fi
+echo "stream_soak: peak RSS ${peak_kb} kB (budget ${RSS_BUDGET_KB} kB)"
+if [ "$peak_kb" -gt "$RSS_BUDGET_KB" ]; then
+  echo "stream_soak: FAIL — peak RSS over budget" >&2
+  exit 1
+fi
+
+if ! grep -q '"evolutions": ' "$workdir/summary.json"; then
+  echo "stream_soak: FAIL — no stream section in summary" >&2
+  exit 1
+fi
+evolutions="$(sed -n 's/.*"evolutions": \([0-9]*\).*/\1/p' "$workdir/summary.json")"
+if [ "${evolutions:-0}" -lt 1 ]; then
+  echo "stream_soak: FAIL — drifting stream produced no evolution" >&2
+  cat "$workdir/summary.json" >&2
+  exit 1
+fi
+echo "stream_soak: OK (${evolutions} evolution(s))"
